@@ -1,0 +1,102 @@
+"""AB3 — detector ablation: rate vs entropy vs CUSUM on the same SYN flood.
+
+The paper assumes detection exists (§6.1); this ablation shows how much the
+detector choice matters downstream: alarm latency gates identification and
+quarantine, and an oblivious detector leaves the flood unchecked.
+"""
+
+import numpy as np
+
+from repro.attack.botnet import Botnet
+from repro.attack.flows import FlowSpec, schedule_flow
+from repro.defense.detection import CusumDetector, EntropyDetector, RateThresholdDetector
+from repro.defense.identification import IdentificationPipeline
+from repro.defense.response import QuarantineController
+from repro.marking import DdpmScheme
+from repro.network import Fabric
+from repro.network.packet import PacketKind
+from repro.routing import MinimalAdaptiveRouter, RandomPolicy
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+ATTACK_START = 5.0
+
+
+def _run_with(detector_factory, seed=3):
+    rng = np.random.default_rng(seed)
+    topology = Mesh((6, 6))
+    scheme = DdpmScheme()
+    fabric = Fabric(topology, MinimalAdaptiveRouter(), marking=scheme)
+    fabric.selection = RandomPolicy(np.random.default_rng(seed + 1))
+    victim = topology.index((3, 3))
+
+    detector = detector_factory()
+    pipeline = IdentificationPipeline(
+        fabric, victim, scheme.new_victim_analysis(victim, min_share=0.05),
+        detector)
+    controller = QuarantineController(fabric, pipeline, confirmation_packets=25)
+
+    # Calm background to the victim: 4 nodes at 3 pkt/s each.
+    legit = [topology.index(c) for c in [(0, 0), (0, 5), (5, 0), (5, 5)]]
+    for src in legit:
+        schedule_flow(fabric, FlowSpec(src, victim, rate=3.0, duration=20.0), rng)
+
+    botnet = Botnet([topology.index((1, 1)), topology.index((4, 2)),
+                     topology.index((2, 4))])
+    truth = botnet.launch(fabric, victim, rate_per_slave=50.0, duration=12.0,
+                          rng=rng, start=ATTACK_START)
+
+    # Entropy detectors need a clean baseline.
+    if isinstance(detector, EntropyDetector):
+        fabric.run_until(ATTACK_START - 0.5)
+        if detector.packets_seen >= 8:
+            detector.baseline_entropy = detector.current_entropy()
+    fabric.run()
+
+    alarm = detector.alarm_time
+    reaction = controller.reaction_latency(ATTACK_START)
+    contained = set(botnet.slaves) <= controller.quarantined
+    innocents_blocked = len(controller.quarantined - set(botnet.slaves))
+    return {
+        "alarm_latency": (alarm - ATTACK_START) if alarm is not None else None,
+        "reaction": reaction,
+        "contained": contained,
+        "innocents_blocked": innocents_blocked,
+    }
+
+
+def test_ablation_detector_choice(benchmark, report):
+    factories = [
+        ("rate-threshold", lambda: RateThresholdDetector(window=0.5,
+                                                         threshold_rate=40.0)),
+        ("entropy", lambda: EntropyDetector(window_packets=32, tolerance=1.0)),
+        ("cusum", lambda: CusumDetector(window=0.5, drift=10.0, threshold=30.0)),
+    ]
+
+    def measure():
+        return [(name, _run_with(factory)) for name, factory in factories]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = TextTable(["detector", "alarm latency", "quarantine latency",
+                       "all attackers contained", "innocents blocked"])
+    for name, out in rows:
+        table.add_row([
+            name,
+            f"{out['alarm_latency']:.2f}" if out["alarm_latency"] is not None else "never",
+            f"{out['reaction']:.2f}" if out["reaction"] is not None else "never",
+            "yes" if out["contained"] else "no",
+            out["innocents_blocked"],
+        ])
+    report("Ablation AB3 - detector choice vs end-to-end containment",
+           table.render())
+
+    results = dict(rows)
+    # Every detector eventually alarms on a 150 pkt/s flood...
+    for name, out in rows:
+        assert out["alarm_latency"] is not None, name
+    # ...and rate-threshold + cusum lead to full containment.
+    assert results["rate-threshold"]["contained"]
+    assert results["cusum"]["contained"]
+    # The rate detector is the fastest of the three on a blunt flood.
+    latencies = {name: out["alarm_latency"] for name, out in rows}
+    assert latencies["rate-threshold"] <= latencies["cusum"]

@@ -1,0 +1,121 @@
+"""AB1 — DDPM field-capacity ablation under non-minimal routing.
+
+DESIGN.md decision #3/#4: overflow must be an explicit error, never silent
+corruption. Three facts verified here: (1) on a mesh the accumulated vector
+telescopes to (current - source), so NO misroute budget can overflow a
+correctly-sized slot; (2) on a torus the per-write modular fold keeps even
+looping routes in range; (3) an undersized field fails loudly at attach
+time, at exactly the Table 3 boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldLayoutError
+from repro.marking import DdpmScheme
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import FullyAdaptiveRouter, RandomPolicy, walk_route
+from repro.topology import Mesh, Torus
+from repro.util.tables import TextTable
+
+
+def test_ablation_misroute_budget_never_overflows(benchmark, report):
+    def measure():
+        rng = np.random.default_rng(0)
+        select = RandomPolicy(rng).binder()
+        rows = []
+        for topo_name, topo in (("mesh 8x8", Mesh((8, 8))),
+                                ("torus 8x8", Torus((8, 8)))):
+            scheme = DdpmScheme()
+            scheme.attach(topo)
+            router = FullyAdaptiveRouter(prefer_minimal=False)
+            for budget in (0, 4, 16, 64):
+                worst_detour = 0
+                exact = 0
+                trials = 40
+                for _ in range(trials):
+                    src, dst = rng.integers(topo.num_nodes, size=2)
+                    if src == dst:
+                        exact += 1
+                        continue
+                    path = walk_route(topo, router, int(src), int(dst), select,
+                                      misroute_budget=budget, max_hops=600)
+                    worst_detour = max(worst_detour,
+                                       len(path) - 1 - topo.min_hops(int(src), int(dst)))
+                    packet = Packet(IPHeader(1, 2), int(src), int(dst))
+                    scheme.on_inject(packet, int(src))
+                    for u, v in zip(path[:-1], path[1:]):
+                        scheme.on_hop(packet, u, v)  # raises on overflow
+                    if scheme.identify(packet, int(dst)) == src:
+                        exact += 1
+                rows.append((topo_name, budget, worst_detour, exact / trials))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = TextTable(["topology", "misroute budget", "worst detour (hops)",
+                       "exactness"])
+    for name, budget, detour, exactness in rows:
+        table.add_row([name, budget, detour, f"{exactness:.0%}"])
+    report("Ablation AB1 - DDPM exactness vs misroute budget "
+           "(no overflow ever raised)", table.render())
+    assert all(row[3] == 1.0 for row in rows)
+    assert max(row[2] for row in rows) > 0  # misrouting actually happened
+
+
+def test_ablation_capacity_boundary(benchmark, report):
+    """Attach succeeds at the Table 3 boundary and fails one step past it."""
+
+    def measure():
+        rows = []
+        for dims in ((128, 128), (129, 129), (256, 64), (256, 128),
+                     (16, 16, 32)):
+            try:
+                DdpmLayout(dims, signed=True)
+                rows.append(("x".join(map(str, dims)), "fits"))
+            except FieldLayoutError:
+                rows.append(("x".join(map(str, dims)), "REJECTED at attach"))
+        return rows
+
+    rows = benchmark(measure)
+    table = TextTable(["dims", "16-bit MF outcome"])
+    for row in rows:
+        table.add_row(row)
+    report("Ablation AB1 - capacity boundary behavior", table.render())
+    outcome = dict(rows)
+    assert outcome["128x128"] == "fits"
+    assert outcome["129x129"] == "REJECTED at attach"   # 9 + 9 signed bits
+    assert outcome["256x64"] == "fits"                  # 9 + 7 = 16 exactly
+    assert outcome["256x128"] == "REJECTED at attach"   # 9 + 8 = 17
+    assert outcome["16x16x32"] == "fits"
+
+
+def test_ablation_torus_loop_folding(benchmark, report):
+    """A pathological looping walk on a ring: raw accumulation would need
+    unbounded bits; the folded representation never leaves the slot."""
+
+    def measure():
+        ring = Torus((16,))
+        scheme = DdpmScheme()
+        scheme.attach(ring)
+        packet = Packet(IPHeader(1, 2), 0, 8)
+        scheme.on_inject(packet, 0)
+        node = 0
+        laps = 5
+        raw_accum = 0
+        for _ in range(laps * 16 + 8):  # five full laps plus the real trip
+            nxt = (node + 1) % 16
+            scheme.on_hop(packet, node, nxt)
+            raw_accum += 1
+            node = nxt
+        stored = scheme.layout.decode(packet.header.identification)
+        return raw_accum, stored, scheme.identify(packet, node)
+
+    raw, stored, identified = benchmark(measure)
+    report("Ablation AB1 - torus loop folding",
+           f"walk of {raw} forward hops (5 laps + 8); stored vector {stored}; "
+           f"identified source {identified} (true 0)")
+    assert raw == 88
+    assert stored == (8,)  # 88 mod 16 = 8 (the +k/2 tie resolves positive)
+    assert identified == 0

@@ -1,0 +1,67 @@
+"""AB2 — PPM marking-probability ablation.
+
+Savage's trade-off: large p means near marks drown far marks (the farthest
+edge's survival p(1-p)^(d-1) collapses); small p means all marks are rare.
+The optimum sits near p = 1/d. Measured packets-to-identify across a p
+sweep on a fixed-length path, against the analytic expectation.
+"""
+
+import numpy as np
+
+from repro.analysis.ppm_model import expected_packets_savage, optimal_marking_probability
+from repro.defense.metrics import packets_until_identified
+from repro.marking import FullIndexEncoder, PpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, walk_route
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+PATH_LENGTH = 10  # hops (1 x 11 line network)
+
+
+def _measure(probability, seed, budget=60000):
+    line = Mesh((1, PATH_LENGTH + 1))
+    scheme = PpmScheme(FullIndexEncoder(), probability,
+                       np.random.default_rng(seed))
+    scheme.attach(line)
+    victim = PATH_LENGTH
+    path = list(range(PATH_LENGTH + 1))
+
+    def stream():
+        for _ in range(budget):
+            packet = Packet(IPHeader(1, 2), 0, victim)
+            scheme.on_inject(packet, 0)
+            for u, v in zip(path[:-1], path[1:]):
+                scheme.on_hop(packet, u, v)
+            yield packet
+
+    analysis = scheme.new_victim_analysis(victim)
+    return packets_until_identified(analysis, stream(), {0}, check_every=25)
+
+
+def test_ablation_marking_probability_sweep(benchmark, report):
+    def sweep():
+        rows = []
+        for p in (0.02, 0.05, 0.1, 0.2, 0.4, 0.7):
+            measured = [_measure(p, seed) for seed in range(3)]
+            measured = [m for m in measured if m is not None]
+            median = sorted(measured)[len(measured) // 2] if measured else None
+            rows.append((p, median, expected_packets_savage(PATH_LENGTH, p)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    optimum = optimal_marking_probability(PATH_LENGTH)
+    table = TextTable(["p", "measured packets (median of 3)",
+                       "analytic ln(d)/(p(1-p)^(d-1))"])
+    for p, measured, analytic in rows:
+        table.add_row([p, measured if measured is not None else "not converged",
+                       f"{analytic:,.0f}"])
+    report(f"Ablation AB2 - PPM probability sweep (d={PATH_LENGTH}, "
+           f"analytic optimum p={optimum:.2f})", table.render())
+
+    by_p = {p: m for p, m, _ in rows}
+    # The mid-range probabilities dominate both extremes.
+    assert by_p[0.1] is not None
+    assert by_p[0.7] is None or by_p[0.7] > by_p[0.1]
+    assert by_p[0.02] is None or by_p[0.02] > by_p[0.1]

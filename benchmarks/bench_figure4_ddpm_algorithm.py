@@ -1,0 +1,92 @@
+"""F4 — the Figure 4 algorithm's guarantee, measured at scale.
+
+Single-packet identification must be exact on every topology family under
+every routing algorithm, including non-minimal and randomized ones. Also
+times the per-hop marking operation itself — Figure 4 is the per-switch
+datapath, so its cost is the scheme's hardware story.
+"""
+
+import numpy as np
+
+from repro.marking import DdpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import (
+    DimensionOrderRouter,
+    FullyAdaptiveRouter,
+    MinimalAdaptiveRouter,
+    RandomPolicy,
+    ValiantRouter,
+    walk_route,
+)
+from repro.topology import Hypercube, Mesh, Torus
+from repro.util.tables import TextTable
+
+
+def _identify_rate(topology, router, select, trials, rng, budget=6):
+    scheme = DdpmScheme()
+    scheme.attach(topology)
+    exact = 0
+    for _ in range(trials):
+        src, dst = rng.integers(topology.num_nodes, size=2)
+        if src == dst:
+            exact += 1
+            continue
+        path = walk_route(topology, router, int(src), int(dst), select,
+                          misroute_budget=budget, max_hops=400)
+        packet = Packet(IPHeader(1, 2), int(src), int(dst))
+        scheme.on_inject(packet, int(src))
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        if scheme.identify(packet, int(dst)) == src:
+            exact += 1
+    return exact / trials
+
+
+def test_figure4_exactness_matrix(benchmark, report):
+    def matrix():
+        rng = np.random.default_rng(0)
+        select = RandomPolicy(rng).binder()
+        rows = []
+        for topo_name, topo in (("mesh 8x8", Mesh((8, 8))),
+                                ("torus 8x8", Torus((8, 8))),
+                                ("hypercube 2^6", Hypercube(6))):
+            for router_name, router in (
+                ("dimension-order", DimensionOrderRouter()),
+                ("minimal-adaptive", MinimalAdaptiveRouter()),
+                ("fully-adaptive", FullyAdaptiveRouter(prefer_minimal=False)),
+                ("valiant", ValiantRouter(np.random.default_rng(1))),
+            ):
+                rate = _identify_rate(topo, router, select, 60, rng)
+                rows.append((topo_name, router_name, rate))
+        return rows
+
+    rows = benchmark.pedantic(matrix, rounds=1, iterations=1)
+    table = TextTable(["topology", "routing", "single-packet exactness"])
+    for topo_name, router_name, rate in rows:
+        table.add_row([topo_name, router_name, f"{rate:.0%}"])
+    report("Figure 4 - DDPM single-packet identification matrix", table.render())
+    assert all(rate == 1.0 for _, _, rate in rows)
+
+
+def test_figure4_per_hop_cost(benchmark, report):
+    """Time the raw on_hop datapath: the §6.2 'simple functions' claim."""
+    mesh = Mesh((16, 16))
+    scheme = DdpmScheme()
+    scheme.attach(mesh)
+    path = walk_route(mesh, DimensionOrderRouter(), 0, mesh.num_nodes - 1,
+                      lambda c, cur: c[0])
+    hops = list(zip(path[:-1], path[1:]))
+
+    def mark_one_packet():
+        packet = Packet(IPHeader(1, 2), 0, mesh.num_nodes - 1)
+        scheme.on_inject(packet, 0)
+        for u, v in hops:
+            scheme.on_hop(packet, u, v)
+        return packet.header.identification
+
+    word = benchmark(mark_one_packet)
+    report("Figure 4 cost - full-path DDPM marking on a 16x16 mesh",
+           f"{len(hops)} hops marked per call; final MF word 0x{word:04x}\n"
+           "(per-hop cost is this benchmark's mean time / 30)")
+    assert scheme.layout.decode(word) == mesh.distance_vector(0, mesh.num_nodes - 1)

@@ -1,0 +1,58 @@
+"""T1 — regenerate Table 1: scalability of simple (full-index) PPM.
+
+Paper values: an n x n mesh/torus needs 2 log(n^2) + log(2n) bits, maxing
+out the 16-bit MF at 8 x 8 (64 nodes); an n-cube hypercube maxes at 2^6.
+"""
+
+from repro.analysis.scalability import render_table, table1
+from repro.marking.ppm_encoding import FullIndexEncoder
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+
+def test_table1_scalability(benchmark, report):
+    rows = benchmark(table1)
+    report("Table 1 - Scalability of simple PPM",
+           render_table(rows, "Paper: 8x8 mesh/torus (64 nodes); 2^6 hypercube"))
+    assert rows[0]["max_side"] == 8
+    assert rows[0]["max_nodes"] == 64
+    assert rows[1]["max_dim"] == 6
+    assert rows[1]["max_nodes"] == 64
+
+
+def test_table1_bit_budget_sweep(benchmark, report):
+    """Required bits vs mesh side, showing where the 16-bit line is crossed."""
+    from repro.analysis.scalability import simple_ppm_required_bits_mesh
+
+    def sweep():
+        return [(n, simple_ppm_required_bits_mesh(n)) for n in (2, 4, 8, 9, 16, 32)]
+
+    values = benchmark(sweep)
+    table = TextTable(["n (side)", "nodes", "required bits", "fits 16-bit MF"])
+    for n, bits in values:
+        table.add_row([n, n * n, bits, "yes" if bits <= 16 else "no"])
+    report("Table 1 sweep - simple PPM bit budget vs mesh side", table.render())
+    fits = {n: bits <= 16 for n, bits in values}
+    assert fits[8] and not fits[9]
+
+
+def test_table1_encoder_agrees_with_formula(benchmark, report):
+    """The real wire-format encoder allocates exactly the analytic bits."""
+    from repro.analysis.scalability import simple_ppm_required_bits_mesh
+
+    def check():
+        out = []
+        for n in (4, 8):
+            encoder = FullIndexEncoder()
+            encoder.attach(Mesh((n, n)))
+            out.append((n, encoder.layout.used_bits,
+                        simple_ppm_required_bits_mesh(n)))
+        return out
+
+    rows = benchmark(check)
+    table = TextTable(["n", "encoder bits", "formula bits"])
+    for row in rows:
+        table.add_row(row)
+    report("Table 1 cross-check - encoder vs formula", table.render())
+    for _, enc_bits, formula_bits in rows:
+        assert enc_bits == formula_bits

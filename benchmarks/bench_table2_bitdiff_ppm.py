@@ -1,0 +1,62 @@
+"""T2 — regenerate Table 2: scalability of bit-difference PPM.
+
+Paper value (hypercube row, legible in our source text): 2^8 nodes. The
+mesh cell is unreadable; the value consistent with the formula and the
+hypercube row computes to 16 x 16 (256 nodes) — see EXPERIMENTS.md.
+"""
+
+from repro.analysis.scalability import (
+    bitdiff_ppm_required_bits_hypercube,
+    bitdiff_ppm_required_bits_mesh,
+    render_table,
+    table2,
+)
+from repro.marking.ppm_encoding import BitDifferenceEncoder
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+
+def test_table2_scalability(benchmark, report):
+    rows = benchmark(table2)
+    report("Table 2 - Scalability of bit-difference PPM",
+           render_table(rows, "Paper: 2^8 hypercube; mesh cell computed = 16x16"))
+    assert rows[0]["max_side"] == 16
+    assert rows[1]["max_dim"] == 8
+    assert rows[1]["max_nodes"] == 256
+
+
+def test_table2_bit_budget_sweep(benchmark, report):
+    def sweep():
+        mesh = [(f"mesh {n}x{n}", bitdiff_ppm_required_bits_mesh(n))
+                for n in (4, 8, 16, 17, 32)]
+        cube = [(f"hypercube 2^{n}", bitdiff_ppm_required_bits_hypercube(n))
+                for n in (4, 6, 8, 9, 12)]
+        return mesh + cube
+
+    values = benchmark(sweep)
+    table = TextTable(["topology", "required bits", "fits 16-bit MF"])
+    for name, bits in values:
+        table.add_row([name, bits, "yes" if bits <= 16 else "no"])
+    report("Table 2 sweep - bit-difference PPM bit budget", table.render())
+    lookup = dict(values)
+    assert lookup["mesh 16x16"] <= 16 < lookup["mesh 17x17"]
+    assert lookup["hypercube 2^8"] <= 16 < lookup["hypercube 2^9"]
+
+
+def test_table2_encoder_agrees_with_formula(benchmark, report):
+    def check():
+        out = []
+        for n in (4, 8, 16):
+            encoder = BitDifferenceEncoder()
+            encoder.attach(Mesh((n, n)))
+            out.append((n, encoder.layout.used_bits,
+                        bitdiff_ppm_required_bits_mesh(n)))
+        return out
+
+    rows = benchmark(check)
+    table = TextTable(["n", "encoder bits", "formula bits"])
+    for row in rows:
+        table.add_row(row)
+    report("Table 2 cross-check - encoder vs formula", table.render())
+    for _, enc_bits, formula_bits in rows:
+        assert enc_bits == formula_bits

@@ -1,0 +1,69 @@
+"""T3 — regenerate Table 3: scalability of DDPM.
+
+Paper values: 2-D mesh/torus to 128 x 128 (16384 nodes, 2 log n = 16 bits);
+3-D to 16 x 16 x 32 (8192 nodes, 5+5+6 bits); 16-cube hypercube (65536).
+"""
+
+from repro.analysis.scalability import render_table, table3
+from repro.marking.ddpm import DdpmScheme
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.topology import Mesh
+from repro.util.tables import TextTable
+
+
+def test_table3_scalability(benchmark, report):
+    rows = benchmark(table3)
+    report("Table 3 - Scalability of DDPM",
+           render_table(rows, "Paper: 128x128 (16384); 16x16x32 (8192); 2^16"))
+    assert rows[0]["max_nodes"] == 16384
+    assert rows[1]["max_nodes"] == 8192
+    assert rows[2]["max_nodes"] == 65536
+
+
+def test_table3_capacity_rule(benchmark, report):
+    """Per-dimension capacities for every way of splitting the 16-bit MF."""
+
+    def sweep():
+        out = []
+        for n_dims in (1, 2, 3, 4, 5):
+            caps = DdpmLayout.capacities(n_dims)
+            out.append((n_dims, caps, DdpmLayout.max_nodes(n_dims)))
+        out.append(("hypercube", (2,) * 16, DdpmLayout.max_nodes(16, hypercube=True)))
+        return out
+
+    values = benchmark(sweep)
+    table = TextTable(["dimensions", "per-dim capacity", "max nodes"])
+    for n_dims, caps, nodes in values:
+        table.add_row([n_dims, "x".join(map(str, caps)), nodes])
+    report("Table 3 rule - MF split vs cluster capacity", table.render())
+    by_dims = {row[0]: row[2] for row in values}
+    assert by_dims[2] == 16384 and by_dims[3] == 8192
+
+
+def test_table3_max_network_actually_marks(benchmark, report):
+    """The 128x128 boundary case is not just arithmetic: the real scheme
+    attaches and identifies on the maximal mesh."""
+    mesh = Mesh((128, 128))
+    scheme = DdpmScheme()
+    scheme.attach(mesh)
+    src = mesh.index((0, 0))
+    dst = mesh.index((127, 127))
+
+    def corner_to_corner_identify():
+        from repro.network.ip import IPHeader
+        from repro.network.packet import Packet
+        from repro.routing import DimensionOrderRouter, walk_route
+
+        path = walk_route(mesh, DimensionOrderRouter(), src, dst,
+                          lambda c, cur: c[0])
+        packet = Packet(IPHeader(1, 2), src, dst)
+        scheme.on_inject(packet, src)
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        return scheme.identify(packet, dst)
+
+    identified = benchmark(corner_to_corner_identify)
+    report("Table 3 boundary - 128x128 mesh end-to-end",
+           f"corner-to-corner path of {mesh.diameter()} hops; "
+           f"identified source {identified} (true {src})")
+    assert identified == src

@@ -1,0 +1,30 @@
+"""Shared benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures/claims and
+reports it two ways: printed to the terminal (so ``pytest benchmarks/
+--benchmark-only`` output doubles as the reproduction log) and written to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """report(title, text): print and persist one reproduction artifact."""
+
+    def _report(title: str, text: str) -> Path:
+        banner = f"\n===== {title} =====\n{text}\n"
+        print(banner)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:80]
+        path = RESULTS_DIR / f"{slug}.txt"
+        path.write_text(f"{title}\n\n{text}\n")
+        return path
+
+    return _report

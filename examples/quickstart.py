@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: identify spoofed DDoS sources in a cluster with DDPM.
+
+Builds an 8x8 torus with fully adaptive routing, compromises three nodes
+that flood a victim with spoofed source addresses over innocent background
+chatter, and shows the victim identifying every attacker — from the marking
+field alone. Because DDPM decodes the exact source of *every* packet, the
+victim gets a precise per-source packet count: flooders tower over the
+background and fall out of a trivial rate cut.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, DdpmScheme, Torus
+from repro.routing import FullyAdaptiveRouter
+
+
+def main() -> None:
+    cluster = Cluster(
+        Torus((8, 8)),
+        FullyAdaptiveRouter(),
+        marking=DdpmScheme(),
+        seed=2026,
+    )
+    victim = cluster.default_victim()
+    pipeline = cluster.attach_pipeline(victim)
+
+    truth = cluster.launch_ddos(
+        victim=victim,
+        num_attackers=3,
+        attack_rate_per_node=50.0,
+        duration=2.0,
+        background_rate=5.0,  # innocent chatter everywhere
+    )
+    cluster.run()
+
+    # DDPM gives exact per-source counts; attackers dominate by volume.
+    counts = pipeline.analysis.source_counts
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+    coord = cluster.topology.coord
+
+    print(f"victim         : node {victim} {coord(victim)}")
+    print(f"true attackers : {sorted(truth.attackers)}")
+    print(f"{'source':>8} {'coord':>8} {'packets':>8}")
+    for node, count in ranked[:6]:
+        tag = "  <-- attacker" if node in truth.attackers else ""
+        print(f"{node:>8} {str(coord(node)):>8} {count:>8}{tag}")
+
+    # A 10x-the-median volume cut isolates the flooders exactly.
+    median = sorted(counts.values())[len(counts) // 2]
+    flooders = {node for node, c in counts.items() if c > 10 * median}
+    print(f"\nvolume cut (>10x median) : {sorted(flooders)}")
+    assert flooders == set(truth.attackers), "identification mismatch!"
+    print("exact identification of all attackers from marking field alone.")
+
+
+if __name__ == "__main__":
+    main()

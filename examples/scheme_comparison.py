@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The paper's argument in one table: marking scheme x routing algorithm.
+
+Runs the same multi-attacker spoofed flood on a 6x6 mesh under
+deterministic (XY), partially adaptive (west-first), and fully adaptive
+routing, identifying sources with PPM, DPM, and DDPM. Prints the
+precision/recall matrix: DDPM stays exact everywhere; PPM needs stable
+routes; DPM is ambiguous even when routes are stable.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from repro.core import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+    run_identification_experiment,
+)
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    routings = [
+        ("xy", SelectionSpec("first")),          # deterministic
+        ("west-first", SelectionSpec("random")),  # partially adaptive
+        ("fully-adaptive", SelectionSpec("random")),
+    ]
+    markings = ["ppm-full", "dpm", "ddpm"]
+
+    table = TextTable(
+        ["routing", "scheme", "precision", "recall", "suspects", "exact"],
+        title="Identification quality, 3 spoofing attackers on a 6x6 mesh",
+    )
+    for routing, selection in routings:
+        for marking in markings:
+            config = ExperimentConfig(
+                topology=TopologySpec("mesh", (6, 6)),
+                routing=RoutingSpec(routing),
+                marking=MarkingSpec(marking, probability=0.2),
+                selection=selection,
+                seed=42,
+                num_attackers=3,
+                attack_rate_per_node=40.0,
+                duration=2.0,
+                background_rate=2.0,
+            )
+            result = run_identification_experiment(config)
+            table.add_row([
+                routing, marking,
+                f"{result.score.precision:.2f}",
+                f"{result.score.recall:.2f}",
+                len(result.suspects),
+                "yes" if result.score.exact else "no",
+            ])
+    print(table.render())
+    print("\nReading: DDPM is exact under every routing algorithm; PPM is")
+    print("exact only while routes are stable; DPM's signature table maps")
+    print("one signature to several sources even under XY routing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "A Source Identification Scheme against DDoS
+Attacks in Cluster Interconnects" (Lee, Kim & Lee, ICPP 2004 Workshops).
+
+The package implements the paper's contribution — Deterministic Distance
+Packet Marking (DDPM) — together with every substrate it is evaluated
+against: mesh/torus/hypercube topologies, deterministic and adaptive
+routing, a discrete-event switch fabric with an IP-like packet layer, the
+PPM/DPM baseline traceback schemes, DDoS attack workloads, and victim-side
+detection/identification/blocking.
+
+Quick start::
+
+    from repro import Cluster, Mesh, DdpmScheme
+    from repro.routing import FullyAdaptiveRouter
+
+    cluster = Cluster(Mesh((8, 8)), FullyAdaptiveRouter(), marking=DdpmScheme())
+    victim = cluster.default_victim()
+    pipeline = cluster.attach_pipeline(victim)
+    truth = cluster.launch_ddos(victim=victim, num_attackers=3)
+    cluster.run()
+    print(sorted(pipeline.suspects()), "vs truth", sorted(truth.attackers))
+"""
+
+from repro._version import __version__
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.experiment import run_identification_experiment, sweep
+from repro.marking.ddpm import DdpmScheme
+from repro.marking.dpm import DpmScheme
+from repro.marking.ppm import PpmScheme
+from repro.network.fabric import Fabric, FabricConfig
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+__all__ = [
+    "__version__",
+    "Cluster",
+    "TopologySpec",
+    "RoutingSpec",
+    "SelectionSpec",
+    "MarkingSpec",
+    "ExperimentConfig",
+    "run_identification_experiment",
+    "sweep",
+    "DdpmScheme",
+    "DpmScheme",
+    "PpmScheme",
+    "Fabric",
+    "FabricConfig",
+    "Mesh",
+    "Torus",
+    "Hypercube",
+]

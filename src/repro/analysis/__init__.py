@@ -1,0 +1,68 @@
+"""Analytical models behind the paper's tables and claims.
+
+Pure functions, no simulator dependency: field-width/scalability accounting
+(Tables 1-3), Savage's expected-packet bounds for PPM (§2, claim A1), DPM
+signature-ambiguity estimates (§4.3, claim A2), XOR reconstruction ambiguity
+(§4.2, claim A4), and the switch-overhead cost model (§6.2, claim A5).
+Property tests cross-check these against the simulated implementations.
+"""
+
+from repro.analysis.ambiguity import (
+    paper_xor_ambiguity,
+    xor_ambiguity_exact,
+)
+from repro.analysis.dpm_model import (
+    neighbor_bit_collision_rate,
+    overwrite_horizon,
+    signature_table_ambiguity,
+)
+from repro.analysis.overhead import (
+    DEFAULT_OP_WEIGHTS,
+    measure_on_hop_time,
+    weighted_cost,
+)
+from repro.analysis.ppm_model import (
+    expected_packets_bound,
+    expected_packets_savage,
+    mark_survival_probability,
+    optimal_marking_probability,
+)
+from repro.analysis.scalability import (
+    bitdiff_ppm_required_bits_hypercube,
+    bitdiff_ppm_required_bits_mesh,
+    ddpm_required_bits_hypercube,
+    ddpm_required_bits_mesh,
+    max_hypercube_dim,
+    max_mesh_side,
+    simple_ppm_required_bits_hypercube,
+    simple_ppm_required_bits_mesh,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "expected_packets_bound",
+    "expected_packets_savage",
+    "mark_survival_probability",
+    "optimal_marking_probability",
+    "overwrite_horizon",
+    "neighbor_bit_collision_rate",
+    "signature_table_ambiguity",
+    "paper_xor_ambiguity",
+    "xor_ambiguity_exact",
+    "DEFAULT_OP_WEIGHTS",
+    "weighted_cost",
+    "measure_on_hop_time",
+    "simple_ppm_required_bits_mesh",
+    "simple_ppm_required_bits_hypercube",
+    "bitdiff_ppm_required_bits_mesh",
+    "bitdiff_ppm_required_bits_hypercube",
+    "ddpm_required_bits_mesh",
+    "ddpm_required_bits_hypercube",
+    "max_mesh_side",
+    "max_hypercube_dim",
+    "table1",
+    "table2",
+    "table3",
+]

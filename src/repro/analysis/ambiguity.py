@@ -1,0 +1,53 @@
+"""XOR-encoding reconstruction ambiguity (paper §4.2, claim A4).
+
+"Since there is only one bit difference between neighboring nodes, the XOR
+value always has only one bit set... one XOR value is mapped into average
+n(n-1)/log n edges" — with Gray labels every physical edge's XOR is one-hot,
+so the whole edge population collapses onto ``label_bits`` distinct values.
+The paper's point, which :func:`xor_ambiguity_exact` verifies on real
+topologies, is that ambiguity *grows* with network size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.marking.ppm_encoding import gray_label, gray_label_bits
+from repro.topology.base import Topology
+
+__all__ = ["paper_xor_ambiguity", "xor_ambiguity_exact"]
+
+
+def paper_xor_ambiguity(n: int) -> float:
+    """The paper's estimate for an n x n mesh: n(n-1) / log2(n).
+
+    (The paper counts n(n-1) edges per orientation and log n one-hot values
+    per dimension's label bits.)
+    """
+    if n < 2:
+        raise ConfigurationError(f"mesh side must be >= 2, got {n}")
+    return n * (n - 1) / math.log2(n)
+
+
+def xor_ambiguity_exact(topology: Topology) -> dict:
+    """Exact XOR-value collision statistics over a topology's links.
+
+    Returns the number of distinct XOR values, the mean and max number of
+    (undirected) physical edges sharing one value, and the total edge count.
+    Reconstruction treats both directions as candidates, doubling effective
+    ambiguity; this function reports undirected counts.
+    """
+    by_xor: Dict[int, int] = {}
+    for u, v in topology.links.all_links:
+        xor = gray_label(topology, u) ^ gray_label(topology, v)
+        by_xor[xor] = by_xor.get(xor, 0) + 1
+    total_edges = sum(by_xor.values())
+    return {
+        "label_bits": gray_label_bits(topology),
+        "distinct_xor_values": len(by_xor),
+        "total_edges": total_edges,
+        "mean_edges_per_value": total_edges / len(by_xor),
+        "max_edges_per_value": max(by_xor.values()),
+    }

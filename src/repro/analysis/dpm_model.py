@@ -1,0 +1,63 @@
+"""DPM ambiguity analysis (paper §4.3).
+
+Two failure modes, both quantified here:
+
+* **overwrite horizon** — the MF has 16 bit positions indexed by TTL mod 16,
+  so information from switches more than 16 hops out is clobbered: "after
+  the 16th hop, the MF starts to lose information of paths farther than 16
+  hops";
+* **signature collisions** — each switch contributes a single hash bit, and
+  "on average, two out of four neighbors in the 2-D mesh have the same last
+  bit", so distinct sources frequently produce identical signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.marking.dpm import DpmScheme
+from repro.topology.base import Topology
+
+__all__ = [
+    "overwrite_horizon",
+    "neighbor_bit_collision_rate",
+    "signature_table_ambiguity",
+]
+
+
+def overwrite_horizon(mf_bits: int = 16) -> int:
+    """Hops beyond which a switch's DPM bit is overwritten by nearer switches."""
+    return mf_bits
+
+
+def neighbor_bit_collision_rate(topology: Topology, scheme: DpmScheme) -> float:
+    """Fraction of adjacent node pairs stamping the same hash bit.
+
+    The paper predicts ~1/2 for an unbiased hash ("two out of four neighbors
+    in the 2-D mesh"); computed exactly over the topology's link set.
+    """
+    links = topology.links.all_links
+    same = sum(1 for u, v in links if scheme.node_bit(u) == scheme.node_bit(v))
+    return same / len(links)
+
+
+def signature_table_ambiguity(table: Dict[int, FrozenSet[int]]) -> dict:
+    """Collision statistics of a signature -> sources table.
+
+    Returns the number of signatures, mean and max sources per signature,
+    and the fraction of sources that are *ambiguous* (share their signature
+    with at least one other source) — DPM's identification ceiling even
+    under perfectly stable routing.
+    """
+    if not table:
+        return {"signatures": 0, "mean_sources_per_signature": 0.0,
+                "max_sources_per_signature": 0, "ambiguous_source_fraction": 0.0}
+    sizes: List[int] = [len(sources) for sources in table.values()]
+    total_sources = sum(sizes)
+    ambiguous = sum(size for size in sizes if size > 1)
+    return {
+        "signatures": len(table),
+        "mean_sources_per_signature": total_sources / len(table),
+        "max_sources_per_signature": max(sizes),
+        "ambiguous_source_fraction": ambiguous / total_sources,
+    }

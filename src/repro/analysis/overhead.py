@@ -1,0 +1,78 @@
+"""Switch-overhead cost model (paper §6.2, claim A5).
+
+"In our approach, a switch performs only simple functions such as addition,
+subtraction, and XOR, so we expect they would not affect overall
+performance." Two views:
+
+* an abstract per-hop operation count per scheme
+  (:meth:`~repro.marking.base.MarkingScheme.per_hop_operations`) weighted by
+  nominal cycle costs — hashing and RNG draws cost more than adds;
+* a measured view (:func:`measure_on_hop_time`) timing the actual ``on_hop``
+  implementation; absolute Python numbers are not hardware-representative,
+  but the *ratios* between schemes are the claim under test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.marking.base import MarkingScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing.base import Router, walk_route
+from repro.topology.base import Topology
+
+__all__ = ["DEFAULT_OP_WEIGHTS", "weighted_cost", "measure_on_hop_time"]
+
+#: Nominal cost (cycles) per abstract operation in a switch datapath.
+DEFAULT_OP_WEIGHTS: Dict[str, float] = {
+    "add": 1.0,
+    "xor": 1.0,
+    "field_read": 1.0,
+    "field_write": 1.0,
+    "hash": 8.0,
+    "rng_draw": 4.0,
+    "mac": 32.0,
+}
+
+
+def weighted_cost(operations: Dict[str, float],
+                  weights: Optional[Dict[str, float]] = None) -> float:
+    """Fold an operation-count dict into one nominal per-hop cost."""
+    if weights is None:
+        weights = DEFAULT_OP_WEIGHTS
+    unknown = set(operations) - set(weights)
+    if unknown:
+        raise ConfigurationError(f"no weights for operations: {sorted(unknown)}")
+    return sum(count * weights[op] for op, count in operations.items())
+
+
+def measure_on_hop_time(scheme: MarkingScheme, topology: Topology,
+                        router: Router, *, source: int, destination: int,
+                        repetitions: int = 2000) -> float:
+    """Mean wall-clock seconds per on_hop call along a representative path.
+
+    Walks one route, then replays its hop sequence ``repetitions`` times
+    against fresh packets, timing only the marking calls.
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    path = walk_route(topology, router, source, destination,
+                      lambda cands, cur: cands[0])
+    hops = list(zip(path[:-1], path[1:]))
+    if not hops:
+        raise ConfigurationError("source and destination coincide")
+
+    total = 0.0
+    calls = 0
+    for _ in range(repetitions):
+        packet = Packet(IPHeader(0x0A000001, 0x0A000002), source, destination)
+        scheme.on_inject(packet, source)
+        start = time.perf_counter()
+        for u, v in hops:
+            scheme.on_hop(packet, u, v)
+        total += time.perf_counter() - start
+        calls += len(hops)
+    return total / calls

@@ -1,0 +1,69 @@
+"""Savage's PPM traffic-overhead model (paper §2 and §4.2).
+
+The paper's quantitative argument against PPM in clusters: the expected
+number of packets the victim must receive before reconstructing a path of
+length d is bounded by ``k ln(kd) / (p (1-p)^(d-1))`` (k = fragments per
+edge, p = marking probability) — and cluster diameters (62 for a 1024-node
+32x32 mesh) dwarf Internet path lengths (~15), exploding the bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "mark_survival_probability",
+    "expected_packets_savage",
+    "expected_packets_bound",
+    "optimal_marking_probability",
+]
+
+
+def _check(d: int, p: float) -> None:
+    if d < 1:
+        raise ConfigurationError(f"path length d must be >= 1, got {d}")
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"marking probability must be in (0, 1), got {p}")
+
+
+def mark_survival_probability(hops_from_victim: int, p: float) -> float:
+    """Probability a packet arrives carrying the mark of the switch ``i`` hops out.
+
+    The switch marks with probability p and no nearer switch re-marks:
+    p * (1-p)^(i-1). This is the leftmost/farthest edge — the rarest mark and
+    the reconstruction bottleneck.
+    """
+    _check(hops_from_victim, p)
+    return p * (1.0 - p) ** (hops_from_victim - 1)
+
+
+def expected_packets_savage(d: int, p: float) -> float:
+    """Savage's single-fragment bound: E[packets] < ln(d) / (p (1-p)^(d-1)).
+
+    Coupon-collector over the d edges of the path, paced by the rarest mark.
+    """
+    _check(d, p)
+    if d == 1:
+        return 1.0 / mark_survival_probability(1, p)
+    return math.log(d) / mark_survival_probability(d, p)
+
+
+def expected_packets_bound(d: int, p: float, k: int = 8) -> float:
+    """The k-fragment bound quoted by the paper: k ln(kd) / (p (1-p)^(d-1))."""
+    _check(d, p)
+    if k < 1:
+        raise ConfigurationError(f"fragment count k must be >= 1, got {k}")
+    return k * math.log(k * d) / mark_survival_probability(d, p)
+
+
+def optimal_marking_probability(d: int) -> float:
+    """p = 1/d maximizes the farthest mark's survival probability.
+
+    d(p(1-p)^(d-1))/dp = 0 at p = 1/d; Savage recommends fixing p near the
+    reciprocal of the longest expected path.
+    """
+    if d < 1:
+        raise ConfigurationError(f"path length d must be >= 1, got {d}")
+    return 1.0 / d

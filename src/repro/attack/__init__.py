@@ -1,0 +1,61 @@
+"""DDoS attack workloads inside the cluster (paper §1, §4.1).
+
+Models the paper's threat: a handful of compromised, *trusted* nodes inside
+the high-speed interconnect flooding a victim with spoofed-source packets.
+Included generations (paper §1): first-generation tool-driven floods
+(:mod:`botnet` — TFN/trinoo-style master/slave coordination,
+:mod:`synflood` — TCP SYN half-open exhaustion) and second-generation
+self-propagating worms (:mod:`worm` — SI/SIR epidemics whose aggregate
+traffic grows exponentially). Background traffic uses the standard
+interconnect workload patterns (:mod:`traffic`).
+"""
+
+from repro.attack.botnet import Botnet
+from repro.attack.ddos import AttackTrafficResult, schedule_attack_flood
+from repro.attack.flows import FlowSpec, schedule_flow
+from repro.attack.spoofing import (
+    FixedSpoofing,
+    InClusterSpoofing,
+    NoSpoofing,
+    RandomSpoofing,
+    SpoofingStrategy,
+    VictimSpoofing,
+)
+from repro.attack.synflood import HalfOpenTable, SynFloodMonitor
+from repro.attack.traffic import (
+    BitReversalPattern,
+    HotspotPattern,
+    PermutationPattern,
+    TornadoPattern,
+    TrafficPattern,
+    TransposePattern,
+    UniformRandomPattern,
+    schedule_background,
+)
+from repro.attack.worm import WormOutbreak, analytic_si_curve
+
+__all__ = [
+    "Botnet",
+    "AttackTrafficResult",
+    "schedule_attack_flood",
+    "FlowSpec",
+    "schedule_flow",
+    "SpoofingStrategy",
+    "NoSpoofing",
+    "RandomSpoofing",
+    "InClusterSpoofing",
+    "FixedSpoofing",
+    "VictimSpoofing",
+    "HalfOpenTable",
+    "SynFloodMonitor",
+    "TrafficPattern",
+    "UniformRandomPattern",
+    "TransposePattern",
+    "BitReversalPattern",
+    "TornadoPattern",
+    "HotspotPattern",
+    "PermutationPattern",
+    "schedule_background",
+    "WormOutbreak",
+    "analytic_si_curve",
+]

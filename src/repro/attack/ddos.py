@@ -1,0 +1,70 @@
+"""Composite DDoS scenario scheduling: attack flood over background noise."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.attack.botnet import Botnet
+from repro.attack.spoofing import SpoofingStrategy
+from repro.attack.traffic import TrafficPattern, UniformRandomPattern, schedule_background
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet, PacketKind
+
+__all__ = ["AttackTrafficResult", "schedule_attack_flood"]
+
+
+@dataclass
+class AttackTrafficResult:
+    """Ground truth of one scheduled scenario (for scoring, never for defense)."""
+
+    victim: int
+    attackers: tuple
+    attack_packets: List[Packet] = field(default_factory=list)
+    background_packets: List[Packet] = field(default_factory=list)
+
+    @property
+    def attack_packet_ids(self) -> Set[int]:
+        """Packet ids of all scheduled attack packets."""
+        return {p.packet_id for p in self.attack_packets}
+
+    def is_attack_packet(self, packet: Packet) -> bool:
+        """Ground-truth membership test."""
+        return packet.packet_id in self.attack_packet_ids
+
+
+def schedule_attack_flood(fabric: Fabric, *, victim: int,
+                          attackers: Sequence[int],
+                          attack_rate_per_node: float,
+                          duration: float,
+                          rng: np.random.Generator,
+                          spoofing: Optional[SpoofingStrategy] = None,
+                          background_rate: float = 0.0,
+                          background_pattern: Optional[TrafficPattern] = None,
+                          attack_kind: PacketKind = PacketKind.DATA,
+                          start_jitter: float = 0.0) -> AttackTrafficResult:
+    """Schedule a multi-attacker flood plus optional background noise.
+
+    The everyday entry point for the benchmarks: pick attackers, set rates,
+    get back the ground truth needed to score identification.
+    """
+    botnet = Botnet(attackers, spoofing=spoofing)
+    per_slave = botnet.launch(
+        fabric, victim, rate_per_slave=attack_rate_per_node,
+        duration=duration, rng=rng, start_jitter=start_jitter,
+        kind=attack_kind,
+    )
+    result = AttackTrafficResult(victim=victim, attackers=botnet.slaves)
+    for packets in per_slave.values():
+        result.attack_packets.extend(packets)
+
+    if background_rate > 0.0:
+        pattern = background_pattern if background_pattern is not None else UniformRandomPattern()
+        sources = [n for n in fabric.topology.nodes() if n != victim]
+        result.background_packets = schedule_background(
+            fabric, pattern, rate=background_rate, duration=duration,
+            rng=rng, sources=sources,
+        )
+    return result

@@ -1,0 +1,75 @@
+"""Flow specifications: a declarative unit of (possibly malicious) traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.attack.spoofing import NoSpoofing, SpoofingStrategy
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet, PacketKind
+
+__all__ = ["FlowSpec", "schedule_flow"]
+
+
+@dataclass
+class FlowSpec:
+    """One source-to-destination traffic stream.
+
+    Attributes
+    ----------
+    source / destination:
+        Node indexes.
+    rate:
+        Packets per time unit (Poisson arrivals).
+    start / duration:
+        Active window.
+    kind:
+        Packet type (DATA, SYN, ...).
+    spoofing:
+        Source-address strategy; default writes the honest address.
+    payload_bytes / flow_id:
+        Wire size and stream tag.
+    """
+
+    source: int
+    destination: int
+    rate: float
+    start: float = 0.0
+    duration: float = 1.0
+    kind: PacketKind = PacketKind.DATA
+    spoofing: SpoofingStrategy = field(default_factory=NoSpoofing)
+    payload_bytes: int = 64
+    flow_id: int = 0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {self.rate}")
+        if self.duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {self.duration}")
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+
+
+def schedule_flow(fabric: Fabric, spec: FlowSpec,
+                  rng: np.random.Generator) -> List[Packet]:
+    """Schedule a flow's packets onto the fabric; returns them for scoring."""
+    packets: List[Packet] = []
+    t = spec.start + float(rng.exponential(1.0 / spec.rate))
+    seq = 0
+    while t < spec.start + spec.duration:
+        spoofed = spec.spoofing.source_ip(spec.source, fabric.addresses, rng)
+        packet = fabric.make_packet(
+            spec.source, spec.destination,
+            spoofed_src_ip=spoofed, kind=spec.kind,
+            flow_id=spec.flow_id, seq=seq,
+            payload_bytes=spec.payload_bytes,
+        )
+        fabric.inject(packet, delay=t)
+        packets.append(packet)
+        seq += 1
+        t += float(rng.exponential(1.0 / spec.rate))
+    return packets

@@ -1,0 +1,110 @@
+"""Source-address spoofing strategies (paper §4.1 assumption 3).
+
+"Attackers generate packets with spoofed IP addresses" — the strategy
+decides *which* fake address each attack packet carries. The choice matters
+to address-based defenses (ingress filtering blocks out-of-cluster spoofs;
+in-cluster spoofs frame innocent peers) but is irrelevant to DDPM, which
+never consults the source field — a property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import SpoofingError
+from repro.network.addressing import AddressMap
+
+__all__ = [
+    "SpoofingStrategy",
+    "NoSpoofing",
+    "RandomSpoofing",
+    "InClusterSpoofing",
+    "FixedSpoofing",
+    "VictimSpoofing",
+]
+
+
+class SpoofingStrategy(ABC):
+    """Produces the source address an attacker writes into each packet."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def source_ip(self, attacker: int, addresses: AddressMap,
+                  rng: np.random.Generator) -> int:
+        """Spoofed 32-bit source address for one packet from ``attacker``."""
+
+
+class NoSpoofing(SpoofingStrategy):
+    """Honest source address (baseline / legitimate traffic)."""
+
+    name = "none"
+
+    def source_ip(self, attacker: int, addresses: AddressMap,
+                  rng: np.random.Generator) -> int:
+        return addresses.ip_of(attacker)
+
+
+class RandomSpoofing(SpoofingStrategy):
+    """Uniformly random 32-bit addresses, mostly outside the cluster.
+
+    Classic TFN behavior; trivially filtered by ingress filtering at the
+    cluster boundary (paper §2, Ferguson & Senie) but useless to filter
+    *inside*, where this library operates.
+    """
+
+    name = "random"
+
+    def source_ip(self, attacker: int, addresses: AddressMap,
+                  rng: np.random.Generator) -> int:
+        return int(rng.integers(0, 1 << 32))
+
+
+class InClusterSpoofing(SpoofingStrategy):
+    """Random *valid cluster* addresses — frames innocent peers.
+
+    Defeats ingress filtering entirely: every source address is legitimate,
+    just not the sender's. The strategy never emits the attacker's own
+    address (that would be an accidental confession).
+    """
+
+    name = "in-cluster"
+
+    def source_ip(self, attacker: int, addresses: AddressMap,
+                  rng: np.random.Generator) -> int:
+        if len(addresses) < 2:
+            raise SpoofingError("cannot spoof in a single-node cluster")
+        node = int(rng.integers(len(addresses)))
+        if node == attacker:
+            node = (node + 1) % len(addresses)
+        return addresses.ip_of(node)
+
+
+class FixedSpoofing(SpoofingStrategy):
+    """Every packet claims the same configured address."""
+
+    name = "fixed"
+
+    def __init__(self, address: int):
+        if not 0 <= address < (1 << 32):
+            raise SpoofingError(f"address {address!r} is not a 32-bit value")
+        self.address = address
+
+    def source_ip(self, attacker: int, addresses: AddressMap,
+                  rng: np.random.Generator) -> int:
+        return self.address
+
+
+class VictimSpoofing(SpoofingStrategy):
+    """Spoof the victim's own address (LAND-attack flavor, reflection setup)."""
+
+    name = "victim"
+
+    def __init__(self, victim: int):
+        self.victim = victim
+
+    def source_ip(self, attacker: int, addresses: AddressMap,
+                  rng: np.random.Generator) -> int:
+        return addresses.ip_of(self.victim)

@@ -1,0 +1,115 @@
+"""TCP SYN-flood resource exhaustion at the victim (paper §1).
+
+The paper's example of attack traffic that camouflages as normal: each SYN
+is individually unremarkable; the damage is the victim's bounded half-open
+connection table filling with entries that never complete the handshake.
+:class:`HalfOpenTable` models that table (capacity + timeout);
+:class:`SynFloodMonitor` plugs it into a fabric node's delivery stream and
+scores *denial*: the fraction of legitimate SYNs refused for want of a slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+from repro.network.nic import DeliveredPacket
+from repro.network.packet import Packet, PacketKind
+
+__all__ = ["HalfOpenTable", "SynFloodMonitor"]
+
+
+class HalfOpenTable:
+    """Bounded half-open (SYN_RCVD) connection table with entry timeout.
+
+    Entries are keyed by (source address, sequence); an entry frees either
+    when the handshake completes (ACK arrives — spoofed-source SYNs never
+    complete) or when ``timeout`` elapses.
+    """
+
+    def __init__(self, capacity: int, timeout: float):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        self.capacity = capacity
+        self.timeout = timeout
+        self._entries: Dict[Tuple[int, int], float] = {}
+
+    def _expire(self, now: float) -> None:
+        deadline = now - self.timeout
+        stale = [key for key, t in self._entries.items() if t <= deadline]
+        for key in stale:
+            del self._entries[key]
+
+    def occupancy(self, now: float) -> int:
+        """Live entries after expiring stale ones."""
+        self._expire(now)
+        return len(self._entries)
+
+    def try_open(self, src_ip: int, seq: int, now: float) -> bool:
+        """Attempt to allocate a slot for an incoming SYN."""
+        self._expire(now)
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries[(src_ip, seq)] = now
+        return True
+
+    def complete(self, src_ip: int, seq: int) -> bool:
+        """Handshake completed; frees the entry if present."""
+        return self._entries.pop((src_ip, seq), None) is not None
+
+
+class SynFloodMonitor:
+    """Victim-side SYN service model attached to a fabric node.
+
+    Legitimate clients are identified by ground truth (honest source field,
+    i.e. header source matches the injecting node) purely for *scoring*; the
+    table itself treats every SYN identically, as a real stack would.
+    """
+
+    def __init__(self, fabric: Fabric, victim: int, *, capacity: int = 64,
+                 timeout: float = 5.0):
+        self.fabric = fabric
+        self.victim = victim
+        self.table = HalfOpenTable(capacity, timeout)
+        self.syn_seen = 0
+        self.syn_accepted = 0
+        self.legit_syn_seen = 0
+        self.legit_syn_accepted = 0
+        fabric.add_delivery_handler(victim, self._on_delivery)
+
+    def _is_honest(self, packet: Packet) -> bool:
+        addresses = self.fabric.addresses
+        return (addresses.contains(packet.header.src)
+                and addresses.node_of(packet.header.src) == packet.true_source)
+
+    def _on_delivery(self, event: DeliveredPacket) -> None:
+        packet = event.packet
+        if packet.kind is PacketKind.SYN:
+            self.syn_seen += 1
+            honest = self._is_honest(packet)
+            if honest:
+                self.legit_syn_seen += 1
+            accepted = self.table.try_open(packet.header.src, packet.seq, event.time)
+            if accepted:
+                self.syn_accepted += 1
+                if honest:
+                    self.legit_syn_accepted += 1
+        elif packet.kind is PacketKind.ACK:
+            self.table.complete(packet.header.src, packet.seq)
+
+    @property
+    def legit_denial_rate(self) -> float:
+        """Fraction of legitimate SYNs refused — the denial-of-service metric."""
+        if self.legit_syn_seen == 0:
+            return 0.0
+        return 1.0 - self.legit_syn_accepted / self.legit_syn_seen
+
+    @property
+    def overall_accept_rate(self) -> float:
+        """Fraction of all SYNs that found a slot."""
+        if self.syn_seen == 0:
+            return 1.0
+        return self.syn_accepted / self.syn_seen

@@ -1,0 +1,25 @@
+"""High-level API: declarative configs, the :class:`Cluster` façade, and
+experiment runners used by the examples and the benchmark harness."""
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.experiment import run_identification_experiment, sweep
+from repro.core.results import ExperimentResult
+
+__all__ = [
+    "Cluster",
+    "TopologySpec",
+    "RoutingSpec",
+    "SelectionSpec",
+    "MarkingSpec",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_identification_experiment",
+    "sweep",
+]

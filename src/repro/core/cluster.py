@@ -1,0 +1,119 @@
+"""The :class:`Cluster` façade: one object per simulated secure cluster.
+
+Bundles the topology, routing, selection, marking, and fabric into a single
+handle with the operations a user actually performs: launch attacks, attach
+victim pipelines, run, and inspect results. Everything remains reachable for
+advanced use (``cluster.fabric``, ``cluster.topology``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attack.ddos import AttackTrafficResult, schedule_attack_flood
+from repro.attack.spoofing import SpoofingStrategy
+from repro.core.config import ExperimentConfig
+from repro.defense.detection import Detector
+from repro.defense.identification import IdentificationPipeline
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.marking.base import MarkingScheme
+from repro.network.fabric import Fabric, FabricConfig
+from repro.routing.base import Router
+from repro.routing.selection import SelectionPolicy
+from repro.topology.base import Topology
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A running simulated cluster interconnect with marking-based defense."""
+
+    def __init__(self, topology: Topology, router: Router, *,
+                 marking: Optional[MarkingScheme] = None,
+                 selection: Optional[SelectionPolicy] = None,
+                 config: Optional[FabricConfig] = None,
+                 seed: int = 0):
+        self.seed = seed
+        self.sim = Simulator(seed=seed)
+        self.rng = self.sim.rng.stream("cluster")
+        self.topology = topology
+        self.router = router
+        self.marking = marking
+        self.fabric = Fabric(topology, router, marking=marking,
+                             selection=selection, config=config, sim=self.sim)
+        if selection is None:
+            # Default to congestion-aware adaptive selection, the realistic
+            # regime for adaptive routers (paper §4.1: routes are unstable).
+            from repro.routing.selection import LeastCongestedPolicy
+
+            self.fabric.selection = LeastCongestedPolicy(
+                self.fabric.congestion, self.sim.rng.stream("selection")
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "Cluster":
+        """Build a cluster from a declarative :class:`ExperimentConfig`."""
+        topology = config.topology.build()
+        seed_rng = np.random.default_rng(config.seed)
+        router = config.routing.build(np.random.default_rng(seed_rng.integers(2**31)))
+        marking = config.marking.build(
+            np.random.default_rng(seed_rng.integers(2**31)), topology
+        )
+        cluster = cls(topology, router, marking=marking,
+                      config=config.fabric_config(), seed=config.seed)
+        if config.selection.name != "least-congested":
+            cluster.fabric.selection = config.selection.build(
+                cluster.sim.rng.stream("selection"), cluster.fabric
+            )
+        return cluster
+
+    # ------------------------------------------------------------------
+    def default_victim(self) -> int:
+        """Convention: the last node (a corner in meshes)."""
+        return self.topology.num_nodes - 1
+
+    def launch_ddos(self, *, victim: Optional[int] = None,
+                    attackers: Optional[Sequence[int]] = None,
+                    num_attackers: int = 3,
+                    attack_rate_per_node: float = 40.0,
+                    duration: float = 5.0,
+                    background_rate: float = 0.0,
+                    spoofing: Optional[SpoofingStrategy] = None) -> AttackTrafficResult:
+        """Schedule a spoofed flood (plus background) on this cluster."""
+        victim = self.default_victim() if victim is None else victim
+        if attackers is None:
+            pool = [n for n in self.topology.nodes() if n != victim]
+            if num_attackers > len(pool):
+                raise ConfigurationError(
+                    f"cannot place {num_attackers} attackers among {len(pool)} nodes"
+                )
+            chosen = self.rng.choice(len(pool), size=num_attackers, replace=False)
+            attackers = tuple(pool[int(i)] for i in chosen)
+        return schedule_attack_flood(
+            self.fabric, victim=victim, attackers=tuple(attackers),
+            attack_rate_per_node=attack_rate_per_node, duration=duration,
+            rng=self.rng, spoofing=spoofing, background_rate=background_rate,
+        )
+
+    def attach_pipeline(self, victim: int,
+                        detector: Optional[Detector] = None) -> IdentificationPipeline:
+        """Attach the detect-then-identify pipeline at the victim."""
+        if self.marking is None:
+            raise ConfigurationError("cluster has no marking scheme to identify with")
+        analysis = self.marking.new_victim_analysis(victim)
+        return IdentificationPipeline(self.fabric, victim, analysis, detector)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (to ``until``, or until events drain)."""
+        if until is None:
+            return self.fabric.run()
+        return self.fabric.run_until(until)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mark = self.marking.name if self.marking is not None else "none"
+        return (f"Cluster({self.topology!r}, routing={self.router.name!r}, "
+                f"marking={mark!r})")

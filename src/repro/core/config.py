@@ -1,0 +1,189 @@
+"""Declarative experiment configuration.
+
+Specs are small dataclasses with a ``build(...)`` method, so an experiment
+is one literal value — easy to sweep, serialize into results, and keep in
+benchmark code without imperative setup noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.marking.authentication import AuthenticatedDdpmScheme
+from repro.marking.base import MarkingScheme
+from repro.marking.ddpm import DdpmScheme
+from repro.marking.dpm import DpmScheme
+from repro.marking.ppm import PpmScheme
+from repro.marking.ppm_encoding import BitDifferenceEncoder, FullIndexEncoder, XorEncoder
+from repro.marking.ppm_fragment import FragmentPpmScheme
+from repro.network.fabric import FabricConfig
+from repro.routing.adaptive import FullyAdaptiveRouter, MinimalAdaptiveRouter
+from repro.routing.base import Router
+from repro.routing.dor import DimensionOrderRouter
+from repro.routing.selection import (
+    FirstCandidatePolicy,
+    LeastCongestedPolicy,
+    RandomPolicy,
+    SelectionPolicy,
+)
+from repro.routing.turn_model import NegativeFirstRouter, NorthLastRouter, WestFirstRouter
+from repro.routing.valiant import ValiantRouter
+from repro.topology.base import Topology
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+__all__ = ["TopologySpec", "RoutingSpec", "SelectionSpec", "MarkingSpec", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Topology selector: kind in {'mesh', 'torus', 'hypercube'}."""
+
+    kind: str
+    dims: Tuple[int, ...]
+
+    def build(self) -> Topology:
+        """Instantiate the selected topology."""
+        if self.kind == "mesh":
+            return Mesh(self.dims)
+        if self.kind == "torus":
+            return Torus(self.dims)
+        if self.kind == "hypercube":
+            if len(self.dims) != 1:
+                raise ConfigurationError(
+                    f"hypercube dims must be (n,), got {self.dims}"
+                )
+            return Hypercube(self.dims[0])
+        raise ConfigurationError(f"unknown topology kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """Router selector.
+
+    Names: 'xy' (2-D dimension-order, row-then-column is ('dor'); 'xy' moves
+    along the row — column axis — first, the paper's convention), 'dor',
+    'west-first', 'north-last', 'negative-first', 'minimal-adaptive',
+    'fully-adaptive', 'valiant'.
+    """
+
+    name: str
+
+    def build(self, rng: np.random.Generator) -> Router:
+        """Instantiate the selected router."""
+        if self.name == "xy":
+            return DimensionOrderRouter(axis_order=(1, 0))
+        if self.name == "dor":
+            return DimensionOrderRouter()
+        if self.name == "west-first":
+            return WestFirstRouter()
+        if self.name == "odd-even":
+            from repro.routing.oddeven import OddEvenRouter
+
+            return OddEvenRouter()
+        if self.name == "north-last":
+            return NorthLastRouter()
+        if self.name == "negative-first":
+            return NegativeFirstRouter()
+        if self.name == "minimal-adaptive":
+            return MinimalAdaptiveRouter()
+        if self.name == "fully-adaptive":
+            return FullyAdaptiveRouter()
+        if self.name == "valiant":
+            return ValiantRouter(rng)
+        raise ConfigurationError(f"unknown routing {self.name!r}")
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when routes may vary packet to packet."""
+        return self.name not in ("xy", "dor")
+
+
+@dataclass(frozen=True)
+class SelectionSpec:
+    """Output-selection policy: 'first', 'random', or 'least-congested'."""
+
+    name: str = "random"
+
+    def build(self, rng: np.random.Generator, fabric=None) -> SelectionPolicy:
+        """Instantiate the selected policy (least-congested needs the fabric)."""
+        if self.name == "first":
+            return FirstCandidatePolicy()
+        if self.name == "random":
+            return RandomPolicy(rng)
+        if self.name == "least-congested":
+            if fabric is None:
+                raise ConfigurationError(
+                    "least-congested selection needs the fabric's congestion view"
+                )
+            return LeastCongestedPolicy(fabric.congestion, rng)
+        raise ConfigurationError(f"unknown selection {self.name!r}")
+
+
+@dataclass(frozen=True)
+class MarkingSpec:
+    """Marking-scheme selector.
+
+    Names: 'ddpm', 'ddpm-auth', 'dpm', 'ppm-full', 'ppm-xor', 'ppm-bitdiff',
+    'ppm-fragment', 'none'. ``probability`` applies to the PPM family.
+    """
+
+    name: str = "ddpm"
+    probability: float = 0.05
+
+    def build(self, rng: np.random.Generator,
+              topology: Optional[Topology] = None) -> Optional[MarkingScheme]:
+        """Instantiate the selected marking scheme (None for 'none')."""
+        if self.name == "none":
+            return None
+        if self.name == "ddpm":
+            return DdpmScheme()
+        if self.name == "ddpm-auth":
+            if topology is None:
+                raise ConfigurationError("ddpm-auth needs the topology to mint keys")
+            keys = {n: int(rng.integers(1, 2**63)) for n in topology.nodes()}
+            return AuthenticatedDdpmScheme(keys)
+        if self.name == "dpm":
+            return DpmScheme()
+        if self.name == "ppm-full":
+            return PpmScheme(FullIndexEncoder(), self.probability, rng)
+        if self.name == "ppm-xor":
+            return PpmScheme(XorEncoder(), self.probability, rng)
+        if self.name == "ppm-bitdiff":
+            return PpmScheme(BitDifferenceEncoder(), self.probability, rng)
+        if self.name == "ppm-fragment":
+            return FragmentPpmScheme(self.probability, rng)
+        if self.name == "ppm-advanced":
+            from repro.marking.advanced_ppm import AdvancedPpmScheme
+
+            return AdvancedPpmScheme(self.probability, rng)
+        raise ConfigurationError(f"unknown marking scheme {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One end-to-end identification experiment, fully specified by value."""
+
+    topology: TopologySpec
+    routing: RoutingSpec
+    marking: MarkingSpec
+    selection: SelectionSpec = SelectionSpec("random")
+    seed: int = 0
+    victim: Optional[int] = None          # default: last node
+    num_attackers: int = 3
+    attackers: Optional[Tuple[int, ...]] = None   # overrides num_attackers
+    attack_rate_per_node: float = 40.0
+    background_rate: float = 2.0
+    duration: float = 5.0
+    misroute_budget: int = 8
+    trace_packets: bool = False
+
+    def fabric_config(self) -> FabricConfig:
+        """FabricConfig derived from this experiment's knobs."""
+        return FabricConfig(misroute_budget=self.misroute_budget,
+                            trace_packets=self.trace_packets)

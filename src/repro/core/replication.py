@@ -1,0 +1,71 @@
+"""Multi-seed replication of experiments with confidence intervals.
+
+Single-run results in stochastic simulations are anecdotes; the benchmark
+harness reports means with normal-approximation confidence intervals over
+independent seeds. Kept deliberately simple (no scipy dependency in the
+core): t-quantiles are approximated by z for the small replication counts
+used here, which is the conservative direction for the assertions we make.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, NamedTuple, Sequence
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_identification_experiment
+from repro.core.results import ExperimentResult
+from repro.engine.stats import WelfordAccumulator
+from repro.errors import ConfigurationError
+
+__all__ = ["MetricSummary", "replicate", "summarize_metric"]
+
+#: two-sided z quantiles for common confidence levels
+_Z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+class MetricSummary(NamedTuple):
+    """Mean and confidence interval of one metric across replications."""
+
+    metric: str
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies within the confidence interval."""
+        return self.ci_low <= value <= self.ci_high
+
+
+def replicate(config: ExperimentConfig, seeds: Iterable[int]) -> List[ExperimentResult]:
+    """Run the same experiment across ``seeds``; returns one result per seed."""
+    results = []
+    for seed in seeds:
+        results.append(run_identification_experiment(
+            dataclasses.replace(config, seed=seed)))
+    if not results:
+        raise ConfigurationError("at least one seed is required")
+    return results
+
+
+def summarize_metric(results: Sequence[ExperimentResult], metric: str,
+                     confidence: float = 0.95) -> MetricSummary:
+    """Mean +/- CI of one flat-record metric over replications."""
+    if confidence not in _Z:
+        raise ConfigurationError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        )
+    acc = WelfordAccumulator()
+    for result in results:
+        record = result.to_record()
+        if metric not in record:
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        acc.add(float(record[metric]))
+    if acc.count < 2:
+        raise ConfigurationError("need at least 2 replications for an interval")
+    half = _Z[confidence] * acc.std / math.sqrt(acc.count)
+    return MetricSummary(metric, acc.count, acc.mean, acc.std,
+                         acc.mean - half, acc.mean + half)

@@ -1,0 +1,55 @@
+"""Experiment result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.defense.metrics import IdentificationScore
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one identification experiment, flattenable for CSV/JSON."""
+
+    topology: str
+    routing: str
+    marking: str
+    seed: int
+    victim: int
+    attackers: Tuple[int, ...]
+    score: IdentificationScore
+    suspects: Tuple[int, ...]
+    packets_analyzed: int
+    packets_delivered: int
+    packets_dropped: int
+    mean_latency: float
+    mean_hops: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, object]:
+        """Flat dict for serialization and table rendering."""
+        record = {
+            "topology": self.topology,
+            "routing": self.routing,
+            "marking": self.marking,
+            "seed": self.seed,
+            "victim": self.victim,
+            "num_attackers": len(self.attackers),
+            "precision": self.score.precision,
+            "recall": self.score.recall,
+            "f1": self.score.f1,
+            "exact": self.score.exact,
+            "num_suspects": len(self.suspects),
+            "false_positives": self.score.false_positives,
+            "false_negatives": self.score.false_negatives,
+            "packets_analyzed": self.packets_analyzed,
+            "packets_delivered": self.packets_delivered,
+            "packets_dropped": self.packets_dropped,
+            "mean_latency": self.mean_latency,
+            "mean_hops": self.mean_hops,
+        }
+        record.update(self.extra)
+        return record

@@ -1,0 +1,51 @@
+"""Victim-side defense: detect, identify, block (paper §2, §6.1).
+
+The paper assumes "there exists an efficient DDoS detection method" and
+focuses on identification; this package supplies both halves so the
+end-to-end pipeline (detect -> feed suspicious packets to the marking
+scheme's victim analysis -> block identified sources) actually runs, and
+identification quality can be scored independently of detector quality.
+"""
+
+from repro.defense.detection import (
+    CusumDetector,
+    Detector,
+    EntropyDetector,
+    RateThresholdDetector,
+)
+from repro.defense.filtering import IngressFilter, SignatureFilter, SourceBlockTable
+from repro.defense.identification import IdentificationPipeline
+from repro.defense.controlled_flooding import ControlledFloodingTracer, ProbeResult
+from repro.defense.monitors import (
+    DistributedRateDetector,
+    is_monitor_cut,
+    monitor_cut_for_victim,
+)
+from repro.defense.metrics import (
+    IdentificationScore,
+    blocking_collateral,
+    packets_until_identified,
+    score_identification,
+)
+from repro.defense.response import QuarantineController
+
+__all__ = [
+    "Detector",
+    "RateThresholdDetector",
+    "EntropyDetector",
+    "CusumDetector",
+    "IdentificationPipeline",
+    "SourceBlockTable",
+    "SignatureFilter",
+    "IngressFilter",
+    "QuarantineController",
+    "ControlledFloodingTracer",
+    "ProbeResult",
+    "DistributedRateDetector",
+    "is_monitor_cut",
+    "monitor_cut_for_victim",
+    "IdentificationScore",
+    "score_identification",
+    "packets_until_identified",
+    "blocking_collateral",
+]

@@ -1,0 +1,205 @@
+"""DDoS detectors on the victim's delivery stream (paper §6.1).
+
+The paper notes detection in clusters is hard — traffic does not aggregate
+at chokepoints and link speeds defeat real-time inspection — and assumes a
+detector exists. Three standard stream detectors are provided; AB3 measures
+how the choice affects end-to-end containment:
+
+* :class:`RateThresholdDetector` — packets/window above a threshold;
+* :class:`EntropyDetector` — source-address entropy shift (spoofed floods
+  randomize the source field, legitimate traffic does not);
+* :class:`CusumDetector` — cumulative-sum change-point detection on window
+  counts, the classic low-false-positive option.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import Counter as PyCounter
+from typing import Deque, Optional
+
+from collections import deque
+
+from repro.errors import ConfigurationError, DetectionError
+from repro.network.nic import DeliveredPacket
+
+__all__ = ["Detector", "RateThresholdDetector", "EntropyDetector", "CusumDetector"]
+
+
+class Detector(ABC):
+    """Streaming attack detector over delivered packets."""
+
+    name: str = "abstract"
+
+    def __init__(self):
+        self.alarm_time: Optional[float] = None
+        self.packets_seen = 0
+
+    def observe(self, event: DeliveredPacket) -> None:
+        """Feed one delivery; may raise or clear the alarm."""
+        self.packets_seen += 1
+        self._observe(event)
+
+    @abstractmethod
+    def _observe(self, event: DeliveredPacket) -> None:
+        """Detector-specific update."""
+
+    @property
+    @abstractmethod
+    def under_attack(self) -> bool:
+        """Current alarm state."""
+
+    def _mark_alarm(self, time: float) -> None:
+        if self.alarm_time is None:
+            self.alarm_time = time
+
+
+class RateThresholdDetector(Detector):
+    """Alarm when the packet rate over a sliding window exceeds a threshold.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length (time units).
+    threshold_rate:
+        Packets per time unit that trips the alarm.
+    """
+
+    name = "rate-threshold"
+
+    def __init__(self, window: float, threshold_rate: float):
+        super().__init__()
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        if threshold_rate <= 0:
+            raise ConfigurationError(f"threshold_rate must be > 0, got {threshold_rate}")
+        self.window = window
+        self.threshold_rate = threshold_rate
+        self._times: Deque[float] = deque()
+        self._alarmed = False
+
+    def _observe(self, event: DeliveredPacket) -> None:
+        now = event.time
+        self._times.append(now)
+        cutoff = now - self.window
+        while self._times and self._times[0] <= cutoff:
+            self._times.popleft()
+        rate = len(self._times) / self.window
+        self._alarmed = rate > self.threshold_rate
+        if self._alarmed:
+            self._mark_alarm(now)
+
+    @property
+    def under_attack(self) -> bool:
+        return self._alarmed
+
+    def current_rate(self, now: float) -> float:
+        """Rate over the window ending at ``now``."""
+        cutoff = now - self.window
+        return sum(1 for t in self._times if t > cutoff) / self.window
+
+
+class EntropyDetector(Detector):
+    """Alarm on anomalous source-address entropy over recent packets.
+
+    Random spoofing drives the empirical entropy of the source field toward
+    its maximum; a fixed spoof or single-source flood drives it toward zero.
+    Either excursion beyond ``tolerance`` bits from the calibrated baseline
+    raises the alarm. Call :meth:`calibrate` after a clean warm-up period,
+    or pass ``baseline_entropy`` explicitly.
+    """
+
+    name = "entropy"
+
+    def __init__(self, window_packets: int = 256, tolerance: float = 1.5,
+                 baseline_entropy: Optional[float] = None):
+        super().__init__()
+        if window_packets < 8:
+            raise ConfigurationError(f"window_packets must be >= 8, got {window_packets}")
+        if tolerance <= 0:
+            raise ConfigurationError(f"tolerance must be > 0, got {tolerance}")
+        self.window_packets = window_packets
+        self.tolerance = tolerance
+        self.baseline_entropy = baseline_entropy
+        self._sources: Deque[int] = deque(maxlen=window_packets)
+        self._alarmed = False
+
+    @staticmethod
+    def _entropy(values) -> float:
+        counts = PyCounter(values)
+        total = sum(counts.values())
+        return -sum((c / total) * math.log2(c / total) for c in counts.values())
+
+    def current_entropy(self) -> float:
+        """Entropy (bits) of the sources in the current window."""
+        if not self._sources:
+            raise DetectionError("entropy undefined before any packet")
+        return self._entropy(self._sources)
+
+    def calibrate(self) -> float:
+        """Freeze the current window's entropy as the clean baseline."""
+        self.baseline_entropy = self.current_entropy()
+        return self.baseline_entropy
+
+    def _observe(self, event: DeliveredPacket) -> None:
+        self._sources.append(event.packet.header.src)
+        if self.baseline_entropy is None or len(self._sources) < self.window_packets:
+            return
+        deviation = abs(self.current_entropy() - self.baseline_entropy)
+        self._alarmed = deviation > self.tolerance
+        if self._alarmed:
+            self._mark_alarm(event.time)
+
+    @property
+    def under_attack(self) -> bool:
+        return self._alarmed
+
+
+class CusumDetector(Detector):
+    """CUSUM change-point detection on per-window packet counts.
+
+    S <- max(0, S + (count - drift)); alarm when S exceeds ``threshold``.
+    Robust to short benign bursts: only a *sustained* rate increase
+    accumulates.
+    """
+
+    name = "cusum"
+
+    def __init__(self, window: float, drift: float, threshold: float):
+        super().__init__()
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        if drift < 0:
+            raise ConfigurationError(f"drift must be >= 0, got {drift}")
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+        self.window = window
+        self.drift = drift
+        self.threshold = threshold
+        self._bucket_start = 0.0
+        self._bucket_count = 0
+        self._statistic = 0.0
+        self._alarmed = False
+
+    def _roll(self, now: float) -> None:
+        while now >= self._bucket_start + self.window:
+            self._statistic = max(0.0, self._statistic + self._bucket_count - self.drift)
+            if self._statistic > self.threshold:
+                self._alarmed = True
+                self._mark_alarm(self._bucket_start + self.window)
+            self._bucket_start += self.window
+            self._bucket_count = 0
+
+    def _observe(self, event: DeliveredPacket) -> None:
+        self._roll(event.time)
+        self._bucket_count += 1
+
+    @property
+    def under_attack(self) -> bool:
+        return self._alarmed
+
+    @property
+    def statistic(self) -> float:
+        """Current CUSUM statistic."""
+        return self._statistic

@@ -1,0 +1,114 @@
+"""Blocking and filtering actuators.
+
+Three actuators, matching the paper's options:
+
+* :class:`SourceBlockTable` — block identified source *nodes* at their own
+  injection switch ("we can protect our system by blocking packets from
+  that source") — the actuator DDPM's exact identification enables;
+* :class:`SignatureFilter` — victim-side filtering by DPM marking-field
+  signature ("the victim can block all following traffic with that marking
+  value"), with measurable collateral on legitimate flows sharing the
+  signature;
+* :class:`IngressFilter` — Ferguson & Senie ingress filtering at every
+  injection switch (§2): drop packets whose source address is not the
+  injector's own. Defeats all spoofing at the cost of a per-packet mapping
+  table lookup — the §6.2 performance-vs-security trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Set
+
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet
+
+__all__ = ["SourceBlockTable", "SignatureFilter", "IngressFilter"]
+
+
+class SourceBlockTable:
+    """Per-node injection blocking of identified attack sources."""
+
+    def __init__(self):
+        self._blocked: Set[int] = set()
+        self.packets_blocked = 0
+
+    def block(self, node: int) -> None:
+        """Add a node to the block list (idempotent)."""
+        self._blocked.add(node)
+
+    def unblock(self, node: int) -> None:
+        """Remove a node from the block list (idempotent)."""
+        self._blocked.discard(node)
+
+    @property
+    def blocked(self) -> FrozenSet[int]:
+        """Currently blocked nodes."""
+        return frozenset(self._blocked)
+
+    def install(self, fabric: Fabric) -> None:
+        """Attach as the fabric's injection filter."""
+        fabric.injection_filter = self._allow
+
+    def _allow(self, packet: Packet, node: int) -> bool:
+        if node in self._blocked:
+            self.packets_blocked += 1
+            return False
+        return True
+
+
+class SignatureFilter:
+    """Victim-side drop of packets carrying a blocked marking-field signature.
+
+    Wrap the victim's real handler with :meth:`guard`; packets whose MF is in
+    the blocked set never reach it. Tracks collateral: how many of the
+    filtered packets were, by ground truth, legitimate.
+    """
+
+    def __init__(self, is_attack_packet: Callable[[Packet], bool] = None):
+        self._signatures: Set[int] = set()
+        self._ground_truth = is_attack_packet
+        self.attack_filtered = 0
+        self.legit_filtered = 0
+
+    def block_signature(self, signature: int) -> None:
+        """Blacklist one MF signature."""
+        self._signatures.add(signature)
+
+    def block_signatures(self, signatures: Iterable[int]) -> None:
+        """Blacklist many MF signatures."""
+        self._signatures.update(signatures)
+
+    @property
+    def blocked_signatures(self) -> FrozenSet[int]:
+        """Currently blacklisted MF signatures."""
+        return frozenset(self._signatures)
+
+    def guard(self, handler):
+        """Wrap a delivery handler; filtered packets are counted, not passed."""
+        def guarded(event):
+            if event.packet.header.identification in self._signatures:
+                if self._ground_truth is not None and self._ground_truth(event.packet):
+                    self.attack_filtered += 1
+                else:
+                    self.legit_filtered += 1
+                return
+            handler(event)
+        return guarded
+
+
+class IngressFilter:
+    """Source-address validation at every injection switch (RFC 2267 style)."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self.spoofs_blocked = 0
+
+    def install(self) -> None:
+        """Attach as the fabric's injection filter."""
+        self.fabric.injection_filter = self._allow
+
+    def _allow(self, packet: Packet, node: int) -> bool:
+        if packet.header.src != self.fabric.addresses.ip_of(node):
+            self.spoofs_blocked += 1
+            return False
+        return True

@@ -1,0 +1,120 @@
+"""Scoring identification and blocking quality.
+
+The paper's qualitative comparisons become numbers here:
+
+* **precision / recall** of the suspect set against the true attacker set —
+  PPM/DPM ambiguity shows up as precision loss, non-convergence as recall
+  loss;
+* **packets-to-identify** — the paper's headline: DDPM needs one packet,
+  PPM needs ~k ln(kd)/(p(1-p)^(d-1));
+* **blocking collateral** — legitimate traffic lost to a blocking decision
+  (signature blocking punishes path-sharers; exact source blocking does not).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Optional
+
+from repro.errors import ConfigurationError
+from repro.marking.base import VictimAnalysis
+from repro.network.packet import Packet
+
+__all__ = [
+    "IdentificationScore",
+    "score_identification",
+    "packets_until_identified",
+    "blocking_collateral",
+]
+
+
+class IdentificationScore(NamedTuple):
+    """Suspect-set quality against ground truth."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def exact(self) -> bool:
+        """True when the suspect set equals the attacker set exactly."""
+        return self.false_positives == 0 and self.false_negatives == 0
+
+
+def score_identification(suspects: Iterable[int],
+                         attackers: Iterable[int]) -> IdentificationScore:
+    """Precision/recall of ``suspects`` against the true ``attackers``."""
+    suspect_set = set(suspects)
+    attacker_set = set(attackers)
+    tp = len(suspect_set & attacker_set)
+    fp = len(suspect_set - attacker_set)
+    fn = len(attacker_set - suspect_set)
+    precision = tp / len(suspect_set) if suspect_set else (1.0 if not attacker_set else 0.0)
+    recall = tp / len(attacker_set) if attacker_set else 1.0
+    return IdentificationScore(precision, recall, tp, fp, fn)
+
+
+def packets_until_identified(analysis: VictimAnalysis,
+                             packets: Iterable[Packet],
+                             attackers: Iterable[int],
+                             require_exact: bool = False,
+                             check_every: int = 1) -> Optional[int]:
+    """Feed packets one at a time; return the count at which identification holds.
+
+    Identification holds when every true attacker is in the suspect set
+    (and, with ``require_exact``, no innocent is). Returns None when the
+    packet budget runs out first. ``check_every`` amortizes expensive
+    suspect recomputation (PPM reconstruction) over several packets.
+    """
+    if check_every < 1:
+        raise ConfigurationError(f"check_every must be >= 1, got {check_every}")
+    attacker_set = set(attackers)
+    if not attacker_set:
+        raise ConfigurationError("attackers must be non-empty")
+
+    def identified() -> bool:
+        suspects = analysis.suspects()
+        return attacker_set <= suspects and (
+            not require_exact or suspects <= attacker_set)
+
+    count = 0
+    for packet in packets:
+        count += 1
+        analysis.observe(packet)
+        if count % check_every:
+            continue
+        if identified():
+            return count
+    if count and count % check_every and identified():
+        return count
+    return None
+
+
+def blocking_collateral(blocked: Iterable[int], attackers: Iterable[int],
+                        legit_sources: Iterable[int]) -> dict:
+    """How a node-blocking decision lands on attackers vs. innocents.
+
+    Returns counts plus the collateral rate: blocked innocents as a fraction
+    of all legitimate sources.
+    """
+    blocked_set = set(blocked)
+    attacker_set = set(attackers)
+    legit = set(legit_sources) - attacker_set
+    blocked_attackers = blocked_set & attacker_set
+    blocked_innocents = blocked_set & legit
+    return {
+        "blocked_total": len(blocked_set),
+        "blocked_attackers": len(blocked_attackers),
+        "blocked_innocents": len(blocked_innocents),
+        "missed_attackers": len(attacker_set - blocked_set),
+        "collateral_rate": (len(blocked_innocents) / len(legit)) if legit else 0.0,
+        "containment_rate": (len(blocked_attackers) / len(attacker_set)) if attacker_set else 1.0,
+    }

@@ -1,0 +1,138 @@
+"""Trusted monitor switches (paper §6.1 future work).
+
+"To solve these problems, one can consider to find a minimal set of trusted
+switches for detection and identification, which requires more extensive
+research." — In a cluster, traffic does not funnel through chokepoints the
+way Internet traffic does; detection must be pushed into the fabric. This
+module makes that concrete:
+
+* :func:`monitor_cut_for_victim` computes a set of switches whose removal
+  disconnects the victim from every other node — every packet toward the
+  victim crosses at least one monitor *regardless of routing*. The victim's
+  live neighborhood is always such a cut; greedy pruning then drops
+  redundant members (it can shrink below the degree when failures or
+  geometry constrict the victim).
+* :func:`is_monitor_cut` verifies the cut property by BFS exclusion.
+* :class:`DistributedRateDetector` attaches to the monitor switches'
+  *transit* streams and alarms on the aggregate packet rate toward a
+  protected node — detection without any victim participation, and ahead
+  of delivery (monitors see packets mid-flight).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, FrozenSet, Iterable, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet
+from repro.topology.base import Topology
+
+__all__ = ["is_monitor_cut", "monitor_cut_for_victim", "DistributedRateDetector"]
+
+
+def is_monitor_cut(topology: Topology, monitors: Iterable[int], victim: int) -> bool:
+    """True when removing ``monitors`` leaves no path from any node to ``victim``.
+
+    Monitors on the victim's side of every route guarantee observation: a
+    packet that reaches the victim must have been forwarded by a monitor.
+    The victim itself cannot be a monitor (it sees only delivered packets).
+    """
+    monitor_set = set(monitors)
+    if victim in monitor_set:
+        raise ConfigurationError("the victim cannot be its own monitor")
+    # BFS from the victim through non-monitor nodes: the cut holds iff the
+    # reachable set is exactly {victim}.
+    frontier: Deque[int] = deque([victim])
+    reached: Set[int] = {victim}
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in topology.neighbors(node):
+            if neighbor in monitor_set or neighbor in reached:
+                continue
+            reached.add(neighbor)
+            frontier.append(neighbor)
+    return reached == {victim}
+
+
+def monitor_cut_for_victim(topology: Topology, victim: int,
+                           candidates: Optional[Iterable[int]] = None) -> FrozenSet[int]:
+    """A minimal-by-pruning monitor cut around ``victim``.
+
+    Starts from the victim's live neighborhood (always a valid cut) —
+    optionally intersected with a ``candidates`` pool of switches eligible
+    to be trusted — and greedily removes redundant members. Raises
+    :class:`ConfigurationError` when the candidate pool cannot form a cut.
+    """
+    neighborhood = set(topology.neighbors(victim))
+    pool = neighborhood if candidates is None else neighborhood & set(candidates)
+    if not is_monitor_cut(topology, pool, victim):
+        raise ConfigurationError(
+            f"candidate monitors {sorted(pool)} do not cut off victim {victim}"
+        )
+    # Greedy pruning: drop members whose removal preserves the cut.
+    monitors = set(pool)
+    for node in sorted(pool):
+        trial = monitors - {node}
+        if trial and is_monitor_cut(topology, trial, victim):
+            monitors = trial
+    return frozenset(monitors)
+
+
+class DistributedRateDetector:
+    """Aggregate rate detection at monitor switches (no victim involvement).
+
+    Each monitor reports transits destined to the protected node; the
+    detector alarms when the merged sliding-window rate exceeds the
+    threshold. Because monitors observe packets *in flight*, the alarm can
+    precede the first delivery of the window's last packet.
+    """
+
+    name = "distributed-rate"
+
+    def __init__(self, fabric: Fabric, protected: int,
+                 monitors: Iterable[int], *, window: float,
+                 threshold_rate: float):
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        if threshold_rate <= 0:
+            raise ConfigurationError(f"threshold_rate must be > 0, got {threshold_rate}")
+        self.fabric = fabric
+        self.protected = protected
+        self.monitors = frozenset(monitors)
+        if not self.monitors:
+            raise ConfigurationError("at least one monitor switch is required")
+        if protected in self.monitors:
+            raise ConfigurationError("the protected node cannot be a monitor")
+        self.window = window
+        self.threshold_rate = threshold_rate
+        self.alarm_time: Optional[float] = None
+        self.transits_seen = 0
+        self._times: Deque[float] = deque()
+        self._per_monitor: dict = {m: 0 for m in self.monitors}
+        self._alarmed = False
+        for monitor in self.monitors:
+            fabric.add_transit_observer(monitor, self._on_transit)
+
+    def _on_transit(self, packet: Packet, node: int, time: float) -> None:
+        if packet.destination_node != self.protected:
+            return
+        self.transits_seen += 1
+        self._per_monitor[node] += 1
+        self._times.append(time)
+        cutoff = time - self.window
+        while self._times and self._times[0] <= cutoff:
+            self._times.popleft()
+        self._alarmed = len(self._times) / self.window > self.threshold_rate
+        if self._alarmed and self.alarm_time is None:
+            self.alarm_time = time
+
+    @property
+    def under_attack(self) -> bool:
+        """Current alarm state."""
+        return self._alarmed
+
+    def per_monitor_counts(self) -> dict:
+        """Transit counts per monitor switch (load-balance diagnostics)."""
+        return dict(self._per_monitor)

@@ -1,0 +1,72 @@
+"""Automated response: quarantine identified sources.
+
+Closes the loop the paper sketches: once the identification pipeline's
+suspect set stabilizes, blocks the suspects at their injection switches and
+records reaction latency. A confirmation threshold guards against blocking a
+node off a single (possibly ambiguous) observation — important for PPM/DPM
+whose suspect sets include innocents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.defense.filtering import SourceBlockTable
+from repro.defense.identification import IdentificationPipeline
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+from repro.network.nic import DeliveredPacket
+
+__all__ = ["QuarantineController"]
+
+
+class QuarantineController:
+    """Blocks suspects that persist across enough analyzed packets.
+
+    Parameters
+    ----------
+    confirmation_packets:
+        A suspect is quarantined only after appearing in the suspect set
+        for this many consecutive analyzed packets.
+    """
+
+    def __init__(self, fabric: Fabric, pipeline: IdentificationPipeline,
+                 confirmation_packets: int = 3):
+        if confirmation_packets < 1:
+            raise ConfigurationError(
+                f"confirmation_packets must be >= 1, got {confirmation_packets}"
+            )
+        self.fabric = fabric
+        self.pipeline = pipeline
+        self.confirmation_packets = confirmation_packets
+        self.block_table = SourceBlockTable()
+        self.block_table.install(fabric)
+        self.quarantine_times: Dict[int, float] = {}
+        self._streaks: Dict[int, int] = {}
+        fabric.add_delivery_handler(pipeline.victim, self._on_delivery)
+
+    def _on_delivery(self, event: DeliveredPacket) -> None:
+        # Runs after the pipeline's handler (registered earlier), so the
+        # suspect set already reflects this packet.
+        current = self.pipeline.suspects()
+        for node in list(self._streaks):
+            if node not in current:
+                del self._streaks[node]
+        for node in current:
+            if node in self.quarantine_times:
+                continue
+            self._streaks[node] = self._streaks.get(node, 0) + 1
+            if self._streaks[node] >= self.confirmation_packets:
+                self.block_table.block(node)
+                self.quarantine_times[node] = event.time
+
+    @property
+    def quarantined(self) -> FrozenSet[int]:
+        """Nodes currently blocked."""
+        return self.block_table.blocked
+
+    def reaction_latency(self, attack_start: float) -> Optional[float]:
+        """Time from attack start to the first quarantine, if any happened."""
+        if not self.quarantine_times:
+            return None
+        return min(self.quarantine_times.values()) - attack_start

@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small event-driven core: a priority-queue scheduler
+(:class:`Simulator`), deterministic per-component random streams
+(:class:`RngRegistry`), and lightweight statistics collectors. The network
+fabric (:mod:`repro.network`) is built entirely on these primitives.
+"""
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.rng import RngRegistry
+from repro.engine.simulator import Simulator
+from repro.engine.stats import Counter, Histogram, TimeSeries, WelfordAccumulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RngRegistry",
+    "Counter",
+    "Histogram",
+    "TimeSeries",
+    "WelfordAccumulator",
+]

@@ -1,0 +1,113 @@
+"""Event and event-queue primitives for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``: ties at the same
+simulated time break first on an explicit integer priority (lower runs
+earlier), then on insertion order, which keeps runs deterministic for a
+fixed seed regardless of dict/hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the callback fires.
+    priority:
+        Tie-breaker among events at the same time; lower fires first.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Set by :meth:`cancel`; cancelled events are skipped by the queue.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[[], Any], label: str = ""):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark this event so the queue discards it instead of firing it."""
+        self.cancelled = True
+
+    def sort_key(self):
+        """Total ordering: (time, priority, insertion sequence)."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        tag = f" {self.label}" if self.label else ""
+        return f"<Event t={self.time:.6g} p={self.priority} #{self.seq}{tag}{state}>"
+
+
+class EventQueue:
+    """Binary-heap event queue with lazy deletion of cancelled events."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any], priority: int = 0,
+             label: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time``; returns a cancellable Event."""
+        event = Event(time, priority, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop() on an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: callers that cancel an Event should report it here."""
+        if self._live == 0:
+            raise SimulationError("cancel bookkeeping underflow")
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,125 @@
+"""The discrete-event simulator loop.
+
+:class:`Simulator` owns the clock, the event queue, and the RNG registry.
+Components schedule work with :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` and the driver advances the world with
+:meth:`run_until` / :meth:`run` / :meth:`step`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from repro.engine.events import Event, EventQueue
+from repro.engine.rng import RngRegistry
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-driven simulation kernel with a monotonically advancing clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all component RNG streams.
+    max_events:
+        Safety valve: :meth:`run` raises :class:`SimulationError` after this
+        many events, which turns accidental infinite event loops into a
+        diagnosable failure instead of a hang.
+    """
+
+    def __init__(self, seed: int = 0, max_events: int = 50_000_000):
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.max_events = max_events
+        self.events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], Any],
+                 priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, priority, label)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any],
+                    priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self.now or math.isnan(time):
+            raise SimulationError(f"cannot schedule at {time} before now={self.now}")
+        return self.queue.push(time, callback, priority, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time < self.now:
+            raise SimulationError(
+                f"event time {event.time} precedes clock {self.now} (queue corrupt)"
+            )
+        self.now = event.time
+        self.events_executed += 1
+        event.callback()
+        return True
+
+    def run(self) -> float:
+        """Run until the event queue drains; returns the final clock value."""
+        return self.run_until(math.inf)
+
+    def run_until(self, end_time: float) -> float:
+        """Run events with time <= ``end_time``; clock lands on min(end, last event).
+
+        The clock is advanced to ``end_time`` if the queue drains first and
+        ``end_time`` is finite, so back-to-back ``run_until`` calls observe a
+        continuous timeline.
+        """
+        if self._running:
+            raise SimulationError("re-entrant run_until() call")
+        self._running = True
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                if self.events_executed >= self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "likely an event loop that never drains"
+                    )
+                self.step()
+            if math.isfinite(end_time) and end_time > self.now:
+                self.now = end_time
+            return self.now
+        finally:
+            self._running = False
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Clear the queue and clock; optionally reseed the RNG registry."""
+        self.queue.clear()
+        self.now = 0.0
+        self.events_executed = 0
+        if seed is not None:
+            self.rng = RngRegistry(seed)
+        else:
+            self.rng.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Simulator(now={self.now:.6g}, pending={len(self.queue)}, "
+                f"executed={self.events_executed})")

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "RoutingError",
+    "UnroutablePacketError",
+    "LivelockError",
+    "NetworkError",
+    "BufferOverflowError",
+    "MarkingError",
+    "FieldOverflowError",
+    "FieldLayoutError",
+    "IdentificationError",
+    "ReconstructionError",
+    "AddressingError",
+    "SpoofingError",
+    "SimulationError",
+    "DetectionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment, topology, or scheme was configured inconsistently."""
+
+
+class TopologyError(ReproError, ValueError):
+    """Invalid topology parameters or an operation on a nonexistent node/link."""
+
+
+class RoutingError(ReproError):
+    """Base class for routing failures."""
+
+
+class UnroutablePacketError(RoutingError):
+    """The routing algorithm has no legal output port for a packet.
+
+    Raised, for example, when XY routing meets a failed link it is not
+    permitted to route around (paper §3, Figure 2(b)).
+    """
+
+    def __init__(self, message: str, *, current=None, destination=None):
+        super().__init__(message)
+        self.current = current
+        self.destination = destination
+
+
+class LivelockError(RoutingError):
+    """A packet exceeded its misroute/hop budget without reaching its destination."""
+
+
+class NetworkError(ReproError):
+    """Base class for fabric-level failures (switch, channel, NIC)."""
+
+
+class BufferOverflowError(NetworkError):
+    """A component was asked to accept a packet with no buffer space or credit."""
+
+
+class MarkingError(ReproError):
+    """Base class for packet-marking failures."""
+
+
+class FieldOverflowError(MarkingError):
+    """A value does not fit the bit budget of its marking-field slot.
+
+    DDPM layouts give each dimension a fixed signed sub-field (paper Table 3);
+    non-minimal routes can push an accumulated distance component outside that
+    range, which must surface as an explicit error rather than silent
+    corruption (DESIGN.md decision #3).
+    """
+
+
+class FieldLayoutError(MarkingError, ValueError):
+    """A marking-field layout does not fit the 16-bit identification field."""
+
+
+class IdentificationError(MarkingError):
+    """The victim could not decode a source from the received marking state."""
+
+
+class ReconstructionError(IdentificationError):
+    """PPM path reconstruction failed or was irreducibly ambiguous."""
+
+
+class AddressingError(ReproError, KeyError):
+    """Unknown IP address or node index in the cluster mapping table."""
+
+
+class SpoofingError(ReproError, ValueError):
+    """A spoofing strategy was asked to produce an impossible address."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DetectionError(ReproError):
+    """A detector was queried before observing any traffic, or misconfigured."""

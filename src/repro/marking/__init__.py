@@ -1,0 +1,69 @@
+"""Packet-marking traceback schemes.
+
+The paper's cast, all implemented against the same 16-bit Marking Field:
+
+* :class:`PpmScheme` — Savage-style probabilistic edge sampling (§2, §4.2),
+  with three direct-network encoders (full-index, XOR, bit-difference) and
+  Savage's compressed-fragment encoding for larger networks;
+* :class:`DpmScheme` — Yaar-style deterministic one-bit-per-hop marking
+  indexed by TTL (§2, §4.3);
+* :class:`DdpmScheme` — the paper's contribution: deterministic distance
+  packet marking (§5), exact single-packet source identification on mesh,
+  torus, and hypercube under *any* routing;
+* :class:`AuthenticatedDdpmScheme` — a Song–Perrig-flavored authenticated
+  variant (§2 related work / §6.2 discussion).
+"""
+
+from repro.marking.base import MarkingScheme, VictimAnalysis
+from repro.marking.advanced_ppm import AdvancedPpmScheme, AdvancedPpmVictimAnalysis
+from repro.marking.authentication import AuthenticatedDdpmScheme
+from repro.marking.ddpm import DdpmScheme, DdpmVictimAnalysis
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.marking.dpm import DpmScheme, DpmVictimAnalysis, build_signature_table
+from repro.marking.field import SubfieldLayout
+from repro.marking.hddpm import HierarchicalDdpmScheme, HierarchicalDdpmVictimAnalysis
+from repro.marking.ppm import PpmScheme, PpmVictimAnalysis
+from repro.marking.ppm_encoding import (
+    BitDifferenceEncoder,
+    EdgeMark,
+    FullIndexEncoder,
+    MarkEncoder,
+    XorEncoder,
+    gray_label,
+    gray_label_bits,
+    gray_unlabel,
+)
+from repro.marking.ppm_fragment import FragmentEncoder, FragmentVictimAnalysis, FragmentPpmScheme
+from repro.marking.ppm_reconstruct import ReconstructedGraph, reconstruct_paths
+
+__all__ = [
+    "MarkingScheme",
+    "VictimAnalysis",
+    "AdvancedPpmScheme",
+    "AdvancedPpmVictimAnalysis",
+    "DdpmScheme",
+    "DdpmVictimAnalysis",
+    "DdpmLayout",
+    "HierarchicalDdpmScheme",
+    "HierarchicalDdpmVictimAnalysis",
+    "DpmScheme",
+    "DpmVictimAnalysis",
+    "build_signature_table",
+    "PpmScheme",
+    "PpmVictimAnalysis",
+    "MarkEncoder",
+    "EdgeMark",
+    "FullIndexEncoder",
+    "XorEncoder",
+    "BitDifferenceEncoder",
+    "gray_label",
+    "gray_label_bits",
+    "gray_unlabel",
+    "FragmentEncoder",
+    "FragmentPpmScheme",
+    "FragmentVictimAnalysis",
+    "ReconstructedGraph",
+    "reconstruct_paths",
+    "SubfieldLayout",
+    "AuthenticatedDdpmScheme",
+]

@@ -1,0 +1,108 @@
+"""Marking-scheme and victim-analysis interfaces.
+
+A :class:`MarkingScheme` is the switch-side half: it initializes the marking
+field at injection and mutates it at every hop. A :class:`VictimAnalysis` is
+the destination-side half: it observes delivered packets and maintains a
+suspect set of source nodes. The two halves communicate *only* through the
+16-bit MF — tests enforce that no ground-truth leaks through.
+
+The split matters for scoring: DDPM's analysis is exact after one packet;
+PPM's converges as marks accumulate; DPM's is signature-based and only as
+good as its (route-stability-dependent) signature table.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Optional
+
+from repro.errors import MarkingError
+from repro.network.packet import Packet
+from repro.topology.base import Topology
+
+__all__ = ["MarkingScheme", "VictimAnalysis"]
+
+
+class VictimAnalysis(ABC):
+    """Destination-side accumulator turning observed packets into suspects."""
+
+    def __init__(self, victim: int):
+        self.victim = victim
+        self.packets_observed = 0
+
+    def observe(self, packet: Packet) -> None:
+        """Feed one delivered packet; updates the suspect estimate."""
+        self.packets_observed += 1
+        self._observe(packet)
+
+    @abstractmethod
+    def _observe(self, packet: Packet) -> None:
+        """Scheme-specific per-packet processing."""
+
+    @abstractmethod
+    def suspects(self) -> FrozenSet[int]:
+        """Current best estimate of the set of attacking source nodes.
+
+        May legitimately be broader than the true attacker set (ambiguity)
+        or narrower (not yet converged); the defense metrics quantify both.
+        """
+
+
+class MarkingScheme(ABC):
+    """Switch-side marking logic plus a factory for its victim analysis."""
+
+    #: human-readable scheme name
+    name: str = "abstract"
+
+    def __init__(self):
+        self.topology: Optional[Topology] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self, topology: Topology) -> None:
+        """Bind to a topology; precompute layouts/labels; validate applicability.
+
+        Raises :class:`MarkingError` (or a subclass) when the scheme cannot
+        operate on this topology — e.g. a marking field too narrow for the
+        network size (the paper's Tables 1-3).
+        """
+        self.topology = topology
+        self._on_attach(topology)
+
+    def _on_attach(self, topology: Topology) -> None:
+        """Subclass hook; default does nothing extra."""
+
+    def _require_attached(self) -> Topology:
+        if self.topology is None:
+            raise MarkingError(f"{self.name}: attach() must be called before use")
+        return self.topology
+
+    # -- switch side -------------------------------------------------------
+    def on_inject(self, packet: Packet, node: int) -> None:
+        """First switch, packet arriving from the local NIC.
+
+        Default zeroes the MF — overwriting attacker-supplied garbage, the
+        integrity anchor of every scheme here.
+        """
+        self._require_attached()
+        packet.header.identification = 0
+
+    @abstractmethod
+    def on_hop(self, packet: Packet, from_node: int, to_node: int) -> None:
+        """Per-hop mark applied by the switch at ``from_node`` after routing."""
+
+    # -- victim side -------------------------------------------------------
+    @abstractmethod
+    def new_victim_analysis(self, victim: int) -> VictimAnalysis:
+        """Create the destination-side analyzer for ``victim``."""
+
+    # -- cost model ---------------------------------------------------------
+    def per_hop_operations(self) -> dict:
+        """Abstract operation counts per hop (adds/xors/hashes/reads/writes).
+
+        Drives the §6.2 switch-overhead comparison without relying on Python
+        timing alone.
+        """
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,130 @@
+"""Deterministic Distance Packet Marking — the paper's contribution (§5, Figure 4).
+
+Switch side, per Figure 4: the injecting switch zeroes the distance vector V;
+every switch, *after* choosing the next node Y, computes the per-hop delta
+``delta = Y - X`` and stores ``V' = V + delta`` (XOR on hypercubes). No per-path
+state, no probability, no hashing — just the topology's offset algebra.
+
+Victim side: a single packet's V satisfies ``V = D - S`` (in the topology's
+algebra) *regardless of the route taken*, because per-hop deltas telescope.
+The victim computes ``S = D - V`` (mesh), ``S = (D - V) mod k`` (torus) or
+``S = D XOR V`` (hypercube) and has the exact source from one packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import IdentificationError, TopologyError
+from repro.marking.base import MarkingScheme, VictimAnalysis
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.network.packet import Packet
+from repro.topology.base import Topology
+
+__all__ = ["DdpmScheme", "DdpmVictimAnalysis"]
+
+
+class DdpmScheme(MarkingScheme):
+    """DDPM switch-side marking.
+
+    Parameters
+    ----------
+    total_bits:
+        Marking-field width (default: the 16-bit IP identification field).
+        ``attach`` raises :class:`FieldLayoutError` when the topology exceeds
+        Table 3's capacity for that width.
+    """
+
+    name = "ddpm"
+
+    def __init__(self, total_bits: int = 16):
+        super().__init__()
+        self.total_bits = total_bits
+        self.layout: Optional[DdpmLayout] = None
+
+    def _on_attach(self, topology: Topology) -> None:
+        self.layout = DdpmLayout.for_topology(topology, total_bits=self.total_bits)
+
+    # -- switch side -------------------------------------------------------
+    def on_inject(self, packet: Packet, node: int) -> None:
+        """Zero the distance vector (overwrites attacker-preloaded MF)."""
+        topo = self._require_attached()
+        packet.header.identification = self.layout.encode(topo.identity_offset())
+
+    def on_hop(self, packet: Packet, from_node: int, to_node: int) -> None:
+        """V' := V + (Y - X), the constant-time per-switch operation."""
+        topo = self._require_attached()
+        vector = self.layout.decode(packet.header.identification)
+        delta = topo.hop_delta(from_node, to_node)
+        combined = topo.combine_offsets(vector, delta)
+        packet.header.identification = self.layout.encode(combined)
+
+    # -- victim side -------------------------------------------------------
+    def identify(self, packet: Packet, victim: int) -> int:
+        """Decode one packet's source node: S = D (-) V.
+
+        Raises :class:`IdentificationError` when the MF decodes to a
+        coordinate outside the network (possible only if the packet bypassed
+        the marking path, since switches are trusted).
+        """
+        topo = self._require_attached()
+        vector = self.layout.decode(packet.header.identification)
+        try:
+            return topo.resolve_source(victim, vector)
+        except TopologyError as exc:
+            raise IdentificationError(
+                f"DDPM vector {vector} at victim {victim} resolves outside "
+                f"the network: {exc}"
+            ) from exc
+
+    def new_victim_analysis(self, victim: int,
+                            min_share: float = 0.0) -> "DdpmVictimAnalysis":
+        return DdpmVictimAnalysis(self, victim, min_share=min_share)
+
+    def per_hop_operations(self) -> dict:
+        """n additions (or XORs) + one MF read + one MF write per hop (§6.2)."""
+        topo = self._require_attached()
+        n = len(topo.dims)
+        op = "xor" if topo.kind == "hypercube" else "add"
+        return {op: n, "field_read": 1, "field_write": 1}
+
+
+class DdpmVictimAnalysis(VictimAnalysis):
+    """Per-packet exact identification; suspects = sources actually observed.
+
+    Parameters
+    ----------
+    min_share:
+        When > 0, a source only counts as a suspect once it accounts for at
+        least this fraction of analyzed packets — separates flooders from
+        legitimate senders that happen to be active during the attack
+        window. Default 0 reports every observed source.
+    """
+
+    def __init__(self, scheme: DdpmScheme, victim: int, min_share: float = 0.0):
+        super().__init__(victim)
+        if not 0.0 <= min_share < 1.0:
+            raise ValueError(f"min_share must be in [0, 1), got {min_share}")
+        self.scheme = scheme
+        self.min_share = min_share
+        self.source_counts: Dict[int, int] = {}
+
+    def _observe(self, packet: Packet) -> None:
+        source = self.scheme.identify(packet, self.victim)
+        self.source_counts[source] = self.source_counts.get(source, 0) + 1
+
+    def suspects(self) -> FrozenSet[int]:
+        if self.min_share <= 0.0 or not self.source_counts:
+            return frozenset(self.source_counts)
+        floor = self.min_share * self.packets_observed
+        return frozenset(node for node, count in self.source_counts.items()
+                         if count >= floor)
+
+    def heavy_hitters(self, factor: float = 10.0) -> FrozenSet[int]:
+        """Sources whose exact packet count exceeds ``factor`` x the median."""
+        if not self.source_counts:
+            return frozenset()
+        counts = sorted(self.source_counts.values())
+        median = counts[len(counts) // 2]
+        return frozenset(node for node, count in self.source_counts.items()
+                         if count > factor * median)

@@ -1,0 +1,152 @@
+"""DDPM marking-field layouts (paper §5, Table 3).
+
+The 16-bit MF is split into one slot per topology dimension:
+
+* mesh/torus — signed slots; a ``w``-bit slot supports ``2^(w-1)`` nodes in
+  its dimension ("the distance can be negative, so half of MF can represent
+  2^7 nodes in one dimension"). 2-D gets 8+8 (max 128x128 = 16384 nodes),
+  3-D gets 5+5+6 (max 16x16x32 = 8192 nodes);
+* hypercube — one bit per dimension, so a 16-cube (65536 nodes).
+
+Torus offsets are stored as minimal signed residues: accumulated distance is
+folded mod k at every write, so arbitrarily long (even looping) routes can
+never overflow the slot, and the victim's modular decode is unaffected
+(DESIGN.md decision #4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import FieldLayoutError, MarkingError
+from repro.marking.field import SubfieldLayout
+from repro.network.ip import MF_BITS
+from repro.topology.base import Topology
+from repro.topology.coords import minimal_signed_residue
+from repro.topology.hypercube import Hypercube
+from repro.topology.irregular import IrregularTopology
+from repro.util.bitops import bit_length_for
+
+__all__ = ["DdpmLayout"]
+
+
+class DdpmLayout:
+    """Bit layout of the DDPM distance vector for one topology.
+
+    Parameters
+    ----------
+    dims:
+        Topology dimension sizes.
+    signed:
+        True for mesh/torus (signed distance slots), False for hypercube
+        (1-bit XOR slots).
+    fold_modulo:
+        When set (torus), components are folded to minimal signed residues
+        modulo the corresponding dimension before encoding.
+    total_bits:
+        Marking-field width (default 16).
+    """
+
+    def __init__(self, dims: Sequence[int], *, signed: bool,
+                 fold_modulo: bool = False, total_bits: int = MF_BITS):
+        self.dims = tuple(dims)
+        self.signed = signed
+        self.fold_modulo = fold_modulo
+        self.total_bits = total_bits
+        if signed:
+            widths = [self.signed_width_for(k) for k in self.dims]
+        else:
+            widths = [1] * len(self.dims)
+        slots = [(f"v{i}", w, signed) for i, w in enumerate(widths)]
+        try:
+            self.layout = SubfieldLayout(slots, total_bits=total_bits)
+        except FieldLayoutError as exc:
+            raise FieldLayoutError(
+                f"DDPM cannot mark a {'x'.join(map(str, self.dims))} network in "
+                f"{total_bits} bits: {exc}"
+            ) from exc
+        self.widths = tuple(widths)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def signed_width_for(k: int) -> int:
+        """Bits of a signed slot covering distances of a k-node dimension.
+
+        Distances range over [-(k-1), k-1]; per the paper's accounting a
+        w-bit signed slot supports k <= 2^(w-1).
+        """
+        if k < 1:
+            raise FieldLayoutError(f"dimension size must be >= 1, got {k}")
+        return bit_length_for(k) + 1
+
+    @classmethod
+    def for_topology(cls, topology: Topology, total_bits: int = MF_BITS) -> "DdpmLayout":
+        """Derive the layout for a concrete topology instance."""
+        if isinstance(topology, IrregularTopology):
+            raise MarkingError(
+                "DDPM requires a regular coordinate system; irregular topologies "
+                "are out of scope (paper §6.3)"
+            )
+        if isinstance(topology, Hypercube):
+            return cls(topology.dims, signed=False, total_bits=total_bits)
+        fold = topology.kind == "torus"
+        return cls(topology.dims, signed=True, fold_modulo=fold, total_bits=total_bits)
+
+    @classmethod
+    def capacities(cls, n_dims: int, total_bits: int = MF_BITS,
+                   hypercube: bool = False) -> Tuple[int, ...]:
+        """Max per-dimension node counts when the MF is split across n_dims.
+
+        Reproduces Table 3's sizing rule: distribute ``total_bits`` as evenly
+        as possible (wider slots last, matching the paper's "two five-bits
+        and one six-bits"), each signed w-bit slot supporting 2^(w-1) nodes.
+        For hypercubes each dimension takes 1 bit and supports its 2 nodes.
+        """
+        if n_dims < 1:
+            raise FieldLayoutError(f"n_dims must be >= 1, got {n_dims}")
+        if hypercube:
+            if n_dims > total_bits:
+                raise FieldLayoutError(
+                    f"{n_dims}-cube needs {n_dims} bits, field has {total_bits}"
+                )
+            return (2,) * n_dims
+        base, remainder = divmod(total_bits, n_dims)
+        widths = [base] * (n_dims - remainder) + [base + 1] * remainder
+        if base < 2:
+            raise FieldLayoutError(
+                f"{total_bits} bits across {n_dims} signed slots leaves <2 bits each"
+            )
+        return tuple(1 << (w - 1) for w in widths)
+
+    @classmethod
+    def max_nodes(cls, n_dims: int, total_bits: int = MF_BITS,
+                  hypercube: bool = False) -> int:
+        """Largest cluster size supported (product of :meth:`capacities`)."""
+        total = 1
+        for k in cls.capacities(n_dims, total_bits, hypercube=hypercube):
+            total *= k
+        return total
+
+    # ------------------------------------------------------------------
+    def _fold(self, vector: Sequence[int]) -> Tuple[int, ...]:
+        if not self.fold_modulo:
+            return tuple(vector)
+        return tuple(minimal_signed_residue(v, k) for v, k in zip(vector, self.dims))
+
+    def encode(self, vector: Sequence[int]) -> int:
+        """Pack a distance vector into the MF word (folding tori mod k)."""
+        if len(vector) != len(self.dims):
+            raise MarkingError(
+                f"vector arity {len(vector)} != {len(self.dims)} dimensions"
+            )
+        folded = self._fold(vector)
+        return self.layout.pack({f"v{i}": v for i, v in enumerate(folded)})
+
+    def decode(self, word: int) -> Tuple[int, ...]:
+        """Unpack an MF word into the distance vector."""
+        values = self.layout.unpack(word)
+        return tuple(values[f"v{i}"] for i in range(len(self.dims)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"DdpmLayout(dims={self.dims}, widths={self.widths}, "
+                f"signed={self.signed}, fold={self.fold_modulo})")

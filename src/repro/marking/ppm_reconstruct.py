@@ -1,0 +1,111 @@
+"""Victim-side PPM path reconstruction.
+
+Marks decode to candidate directed edges annotated with a distance: an edge
+(u, v, d) claims "u forwarded this packet to v, and the packet then took d
+further marking hops to reach me". Reconstruction grows a DAG outward from
+the victim, level by level:
+
+* level 0 accepts marks whose edge ends at the victim (distance-0 marks);
+* level d accepts an edge (u, v, d) only if v was already reached at level
+  d-1 — the chaining rule that keeps spoofed/garbage marks from attaching
+  anywhere.
+
+``sources()`` are the frontier nodes: reached nodes from which no accepted
+deeper edge continues. With deterministic routing and full mark coverage
+these are exactly the attacking sources; with adaptive routing the DAG
+widens and the frontier inflates — measured, not asserted, by benchmark A3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.marking.ppm_encoding import EdgeMark
+from repro.topology.base import Topology
+
+__all__ = ["ReconstructedGraph", "reconstruct_paths"]
+
+
+class ReconstructedGraph:
+    """The accepted attack DAG rooted at the victim."""
+
+    def __init__(self, victim: int):
+        self.victim = victim
+        #: accepted directed edges (u, v) with the distances they were seen at
+        self.edges: Dict[Tuple[int, int], Set[int]] = {}
+        #: node -> set of levels (hops back from victim) at which it was reached
+        self.levels: Dict[int, Set[int]] = {victim: {-1}}
+
+    def add_edge(self, start: int, end: int, distance: int) -> None:
+        """Record an accepted edge; ``start`` becomes reached at level ``distance``."""
+        self.edges.setdefault((start, end), set()).add(distance)
+        self.levels.setdefault(start, set()).add(distance)
+
+    def reached_at(self, level: int) -> Set[int]:
+        """Nodes reached at exactly ``level``."""
+        return {node for node, levels in self.levels.items() if level in levels}
+
+    def nodes(self) -> Set[int]:
+        """All reached nodes (victim included)."""
+        return set(self.levels)
+
+    def sources(self) -> Set[int]:
+        """Frontier nodes: reached at some level with no accepted deeper edge
+        ending at them one level further out."""
+        ends_at_level: Dict[int, Set[int]] = {}
+        for (_start, end), distances in self.edges.items():
+            ends_at_level.setdefault(end, set()).update(distances)
+        out: Set[int] = set()
+        for node, levels in self.levels.items():
+            if node == self.victim:
+                continue
+            deeper = ends_at_level.get(node, set())
+            if any((level + 1) not in deeper for level in levels):
+                out.add(node)
+        return out
+
+    def depth(self) -> int:
+        """Deepest level reached (0 when only the victim is present)."""
+        deepest = 0
+        for node, levels in self.levels.items():
+            if node == self.victim:
+                continue
+            deepest = max(deepest, max(levels) + 1)
+        return deepest
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ReconstructedGraph(victim={self.victim}, "
+                f"nodes={len(self.levels) - 1}, edges={len(self.edges)})")
+
+
+def reconstruct_paths(marks: Iterable[EdgeMark], topology: Topology,
+                      victim: int) -> ReconstructedGraph:
+    """Grow the attack DAG from decoded marks using the level-chaining rule."""
+    graph = ReconstructedGraph(victim)
+    by_distance: Dict[int, List[EdgeMark]] = {}
+    max_distance = 0
+    for mark in marks:
+        by_distance.setdefault(mark.distance, []).append(mark)
+        max_distance = max(max_distance, mark.distance)
+
+    # Level 0: marks whose edge ends at the victim.
+    for mark in by_distance.get(0, []):
+        end = mark.end if mark.end is not None else victim
+        if end != victim:
+            continue
+        if topology.is_neighbor(mark.start, victim, include_failed=True):
+            graph.add_edge(mark.start, victim, 0)
+
+    # Level d: end node must have been reached at level d-1.
+    for distance in range(1, max_distance + 1):
+        reached_prev = graph.reached_at(distance - 1)
+        if not reached_prev:
+            break
+        for mark in by_distance.get(distance, []):
+            if mark.end is None:
+                continue
+            if mark.end in reached_prev and topology.is_neighbor(
+                mark.start, mark.end, include_failed=True
+            ):
+                graph.add_edge(mark.start, mark.end, distance)
+    return graph

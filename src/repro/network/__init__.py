@@ -1,0 +1,36 @@
+"""Cluster interconnect fabric: IP-like packets over an event-driven switch network.
+
+The paper's assumptions (§4.1) shape this package: every node pairs a
+*switch* with a separate *computing node* (NIC); packets carry real IP
+headers (the 16-bit identification field is the Marking Field); switches are
+trusted and may mutate the MF; attackers may spoof the source IP but cannot
+touch switches. The fabric wires a :class:`repro.topology.Topology`, a
+:class:`repro.routing.Router`, and a :class:`repro.marking` scheme into a
+running discrete-event network with credit flow control.
+"""
+
+from repro.network.addressing import AddressMap
+from repro.network.channel import Channel
+from repro.network.fabric import Fabric, FabricConfig
+from repro.network.flowcontrol import StoreAndForward, VirtualCutThrough
+from repro.network.ip import IPHeader, format_ip, parse_ip
+from repro.network.nic import DeliveredPacket, Nic
+from repro.network.packet import Packet, PacketKind
+from repro.network.switch import Switch
+
+__all__ = [
+    "AddressMap",
+    "Channel",
+    "Fabric",
+    "FabricConfig",
+    "StoreAndForward",
+    "VirtualCutThrough",
+    "IPHeader",
+    "format_ip",
+    "parse_ip",
+    "Nic",
+    "DeliveredPacket",
+    "Packet",
+    "PacketKind",
+    "Switch",
+]

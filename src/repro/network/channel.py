@@ -1,0 +1,114 @@
+"""Directed channels with credit-based flow control.
+
+Each physical link contributes two directed channels. A channel owns the
+sender-side output queue, the serialization state of the sending port, and
+the credit count mirroring free buffer slots at the receiving switch input —
+a packet starts crossing only when a credit is available, and the credit
+returns when the receiver has processed the packet (forwarded or delivered
+it). Queue depth plus consumed credits is the congestion metric adaptive
+selection policies consult.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.engine.simulator import Simulator
+from repro.errors import BufferOverflowError, ConfigurationError
+from repro.network.flowcontrol import ServiceModel
+from repro.network.packet import Packet
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """One directed channel u -> v.
+
+    Parameters
+    ----------
+    latency:
+        Propagation delay (time units).
+    bandwidth:
+        Bytes per time unit for serialization.
+    buffer_capacity:
+        Receiver input-buffer slots, i.e. the credit pool.
+    on_arrival:
+        Callback (packet, channel) invoked when a packet finishes crossing.
+    """
+
+    __slots__ = (
+        "src", "dst", "latency", "bandwidth", "buffer_capacity", "credits",
+        "queue", "busy", "sim", "service", "on_arrival", "packets_carried",
+        "failed",
+    )
+
+    def __init__(self, sim: Simulator, service: ServiceModel, src: int, dst: int, *,
+                 latency: float, bandwidth: float, buffer_capacity: int,
+                 on_arrival: Callable[[Packet, "Channel"], None]):
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {bandwidth}")
+        if buffer_capacity < 1:
+            raise ConfigurationError(f"buffer_capacity must be >= 1, got {buffer_capacity}")
+        self.sim = sim
+        self.service = service
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.buffer_capacity = buffer_capacity
+        self.credits = buffer_capacity
+        self.queue: Deque[Packet] = deque()
+        self.busy = False
+        self.on_arrival = on_arrival
+        self.packets_carried = 0
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Congestion metric: queued packets plus in-use receiver buffers."""
+        return len(self.queue) + (self.buffer_capacity - self.credits)
+
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a packet into the sender-side output queue and try to send."""
+        if self.failed:
+            raise BufferOverflowError(
+                f"channel {self.src}->{self.dst} is failed; switch routed onto a dead link"
+            )
+        self.queue.append(packet)
+        self._try_transmit()
+
+    def return_credit(self) -> None:
+        """Receiver finished with one buffered packet; a new send may start."""
+        if self.credits >= self.buffer_capacity:
+            raise BufferOverflowError(
+                f"credit overflow on channel {self.src}->{self.dst}"
+            )
+        self.credits += 1
+        self._try_transmit()
+
+    # ------------------------------------------------------------------
+    def _try_transmit(self) -> None:
+        if self.busy or self.failed or not self.queue or self.credits == 0:
+            return
+        packet = self.queue.popleft()
+        self.credits -= 1
+        self.busy = True
+        hold = self.service.serialization_time(packet, self.bandwidth)
+        self.sim.schedule(hold, self._serialization_done, label="chan-serial")
+        self.sim.schedule(hold + self.latency, lambda p=packet: self._arrive(p),
+                          label="chan-arrive")
+
+    def _serialization_done(self) -> None:
+        self.busy = False
+        self.packets_carried += 1
+        self._try_transmit()
+
+    def _arrive(self, packet: Packet) -> None:
+        self.on_arrival(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Channel({self.src}->{self.dst}, q={len(self.queue)}, "
+                f"credits={self.credits}/{self.buffer_capacity})")

@@ -1,0 +1,284 @@
+"""The fabric: topology + routing + marking assembled into a running network.
+
+:class:`Fabric` instantiates one :class:`Switch` and one :class:`Nic` per
+node and two directed :class:`Channel` objects per live link, wires the
+marking scheme into the switch pipeline, and exposes:
+
+* :meth:`inject` — push a packet into the network at a node/time;
+* :meth:`run_until` / :meth:`run` — advance the discrete-event clock;
+* delivery handlers per node (the victim's defense stack subscribes here);
+* global statistics (delivered/dropped counts, latency, hop histogram).
+
+Link failures are honored at construction; for mid-run failures call
+:meth:`fail_link`, which marks both directed channels dead (queued packets
+are dropped, as on a real cable pull).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.simulator import Simulator
+from repro.engine.stats import Counter, Histogram, WelfordAccumulator
+from repro.errors import ConfigurationError
+from repro.network.addressing import AddressMap
+from repro.network.channel import Channel
+from repro.network.flowcontrol import ServiceModel, VirtualCutThrough
+from repro.network.ip import IPHeader, DEFAULT_TTL
+from repro.network.nic import DeliveredPacket, Nic
+from repro.network.packet import Packet, PacketKind
+from repro.network.switch import Switch
+from repro.routing.base import Router
+from repro.routing.selection import FirstCandidatePolicy, SelectionPolicy
+from repro.topology.base import Topology
+
+__all__ = ["Fabric", "FabricConfig"]
+
+
+@dataclass
+class FabricConfig:
+    """Physical and policy parameters of the fabric.
+
+    Attributes
+    ----------
+    link_latency:
+        Per-hop propagation delay.
+    link_bandwidth:
+        Channel bandwidth in bytes per time unit.
+    buffer_capacity:
+        Input-buffer slots (credits) per directed channel.
+    routing_delay:
+        Switch pipeline delay between packet arrival and forwarding.
+    default_ttl:
+        Initial TTL given to injected packets.
+    misroute_budget:
+        Per-packet misroute allowance handed to adaptive routers.
+    trace_packets:
+        Record full node paths on every packet (memory-heavy; for tests
+        and walkthrough benchmarks).
+    """
+
+    link_latency: float = 0.05
+    link_bandwidth: float = 1000.0
+    buffer_capacity: int = 4
+    routing_delay: float = 0.01
+    default_ttl: int = DEFAULT_TTL
+    misroute_budget: int = 8
+    trace_packets: bool = False
+
+    def __post_init__(self):
+        if self.link_latency < 0:
+            raise ConfigurationError(f"link_latency must be >= 0, got {self.link_latency}")
+        if self.link_bandwidth <= 0:
+            raise ConfigurationError(f"link_bandwidth must be > 0, got {self.link_bandwidth}")
+        if self.buffer_capacity < 1:
+            raise ConfigurationError(f"buffer_capacity must be >= 1, got {self.buffer_capacity}")
+        if self.routing_delay < 0:
+            raise ConfigurationError(f"routing_delay must be >= 0, got {self.routing_delay}")
+        if not 1 <= self.default_ttl <= 255:
+            raise ConfigurationError(f"default_ttl must be in 1..255, got {self.default_ttl}")
+        if self.misroute_budget < 0:
+            raise ConfigurationError(f"misroute_budget must be >= 0, got {self.misroute_budget}")
+
+
+class Fabric:
+    """A running cluster interconnect."""
+
+    def __init__(self, topology: Topology, router: Router, *,
+                 selection: Optional[SelectionPolicy] = None,
+                 marking=None,
+                 config: Optional[FabricConfig] = None,
+                 service: Optional[ServiceModel] = None,
+                 sim: Optional[Simulator] = None,
+                 address_map: Optional[AddressMap] = None):
+        self.topology = topology
+        self.router = router
+        router.validate(topology)
+        self.config = config if config is not None else FabricConfig()
+        self.sim = sim if sim is not None else Simulator()
+        self.service = service if service is not None else VirtualCutThrough()
+        self.selection = selection if selection is not None else FirstCandidatePolicy()
+        self.addresses = address_map if address_map is not None else AddressMap(topology.num_nodes)
+        self.marking = marking
+        if marking is not None:
+            marking.attach(topology)
+
+        self.switches: List[Switch] = []
+        self.nics: List[Nic] = []
+        self.channels: Dict[Tuple[int, int], Channel] = {}
+        self._build()
+
+        # Global statistics
+        self.counters = Counter()
+        self.latency = WelfordAccumulator()
+        self.hop_histogram = Histogram()
+        self.dropped_packets: List[Tuple[Packet, int, str]] = []
+        self._drop_handlers: List[Callable[[Packet, int, str], None]] = []
+        #: optional (packet, node) -> bool hook checked by the source switch;
+        #: False drops the packet with reason "filtered_at_source". This is
+        #: where ingress filtering and identified-source blocking plug in.
+        self.injection_filter: Optional[Callable[[Packet, int], bool]] = None
+        #: per-switch transit observers: node -> [fn(packet, node, time)].
+        #: Fired when a switch FORWARDS a packet (not on delivery) — the
+        #: instrumentation point for §6.1's trusted-monitor-switch idea.
+        self._transit_observers: Dict[int, List[Callable[[Packet, int, float], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        for node in self.topology.nodes():
+            self.switches.append(Switch(self, node, cfg.routing_delay))
+            self.nics.append(Nic(node))
+        for u, v in self.topology.to_edge_list(include_failed=True):
+            for a, b in ((u, v), (v, u)):
+                channel = Channel(
+                    self.sim, self.service, a, b,
+                    latency=cfg.link_latency,
+                    bandwidth=cfg.link_bandwidth,
+                    buffer_capacity=cfg.buffer_capacity,
+                    on_arrival=self._on_channel_arrival,
+                )
+                channel.failed = not self.topology.links.is_up(a, b)
+                self.channels[(a, b)] = channel
+                self.switches[a].outputs[b] = channel
+
+    def _on_channel_arrival(self, packet: Packet, channel: Channel) -> None:
+        self.switches[channel.dst].accept_from_channel(packet, channel)
+
+    # ------------------------------------------------------------------
+    # Congestion view for adaptive selection
+    # ------------------------------------------------------------------
+    def congestion(self, u: int, v: int) -> float:
+        """Occupancy of directed channel u -> v (selection-policy input)."""
+        return float(self.channels[(u, v)].occupancy())
+
+    def select(self, candidates: Sequence[int], current: int) -> int:
+        """Apply the configured selection policy."""
+        return self.selection.choose(candidates, current)
+
+    # ------------------------------------------------------------------
+    # Packet lifecycle
+    # ------------------------------------------------------------------
+    def make_packet(self, src_node: int, dst_node: int, *,
+                    spoofed_src_ip: Optional[int] = None,
+                    kind: PacketKind = PacketKind.DATA,
+                    flow_id: int = 0, seq: int = 0,
+                    payload_bytes: int = 64) -> Packet:
+        """Build a packet as the host at ``src_node`` would.
+
+        ``spoofed_src_ip`` overrides the legitimate source address — the
+        attack primitive the whole paper is about.
+        """
+        if not self.topology.contains(src_node) or not self.topology.contains(dst_node):
+            raise ConfigurationError(
+                f"nodes ({src_node}, {dst_node}) outside topology of "
+                f"{self.topology.num_nodes} nodes"
+            )
+        src_ip = spoofed_src_ip if spoofed_src_ip is not None else self.addresses.ip_of(src_node)
+        header = IPHeader(
+            src_ip, self.addresses.ip_of(dst_node),
+            ttl=self.config.default_ttl,
+            total_length=IPHeader.HEADER_BYTES + payload_bytes,
+        )
+        return Packet(header, src_node, dst_node, kind=kind, flow_id=flow_id,
+                      seq=seq, misroute_budget=self.config.misroute_budget)
+
+    def inject(self, packet: Packet, at_node: Optional[int] = None,
+               delay: float = 0.0) -> None:
+        """Schedule ``packet`` to enter the fabric at its true source node."""
+        node = at_node if at_node is not None else packet.true_source
+        if not self.topology.contains(node):
+            raise ConfigurationError(f"injection node {node} outside topology")
+        nic = self.nics[node]
+
+        def _do_inject(p=packet, n=node):
+            p.injected_at = self.sim.now
+            if self.config.trace_packets:
+                p.start_trace(n)
+            nic.note_injected()
+            self.counters.incr("injected")
+            extra = 0.0
+            if isinstance(self.service, VirtualCutThrough):
+                extra = self.service.injection_overhead(p, self.config.link_bandwidth)
+            if extra > 0:
+                self.sim.schedule(extra, lambda: self.switches[n].accept_from_nic(p),
+                                  label="nic-inject")
+            else:
+                self.switches[n].accept_from_nic(p)
+
+        self.sim.schedule(delay, _do_inject, label="inject")
+
+    def deliver_local(self, packet: Packet, node: int) -> None:
+        """A packet reached its destination switch; hand it to the NIC."""
+        self.counters.incr("delivered")
+        self.hop_histogram.add(packet.hops)
+        self.nics[node].deliver(packet, self.sim.now)
+        if packet.latency is not None:
+            self.latency.add(packet.latency)
+
+    def drop(self, packet: Packet, at_node: int, reason: str) -> None:
+        """Discard a packet, recording the reason."""
+        self.counters.incr("dropped")
+        self.counters.incr(f"dropped_{reason}")
+        self.dropped_packets.append((packet, at_node, reason))
+        for handler in self._drop_handlers:
+            handler(packet, at_node, reason)
+
+    def add_drop_handler(self, handler: Callable[[Packet, int, str], None]) -> None:
+        """Observe drops (used by tests and failure-injection experiments)."""
+        self._drop_handlers.append(handler)
+
+    def add_delivery_handler(self, node: int, handler: Callable[[DeliveredPacket], None]) -> None:
+        """Subscribe to deliveries at ``node`` (e.g. the victim's detector)."""
+        self.nics[node].add_delivery_handler(handler)
+
+    def add_transit_observer(self, node: int,
+                             observer: Callable[[Packet, int, float], None]) -> None:
+        """Observe packets the switch at ``node`` forwards (monitor switches)."""
+        self._transit_observers.setdefault(node, []).append(observer)
+
+    def notify_transit(self, packet: Packet, node: int) -> None:
+        """Called by a switch right before forwarding a packet."""
+        observers = self._transit_observers.get(node)
+        if observers:
+            now = self.sim.now
+            for observer in observers:
+                observer(packet, node, now)
+
+    # ------------------------------------------------------------------
+    # Runtime control
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> float:
+        """Advance the simulation clock to ``time``."""
+        return self.sim.run_until(time)
+
+    def run(self) -> float:
+        """Run until all events drain."""
+        return self.sim.run()
+
+    def fail_link(self, u: int, v: int) -> None:
+        """Fail a link mid-run: both directed channels die, queued packets drop."""
+        self.topology.fail_link(u, v)
+        for a, b in ((u, v), (v, u)):
+            channel = self.channels[(a, b)]
+            channel.failed = True
+            while channel.queue:
+                self.drop(channel.queue.popleft(), a, "link_failed")
+
+    def restore_link(self, u: int, v: int) -> None:
+        """Restore a previously failed link."""
+        self.topology.restore_link(u, v)
+        for a, b in ((u, v), (v, u)):
+            self.channels[(a, b)].failed = False
+            self.channels[(a, b)]._try_transmit()
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Flat dict of headline statistics for result records."""
+        out: Dict[str, float] = dict(self.counters.as_dict())
+        out["mean_latency"] = self.latency.mean
+        out["max_latency"] = self.latency.max if self.latency.count else float("nan")
+        out["mean_hops"] = self.hop_histogram.mean()
+        return out

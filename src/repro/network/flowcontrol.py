@@ -1,0 +1,64 @@
+"""Switching-mode service models: how long a hop occupies a channel.
+
+*Store-and-forward* pays full packet serialization at every hop — the paper's
+§4.1 point about NIC-based switching being slow. *Virtual cut-through*
+approximates pipelined switching: a hop occupies the channel only for the
+header's serialization window, the regime of real cluster interconnects.
+
+The model deliberately stops at per-hop occupancy windows; flit-level
+wormhole state is out of scope (DESIGN.md decision #1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+
+__all__ = ["ServiceModel", "StoreAndForward", "VirtualCutThrough"]
+
+
+class ServiceModel(ABC):
+    """Computes the channel-occupancy time of one packet hop."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def serialization_time(self, packet: Packet, bandwidth: float) -> float:
+        """Time the sending port is busy with ``packet`` at ``bandwidth`` bytes/time."""
+
+    @staticmethod
+    def _check_bandwidth(bandwidth: float) -> float:
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+        return bandwidth
+
+
+class StoreAndForward(ServiceModel):
+    """Full packet received before forwarding: occupancy = size / bandwidth."""
+
+    name = "store-and-forward"
+
+    def serialization_time(self, packet: Packet, bandwidth: float) -> float:
+        return packet.size_bytes / self._check_bandwidth(bandwidth)
+
+
+class VirtualCutThrough(ServiceModel):
+    """Pipelined switching: per-hop occupancy is the header window only.
+
+    The payload streams through behind the header; successive hops overlap,
+    so the marginal per-hop cost is the header's serialization time. The full
+    payload cost is still paid once, which the fabric charges at injection.
+    """
+
+    name = "virtual-cut-through"
+
+    def serialization_time(self, packet: Packet, bandwidth: float) -> float:
+        return IPHeader.HEADER_BYTES / self._check_bandwidth(bandwidth)
+
+    def injection_overhead(self, packet: Packet, bandwidth: float) -> float:
+        """One-time payload serialization charged when the packet enters the fabric."""
+        extra = packet.size_bytes - IPHeader.HEADER_BYTES
+        return max(extra, 0) / self._check_bandwidth(bandwidth)

@@ -1,0 +1,127 @@
+"""Minimal IPv4-style header model.
+
+The paper's marking schemes live in the 16-bit IP *identification* field
+(the Marking Field, MF) and read the TTL; everything else is carried for
+fidelity (spoofed source addresses, header checksum so tests can show that
+marking invalidates and re-validates the checksum like a real router would).
+Addresses are 32-bit integers; :func:`format_ip` / :func:`parse_ip` convert
+to dotted-quad strings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IPHeader", "format_ip", "parse_ip", "DEFAULT_TTL", "MF_BITS", "MF_MAX"]
+
+#: Default initial TTL, as common IP stacks use.
+DEFAULT_TTL = 64
+#: Width of the marking field (the IP identification field).
+MF_BITS = 16
+#: Largest marking-field value.
+MF_MAX = (1 << MF_BITS) - 1
+
+_MAX_IP = (1 << 32) - 1
+
+
+def format_ip(address: int) -> str:
+    """Render a 32-bit address as dotted quad, e.g. 0x0A000001 -> '10.0.0.1'."""
+    if not 0 <= address <= _MAX_IP:
+        raise ConfigurationError(f"address {address!r} is not a 32-bit value")
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ip(dotted: str) -> int:
+    """Inverse of :func:`format_ip`."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ConfigurationError(f"{dotted!r} is not a dotted-quad address")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise ConfigurationError(f"{dotted!r} is not a dotted-quad address") from None
+        if not 0 <= octet <= 255:
+            raise ConfigurationError(f"octet {octet} out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class IPHeader:
+    """Mutable IPv4-like header.
+
+    Attributes
+    ----------
+    src, dst:
+        32-bit source/destination addresses. ``src`` may be spoofed — that is
+        the entire premise of the paper.
+    identification:
+        The 16-bit Marking Field all marking schemes write into.
+    ttl:
+        Time-to-live, decremented per switch hop; DPM indexes mark positions
+        by ``ttl % 16``.
+    protocol:
+        IANA-style protocol number (6 = TCP by default).
+    total_length:
+        Header + payload bytes (models bandwidth cost).
+    """
+
+    __slots__ = ("src", "dst", "identification", "ttl", "protocol", "total_length")
+
+    HEADER_BYTES = 20
+
+    def __init__(self, src: int, dst: int, *, identification: int = 0,
+                 ttl: int = DEFAULT_TTL, protocol: int = 6,
+                 total_length: int = HEADER_BYTES):
+        for name, addr in (("src", src), ("dst", dst)):
+            if not 0 <= addr <= _MAX_IP:
+                raise ConfigurationError(f"{name} address {addr!r} is not a 32-bit value")
+        if not 0 <= identification <= MF_MAX:
+            raise ConfigurationError(f"identification {identification} is not a 16-bit value")
+        if not 0 < ttl <= 255:
+            raise ConfigurationError(f"ttl {ttl} out of range (1..255)")
+        if total_length < self.HEADER_BYTES:
+            raise ConfigurationError(f"total_length {total_length} below header size")
+        self.src = src
+        self.dst = dst
+        self.identification = identification
+        self.ttl = ttl
+        self.protocol = protocol
+        self.total_length = total_length
+
+    def decrement_ttl(self) -> int:
+        """Decrement TTL by one (floor 0); returns the new value."""
+        if self.ttl > 0:
+            self.ttl -= 1
+        return self.ttl
+
+    def checksum(self) -> int:
+        """16-bit one's-complement checksum over the modelled header words.
+
+        Not security-relevant; included so tests can demonstrate that every
+        marking write changes the checksum a real switch would recompute.
+        """
+        words = [
+            (4 << 12) | (5 << 8),            # version/IHL/TOS
+            self.total_length & 0xFFFF,
+            self.identification,
+            0,                                # flags/fragment offset
+            ((self.ttl & 0xFF) << 8) | (self.protocol & 0xFF),
+            (self.src >> 16) & 0xFFFF, self.src & 0xFFFF,
+            (self.dst >> 16) & 0xFFFF, self.dst & 0xFFFF,
+        ]
+        total = sum(words)
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        return (~total) & 0xFFFF
+
+    def copy(self) -> "IPHeader":
+        """Independent copy of this header."""
+        return IPHeader(self.src, self.dst, identification=self.identification,
+                        ttl=self.ttl, protocol=self.protocol,
+                        total_length=self.total_length)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"IPHeader({format_ip(self.src)} -> {format_ip(self.dst)}, "
+                f"id=0x{self.identification:04x}, ttl={self.ttl})")

@@ -1,0 +1,56 @@
+"""Compute-node NIC: the boundary between untrusted hosts and trusted switches.
+
+A NIC injects packets its (possibly compromised) host hands it — including
+spoofed source addresses and attacker-chosen marking-field garbage — and
+delivers arriving packets to registered handlers (the victim's defense
+stack). Per the paper's trust model (§4.1), *nothing* the NIC does is
+trusted; all marking integrity comes from the switch on the other side of
+the injection port.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple
+
+from repro.engine.stats import Counter
+from repro.network.packet import Packet
+
+__all__ = ["Nic", "DeliveredPacket"]
+
+
+class DeliveredPacket(NamedTuple):
+    """What a delivery handler receives."""
+
+    packet: Packet
+    node: int
+    time: float
+
+
+DeliveryHandler = Callable[[DeliveredPacket], None]
+
+
+class Nic:
+    """Injection/ejection endpoint of one compute node."""
+
+    __slots__ = ("node", "counters", "_handlers")
+
+    def __init__(self, node: int):
+        self.node = node
+        self.counters = Counter()
+        self._handlers: List[DeliveryHandler] = []
+
+    def add_delivery_handler(self, handler: DeliveryHandler) -> None:
+        """Register a callback fired for every packet delivered to this node."""
+        self._handlers.append(handler)
+
+    def deliver(self, packet: Packet, time: float) -> None:
+        """Hand a packet that reached this node to the host side."""
+        packet.delivered_at = time
+        self.counters.incr("delivered")
+        event = DeliveredPacket(packet, self.node, time)
+        for handler in self._handlers:
+            handler(event)
+
+    def note_injected(self) -> None:
+        """Count a packet the host pushed into the fabric through this NIC."""
+        self.counters.incr("injected")

@@ -1,0 +1,119 @@
+"""The trusted switch: routing, TTL handling, and marking live here.
+
+Per the paper's assumptions (§4.1), switches are separate from compute nodes
+and cannot be compromised; they perform "only simple functions such as
+addition, subtraction, and XOR" (§6.2). Concretely, for each packet a switch:
+
+1. zeroes/initializes the marking field when the packet enters from its
+   local NIC (``on_inject`` — this is what defeats attacker-preloaded MFs);
+2. decrements TTL and drops expired packets;
+3. asks the routing function for legal next hops and the selection policy
+   for one of them;
+4. applies the marking scheme's per-hop write (``on_hop``) *after* the route
+   decision, exactly as Figure 4 specifies (the delta depends on the chosen
+   next node);
+5. enqueues the packet on the chosen output channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from repro.engine.stats import Counter
+from repro.network.channel import Channel
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.fabric import Fabric
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """One switch of the direct network, owned by a :class:`Fabric`."""
+
+    __slots__ = ("fabric", "node", "counters", "routing_delay", "outputs")
+
+    def __init__(self, fabric: "Fabric", node: int, routing_delay: float):
+        self.fabric = fabric
+        self.node = node
+        self.routing_delay = routing_delay
+        self.counters = Counter()
+        #: next-hop node -> output Channel, wired by the fabric
+        self.outputs: Dict[int, Channel] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def accept_from_nic(self, packet: Packet) -> None:
+        """A packet entering from the local compute node.
+
+        The marking scheme's ``on_inject`` runs here — the paper's "V is set
+        to a zero vector when the packet first enters a switch from a
+        computing node" — overwriting whatever the host put in the MF.
+        """
+        filter_fn = self.fabric.injection_filter
+        if filter_fn is not None and not filter_fn(packet, self.node):
+            self.counters.incr("filtered")
+            self.fabric.drop(packet, self.node, "filtered_at_source")
+            return
+        scheme = self.fabric.marking
+        if scheme is not None:
+            scheme.on_inject(packet, self.node)
+        self.counters.incr("injected")
+        self._dispatch(packet)
+
+    def accept_from_channel(self, packet: Packet, channel: Channel) -> None:
+        """A packet arriving over channel ``channel`` (input buffer holds it)."""
+        self.counters.incr("received")
+        if self.routing_delay > 0:
+            self.fabric.sim.schedule(
+                self.routing_delay,
+                lambda: self._process_buffered(packet, channel),
+                label="switch-route",
+            )
+        else:
+            self._process_buffered(packet, channel)
+
+    def _process_buffered(self, packet: Packet, channel: Channel) -> None:
+        self._dispatch(packet)
+        channel.return_credit()
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _dispatch(self, packet: Packet) -> None:
+        if packet.destination_node == self.node:
+            self.fabric.deliver_local(packet, self.node)
+            return
+
+        if packet.header.decrement_ttl() == 0:
+            self.fabric.drop(packet, self.node, "ttl_expired")
+            return
+
+        candidates = self.fabric.router.candidates(
+            self.fabric.topology, self.node, packet.route_state
+        )
+        if not candidates:
+            self.fabric.drop(packet, self.node, "unroutable")
+            return
+
+        next_node = self.fabric.select(candidates, self.node)
+        topo = self.fabric.topology
+        profitable = (topo.min_hops(next_node, packet.destination_node)
+                      < topo.min_hops(self.node, packet.destination_node))
+        packet.route_state.note_hop(self.node, profitable)
+
+        # Monitors observe the packet as received — before this switch's own
+        # marking write — so a transit monitor's DDPM decode relative to
+        # itself yields the true source (V = here - source at this instant).
+        self.fabric.notify_transit(packet, self.node)
+
+        scheme = self.fabric.marking
+        if scheme is not None:
+            scheme.on_hop(packet, self.node, next_node)
+
+        packet.hops += 1
+        packet.record_hop(next_node)
+        self.counters.incr("forwarded")
+        self.outputs[next_node].enqueue(packet)

@@ -1,0 +1,43 @@
+"""Routing algorithms for direct networks (paper §3, Figure 2).
+
+Each :class:`Router` maps (topology, current node, route state) to a set of
+*legal* next-hop candidates; a :class:`SelectionPolicy` picks one, optionally
+consulting congestion. This split mirrors real adaptive routers (routing
+function vs. selection function) and is what lets the same DDoS experiment
+swap deterministic XY routing for west-first or fully adaptive routing with
+one argument.
+"""
+
+from repro.routing.adaptive import FullyAdaptiveRouter, MinimalAdaptiveRouter
+from repro.routing.base import RouteState, Router, walk_route
+from repro.routing.dor import DimensionOrderRouter
+from repro.routing.oddeven import OddEvenRouter
+from repro.routing.selection import (
+    FirstCandidatePolicy,
+    LeastCongestedPolicy,
+    RandomPolicy,
+    SelectionPolicy,
+)
+from repro.routing.table import TableRouter, build_shortest_path_tables
+from repro.routing.turn_model import NegativeFirstRouter, NorthLastRouter, WestFirstRouter
+from repro.routing.valiant import ValiantRouter
+
+__all__ = [
+    "Router",
+    "RouteState",
+    "walk_route",
+    "DimensionOrderRouter",
+    "OddEvenRouter",
+    "WestFirstRouter",
+    "NorthLastRouter",
+    "NegativeFirstRouter",
+    "MinimalAdaptiveRouter",
+    "FullyAdaptiveRouter",
+    "ValiantRouter",
+    "TableRouter",
+    "build_shortest_path_tables",
+    "SelectionPolicy",
+    "FirstCandidatePolicy",
+    "RandomPolicy",
+    "LeastCongestedPolicy",
+]

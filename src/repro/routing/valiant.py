@@ -1,0 +1,56 @@
+"""Valiant randomized routing: route via a uniformly random intermediate node.
+
+A classic load-balancing scheme for direct networks; included because it is
+the *most* hostile routing regime for path-based traceback — every packet of
+the same flow can take a radically different two-phase route — while DDPM's
+distance accumulation remains exact (property-tested). The inner phases use
+any minimal router (dimension-order by default).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.routing.base import RouteState, Router
+from repro.routing.dor import DimensionOrderRouter
+from repro.topology.base import Topology
+
+__all__ = ["ValiantRouter"]
+
+_PHASE_KEY = "valiant_intermediate"
+
+
+class ValiantRouter(Router):
+    """Two-phase randomized routing (src -> random intermediate -> dst)."""
+
+    allows_misrouting = True  # phase 1 moves are generally non-profitable
+
+    def __init__(self, rng: np.random.Generator, phase_router: Optional[Router] = None):
+        self.rng = rng
+        self.phase_router = phase_router if phase_router is not None else DimensionOrderRouter()
+        self.name = f"valiant({self.phase_router.name})"
+
+    def validate(self, topology: Topology) -> None:
+        self.phase_router.validate(topology)
+
+    def candidates(self, topology: Topology, current: int,
+                   state: RouteState) -> Tuple[int, ...]:
+        intermediate = state.scratch.get(_PHASE_KEY)
+        if intermediate is None:
+            intermediate = int(self.rng.integers(topology.num_nodes))
+            state.scratch[_PHASE_KEY] = intermediate
+        if current == intermediate:
+            # Phase 1 complete: from now on route to the real destination.
+            state.scratch[_PHASE_KEY] = state.destination
+            intermediate = state.destination
+        if intermediate == state.destination:
+            return self.phase_router.candidates(topology, current, state)
+        # Phase 1: delegate with the intermediate as a temporary destination.
+        saved = state.destination
+        state.destination = intermediate
+        try:
+            return self.phase_router.candidates(topology, current, state)
+        finally:
+            state.destination = saved

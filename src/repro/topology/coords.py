@@ -1,0 +1,123 @@
+"""Coordinate algebra shared by every direct-network topology.
+
+A node in an n-dimensional network is addressed two ways: as a flat integer
+index (used by the fabric and packet headers) and as a coordinate tuple (used
+by routing and the DDPM distance arithmetic). These functions convert between
+the two and implement the per-dimension distance math, including the minimal
+signed residue used on tori (DESIGN.md decision #4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "coord_to_index",
+    "index_to_coord",
+    "vector_add",
+    "vector_sub",
+    "manhattan",
+    "minimal_signed_residue",
+    "torus_distance_vector",
+    "torus_hop_distance",
+    "check_coord",
+]
+
+Coord = Tuple[int, ...]
+
+
+def coord_to_index(coord: Sequence[int], dims: Sequence[int]) -> int:
+    """Flatten a coordinate to its lexicographic index (last dimension fastest).
+
+    Example: in a (4, 4) mesh, (row, col) = (2, 3) -> 2*4 + 3 = 11.
+    """
+    if len(coord) != len(dims):
+        raise TopologyError(f"coordinate {tuple(coord)} has wrong arity for dims {tuple(dims)}")
+    index = 0
+    for c, k in zip(coord, dims):
+        if not 0 <= c < k:
+            raise TopologyError(f"coordinate {tuple(coord)} out of bounds for dims {tuple(dims)}")
+        index = index * k + c
+    return index
+
+
+def index_to_coord(index: int, dims: Sequence[int]) -> Coord:
+    """Inverse of :func:`coord_to_index`."""
+    total = 1
+    for k in dims:
+        total *= k
+    if not 0 <= index < total:
+        raise TopologyError(f"index {index} out of range for dims {tuple(dims)} ({total} nodes)")
+    out = []
+    for k in reversed(dims):
+        out.append(index % k)
+        index //= k
+    return tuple(reversed(out))
+
+
+def check_coord(coord: Sequence[int], dims: Sequence[int]) -> Coord:
+    """Validate and normalize a coordinate; returns it as a tuple."""
+    coord_to_index(coord, dims)  # raises on any violation
+    return tuple(coord)
+
+
+def vector_add(a: Sequence[int], b: Sequence[int]) -> Coord:
+    """Element-wise sum of two equal-arity integer vectors."""
+    if len(a) != len(b):
+        raise TopologyError(f"arity mismatch: {tuple(a)} vs {tuple(b)}")
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def vector_sub(a: Sequence[int], b: Sequence[int]) -> Coord:
+    """Element-wise difference a - b."""
+    if len(a) != len(b):
+        raise TopologyError(f"arity mismatch: {tuple(a)} vs {tuple(b)}")
+    return tuple(x - y for x, y in zip(a, b))
+
+
+def manhattan(v: Sequence[int]) -> int:
+    """L1 norm of an offset vector — the minimal hop count it represents."""
+    return sum(abs(x) for x in v)
+
+
+def minimal_signed_residue(delta: int, k: int) -> int:
+    """The representative of ``delta mod k`` with smallest absolute value.
+
+    Ties (|delta| == k/2 for even k) resolve to the positive representative,
+    matching the paper's diameter formula floor(k/2) for tori. For k == 1 the
+    only residue is 0.
+    """
+    if k < 1:
+        raise TopologyError(f"modulus must be >= 1, got {k}")
+    r = delta % k
+    if r > k // 2:
+        # For even k the tie r == k/2 stays positive; anything larger folds.
+        r -= k
+    return r
+
+
+def torus_distance_vector(src: Sequence[int], dst: Sequence[int],
+                          dims: Sequence[int]) -> Coord:
+    """Minimal per-dimension signed offsets from src to dst on a torus."""
+    if not (len(src) == len(dst) == len(dims)):
+        raise TopologyError("arity mismatch among src, dst, dims")
+    return tuple(minimal_signed_residue(d - s, k) for s, d, k in zip(src, dst, dims))
+
+
+def torus_hop_distance(u: int, v: int, k: int) -> int:
+    """Signed per-hop delta (+1 or -1) for a torus neighbor step u -> v in one dimension.
+
+    A wraparound hop from k-1 to 0 is +1, from 0 to k-1 is -1: the physical
+    link direction, not the raw coordinate difference. Raises
+    :class:`TopologyError` when u and v are not ring neighbors.
+    """
+    if k == 1:
+        raise TopologyError("a 1-node ring has no hops")
+    if v == (u + 1) % k:
+        # For k == 2 both directions coincide; +1 is the canonical delta.
+        return 1
+    if v == (u - 1) % k:
+        return -1
+    raise TopologyError(f"{u} -> {v} is not a neighbor hop on a {k}-ring")

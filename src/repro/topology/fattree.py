@@ -1,0 +1,121 @@
+"""Fat-tree: the paper's §6.3 indirect-network counterpoint.
+
+"A lot of cluster systems employ indirect networks or hybrid networks...
+it may need a completely different approach." A k-ary fat-tree (the
+three-level Clos of datacenter fame) is the canonical indirect topology:
+compute nodes hang off edge switches, and traffic climbs toward core
+switches before descending — there is no coordinate system in which a
+per-hop delta telescopes, so DDPM's offset algebra is structurally
+unavailable (the class inherits :class:`IrregularTopology`'s refusal).
+
+What *does* work here: table-driven shortest-path routing
+(:class:`repro.routing.TableRouter`) and the PPM/DPM family — their
+only requirement is unique switch labels. The tests and the §6.3 benchmark
+use this class to demonstrate, rather than assert, the paper's limitation.
+
+Topology shape (k even):
+  * (k/2)^2 core switches;
+  * k pods, each with k/2 aggregation and k/2 edge switches;
+  * each edge switch serves k/2 hosts.
+Hosts and switches all live in one node index space (hosts first), since
+the fabric models one switch per node; "switch-only" nodes simply never
+inject.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.irregular import IrregularTopology
+
+__all__ = ["FatTree"]
+
+
+class FatTree(IrregularTopology):
+    """Three-level k-ary fat-tree with hosts as leaf nodes.
+
+    Parameters
+    ----------
+    k:
+        Pod arity; must be even and >= 2. Hosts: k^3/4; switches: 5k^2/4.
+    """
+
+    kind = "fat-tree"
+
+    def __init__(self, k: int):
+        if k < 2 or k % 2:
+            raise TopologyError(f"fat-tree arity k must be even and >= 2, got {k}")
+        self.k = k
+        half = k // 2
+        self.num_hosts = half * half * k
+        num_edge = half * k
+        num_agg = half * k
+        num_core = half * half
+
+        # Node index layout: [hosts][edge][agg][core]
+        self._edge_base = self.num_hosts
+        self._agg_base = self._edge_base + num_edge
+        self._core_base = self._agg_base + num_agg
+        total = self._core_base + num_core
+
+        edges: List[Tuple[int, int]] = []
+        # Hosts <-> edge switches.
+        for pod in range(k):
+            for e in range(half):
+                edge_switch = self._edge_base + pod * half + e
+                for h in range(half):
+                    host = (pod * half + e) * half + h
+                    edges.append((host, edge_switch))
+        # Edge <-> aggregation within each pod (complete bipartite).
+        for pod in range(k):
+            for e in range(half):
+                edge_switch = self._edge_base + pod * half + e
+                for a in range(half):
+                    agg_switch = self._agg_base + pod * half + a
+                    edges.append((edge_switch, agg_switch))
+        # Aggregation <-> core: agg a of each pod connects to core group a.
+        for pod in range(k):
+            for a in range(half):
+                agg_switch = self._agg_base + pod * half + a
+                for c in range(half):
+                    core_switch = self._core_base + a * half + c
+                    edges.append((agg_switch, core_switch))
+
+        super().__init__(total, edges)
+
+    # -- node classification -----------------------------------------------
+    def is_host(self, node: int) -> bool:
+        """True for compute (injection-capable) nodes."""
+        return 0 <= node < self.num_hosts
+
+    def hosts(self) -> range:
+        """All host node indexes."""
+        return range(self.num_hosts)
+
+    def tier_of(self, node: int) -> str:
+        """'host' / 'edge' / 'aggregation' / 'core'."""
+        if node < 0 or node >= self.num_nodes:
+            raise TopologyError(f"node {node} outside fat-tree")
+        if node < self._edge_base:
+            return "host"
+        if node < self._agg_base:
+            return "edge"
+        if node < self._core_base:
+            return "aggregation"
+        return "core"
+
+    def pod_of(self, node: int) -> int:
+        """Pod index of a host/edge/aggregation node (core nodes raise)."""
+        half = self.k // 2
+        tier = self.tier_of(node)
+        if tier == "host":
+            return node // (half * half)
+        if tier == "edge":
+            return (node - self._edge_base) // half
+        if tier == "aggregation":
+            return (node - self._agg_base) // half
+        raise TopologyError("core switches belong to no pod")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FatTree(k={self.k}, hosts={self.num_hosts}, nodes={self.num_nodes})"

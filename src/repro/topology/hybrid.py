@@ -1,0 +1,115 @@
+"""Hybrid cluster networks (paper §6.3: "multiple backbone buses and
+cluster-based networks are examples of hybrid networks").
+
+:class:`ClusterMesh` models the common hybrid shape: a regular backbone
+(mesh or torus) of switches, each serving several directly attached hosts.
+Host-to-host traffic enters the backbone at the source's switch, travels the
+regular fabric, and exits at the destination's switch.
+
+As a whole the graph is irregular (host leaves break the coordinate
+system), so plain DDPM refuses it — but the backbone *is* regular, which is
+exactly the structure :class:`repro.marking.hddpm.HierarchicalDdpmScheme`
+exploits: a distance vector over backbone coordinates plus a port index
+within the source switch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.topology.irregular import IrregularTopology
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+__all__ = ["ClusterMesh"]
+
+
+class ClusterMesh(IrregularTopology):
+    """Backbone mesh/torus of switches with ``hosts_per_switch`` hosts each.
+
+    Node index layout: hosts first (host ``p`` of backbone switch ``s`` is
+    ``s * hosts_per_switch + p``), then backbone switches (backbone switch
+    ``s`` is ``num_hosts + s``). Hosts connect only to their switch.
+
+    Parameters
+    ----------
+    backbone_dims:
+        Dimension sizes of the backbone.
+    hosts_per_switch:
+        Hosts attached to each backbone switch (>= 1).
+    wraparound:
+        Torus backbone when True, mesh otherwise.
+    """
+
+    kind = "cluster-mesh"
+
+    def __init__(self, backbone_dims: Tuple[int, ...], hosts_per_switch: int,
+                 wraparound: bool = False):
+        if hosts_per_switch < 1:
+            raise TopologyError(
+                f"hosts_per_switch must be >= 1, got {hosts_per_switch}"
+            )
+        backbone: Topology = (Torus(backbone_dims) if wraparound
+                              else Mesh(backbone_dims))
+        self.backbone = backbone
+        self.hosts_per_switch = hosts_per_switch
+        self.num_hosts = backbone.num_nodes * hosts_per_switch
+        total = self.num_hosts + backbone.num_nodes
+
+        edges: List[Tuple[int, int]] = []
+        # Host <-> own switch.
+        for switch in backbone.nodes():
+            switch_node = self.num_hosts + switch
+            for port in range(hosts_per_switch):
+                edges.append((switch * hosts_per_switch + port, switch_node))
+        # Backbone links, re-indexed.
+        for u, v in backbone.to_edge_list(include_failed=True):
+            edges.append((self.num_hosts + u, self.num_hosts + v))
+
+        super().__init__(total, edges)
+
+    # -- node classification ------------------------------------------------
+    def is_host(self, node: int) -> bool:
+        """True for compute (injection-capable) leaf nodes."""
+        return 0 <= node < self.num_hosts
+
+    def is_backbone(self, node: int) -> bool:
+        """True for backbone switch nodes."""
+        return self.num_hosts <= node < self.num_nodes
+
+    def hosts(self) -> range:
+        """All host node indexes."""
+        return range(self.num_hosts)
+
+    # -- structure accessors (used by hierarchical DDPM) ---------------------
+    def switch_of(self, host: int) -> int:
+        """The (full-index) backbone switch node serving ``host``."""
+        if not self.is_host(host):
+            raise TopologyError(f"node {host} is not a host")
+        return self.num_hosts + host // self.hosts_per_switch
+
+    def port_of(self, host: int) -> int:
+        """Index of ``host`` within its switch (0 .. hosts_per_switch-1)."""
+        if not self.is_host(host):
+            raise TopologyError(f"node {host} is not a host")
+        return host % self.hosts_per_switch
+
+    def host_at(self, backbone_switch: int, port: int) -> int:
+        """Host node at (backbone-local switch index, port)."""
+        if not 0 <= backbone_switch < self.backbone.num_nodes:
+            raise TopologyError(f"backbone switch {backbone_switch} out of range")
+        if not 0 <= port < self.hosts_per_switch:
+            raise TopologyError(f"port {port} out of range")
+        return backbone_switch * self.hosts_per_switch + port
+
+    def backbone_index(self, node: int) -> int:
+        """Backbone-local index of a backbone switch node."""
+        if not self.is_backbone(node):
+            raise TopologyError(f"node {node} is not a backbone switch")
+        return node - self.num_hosts
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ClusterMesh(backbone={self.backbone!r}, "
+                f"hosts_per_switch={self.hosts_per_switch})")

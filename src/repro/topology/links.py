@@ -1,0 +1,88 @@
+"""Link bookkeeping with failure injection.
+
+The paper's routing discussion (Figure 2) revolves around failed links:
+deterministic XY routing cannot route around them, west-first can for some
+fault patterns, fully adaptive for more. :class:`LinkSet` tracks which
+bidirectional links are up and validates failure/restore operations against
+the topology's physical link set.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = ["LinkSet", "canonical_link"]
+
+Link = Tuple[int, int]
+
+
+def canonical_link(u: int, v: int) -> Link:
+    """Order-independent key for a bidirectional link."""
+    if u == v:
+        raise TopologyError(f"self-link ({u}, {v}) is not a physical link")
+    return (u, v) if u < v else (v, u)
+
+
+class LinkSet:
+    """The set of physical bidirectional links of a topology, with failures.
+
+    Parameters
+    ----------
+    links:
+        Iterable of (u, v) node-index pairs. Duplicates (in either order)
+        collapse to one bidirectional link.
+    """
+
+    def __init__(self, links: Iterable[Link]):
+        self._all: FrozenSet[Link] = frozenset(canonical_link(u, v) for u, v in links)
+        if not self._all:
+            raise TopologyError("a topology must have at least one link")
+        self._failed: Set[Link] = set()
+
+    # -- queries --------------------------------------------------------
+    def exists(self, u: int, v: int) -> bool:
+        """True when (u, v) is a physical link (failed or not)."""
+        return canonical_link(u, v) in self._all
+
+    def is_up(self, u: int, v: int) -> bool:
+        """True when (u, v) exists and has not been failed."""
+        key = canonical_link(u, v)
+        return key in self._all and key not in self._failed
+
+    @property
+    def all_links(self) -> FrozenSet[Link]:
+        """Every physical link, as canonical (min, max) pairs."""
+        return self._all
+
+    @property
+    def failed_links(self) -> FrozenSet[Link]:
+        """Currently failed links."""
+        return frozenset(self._failed)
+
+    def live_links(self) -> FrozenSet[Link]:
+        """Links currently up."""
+        return self._all - self._failed
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    # -- mutation -------------------------------------------------------
+    def fail(self, u: int, v: int) -> None:
+        """Mark link (u, v) failed. Raises if the link does not exist."""
+        key = canonical_link(u, v)
+        if key not in self._all:
+            raise TopologyError(f"cannot fail nonexistent link {key}")
+        self._failed.add(key)
+
+    def restore(self, u: int, v: int) -> None:
+        """Bring a failed link back up. Raises if it was not failed."""
+        key = canonical_link(u, v)
+        if key not in self._failed:
+            raise TopologyError(f"link {key} is not failed")
+        self._failed.remove(key)
+
+    def restore_all(self) -> None:
+        """Clear every failure."""
+        self._failed.clear()

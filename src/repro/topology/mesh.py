@@ -1,0 +1,86 @@
+"""n-dimensional mesh (paper §3, Figure 1(a)).
+
+Nodes X and Y are neighbors iff their coordinates agree in all dimensions but
+one, where they differ by exactly 1 — no wraparound. Degree is 2n for
+interior nodes; diameter is the sum of (k_i - 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology import coords as C
+from repro.topology.base import Topology
+from repro.util.validation import check_sequence_of_positive_ints
+
+__all__ = ["Mesh"]
+
+
+class Mesh(Topology):
+    """k_0 x k_1 x ... x k_{n-1} mesh."""
+
+    kind = "mesh"
+
+    def __init__(self, dims: Sequence[int]):
+        dims = check_sequence_of_positive_ints(dims, "dims")
+        super().__init__(dims)
+
+    # -- neighbors ------------------------------------------------------
+    def _physical_neighbors(self, node: int) -> Tuple[int, ...]:
+        coord = self.coord(node)
+        out = []
+        for axis, k in enumerate(self.dims):
+            c = coord[axis]
+            if c - 1 >= 0:
+                out.append(self.index(coord[:axis] + (c - 1,) + coord[axis + 1:]))
+            if c + 1 < k:
+                out.append(self.index(coord[:axis] + (c + 1,) + coord[axis + 1:]))
+        return tuple(out)
+
+    def step(self, node: int, axis: int, direction: int):
+        coord = self.coord(node)
+        if not 0 <= axis < len(self.dims):
+            raise TopologyError(f"axis {axis} out of range for dims {self.dims}")
+        if direction not in (-1, 1):
+            raise TopologyError(f"direction must be +1 or -1, got {direction}")
+        c = coord[axis] + direction
+        if not 0 <= c < self.dims[axis]:
+            return None
+        return self.index(coord[:axis] + (c,) + coord[axis + 1:])
+
+    # -- metrics ---------------------------------------------------------
+    def degree(self) -> int:
+        """2 per dimension with at least 3 nodes, 1 per 2-node dimension."""
+        return sum(2 if k >= 3 else (1 if k == 2 else 0) for k in self.dims)
+
+    def diameter(self) -> int:
+        """Corner-to-opposite-corner Manhattan distance."""
+        return sum(k - 1 for k in self.dims)
+
+    def min_hops(self, src: int, dst: int) -> int:
+        return C.manhattan(self.distance_vector(src, dst))
+
+    # -- offset algebra ---------------------------------------------------
+    def distance_vector(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Plain coordinate difference dst - src (paper §5: v_i = y_i - x_i)."""
+        return C.vector_sub(self.coord(dst), self.coord(src))
+
+    def hop_delta(self, u: int, v: int) -> Tuple[int, ...]:
+        delta = C.vector_sub(self.coord(v), self.coord(u))
+        if C.manhattan(delta) != 1:
+            raise TopologyError(f"{u} -> {v} is not a single mesh hop (delta {delta})")
+        return delta
+
+    def combine_offsets(self, accumulated: Sequence[int], delta: Sequence[int]) -> Tuple[int, ...]:
+        return C.vector_add(accumulated, delta)
+
+    def resolve_source(self, dst: int, offset: Sequence[int]) -> int:
+        """S = D - V (paper Figure 4: S := X - V at the destination X = D)."""
+        src_coord = C.vector_sub(self.coord(dst), offset)
+        for c, k in zip(src_coord, self.dims):
+            if not 0 <= c < k:
+                raise TopologyError(
+                    f"offset {tuple(offset)} from node {dst} leaves the mesh: {src_coord}"
+                )
+        return self.index(src_coord)

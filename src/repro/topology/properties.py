@@ -1,0 +1,124 @@
+"""Graph-theoretic property computations over topologies.
+
+Pure BFS implementations over the live-link graph. Used to cross-check the
+analytic ``degree()`` / ``diameter()`` formulas (paper §3) and to reason
+about connectivity under the failure patterns of Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+
+__all__ = [
+    "bfs_distances",
+    "shortest_path",
+    "diameter",
+    "average_distance",
+    "is_connected",
+    "connected_components",
+    "count_minimal_paths",
+]
+
+
+def bfs_distances(topology: Topology, source: int,
+                  include_failed: bool = False) -> Dict[int, int]:
+    """Hop distance from ``source`` to every reachable node over live links."""
+    if not topology.contains(source):
+        raise TopologyError(f"source {source} not in topology")
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in topology.neighbors(u, include_failed=include_failed):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                frontier.append(v)
+    return dist
+
+
+def shortest_path(topology: Topology, source: int, target: int,
+                  include_failed: bool = False) -> Optional[List[int]]:
+    """One shortest node sequence source..target over live links, or None."""
+    if source == target:
+        return [source]
+    parent: Dict[int, int] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in topology.neighbors(u, include_failed=include_failed):
+            if v not in parent:
+                parent[v] = u
+                if v == target:
+                    path = [v]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                frontier.append(v)
+    return None
+
+
+def diameter(topology: Topology, include_failed: bool = False) -> int:
+    """Largest finite BFS eccentricity; raises if the graph is disconnected."""
+    worst = 0
+    for source in topology.nodes():
+        dist = bfs_distances(topology, source, include_failed=include_failed)
+        if len(dist) != topology.num_nodes:
+            raise TopologyError("diameter undefined: topology is disconnected")
+        worst = max(worst, max(dist.values()))
+    return worst
+
+
+def average_distance(topology: Topology, include_failed: bool = False) -> float:
+    """Mean hop distance over all ordered node pairs (src != dst)."""
+    total = 0
+    pairs = 0
+    for source in topology.nodes():
+        dist = bfs_distances(topology, source, include_failed=include_failed)
+        if len(dist) != topology.num_nodes:
+            raise TopologyError("average distance undefined: topology is disconnected")
+        total += sum(dist.values())
+        pairs += topology.num_nodes - 1
+    return total / pairs
+
+
+def is_connected(topology: Topology, include_failed: bool = False) -> bool:
+    """True when every node is reachable from node 0 over live links."""
+    return len(bfs_distances(topology, 0, include_failed=include_failed)) == topology.num_nodes
+
+
+def connected_components(topology: Topology) -> List[Set[int]]:
+    """Partition of nodes into live-link connected components."""
+    remaining = set(topology.nodes())
+    components: List[Set[int]] = []
+    while remaining:
+        seed = min(remaining)
+        component = set(bfs_distances(topology, seed))
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def count_minimal_paths(topology: Topology, source: int, target: int) -> int:
+    """Number of distinct minimal-hop paths from source to target (live links).
+
+    Computed by BFS layering and path-count accumulation; exponential path
+    counts stay cheap because only per-node counters are stored.
+    """
+    dist = bfs_distances(topology, source)
+    if target not in dist:
+        return 0
+    counts = {source: 1}
+    order = sorted((d, n) for n, d in dist.items() if d <= dist[target])
+    for _, node in order:
+        if node == source:
+            continue
+        counts[node] = sum(
+            counts.get(prev, 0)
+            for prev in topology.neighbors(node)
+            if dist.get(prev, -2) == dist[node] - 1
+        )
+    return counts.get(target, 0)

@@ -1,0 +1,41 @@
+"""Small shared utilities: bit manipulation, validation, table rendering."""
+
+from repro.util.bitops import (
+    bit_length_for,
+    bits_required_signed,
+    bits_required_unsigned,
+    extract_bits,
+    gray_decode,
+    gray_encode,
+    hamming_distance,
+    insert_bits,
+    popcount,
+    to_signed,
+    to_unsigned,
+)
+from repro.util.tables import TextTable
+from repro.util.validation import (
+    check_in_range,
+    check_positive_int,
+    check_probability,
+    check_sequence_of_positive_ints,
+)
+
+__all__ = [
+    "bit_length_for",
+    "bits_required_signed",
+    "bits_required_unsigned",
+    "extract_bits",
+    "gray_decode",
+    "gray_encode",
+    "hamming_distance",
+    "insert_bits",
+    "popcount",
+    "to_signed",
+    "to_unsigned",
+    "TextTable",
+    "check_in_range",
+    "check_positive_int",
+    "check_probability",
+    "check_sequence_of_positive_ints",
+]

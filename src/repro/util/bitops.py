@@ -1,0 +1,150 @@
+"""Bit-level helpers used by marking-field encoders and hypercube math.
+
+Marking schemes pack several small signed/unsigned integers into the 16-bit
+IP identification field. These helpers centralize two's-complement packing,
+bit-slice extraction, popcount/Hamming utilities, and Gray-code conversion so
+every encoder shares one audited implementation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "popcount",
+    "hamming_distance",
+    "bit_length_for",
+    "bits_required_unsigned",
+    "bits_required_signed",
+    "to_unsigned",
+    "to_signed",
+    "extract_bits",
+    "insert_bits",
+    "gray_encode",
+    "gray_decode",
+    "lowest_set_bit",
+    "bit_positions",
+]
+
+
+def popcount(value: int) -> int:
+    """Number of one-bits in the non-negative integer ``value``."""
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative value, got {value}")
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions at which ``a`` and ``b`` differ."""
+    return popcount(a ^ b)
+
+
+def lowest_set_bit(value: int) -> int:
+    """Index of the least-significant one-bit of ``value`` (0-based).
+
+    Raises :class:`ValueError` for ``value == 0``, which has no set bit.
+    """
+    if value == 0:
+        raise ValueError("0 has no set bit")
+    if value < 0:
+        raise ValueError(f"lowest_set_bit requires a positive value, got {value}")
+    return (value & -value).bit_length() - 1
+
+
+def bit_positions(value: int) -> list:
+    """Sorted list of indices of set bits in the non-negative ``value``."""
+    if value < 0:
+        raise ValueError(f"bit_positions requires a non-negative value, got {value}")
+    positions = []
+    index = 0
+    while value:
+        if value & 1:
+            positions.append(index)
+        value >>= 1
+        index += 1
+    return positions
+
+
+def bit_length_for(count: int) -> int:
+    """Bits needed to give each of ``count`` distinct items a unique code.
+
+    This is ceil(log2(count)), with the convention that one item needs 0
+    bits. The paper's Tables 1-3 use exactly this quantity for node indexes.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return (count - 1).bit_length()
+
+
+def bits_required_unsigned(max_value: int) -> int:
+    """Bits needed to represent every unsigned integer in [0, max_value]."""
+    if max_value < 0:
+        raise ValueError(f"max_value must be >= 0, got {max_value}")
+    return max(1, max_value.bit_length())
+
+
+def bits_required_signed(min_value: int, max_value: int) -> int:
+    """Bits needed for a two's-complement field covering [min_value, max_value]."""
+    if min_value > max_value:
+        raise ValueError(f"empty range [{min_value}, {max_value}]")
+    bits = 1
+    while not (-(1 << (bits - 1)) <= min_value and max_value <= (1 << (bits - 1)) - 1):
+        bits += 1
+    return bits
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Two's-complement encode a signed ``value`` into an unsigned ``bits``-wide word.
+
+    Raises :class:`ValueError` when ``value`` is outside the representable
+    range [-2^(bits-1), 2^(bits-1) - 1].
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise ValueError(f"value {value} does not fit in {bits} signed bits [{low}, {high}]")
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(word: int, bits: int) -> int:
+    """Interpret the low ``bits`` of the unsigned ``word`` as two's complement."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if word < 0 or word >= (1 << bits):
+        raise ValueError(f"word {word} is not an unsigned {bits}-bit value")
+    sign_bit = 1 << (bits - 1)
+    return (word ^ sign_bit) - sign_bit
+
+
+def extract_bits(word: int, offset: int, width: int) -> int:
+    """Return ``width`` bits of ``word`` starting at bit ``offset`` (LSB = 0)."""
+    if offset < 0 or width < 1:
+        raise ValueError(f"invalid slice offset={offset} width={width}")
+    return (word >> offset) & ((1 << width) - 1)
+
+
+def insert_bits(word: int, offset: int, width: int, value: int) -> int:
+    """Return ``word`` with ``width`` bits at ``offset`` replaced by ``value``."""
+    if offset < 0 or width < 1:
+        raise ValueError(f"invalid slice offset={offset} width={width}")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} unsigned bits")
+    mask = ((1 << width) - 1) << offset
+    return (word & ~mask) | (value << offset)
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"gray_encode requires a non-negative value, got {value}")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    if code < 0:
+        raise ValueError(f"gray_decode requires a non-negative value, got {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value

@@ -1,0 +1,33 @@
+"""Deterministic integer hashing for marking schemes.
+
+DPM writes "the last bit of the hash value of the switch index" and Savage's
+compressed edge fragments carry a hash check — both need a hash that is
+stable across processes and platforms (Python's builtin ``hash`` is salted).
+We use the splitmix64 finalizer, a well-studied 64-bit mixer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["splitmix64", "hash_edge", "hash_bits"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(value: int) -> int:
+    """64-bit finalizer of the splitmix64 generator (deterministic, unsalted)."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def hash_edge(a: int, b: int) -> int:
+    """Order-sensitive 64-bit hash of a directed edge (a, b)."""
+    return splitmix64((splitmix64(a) << 1) ^ b)
+
+
+def hash_bits(value: int, bits: int) -> int:
+    """Low ``bits`` of the splitmix64 hash of ``value``."""
+    if bits < 1 or bits > 64:
+        raise ValueError(f"bits must be in 1..64, got {bits}")
+    return splitmix64(value) & ((1 << bits) - 1)

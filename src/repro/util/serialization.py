@@ -1,0 +1,76 @@
+"""Result serialization: write experiment records to JSON or CSV.
+
+Experiment runners produce lists of flat dict records; these helpers persist
+them without pulling in pandas, and round-trip numpy scalar types cleanly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["to_jsonable", "write_json", "write_csv", "read_json"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a value into JSON-serializable builtins.
+
+    Handles numpy scalars/arrays (via ``.item()``/``.tolist()``), tuples,
+    sets, and dataclass-like objects exposing ``_asdict``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (list, tuple, dict)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "_asdict"):
+        return {k: to_jsonable(v) for k, v in value._asdict().items()}
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    return str(value)
+
+
+def write_json(records: Any, path: Union[str, Path]) -> Path:
+    """Write ``records`` (any jsonable-convertible structure) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(records), indent=2, sort_keys=True))
+    return path
+
+
+def read_json(path: Union[str, Path]) -> Any:
+    """Load JSON previously written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def write_csv(records: Iterable[Mapping[str, Any]], path: Union[str, Path],
+              fieldnames: Sequence[str] = None) -> Path:
+    """Write an iterable of flat dict records to a CSV file.
+
+    Column order follows ``fieldnames`` when given, otherwise the union of
+    keys in first-seen order.
+    """
+    rows: List[Mapping[str, Any]] = [dict(r) for r in records]
+    if fieldnames is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        fieldnames = seen
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(fieldnames), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: to_jsonable(v) for k, v in row.items()})
+    return path

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark harness output.
+
+Benchmarks regenerate the paper's tables as text so ``pytest benchmarks/``
+prints rows directly comparable to the published ones, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """Accumulates rows and renders an aligned, boxed plain-text table.
+
+    Example
+    -------
+    >>> t = TextTable(["Topology", "Required Field", "Max Cluster Size"])
+    >>> t.add_row(["n x n mesh, torus", "2 log n", "128 x 128"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable) -> None:
+        """Append a row; cells are stringified. Must match header arity."""
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table as a string with a rule under the header."""
+        widths = self._widths()
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append(rule)
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,68 @@
+"""Argument-validation helpers with consistent error messages.
+
+Every public constructor in the library validates its inputs through these
+helpers so misconfiguration fails fast with a :class:`ConfigurationError`
+rather than deep inside the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_probability",
+    "check_in_range",
+    "check_sequence_of_positive_ints",
+]
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` if it is an integer >= 1, else raise ConfigurationError."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative_int(value, name: str) -> int:
+    """Return ``value`` if it is an integer >= 0, else raise ConfigurationError."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Return ``value`` as float if it lies in [0, 1], else raise ConfigurationError."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number in [0, 1], got {value!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value, name: str, low, high) -> float:
+    """Return ``value`` if low <= value <= high, else raise ConfigurationError."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number in [{low}, {high}], got {value!r}") from None
+    if not low <= v <= high:
+        raise ConfigurationError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return v
+
+
+def check_sequence_of_positive_ints(values, name: str) -> tuple:
+    """Return ``values`` as a tuple if it is a non-empty sequence of ints >= 1."""
+    if isinstance(values, (str, bytes)) or not isinstance(values, Sequence) or len(values) == 0:
+        raise ConfigurationError(f"{name} must be a non-empty sequence of positive integers, got {values!r}")
+    out = []
+    for i, v in enumerate(values):
+        if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+            raise ConfigurationError(f"{name}[{i}] must be a positive integer, got {v!r}")
+        out.append(v)
+    return tuple(out)

@@ -1,0 +1,56 @@
+"""Shared fixtures: small topologies, seeded RNGs, convenience builders."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Hypercube, Mesh, Torus
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mesh44():
+    return Mesh((4, 4))
+
+
+@pytest.fixture
+def mesh66():
+    return Mesh((6, 6))
+
+
+@pytest.fixture
+def torus44():
+    return Torus((4, 4))
+
+
+@pytest.fixture
+def torus53():
+    return Torus((5, 3))
+
+
+@pytest.fixture
+def cube3():
+    return Hypercube(3)
+
+
+@pytest.fixture
+def cube4():
+    return Hypercube(4)
+
+
+@pytest.fixture(params=["mesh", "torus", "hypercube"])
+def any_topology(request):
+    """One representative of each direct-network family."""
+    if request.param == "mesh":
+        return Mesh((4, 4))
+    if request.param == "torus":
+        return Torus((4, 4))
+    return Hypercube(4)
+
+
+def first_candidate(candidates, current):
+    """Deterministic selection helper for walk_route in tests."""
+    return candidates[0]

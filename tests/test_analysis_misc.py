@@ -1,0 +1,111 @@
+"""Tests for DPM ambiguity, XOR ambiguity, and the overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ambiguity import paper_xor_ambiguity, xor_ambiguity_exact
+from repro.analysis.dpm_model import (
+    neighbor_bit_collision_rate,
+    overwrite_horizon,
+    signature_table_ambiguity,
+)
+from repro.analysis.overhead import (
+    DEFAULT_OP_WEIGHTS,
+    measure_on_hop_time,
+    weighted_cost,
+)
+from repro.errors import ConfigurationError
+from repro.marking import DdpmScheme, DpmScheme, FullIndexEncoder, PpmScheme
+from repro.routing import DimensionOrderRouter
+from repro.topology import Hypercube, Mesh
+
+
+class TestXorAmbiguity:
+    def test_ambiguity_grows_with_size(self):
+        small = xor_ambiguity_exact(Mesh((4, 4)))
+        large = xor_ambiguity_exact(Mesh((16, 16)))
+        assert large["mean_edges_per_value"] > small["mean_edges_per_value"]
+
+    def test_distinct_values_equal_label_bits(self):
+        # One-hot XOR values: at most label_bits distinct values.
+        stats = xor_ambiguity_exact(Mesh((8, 8)))
+        assert stats["distinct_xor_values"] <= stats["label_bits"]
+
+    def test_paper_estimate_same_order(self):
+        # The paper's n(n-1)/log2(n) is a per-orientation estimate; exact
+        # mean is within a small factor for square meshes.
+        n = 16
+        exact = xor_ambiguity_exact(Mesh((n, n)))["mean_edges_per_value"]
+        paper = paper_xor_ambiguity(n)
+        assert 0.2 < exact / paper < 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paper_xor_ambiguity(1)
+
+
+class TestDpmModel:
+    def test_overwrite_horizon(self):
+        assert overwrite_horizon() == 16
+        assert overwrite_horizon(8) == 8
+
+    def test_collision_rate_bounds(self):
+        scheme = DpmScheme()
+        scheme.attach(Mesh((8, 8)))
+        rate = neighbor_bit_collision_rate(Mesh((8, 8)), scheme)
+        assert 0.0 <= rate <= 1.0
+
+    def test_table_ambiguity_stats(self):
+        table = {
+            0x1: frozenset({1}),
+            0x2: frozenset({2, 3, 4}),
+        }
+        stats = signature_table_ambiguity(table)
+        assert stats["signatures"] == 2
+        assert stats["mean_sources_per_signature"] == 2.0
+        assert stats["max_sources_per_signature"] == 3
+        assert stats["ambiguous_source_fraction"] == pytest.approx(3 / 4)
+
+    def test_empty_table(self):
+        stats = signature_table_ambiguity({})
+        assert stats["signatures"] == 0
+
+
+class TestOverheadModel:
+    def test_ddpm_cheaper_than_dpm_per_weights(self):
+        mesh = Mesh((8, 8))
+        ddpm = DdpmScheme()
+        ddpm.attach(mesh)
+        dpm = DpmScheme()
+        dpm.attach(mesh)
+        # DDPM: 2 adds + read + write = 4; DPM: hash(8) + read + write = 10.
+        assert (weighted_cost(ddpm.per_hop_operations())
+                < weighted_cost(dpm.per_hop_operations()))
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_cost({"teleport": 1})
+
+    def test_custom_weights(self):
+        cost = weighted_cost({"add": 3}, weights={"add": 2.0})
+        assert cost == 6.0
+
+    def test_measured_time_positive_and_comparable(self):
+        mesh = Mesh((8, 8))
+        ddpm = DdpmScheme()
+        ddpm.attach(mesh)
+        t = measure_on_hop_time(ddpm, mesh, DimensionOrderRouter(),
+                                source=0, destination=63, repetitions=50)
+        assert t > 0.0
+        assert t < 1e-3  # microseconds per hop, not milliseconds
+
+    def test_measure_validation(self):
+        mesh = Mesh((4, 4))
+        scheme = DdpmScheme()
+        scheme.attach(mesh)
+        with pytest.raises(ConfigurationError):
+            measure_on_hop_time(scheme, mesh, DimensionOrderRouter(),
+                                source=0, destination=0)
+        with pytest.raises(ConfigurationError):
+            measure_on_hop_time(scheme, mesh, DimensionOrderRouter(),
+                                source=0, destination=1, repetitions=0)

@@ -1,0 +1,89 @@
+"""Tests for the PPM overhead model, cross-validated against simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ppm_model import (
+    expected_packets_bound,
+    expected_packets_savage,
+    mark_survival_probability,
+    optimal_marking_probability,
+)
+from repro.errors import ConfigurationError
+from repro.marking import FullIndexEncoder, PpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.topology import Mesh
+
+
+class TestFormulas:
+    def test_survival_probability_shape(self):
+        p = 0.1
+        probs = [mark_survival_probability(i, p) for i in range(1, 10)]
+        assert probs[0] == pytest.approx(p)
+        assert all(a > b for a, b in zip(probs, probs[1:]))  # monotone decay
+
+    def test_savage_bound_grows_with_distance(self):
+        p = 0.04
+        values = [expected_packets_savage(d, p) for d in (5, 15, 30, 62)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_cluster_vs_internet_blowup(self):
+        """§4.2: diameter 62 (32x32 mesh) vs Internet ~15 hops."""
+        p = 0.04
+        internet = expected_packets_savage(15, p)
+        cluster = expected_packets_savage(62, p)
+        # With Internet-tuned p the cluster diameter costs ~10x more packets;
+        # the gap widens exponentially as p shrinks (see benchmark A1).
+        assert cluster / internet > 5
+        assert (expected_packets_savage(62, 0.01)
+                / expected_packets_savage(15, 0.01) > 1.5)
+
+    def test_fragment_bound_exceeds_single(self):
+        assert (expected_packets_bound(20, 0.04, k=8)
+                > expected_packets_savage(20, 0.04))
+
+    def test_paper_bound_formula(self):
+        d, p, k = 10, 0.05, 8
+        expected = k * math.log(k * d) / (p * (1 - p) ** (d - 1))
+        assert expected_packets_bound(d, p, k) == pytest.approx(expected)
+
+    def test_optimal_probability(self):
+        assert optimal_marking_probability(25) == pytest.approx(0.04)
+        # p = 1/d maximizes the farthest-mark survival.
+        d = 12
+        best = mark_survival_probability(d, optimal_marking_probability(d))
+        for p in (0.02, 0.05, 0.2, 0.5):
+            assert mark_survival_probability(d, p) <= best + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mark_survival_probability(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            expected_packets_savage(5, 0.0)
+        with pytest.raises(ConfigurationError):
+            expected_packets_bound(5, 0.5, k=0)
+
+
+class TestModelVsSimulation:
+    def test_survival_probability_matches_empirical(self):
+        """Simulated farthest-mark arrival rate matches p(1-p)^(d-1)."""
+        mesh = Mesh((1, 8))  # line: 0..7, fixed 7-hop path
+        scheme = PpmScheme(FullIndexEncoder(), 0.2, np.random.default_rng(0))
+        scheme.attach(mesh)
+        path = list(range(8))
+        d = len(path) - 1  # 7 forwarding switches... hops
+        hits = 0
+        trials = 4000
+        for _ in range(trials):
+            packet = Packet(IPHeader(1, 2), 0, 7)
+            scheme.on_inject(packet, 0)
+            for u, v in zip(path[:-1], path[1:]):
+                scheme.on_hop(packet, u, v)
+            marks = scheme.encoder.candidate_edges(packet.header.identification, 7)
+            if any(m.start == 0 for m in marks):
+                hits += 1
+        expected = mark_survival_probability(d, 0.2)
+        assert hits / trials == pytest.approx(expected, rel=0.15)

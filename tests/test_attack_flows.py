@@ -1,0 +1,66 @@
+"""Unit tests for flow scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.attack.flows import FlowSpec, schedule_flow
+from repro.attack.spoofing import InClusterSpoofing
+from repro.errors import ConfigurationError
+from repro.network import Fabric
+from repro.network.packet import PacketKind
+from repro.routing import DimensionOrderRouter
+from repro.topology import Mesh
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(Mesh((4, 4)), DimensionOrderRouter())
+
+
+class TestFlowSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowSpec(0, 1, rate=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowSpec(0, 1, rate=1.0, duration=-1)
+        with pytest.raises(ConfigurationError):
+            FlowSpec(0, 1, rate=1.0, start=-1)
+
+
+class TestScheduleFlow:
+    def test_poisson_count_near_expectation(self, fabric, rng):
+        spec = FlowSpec(0, 15, rate=100.0, duration=5.0)
+        packets = schedule_flow(fabric, spec, rng)
+        assert 400 < len(packets) < 620
+
+    def test_window_respected(self, fabric, rng):
+        spec = FlowSpec(0, 15, rate=50.0, start=2.0, duration=1.0)
+        schedule_flow(fabric, spec, rng)
+        fabric.run()
+        # First delivery cannot precede the flow start.
+        assert fabric.latency.count > 0
+
+    def test_metadata_applied(self, fabric, rng):
+        spec = FlowSpec(0, 15, rate=20.0, duration=1.0, kind=PacketKind.SYN,
+                        flow_id=77, payload_bytes=120)
+        packets = schedule_flow(fabric, spec, rng)
+        for p in packets:
+            assert p.kind is PacketKind.SYN
+            assert p.flow_id == 77
+            assert p.size_bytes == 20 + 120
+            assert p.true_source == 0
+            assert p.destination_node == 15
+
+    def test_spoofing_strategy_applied(self, fabric, rng):
+        spec = FlowSpec(0, 15, rate=50.0, duration=2.0,
+                        spoofing=InClusterSpoofing())
+        packets = schedule_flow(fabric, spec, rng)
+        assert packets
+        for p in packets:
+            assert p.header.src != fabric.addresses.ip_of(0)
+            assert fabric.addresses.contains(p.header.src)
+
+    def test_sequence_numbers_increment(self, fabric, rng):
+        spec = FlowSpec(0, 15, rate=50.0, duration=1.0)
+        packets = schedule_flow(fabric, spec, rng)
+        assert [p.seq for p in packets] == list(range(len(packets)))

@@ -1,0 +1,59 @@
+"""Unit tests for spoofing strategies."""
+
+import numpy as np
+import pytest
+
+from repro.attack.spoofing import (
+    FixedSpoofing,
+    InClusterSpoofing,
+    NoSpoofing,
+    RandomSpoofing,
+    VictimSpoofing,
+)
+from repro.errors import SpoofingError
+from repro.network.addressing import AddressMap
+
+
+@pytest.fixture
+def addresses():
+    return AddressMap(16)
+
+
+class TestStrategies:
+    def test_no_spoofing_is_honest(self, addresses, rng):
+        assert NoSpoofing().source_ip(5, addresses, rng) == addresses.ip_of(5)
+
+    def test_random_spoofing_varies(self, addresses, rng):
+        strat = RandomSpoofing()
+        samples = {strat.source_ip(5, addresses, rng) for _ in range(50)}
+        assert len(samples) > 40
+
+    def test_in_cluster_spoofs_are_valid_and_not_self(self, addresses, rng):
+        strat = InClusterSpoofing()
+        for _ in range(200):
+            ip = strat.source_ip(5, addresses, rng)
+            assert addresses.contains(ip)
+            assert addresses.node_of(ip) != 5
+
+    def test_in_cluster_covers_many_peers(self, addresses, rng):
+        strat = InClusterSpoofing()
+        nodes = {addresses.node_of(strat.source_ip(5, addresses, rng))
+                 for _ in range(300)}
+        assert len(nodes) >= 10
+
+    def test_in_cluster_single_node_rejected(self, rng):
+        with pytest.raises(SpoofingError):
+            InClusterSpoofing().source_ip(0, AddressMap(1), rng)
+
+    def test_fixed(self, addresses, rng):
+        strat = FixedSpoofing(0xC0A80101)
+        assert strat.source_ip(1, addresses, rng) == 0xC0A80101
+        assert strat.source_ip(2, addresses, rng) == 0xC0A80101
+
+    def test_fixed_validated(self):
+        with pytest.raises(SpoofingError):
+            FixedSpoofing(1 << 32)
+
+    def test_victim_spoofing(self, addresses, rng):
+        strat = VictimSpoofing(victim=7)
+        assert strat.source_ip(3, addresses, rng) == addresses.ip_of(7)

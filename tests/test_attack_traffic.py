@@ -1,0 +1,127 @@
+"""Unit tests for background traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.attack.traffic import (
+    BitReversalPattern,
+    HotspotPattern,
+    PermutationPattern,
+    TornadoPattern,
+    TransposePattern,
+    UniformRandomPattern,
+    schedule_background,
+)
+from repro.errors import ConfigurationError
+from repro.network import Fabric
+from repro.routing import DimensionOrderRouter
+from repro.topology import Hypercube, Mesh, Torus
+
+
+class TestUniform:
+    def test_never_self(self, mesh44, rng):
+        pattern = UniformRandomPattern()
+        for src in mesh44.nodes():
+            for _ in range(20):
+                assert pattern.destination(src, mesh44, rng) != src
+
+    def test_covers_all_destinations(self, mesh44, rng):
+        pattern = UniformRandomPattern()
+        seen = {pattern.destination(0, mesh44, rng) for _ in range(500)}
+        assert seen == set(range(1, 16))
+
+
+class TestTranspose:
+    def test_reverses_coordinates(self, mesh44, rng):
+        pattern = TransposePattern()
+        src = mesh44.index((1, 3))
+        assert mesh44.coord(pattern.destination(src, mesh44, rng)) == (3, 1)
+
+    def test_diagonal_falls_back_to_uniform(self, mesh44, rng):
+        pattern = TransposePattern()
+        src = mesh44.index((2, 2))
+        assert pattern.destination(src, mesh44, rng) != src
+
+    def test_requires_palindromic_dims(self, rng):
+        with pytest.raises(ConfigurationError):
+            TransposePattern().destination(0, Mesh((2, 3)), rng)
+
+
+class TestBitReversal:
+    def test_reverses_index_bits(self, cube4, rng):
+        pattern = BitReversalPattern()
+        assert pattern.destination(0b0001, cube4, rng) == 0b1000
+        assert pattern.destination(0b0011, cube4, rng) == 0b1100
+
+    def test_palindromic_index_falls_back(self, cube4, rng):
+        pattern = BitReversalPattern()
+        assert pattern.destination(0b1001, cube4, rng) != 0b1001
+
+    def test_requires_power_of_two(self, rng):
+        with pytest.raises(ConfigurationError):
+            BitReversalPattern().destination(0, Mesh((3, 3)), rng)
+
+
+class TestTornado:
+    def test_halfway_around_first_dimension(self, rng):
+        torus = Torus((8, 8))
+        pattern = TornadoPattern()
+        src = torus.index((1, 2))
+        assert torus.coord(pattern.destination(src, torus, rng)) == (5, 2)
+
+
+class TestHotspot:
+    def test_hot_node_receives_configured_fraction(self, mesh44):
+        rng = np.random.default_rng(0)
+        pattern = HotspotPattern(hot_node=5, fraction=0.5)
+        hits = sum(1 for _ in range(2000)
+                   if pattern.destination(0, mesh44, rng) == 5)
+        assert 800 < hits < 1200
+
+    def test_hot_node_itself_sends_elsewhere(self, mesh44):
+        rng = np.random.default_rng(0)
+        pattern = HotspotPattern(hot_node=5, fraction=1.0)
+        assert pattern.destination(5, mesh44, rng) != 5
+
+
+class TestPermutation:
+    def test_fixed_points_displaced(self, mesh44):
+        rng = np.random.default_rng(0)
+        pattern = PermutationPattern(mesh44, rng)
+        for src in mesh44.nodes():
+            assert pattern.destination(src, mesh44, rng) != src
+
+    def test_stable_across_calls(self, mesh44):
+        rng = np.random.default_rng(0)
+        pattern = PermutationPattern(mesh44, rng)
+        first = [pattern.destination(s, mesh44, rng) for s in mesh44.nodes()]
+        second = [pattern.destination(s, mesh44, rng) for s in mesh44.nodes()]
+        assert first == second
+
+
+class TestScheduleBackground:
+    def test_packet_count_near_expectation(self, rng):
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter())
+        packets = schedule_background(fab, UniformRandomPattern(), rate=10.0,
+                                      duration=5.0, rng=rng)
+        # 16 sources * 10 pkt/s * 5 s = 800 expected.
+        assert 600 < len(packets) < 1000
+
+    def test_all_delivered(self, rng):
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter())
+        packets = schedule_background(fab, UniformRandomPattern(), rate=2.0,
+                                      duration=2.0, rng=rng)
+        fab.run()
+        assert fab.counters["delivered"] == len(packets)
+
+    def test_sources_restriction(self, rng):
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter())
+        packets = schedule_background(fab, UniformRandomPattern(), rate=5.0,
+                                      duration=2.0, rng=rng, sources=[0, 1])
+        assert {p.true_source for p in packets} <= {0, 1}
+
+    def test_rate_validated(self, rng):
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter())
+        with pytest.raises(ConfigurationError):
+            schedule_background(fab, UniformRandomPattern(), rate=0.0,
+                                duration=1.0, rng=rng)

@@ -1,0 +1,109 @@
+"""Unit tests for worm propagation (second-generation DDoS)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.worm import WormOutbreak, analytic_si_curve
+from repro.errors import ConfigurationError
+from repro.network import Fabric
+from repro.routing import DimensionOrderRouter
+from repro.topology import Hypercube, Mesh
+
+
+def make_outbreak(topology=None, seed=0, **kwargs):
+    fab = Fabric(topology if topology is not None else Mesh((4, 4)),
+                 DimensionOrderRouter())
+    defaults = dict(seeds=(0,), scan_rate=5.0,
+                    rng=np.random.default_rng(seed), horizon=30.0)
+    defaults.update(kwargs)
+    return fab, WormOutbreak(fab, **defaults)
+
+
+class TestAnalyticCurve:
+    def test_logistic_shape(self):
+        times = np.linspace(0, 20, 50)
+        curve = analytic_si_curve(100, 1, 1.0, times)
+        assert curve[0] == pytest.approx(1.0, abs=0.1)
+        assert curve[-1] == pytest.approx(100.0, abs=1.0)
+        assert np.all(np.diff(curve) >= 0)  # monotone growth
+
+    def test_half_population_at_inflection(self):
+        # Inflection of the logistic at t* = ln((N - I0)/I0)/beta.
+        n, i0, beta = 64, 1, 0.8
+        t_star = np.log((n - i0) / i0) / beta
+        curve = analytic_si_curve(n, i0, beta, np.array([t_star]))
+        assert curve[0] == pytest.approx(n / 2, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analytic_si_curve(10, 0, 1.0, np.array([0.0]))
+
+
+class TestOutbreak:
+    def test_infection_spreads(self):
+        fab, worm = make_outbreak()
+        fab.run_until(30.0)
+        assert worm.infected_count > 1
+        assert worm.scans_sent > 0
+
+    def test_full_saturation_given_time(self):
+        fab, worm = make_outbreak(seed=1, scan_rate=20.0, horizon=60.0)
+        fab.run_until(60.0)
+        assert worm.infected_count == fab.topology.num_nodes
+
+    def test_growth_tracks_logistic_roughly(self):
+        """Simulated half-infection time tracks the analytic SI inflection.
+
+        Four seed nodes damp early branching-process variance; a slow scan
+        rate keeps network latency negligible against the epidemic
+        timescale. Tolerance is still generous — the ODE ignores both.
+        """
+        topology = Hypercube(5)  # 32 nodes
+        seeds = (0, 1, 2, 3)
+        fab, worm = make_outbreak(topology=topology, seed=2, scan_rate=1.0,
+                                  seeds=seeds, horizon=60.0)
+        fab.run_until(60.0)
+        times, counts = worm.curve.arrays()
+        half_idx = np.searchsorted(counts, topology.num_nodes / 2)
+        assert half_idx < len(times)
+        t_half_sim = times[half_idx]
+        beta = worm.effective_contact_rate()
+        n, i0 = topology.num_nodes, len(seeds)
+        t_half_ana = np.log((n - i0) / i0) / beta
+        assert t_half_sim == pytest.approx(t_half_ana, rel=1.0)
+
+    def test_infection_probability_slows_spread(self):
+        fab_fast, worm_fast = make_outbreak(seed=3, scan_rate=10.0,
+                                            infection_probability=1.0,
+                                            horizon=8.0)
+        fab_slow, worm_slow = make_outbreak(seed=3, scan_rate=10.0,
+                                            infection_probability=0.1,
+                                            horizon=8.0)
+        fab_fast.run_until(8.0)
+        fab_slow.run_until(8.0)
+        assert worm_fast.infected_count > worm_slow.infected_count
+
+    def test_sir_recovery_caps_epidemic(self):
+        fab, worm = make_outbreak(seed=4, scan_rate=2.0, recovery_rate=4.0,
+                                  horizon=40.0)
+        fab.run_until(40.0)
+        # Recovery far faster than spread: the outbreak dies out early.
+        assert worm.infected_count + len(worm.recovered) < fab.topology.num_nodes
+
+    def test_recovered_nodes_immune(self):
+        fab, worm = make_outbreak(seed=5)
+        worm._recover(0)
+        assert 0 in worm.recovered
+        worm._infect(0, at_time=1.0)
+        assert 0 not in worm.infected
+
+    def test_validation(self):
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter())
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            WormOutbreak(fab, seeds=(), scan_rate=1.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            WormOutbreak(fab, seeds=(0,), scan_rate=0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            WormOutbreak(fab, seeds=(0,), scan_rate=1.0, rng=rng,
+                         infection_probability=0.0)

@@ -1,0 +1,54 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.topology == "mesh"
+        assert args.dims == [6, 6]
+        assert args.marking == "ddpm"
+
+    def test_invalid_marking_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--marking", "magic"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+        assert "16384" in out and "65536" in out
+
+    def test_demo_exact(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        assert "exact identification" in capsys.readouterr().out
+
+    def test_experiment_single(self, capsys):
+        code = main(["experiment", "--marking", "ddpm", "--duration", "1.0",
+                     "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precision: 1.0" in out
+
+    def test_experiment_hypercube(self, capsys):
+        code = main(["experiment", "--topology", "hypercube", "--dims", "4",
+                     "--duration", "1.0"])
+        assert code == 0
+        assert "recall: 1.0" in capsys.readouterr().out
+
+    def test_experiment_replicated(self, capsys):
+        code = main(["experiment", "--marking", "ddpm", "--duration", "1.0",
+                     "--seeds", "1", "2", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+        assert "precision" in out

@@ -1,0 +1,87 @@
+"""Integration tests for the Cluster façade."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cluster, ExperimentConfig, MarkingSpec, RoutingSpec, TopologySpec
+from repro.errors import ConfigurationError
+from repro.marking import DdpmScheme
+from repro.routing import FullyAdaptiveRouter
+from repro.topology import Mesh, Torus
+
+
+class TestConstruction:
+    def test_direct_construction(self):
+        cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(),
+                          marking=DdpmScheme(), seed=1)
+        assert cluster.default_victim() == 15
+
+    def test_from_config(self):
+        config = ExperimentConfig(
+            topology=TopologySpec("torus", (4, 4)),
+            routing=RoutingSpec("minimal-adaptive"),
+            marking=MarkingSpec("ddpm"),
+            seed=3,
+        )
+        cluster = Cluster.from_config(config)
+        assert isinstance(cluster.topology, Torus)
+        assert cluster.marking is not None
+
+    def test_reproducible_from_seed(self):
+        def run(seed):
+            cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(),
+                              marking=DdpmScheme(), seed=seed)
+            victim = cluster.default_victim()
+            truth = cluster.launch_ddos(victim=victim, num_attackers=3,
+                                        duration=1.0)
+            cluster.run()
+            return truth.attackers, cluster.fabric.counters.as_dict()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestDdosWorkflow:
+    def test_end_to_end_identification(self):
+        cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(),
+                          marking=DdpmScheme(), seed=2)
+        victim = cluster.default_victim()
+        pipeline = cluster.attach_pipeline(victim)
+        truth = cluster.launch_ddos(victim=victim, num_attackers=3,
+                                    duration=2.0, attack_rate_per_node=20.0)
+        cluster.run()
+        assert pipeline.suspects() == frozenset(truth.attackers)
+
+    def test_explicit_attackers(self):
+        cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(),
+                          marking=DdpmScheme(), seed=2)
+        truth = cluster.launch_ddos(victim=15, attackers=[1, 2], duration=1.0)
+        assert truth.attackers == (1, 2)
+
+    def test_attackers_never_include_victim(self):
+        cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(),
+                          marking=DdpmScheme(), seed=5)
+        for _ in range(5):
+            truth = cluster.launch_ddos(victim=7, num_attackers=5, duration=0.1)
+            assert 7 not in truth.attackers
+
+    def test_too_many_attackers_rejected(self):
+        cluster = Cluster(Mesh((2, 2)), FullyAdaptiveRouter(),
+                          marking=DdpmScheme(), seed=0)
+        with pytest.raises(ConfigurationError):
+            cluster.launch_ddos(victim=3, num_attackers=4)
+
+    def test_pipeline_requires_marking(self):
+        cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(), seed=0)
+        with pytest.raises(ConfigurationError):
+            cluster.attach_pipeline(15)
+
+    def test_run_until(self):
+        cluster = Cluster(Mesh((4, 4)), FullyAdaptiveRouter(),
+                          marking=DdpmScheme(), seed=0)
+        cluster.launch_ddos(victim=15, attackers=[0], duration=5.0,
+                            attack_rate_per_node=10.0)
+        cluster.run(until=1.0)
+        partial = cluster.fabric.counters["delivered"]
+        cluster.run()
+        assert cluster.fabric.counters["delivered"] > partial

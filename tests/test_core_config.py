@@ -1,0 +1,120 @@
+"""Unit tests for declarative experiment configs."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.errors import ConfigurationError
+from repro.marking import DdpmScheme, DpmScheme, FragmentPpmScheme, PpmScheme
+from repro.marking.authentication import AuthenticatedDdpmScheme
+from repro.routing import (
+    DimensionOrderRouter,
+    FullyAdaptiveRouter,
+    MinimalAdaptiveRouter,
+    NegativeFirstRouter,
+    NorthLastRouter,
+    ValiantRouter,
+    WestFirstRouter,
+)
+from repro.topology import Hypercube, Mesh, Torus
+
+
+class TestTopologySpec:
+    def test_builds_each_kind(self):
+        assert isinstance(TopologySpec("mesh", (4, 4)).build(), Mesh)
+        assert isinstance(TopologySpec("torus", (4, 4)).build(), Torus)
+        assert isinstance(TopologySpec("hypercube", (5,)).build(), Hypercube)
+
+    def test_hypercube_dims_arity(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec("hypercube", (2, 2)).build()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            TopologySpec("fat-tree", (4,)).build()
+
+
+class TestRoutingSpec:
+    @pytest.mark.parametrize("name,cls", [
+        ("xy", DimensionOrderRouter),
+        ("dor", DimensionOrderRouter),
+        ("west-first", WestFirstRouter),
+        ("north-last", NorthLastRouter),
+        ("negative-first", NegativeFirstRouter),
+        ("minimal-adaptive", MinimalAdaptiveRouter),
+        ("fully-adaptive", FullyAdaptiveRouter),
+        ("valiant", ValiantRouter),
+    ])
+    def test_builds_each(self, name, cls, rng):
+        assert isinstance(RoutingSpec(name).build(rng), cls)
+
+    def test_xy_sets_paper_axis_order(self, rng):
+        router = RoutingSpec("xy").build(rng)
+        assert router.axis_order == (1, 0)
+
+    def test_is_adaptive_flag(self):
+        assert not RoutingSpec("xy").is_adaptive
+        assert RoutingSpec("fully-adaptive").is_adaptive
+
+    def test_unknown(self, rng):
+        with pytest.raises(ConfigurationError):
+            RoutingSpec("warp").build(rng)
+
+
+class TestMarkingSpec:
+    @pytest.mark.parametrize("name,cls", [
+        ("ddpm", DdpmScheme),
+        ("dpm", DpmScheme),
+        ("ppm-full", PpmScheme),
+        ("ppm-xor", PpmScheme),
+        ("ppm-bitdiff", PpmScheme),
+        ("ppm-fragment", FragmentPpmScheme),
+    ])
+    def test_builds_each(self, name, cls, rng):
+        assert isinstance(MarkingSpec(name).build(rng), cls)
+
+    def test_none_returns_none(self, rng):
+        assert MarkingSpec("none").build(rng) is None
+
+    def test_auth_needs_topology(self, rng):
+        with pytest.raises(ConfigurationError):
+            MarkingSpec("ddpm-auth").build(rng)
+        scheme = MarkingSpec("ddpm-auth").build(rng, Mesh((4, 4)))
+        assert isinstance(scheme, AuthenticatedDdpmScheme)
+
+    def test_probability_threaded_to_ppm(self, rng):
+        scheme = MarkingSpec("ppm-full", probability=0.11).build(rng)
+        assert scheme.probability == 0.11
+
+    def test_unknown(self, rng):
+        with pytest.raises(ConfigurationError):
+            MarkingSpec("stamp").build(rng)
+
+
+class TestSelectionSpec:
+    def test_least_congested_needs_fabric(self, rng):
+        with pytest.raises(ConfigurationError):
+            SelectionSpec("least-congested").build(rng)
+
+    def test_unknown(self, rng):
+        with pytest.raises(ConfigurationError):
+            SelectionSpec("psychic").build(rng)
+
+
+class TestExperimentConfig:
+    def test_fabric_config_threading(self):
+        config = ExperimentConfig(
+            topology=TopologySpec("mesh", (4, 4)),
+            routing=RoutingSpec("xy"),
+            marking=MarkingSpec("ddpm"),
+            misroute_budget=3, trace_packets=True,
+        )
+        fc = config.fabric_config()
+        assert fc.misroute_budget == 3
+        assert fc.trace_packets is True

@@ -1,0 +1,91 @@
+"""Integration tests for the experiment runner — the paper's headline matrix."""
+
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+    run_identification_experiment,
+    sweep,
+)
+
+
+def config(routing, marking, selection="random", **kw):
+    defaults = dict(
+        topology=TopologySpec("mesh", (6, 6)),
+        routing=RoutingSpec(routing),
+        marking=MarkingSpec(marking, probability=0.2),
+        selection=SelectionSpec(selection),
+        seed=42, num_attackers=3, duration=2.0,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+class TestHeadlineMatrix:
+    """The paper's central comparison (§4-§5), end to end."""
+
+    def test_ddpm_exact_under_every_routing(self):
+        for routing in ("xy", "west-first", "minimal-adaptive", "fully-adaptive"):
+            result = run_identification_experiment(config(routing, "ddpm"))
+            assert result.score.exact, (routing, result.suspects)
+
+    def test_ppm_exact_under_deterministic_routing(self):
+        result = run_identification_experiment(
+            config("xy", "ppm-full", selection="first"))
+        assert result.score.recall == 1.0
+        assert result.score.precision == 1.0
+
+    def test_ppm_degrades_under_adaptive_routing(self):
+        result = run_identification_experiment(config("fully-adaptive", "ppm-full"))
+        assert not result.score.exact
+
+    def test_dpm_ambiguous_even_when_deterministic(self):
+        result = run_identification_experiment(
+            config("xy", "dpm", selection="first"))
+        assert result.score.recall == 1.0      # table covers true sources...
+        assert result.score.precision < 1.0    # ...but collides with innocents
+
+    def test_dpm_worse_under_adaptive_routing(self):
+        det = run_identification_experiment(config("xy", "dpm", selection="first"))
+        ada = run_identification_experiment(config("fully-adaptive", "dpm"))
+        assert ada.score.f1 <= det.score.f1
+
+    def test_ddpm_on_torus_and_hypercube(self):
+        for topo in (TopologySpec("torus", (6, 6)),
+                     TopologySpec("hypercube", (5,))):
+            result = run_identification_experiment(
+                config("minimal-adaptive", "ddpm", topology=topo))
+            assert result.score.exact, topo
+
+
+class TestRunnerMechanics:
+    def test_result_record_is_flat(self):
+        record = run_identification_experiment(config("xy", "ddpm")).to_record()
+        assert record["marking"] == "ddpm"
+        assert isinstance(record["precision"], float)
+        assert record["num_attackers"] == 3
+
+    def test_background_traffic_not_analyzed(self):
+        result = run_identification_experiment(
+            config("minimal-adaptive", "ddpm", background_rate=5.0))
+        # Only attack packets reach the analysis; suspects stay exact.
+        assert result.score.exact
+
+    def test_sweep_preserves_order(self):
+        results = sweep([config("xy", "ddpm"), config("xy", "dpm")])
+        assert [r.marking for r in results] == ["ddpm", "dpm"]
+
+    def test_explicit_attackers_respected(self):
+        result = run_identification_experiment(
+            config("xy", "ddpm", attackers=(1, 2)))
+        assert result.attackers == (1, 2)
+
+    def test_reproducibility(self):
+        a = run_identification_experiment(config("fully-adaptive", "ddpm"))
+        b = run_identification_experiment(config("fully-adaptive", "ddpm"))
+        assert a.attackers == b.attackers
+        assert a.packets_delivered == b.packets_delivered

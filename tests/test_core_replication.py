@@ -1,0 +1,68 @@
+"""Unit tests for multi-seed replication and CI summaries."""
+
+import pytest
+
+from repro.core import ExperimentConfig, MarkingSpec, RoutingSpec, SelectionSpec, TopologySpec
+from repro.core.replication import MetricSummary, replicate, summarize_metric
+from repro.errors import ConfigurationError
+
+
+def config(marking="ddpm"):
+    return ExperimentConfig(
+        topology=TopologySpec("mesh", (4, 4)),
+        routing=RoutingSpec("minimal-adaptive"),
+        marking=MarkingSpec(marking, probability=0.2),
+        selection=SelectionSpec("random"),
+        num_attackers=2, duration=1.0,
+    )
+
+
+class TestReplicate:
+    def test_one_result_per_seed(self):
+        results = replicate(config(), seeds=[1, 2, 3])
+        assert len(results) == 3
+        assert [r.seed for r in results] == [1, 2, 3]
+
+    def test_seeds_change_attacker_draw(self):
+        results = replicate(config(), seeds=[1, 2, 3, 4])
+        assert len({r.attackers for r in results}) > 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate(config(), seeds=[])
+
+    def test_same_seed_reproduces(self):
+        a = replicate(config(), seeds=[7])[0]
+        b = replicate(config(), seeds=[7])[0]
+        assert a.attackers == b.attackers
+        assert a.suspects == b.suspects
+
+
+class TestSummaries:
+    def test_ddpm_precision_degenerate_interval(self):
+        results = replicate(config("ddpm"), seeds=range(4))
+        summary = summarize_metric(results, "precision")
+        assert summary.mean == 1.0
+        assert summary.ci_low == summary.ci_high == 1.0
+        assert summary.contains(1.0)
+
+    def test_dpm_precision_below_one(self):
+        results = replicate(config("dpm"), seeds=range(4))
+        summary = summarize_metric(results, "precision")
+        assert summary.mean < 1.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_unknown_metric_rejected(self):
+        results = replicate(config(), seeds=[1, 2])
+        with pytest.raises(ConfigurationError):
+            summarize_metric(results, "vibes")
+
+    def test_single_replication_rejected(self):
+        results = replicate(config(), seeds=[1])
+        with pytest.raises(ConfigurationError):
+            summarize_metric(results, "precision")
+
+    def test_unsupported_confidence_rejected(self):
+        results = replicate(config(), seeds=[1, 2])
+        with pytest.raises(ConfigurationError):
+            summarize_metric(results, "precision", confidence=0.5)

@@ -1,0 +1,103 @@
+"""Tests for the Burch-Cheswick controlled-flooding baseline (§2)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.flows import FlowSpec, schedule_flow
+from repro.defense.controlled_flooding import ControlledFloodingTracer, ProbeResult
+from repro.errors import ConfigurationError
+from repro.network import Fabric
+from repro.routing import DimensionOrderRouter, LeastCongestedPolicy, MinimalAdaptiveRouter
+from repro.topology import Mesh
+
+
+def build_attack(router, seed=0, attacker_coord=(2, 0), victim_coord=(2, 2),
+                 rate=40.0, selection=None):
+    topology = Mesh((5, 5))
+    fabric = Fabric(topology, router)
+    if selection == "least-congested":
+        fabric.selection = LeastCongestedPolicy(fabric.congestion,
+                                                np.random.default_rng(seed))
+    victim = topology.index(victim_coord)
+    attacker = topology.index(attacker_coord)
+    rng = np.random.default_rng(seed)
+    packets = schedule_flow(fabric, FlowSpec(attacker, victim, rate=rate,
+                                             duration=500.0), rng)
+    ids = {p.packet_id for p in packets}
+    return topology, fabric, victim, attacker, (lambda p: p.packet_id in ids)
+
+
+class TestProbeResult:
+    def test_dip_computation(self):
+        assert ProbeResult(1, 40.0, 10.0).dip == pytest.approx(0.75)
+        assert ProbeResult(1, 40.0, 50.0).dip == 0.0
+        assert ProbeResult(1, 0.0, 0.0).dip == 0.0
+
+
+class TestTracer:
+    def test_finds_path_under_deterministic_routing(self):
+        topology, fabric, victim, attacker, is_attack = build_attack(
+            DimensionOrderRouter())
+        tracer = ControlledFloodingTracer(fabric, victim, is_attack)
+        fabric.run_until(2.0)
+        path = tracer.trace(max_hops=3)
+        assert path[0] == victim
+        assert path[-1] == attacker
+        # The walk followed the row the attack flows along.
+        assert [topology.coord(n) for n in path] == [(2, 2), (2, 1), (2, 0)]
+
+    def test_requires_live_attack(self):
+        """'This approach is possible only during ongoing attacks.'"""
+        topology, fabric, victim, attacker, is_attack = build_attack(
+            DimensionOrderRouter())
+        # Kill the attack before tracing by exhausting its window.
+        fabric.run_until(600.0)
+        tracer = ControlledFloodingTracer(fabric, victim, is_attack)
+        path = tracer.trace(max_hops=3)
+        assert path == [victim]  # no rate to perturb: immediate stop
+
+    def test_adaptive_routing_defeats_tracing(self):
+        """'It cannot find the paths...' — congestion-aware adaptive routing
+        steers the attack around the probe, so the dip vanishes."""
+        topology, fabric, victim, attacker, is_attack = build_attack(
+            MinimalAdaptiveRouter(), selection="least-congested",
+            attacker_coord=(0, 0))
+        tracer = ControlledFloodingTracer(fabric, victim, is_attack)
+        fabric.run_until(2.0)
+        path = tracer.trace(max_hops=4)
+        # The trace stalls before reaching the attacker.
+        assert path[-1] != attacker
+
+    def test_probing_worsens_legit_latency(self):
+        """'It can further worsen the situation by flooding more traffic.'"""
+        topology, fabric, victim, attacker, is_attack = build_attack(
+            DimensionOrderRouter())
+        # A legitimate flow crossing the probed region.
+        rng = np.random.default_rng(5)
+        legit = schedule_flow(fabric, FlowSpec(topology.index((2, 1)),
+                                               topology.index((2, 3)),
+                                               rate=5.0, duration=500.0), rng)
+        tracer = ControlledFloodingTracer(fabric, victim, is_attack)
+        fabric.run_until(2.0)
+        baseline_latency = fabric.latency.mean
+        tracer.trace(max_hops=2)
+        during = [p.latency for p in legit
+                  if p.latency is not None and p.delivered_at > 2.0]
+        assert max(during) > 3 * baseline_latency
+
+    def test_probe_traffic_counted(self):
+        topology, fabric, victim, attacker, is_attack = build_attack(
+            DimensionOrderRouter())
+        tracer = ControlledFloodingTracer(fabric, victim, is_attack)
+        fabric.run_until(2.0)
+        tracer.probe(topology.index((2, 1)), victim)
+        assert tracer.probes_sent > 100  # the probe is itself a flood
+
+    def test_validation(self):
+        topology, fabric, victim, _, is_attack = build_attack(
+            DimensionOrderRouter())
+        with pytest.raises(ConfigurationError):
+            ControlledFloodingTracer(fabric, victim, is_attack, window=0)
+        with pytest.raises(ConfigurationError):
+            ControlledFloodingTracer(fabric, victim, is_attack,
+                                     dip_threshold=1.5)

@@ -1,0 +1,134 @@
+"""Unit tests for the attack detectors."""
+
+import numpy as np
+import pytest
+
+from repro.defense.detection import CusumDetector, EntropyDetector, RateThresholdDetector
+from repro.errors import ConfigurationError, DetectionError
+from repro.network.ip import IPHeader
+from repro.network.nic import DeliveredPacket
+from repro.network.packet import Packet
+
+
+def delivery(time, src_ip=0x0A000001, node=15):
+    packet = Packet(IPHeader(src_ip, 0x0A000010), 0, node)
+    return DeliveredPacket(packet, node, time)
+
+
+class TestRateThreshold:
+    def test_quiet_traffic_no_alarm(self):
+        det = RateThresholdDetector(window=1.0, threshold_rate=10.0)
+        for i in range(20):
+            det.observe(delivery(i * 0.5))  # 2 pkt/s
+        assert not det.under_attack
+        assert det.alarm_time is None
+
+    def test_flood_alarms(self):
+        det = RateThresholdDetector(window=1.0, threshold_rate=10.0)
+        for i in range(30):
+            det.observe(delivery(1.0 + i * 0.01))  # 100 pkt/s
+        assert det.under_attack
+        assert det.alarm_time is not None
+
+    def test_alarm_clears_when_flood_stops(self):
+        det = RateThresholdDetector(window=1.0, threshold_rate=10.0)
+        for i in range(30):
+            det.observe(delivery(i * 0.01))
+        assert det.under_attack
+        det.observe(delivery(100.0))  # long quiet gap
+        assert not det.under_attack
+        # First alarm time is preserved for the timeline.
+        assert det.alarm_time is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateThresholdDetector(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RateThresholdDetector(1.0, 0.0)
+
+
+class TestEntropy:
+    def _feed_uniform(self, det, n, rng, start=0.0):
+        for i in range(n):
+            det.observe(delivery(start + i * 0.01,
+                                 src_ip=0x0A000000 + int(rng.integers(1, 17))))
+
+    def test_spoofed_flood_raises_entropy_alarm(self):
+        rng = np.random.default_rng(0)
+        det = EntropyDetector(window_packets=64, tolerance=1.5)
+        self._feed_uniform(det, 64, rng)
+        det.calibrate()
+        assert not det.under_attack
+        # Random 32-bit spoofs: entropy jumps toward log2(window).
+        for i in range(128):
+            det.observe(delivery(1.0 + i * 0.001,
+                                 src_ip=int(rng.integers(2**32))))
+        assert det.under_attack
+
+    def test_single_source_flood_drops_entropy(self):
+        rng = np.random.default_rng(1)
+        det = EntropyDetector(window_packets=64, tolerance=1.5)
+        self._feed_uniform(det, 64, rng)
+        det.calibrate()
+        for i in range(128):
+            det.observe(delivery(1.0 + i * 0.001, src_ip=0x0A000005))
+        assert det.under_attack
+
+    def test_steady_traffic_no_alarm(self):
+        rng = np.random.default_rng(2)
+        det = EntropyDetector(window_packets=64, tolerance=1.5)
+        self._feed_uniform(det, 64, rng)
+        det.calibrate()
+        self._feed_uniform(det, 200, rng, start=10.0)
+        assert not det.under_attack
+
+    def test_entropy_before_data_raises(self):
+        det = EntropyDetector()
+        with pytest.raises(DetectionError):
+            det.current_entropy()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EntropyDetector(window_packets=4)
+        with pytest.raises(ConfigurationError):
+            EntropyDetector(tolerance=0.0)
+
+
+class TestCusum:
+    def test_sustained_increase_alarms(self):
+        det = CusumDetector(window=1.0, drift=5.0, threshold=20.0)
+        # 3 pkt/window baseline: below drift, never accumulates.
+        for i in range(30):
+            det.observe(delivery(i / 3.0))
+        assert not det.under_attack
+        # Sustained 15 pkt/window: accumulates (15-5)=10 per window.
+        base = 10.0
+        for i in range(60):
+            det.observe(delivery(base + i / 15.0))
+        assert det.under_attack
+
+    def test_short_burst_tolerated(self):
+        det = CusumDetector(window=1.0, drift=5.0, threshold=50.0)
+        # One hot window only.
+        for i in range(20):
+            det.observe(delivery(0.5 + i * 0.01))
+        for i in range(20):
+            det.observe(delivery(2.0 + i * 1.0))  # quiet again
+        assert not det.under_attack
+
+    def test_statistic_decays_in_quiet_windows(self):
+        det = CusumDetector(window=1.0, drift=5.0, threshold=1000.0)
+        for i in range(20):
+            det.observe(delivery(0.5 + i * 0.01))
+        det.observe(delivery(2.5))
+        after_burst = det.statistic
+        det.observe(delivery(10.0))
+        assert det.statistic < after_burst
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(1.0, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(1.0, 1.0, 0.0)

@@ -1,0 +1,73 @@
+"""Integration tests for the detect-then-identify pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.defense.detection import RateThresholdDetector
+from repro.defense.identification import IdentificationPipeline
+from repro.marking import DdpmScheme
+from repro.network import Fabric
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter, RandomPolicy
+from repro.topology import Mesh
+
+
+def build_cluster(seed=0):
+    topology = Mesh((4, 4))
+    scheme = DdpmScheme()
+    fab = Fabric(topology, MinimalAdaptiveRouter(), marking=scheme,
+                 selection=RandomPolicy(np.random.default_rng(seed)))
+    return fab, scheme
+
+
+class TestWithoutDetector:
+    def test_all_packets_analyzed(self):
+        fab, scheme = build_cluster()
+        pipeline = IdentificationPipeline(fab, 15, scheme.new_victim_analysis(15))
+        for i in range(10):
+            fab.inject(fab.make_packet(3, 15), delay=i * 0.1)
+        fab.run()
+        assert pipeline.analyzed_packets == 10
+        assert pipeline.total_deliveries == 10
+        assert pipeline.suspects() == frozenset({3})
+        assert pipeline.alarm_time is None
+
+    def test_first_suspect_time_recorded(self):
+        fab, scheme = build_cluster()
+        pipeline = IdentificationPipeline(fab, 15, scheme.new_victim_analysis(15))
+        fab.inject(fab.make_packet(3, 15), delay=1.0)
+        fab.run()
+        assert pipeline.first_suspect_time is not None
+        assert pipeline.first_suspect_time >= 1.0
+
+
+class TestWithDetector:
+    def test_analysis_gated_by_alarm(self):
+        fab, scheme = build_cluster()
+        detector = RateThresholdDetector(window=1.0, threshold_rate=20.0)
+        pipeline = IdentificationPipeline(fab, 15, scheme.new_victim_analysis(15),
+                                          detector)
+        # Quiet phase: 2 pkt/s from an innocent node — never analyzed.
+        for i in range(6):
+            fab.inject(fab.make_packet(1, 15), delay=i * 0.5)
+        # Flood phase from the attacker.
+        for i in range(200):
+            fab.inject(fab.make_packet(9, 15), delay=10.0 + i * 0.005)
+        fab.run()
+        assert pipeline.alarm_time is not None
+        assert pipeline.alarm_time >= 10.0
+        assert pipeline.analyzed_packets < pipeline.total_deliveries
+        # The quiet-phase innocent is not in the suspect set.
+        assert pipeline.suspects() == frozenset({9})
+
+    def test_timeline_summary(self):
+        fab, scheme = build_cluster()
+        detector = RateThresholdDetector(window=1.0, threshold_rate=5.0)
+        pipeline = IdentificationPipeline(fab, 15, scheme.new_victim_analysis(15),
+                                          detector)
+        for i in range(100):
+            fab.inject(fab.make_packet(9, 15), delay=i * 0.01)
+        fab.run()
+        timeline = pipeline.timeline()
+        assert timeline["alarm_time"] is not None
+        assert timeline["num_suspects"] == 1
+        assert timeline["analyzed_packets"] > 0

@@ -1,0 +1,119 @@
+"""Unit tests for identification scoring metrics."""
+
+import pytest
+
+from repro.defense.metrics import (
+    blocking_collateral,
+    packets_until_identified,
+    score_identification,
+)
+from repro.errors import ConfigurationError
+from repro.marking import DdpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, walk_route
+from repro.topology import Mesh
+
+
+class TestScore:
+    def test_exact(self):
+        score = score_identification({1, 2}, {1, 2})
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert score.exact and score.f1 == 1.0
+
+    def test_false_positives_hurt_precision(self):
+        score = score_identification({1, 2, 3, 4}, {1, 2})
+        assert score.precision == 0.5
+        assert score.recall == 1.0
+        assert score.false_positives == 2
+        assert not score.exact
+
+    def test_false_negatives_hurt_recall(self):
+        score = score_identification({1}, {1, 2, 3, 4})
+        assert score.recall == 0.25
+        assert score.false_negatives == 3
+
+    def test_empty_suspects(self):
+        score = score_identification(set(), {1})
+        assert score.precision == 0.0 and score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_f1_harmonic_mean(self):
+        score = score_identification({1, 5}, {1, 2})
+        assert score.f1 == pytest.approx(0.5)
+
+
+class TestPacketsUntilIdentified:
+    def _packets(self, topology, scheme, src, dst, count):
+        packets = []
+        for _ in range(count):
+            path = walk_route(topology, DimensionOrderRouter(), src, dst,
+                              lambda c, cur: c[0])
+            p = Packet(IPHeader(1, 2), src, dst)
+            scheme.on_inject(p, src)
+            for u, v in zip(path[:-1], path[1:]):
+                scheme.on_hop(p, u, v)
+            packets.append(p)
+        return packets
+
+    def test_ddpm_needs_exactly_one(self, mesh44):
+        scheme = DdpmScheme()
+        scheme.attach(mesh44)
+        packets = self._packets(mesh44, scheme, 0, 15, 5)
+        analysis = scheme.new_victim_analysis(15)
+        assert packets_until_identified(analysis, packets, {0}) == 1
+
+    def test_budget_exhaustion_returns_none(self, mesh44):
+        scheme = DdpmScheme()
+        scheme.attach(mesh44)
+        packets = self._packets(mesh44, scheme, 0, 15, 3)
+        analysis = scheme.new_victim_analysis(15)
+        # Demand an attacker that never sends.
+        assert packets_until_identified(analysis, packets, {7}) is None
+
+    def test_require_exact_defers_success(self, mesh44):
+        scheme = DdpmScheme()
+        scheme.attach(mesh44)
+        # Interleave a second source: exact identification of {0} alone
+        # becomes impossible once 3's packet is observed.
+        packets = self._packets(mesh44, scheme, 3, 15, 1)
+        packets += self._packets(mesh44, scheme, 0, 15, 1)
+        analysis = scheme.new_victim_analysis(15)
+        assert packets_until_identified(analysis, packets, {0},
+                                        require_exact=True) is None
+
+    def test_check_every_validated(self, mesh44):
+        scheme = DdpmScheme()
+        scheme.attach(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        with pytest.raises(ConfigurationError):
+            packets_until_identified(analysis, [], {0}, check_every=0)
+
+    def test_empty_attackers_rejected(self, mesh44):
+        scheme = DdpmScheme()
+        scheme.attach(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        with pytest.raises(ConfigurationError):
+            packets_until_identified(analysis, [], set())
+
+
+class TestBlockingCollateral:
+    def test_perfect_block(self):
+        out = blocking_collateral(blocked={1, 2}, attackers={1, 2},
+                                  legit_sources=range(10))
+        assert out["blocked_attackers"] == 2
+        assert out["blocked_innocents"] == 0
+        assert out["collateral_rate"] == 0.0
+        assert out["containment_rate"] == 1.0
+
+    def test_collateral_counted(self):
+        out = blocking_collateral(blocked={1, 2, 3}, attackers={1},
+                                  legit_sources=range(10))
+        assert out["blocked_innocents"] == 2
+        assert out["collateral_rate"] == pytest.approx(2 / 9)
+
+    def test_missed_attackers(self):
+        out = blocking_collateral(blocked=set(), attackers={1, 2},
+                                  legit_sources=range(10))
+        assert out["missed_attackers"] == 2
+        assert out["containment_rate"] == 0.0

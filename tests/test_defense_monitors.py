@@ -1,0 +1,160 @@
+"""Unit and integration tests for trusted monitor switches (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.defense.monitors import (
+    DistributedRateDetector,
+    is_monitor_cut,
+    monitor_cut_for_victim,
+)
+from repro.errors import ConfigurationError
+from repro.marking import DdpmScheme
+from repro.network import Fabric
+from repro.routing import FullyAdaptiveRouter, MinimalAdaptiveRouter, RandomPolicy
+from repro.topology import FatTree, Mesh, Torus
+
+
+class TestMonitorCut:
+    def test_neighborhood_is_a_cut(self, mesh44):
+        victim = mesh44.index((1, 1))
+        assert is_monitor_cut(mesh44, mesh44.neighbors(victim), victim)
+
+    def test_missing_neighbor_breaks_cut(self, mesh44):
+        victim = mesh44.index((1, 1))
+        monitors = set(mesh44.neighbors(victim))
+        monitors.pop()
+        assert not is_monitor_cut(mesh44, monitors, victim)
+
+    def test_victim_cannot_monitor_itself(self, mesh44):
+        with pytest.raises(ConfigurationError):
+            is_monitor_cut(mesh44, [5], 5)
+
+    def test_cut_for_corner_victim(self, mesh44):
+        victim = mesh44.index((0, 0))
+        monitors = monitor_cut_for_victim(mesh44, victim)
+        assert monitors == frozenset(mesh44.neighbors(victim))
+        assert len(monitors) == 2
+
+    def test_pruning_uses_link_failures(self):
+        # With one victim link failed, the remaining neighbors suffice.
+        mesh = Mesh((4, 4))
+        victim = mesh.index((1, 1))
+        dead = mesh.index((0, 1))
+        mesh.fail_link(victim, dead)
+        monitors = monitor_cut_for_victim(mesh, victim)
+        assert dead not in monitors
+        assert len(monitors) == 3
+
+    def test_candidate_pool_respected(self, mesh44):
+        victim = mesh44.index((1, 1))
+        with pytest.raises(ConfigurationError):
+            monitor_cut_for_victim(mesh44, victim, candidates=[0])  # not a cut
+
+    def test_fat_tree_host_needs_one_monitor(self):
+        # A host hangs off a single edge switch: the minimal cut is size 1.
+        ft = FatTree(4)
+        monitors = monitor_cut_for_victim(ft, 0)
+        assert len(monitors) == 1
+        assert ft.tier_of(next(iter(monitors))) == "edge"
+
+    def test_torus_interior_cut_is_degree(self):
+        torus = Torus((5, 5))
+        monitors = monitor_cut_for_victim(torus, 12)
+        assert len(monitors) == 4
+
+
+class TestDistributedDetection:
+    def _build(self, threshold=30.0):
+        topology = Mesh((6, 6))
+        fabric = Fabric(topology, MinimalAdaptiveRouter(),
+                        selection=RandomPolicy(np.random.default_rng(0)))
+        victim = topology.index((3, 3))
+        monitors = monitor_cut_for_victim(topology, victim)
+        detector = DistributedRateDetector(fabric, victim, monitors,
+                                           window=0.5, threshold_rate=threshold)
+        return fabric, victim, monitors, detector
+
+    def test_every_packet_to_victim_is_observed(self):
+        fabric, victim, monitors, detector = self._build()
+        for i in range(40):
+            src = (7 * i) % 36
+            if src == victim:
+                continue
+            fabric.inject(fabric.make_packet(src, victim), delay=i * 0.1)
+        fabric.run()
+        delivered = fabric.counters["delivered"]
+        assert detector.transits_seen == delivered  # the cut property, live
+
+    def test_flood_raises_alarm_quiet_does_not(self):
+        fabric, victim, monitors, detector = self._build(threshold=30.0)
+        # Quiet phase.
+        for i in range(5):
+            fabric.inject(fabric.make_packet(0, victim), delay=i * 0.5)
+        fabric.run()
+        assert not detector.under_attack
+        # Flood phase.
+        for i in range(200):
+            fabric.inject(fabric.make_packet(5, victim), delay=5.0 + i * 0.005)
+        fabric.run()
+        assert detector.under_attack
+        assert detector.alarm_time is not None and detector.alarm_time >= 5.0
+
+    def test_traffic_to_other_nodes_ignored(self):
+        fabric, victim, monitors, detector = self._build()
+        other = 0
+        for i in range(100):
+            fabric.inject(fabric.make_packet(5, other), delay=i * 0.01)
+        fabric.run()
+        assert detector.transits_seen == 0
+        assert not detector.under_attack
+
+    def test_per_monitor_counts_cover_the_cut(self):
+        fabric, victim, monitors, detector = self._build()
+        rng = np.random.default_rng(1)
+        for i in range(200):
+            src = int(rng.integers(36))
+            if src == victim:
+                continue
+            fabric.inject(fabric.make_packet(src, victim), delay=i * 0.02)
+        fabric.run()
+        counts = detector.per_monitor_counts()
+        assert set(counts) == set(monitors)
+        assert sum(1 for c in counts.values() if c > 0) >= 3  # load spreads
+
+    def test_validation(self):
+        fabric, victim, monitors, _ = self._build()
+        with pytest.raises(ConfigurationError):
+            DistributedRateDetector(fabric, victim, [], window=1.0,
+                                    threshold_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            DistributedRateDetector(fabric, victim, [victim], window=1.0,
+                                    threshold_rate=1.0)
+
+    def test_monitor_identification_combo(self):
+        """Monitors can themselves run DDPM identification on transit
+        packets — identification without victim cooperation."""
+        topology = Mesh((6, 6))
+        scheme = DdpmScheme()
+        fabric = Fabric(topology, FullyAdaptiveRouter(), marking=scheme,
+                        selection=RandomPolicy(np.random.default_rng(2)))
+        victim = topology.index((3, 3))
+        monitors = monitor_cut_for_victim(topology, victim)
+        seen_sources = set()
+
+        def observe(packet, node, time):
+            if packet.destination_node != victim:
+                return
+            # A transit monitor decodes the source relative to ITSELF: the
+            # accumulated vector so far is (monitor - source).
+            seen_sources.add(scheme.identify(packet, node))
+
+        for monitor in monitors:
+            fabric.add_transit_observer(monitor, observe)
+        attacker = topology.index((0, 5))
+        for i in range(20):
+            fabric.inject(fabric.make_packet(attacker, victim,
+                                             spoofed_src_ip=0x01020304),
+                          delay=i * 0.05)
+        fabric.run()
+        assert attacker in seen_sources

@@ -1,0 +1,79 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.engine.events import EventQueue
+from repro.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda: fired.append(3))
+        q.push(1.0, lambda: fired.append(1))
+        q.push(2.0, lambda: fired.append(2))
+        while q:
+            q.pop().callback()
+        assert fired == [1, 2, 3]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("low"), priority=5)
+        q.push(1.0, lambda: fired.append("high"), priority=0)
+        q.pop().callback()
+        assert fired == ["high"]
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: fired.append(i))
+        while q:
+            q.pop().callback()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, lambda: fired.append("cancelled"))
+        q.push(2.0, lambda: fired.append("kept"))
+        ev.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+        q.pop().callback()
+        assert fired == ["kept"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, lambda: None)
+        assert q.peek_time() == 7.0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 2.0
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert not q
+        assert q.peek_time() is None
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(4)]
+        assert len(q) == 4
+        events[0].cancel()
+        q.note_cancelled()
+        assert len(q) == 3

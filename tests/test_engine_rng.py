@@ -1,0 +1,56 @@
+"""Unit tests for RngRegistry."""
+
+import pytest
+
+from repro.engine.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("traffic").random(4)
+        b = RngRegistry(7).stream("traffic").random(4)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(7).stream("traffic").random()
+        b = RngRegistry(8).stream("traffic").random()
+        assert a != b
+
+    def test_different_names_differ(self):
+        reg = RngRegistry(7)
+        assert reg.stream("a").random() != reg.stream("b").random()
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(7)
+        first = reg1.stream("a").random(3)
+
+        reg2 = RngRegistry(7)
+        reg2.stream("zzz")  # extra stream created first
+        second = reg2.stream("a").random(3)
+        assert list(first) == list(second)
+
+    def test_reset_restarts_sequences(self):
+        reg = RngRegistry(7)
+        first = reg.stream("a").random()
+        reg.reset()
+        again = reg.stream("a").random()
+        assert first == again
+
+    def test_spawn_children_reproducible(self):
+        a = RngRegistry(7).spawn("child").stream("x").random()
+        b = RngRegistry(7).spawn("child").stream("x").random()
+        assert a == b
+
+    def test_spawn_children_differ_by_name(self):
+        reg = RngRegistry(7)
+        a = reg.spawn("one").stream("x").random()
+        b = reg.spawn("two").stream("x").random()
+        assert a != b
+
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            RngRegistry("7")

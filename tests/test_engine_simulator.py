@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import math
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_relative(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_schedule_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(4.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nan_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(math.nan, lambda: None)
+
+
+class TestExecution:
+    def test_events_fire_in_order_and_advance_clock(self):
+        sim = Simulator()
+        times = []
+        for t in (3.0, 1.0, 2.0):
+            sim.schedule(t, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(sim.now)
+            if depth:
+                sim.schedule(1.0, lambda: chain(depth - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until_stops_and_lands_on_end_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run_until(20.0)
+        assert fired == [1, 10]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(ev)
+        sim.cancel(ev)  # idempotent
+        sim.run()
+        assert fired == []
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=100)
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_reset(self):
+        sim = Simulator(seed=1)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.events_executed == 0
+        assert not sim.queue
+
+
+class TestRng:
+    def test_streams_reproducible_across_instances(self):
+        a = Simulator(seed=9).rng.stream("x").integers(0, 1000, size=5)
+        b = Simulator(seed=9).rng.stream("x").integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_streams_independent_by_name(self):
+        sim = Simulator(seed=9)
+        a = sim.rng.stream("a").integers(0, 10**9)
+        b = sim.rng.stream("b").integers(0, 10**9)
+        assert a != b

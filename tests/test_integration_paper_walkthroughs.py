@@ -1,0 +1,224 @@
+"""Integration tests pinning the paper's worked examples end to end.
+
+Each test reproduces a concrete number or sequence printed in the paper:
+Figure 1's metrics, Figure 2's routing outcomes, Figure 3's marking values,
+and the §5 walkthroughs, all through the public API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnroutablePacketError
+from repro.marking import DdpmScheme, FullIndexEncoder, PpmScheme, gray_label
+from repro.network import Fabric, FabricConfig
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import (
+    DimensionOrderRouter,
+    FullyAdaptiveRouter,
+    RandomPolicy,
+    WestFirstRouter,
+    walk_route,
+)
+from repro.topology import Hypercube, Mesh, Torus
+
+
+class TestFigure1:
+    """Topology gallery: 2-D mesh, 4-ary 2-cube, 3-cube."""
+
+    def test_mesh_4x4(self):
+        mesh = Mesh((4, 4))
+        assert mesh.num_nodes == 16
+        assert mesh.degree() == 4       # "the network's degree is four"
+        assert mesh.diameter() == 6     # "...and its diameter six"
+
+    def test_4ary_2cube(self):
+        torus = Torus((4, 4))
+        assert torus.degree() == 4      # 2n with n = 2
+        assert torus.diameter() == 4    # k/2 per dimension
+
+    def test_3cube(self):
+        cube = Hypercube(3)
+        assert cube.degree() == 3
+        assert cube.diameter() == 3
+
+
+class TestFigure2:
+    """Routing algorithms under the fault patterns of Figure 2."""
+
+    def setup_method(self):
+        self.mesh = Mesh((4, 4))
+        self.s1 = self.mesh.index((2, 0))
+        self.s2 = self.mesh.index((0, 0))
+        self.d = self.mesh.index((1, 2))
+
+    def test_a_xy_routes_fault_free(self):
+        xy = DimensionOrderRouter(axis_order=(1, 0))
+        p1 = walk_route(self.mesh, xy, self.s1, self.d, lambda c, cur: c[0])
+        p2 = walk_route(self.mesh, xy, self.s2, self.d, lambda c, cur: c[0])
+        # "packets from S1 arrive at D by moving along the row then the column"
+        assert [self.mesh.coord(n) for n in p1] == [(2, 0), (2, 1), (2, 2), (1, 2)]
+        assert [self.mesh.coord(n) for n in p2] == [(0, 0), (0, 1), (0, 2), (1, 2)]
+
+    def test_b_west_first_survives_east_faults(self):
+        self.mesh.fail_link(self.s1, self.mesh.index((2, 1)))
+        self.mesh.fail_link(self.s2, self.mesh.index((0, 1)))
+        xy = DimensionOrderRouter(axis_order=(1, 0))
+        with pytest.raises(UnroutablePacketError):
+            walk_route(self.mesh, xy, self.s1, self.d, lambda c, cur: c[0])
+        wf = WestFirstRouter()
+        rng = np.random.default_rng(0)
+        for src in (self.s1, self.s2):
+            path = walk_route(self.mesh, wf, src, self.d,
+                              RandomPolicy(rng).binder())
+            assert path[-1] == self.d
+
+    def test_c_only_fully_adaptive_survives_isolation(self):
+        # D reachable only via its east neighbor: the final turn is west.
+        for neighbor in ((0, 2), (2, 2), (1, 1)):
+            self.mesh.fail_link(self.d, self.mesh.index(neighbor))
+        rng = np.random.default_rng(1)
+        with pytest.raises(Exception):
+            walk_route(self.mesh, WestFirstRouter(), self.s1, self.d,
+                       RandomPolicy(rng).binder())
+        path = walk_route(self.mesh, FullyAdaptiveRouter(), self.s1, self.d,
+                          RandomPolicy(rng).binder(), misroute_budget=10)
+        assert path[-1] == self.d
+        assert path[-2] == self.mesh.index((1, 3))  # approached from the east
+
+
+class TestFigure3a:
+    """Simple PPM marks on the 4x4 mesh with Gray-coded labels."""
+
+    PATH_1 = [0b0001, 0b0011, 0b0010, 0b0110, 0b1110]
+    PATH_2 = [0b0101, 0b0111, 0b0110, 0b1110]
+
+    def _nodes(self, mesh, labels):
+        by_label = {gray_label(mesh, n): n for n in mesh.nodes()}
+        return [by_label[lab] for lab in labels]
+
+    def test_path1_marks(self):
+        """Victim 1110 receives (0001,0011,3), (0011,0010,2), (0010,0110,1),
+        (0110,1110,0) from source 0001."""
+        mesh = Mesh((4, 4))
+        enc = FullIndexEncoder()
+        enc.attach(mesh)
+        nodes = self._nodes(mesh, self.PATH_1)
+        victim = nodes[-1]
+        expected = [
+            (0b0001, 0b0011, 3), (0b0011, 0b0010, 2),
+            (0b0010, 0b0110, 1), (0b0110, 0b1110, 0),
+        ]
+        # Force each forwarding switch in turn to be the marker.
+        for marker_index, (start_lab, end_lab, dist) in enumerate(expected):
+            word = 0
+            for i, node in enumerate(nodes[:-1]):
+                if i == marker_index:
+                    word = enc.write_start(word, node)
+                else:
+                    word = enc.write_continue(word, node)
+            values = enc.layout.unpack(word)
+            assert values["start"] == start_lab
+            assert values["distance"] == dist
+            if dist > 0:
+                assert values["end"] == end_lab
+            else:
+                # End is implicit: the victim completes it as itself.
+                (mark,) = enc.candidate_edges(word, victim)
+                assert mark.end is None and mark.start == nodes[marker_index]
+
+    def test_path2_marks(self):
+        """From 0101: (0101,0111,2), (0111,0110,1), (0110,1110,0)."""
+        mesh = Mesh((4, 4))
+        enc = FullIndexEncoder()
+        enc.attach(mesh)
+        nodes = self._nodes(mesh, self.PATH_2)
+        expected = [(0b0101, 0b0111, 2), (0b0111, 0b0110, 1), (0b0110, 0b1110, 0)]
+        for marker_index, (start_lab, end_lab, dist) in enumerate(expected):
+            word = 0
+            for i, node in enumerate(nodes[:-1]):
+                if i == marker_index:
+                    word = enc.write_start(word, node)
+                else:
+                    word = enc.write_continue(word, node)
+            values = enc.layout.unpack(word)
+            assert values["start"] == start_lab
+            assert values["distance"] == dist
+
+
+class TestFigure3bAnd3c:
+    """DDPM distance-vector walkthroughs (§5) through the real scheme."""
+
+    def test_mesh_walkthrough(self):
+        """(1,1) -> (2,3): vector ends at (1,2), victim decodes (1,1)."""
+        mesh = Mesh((4, 4))
+        scheme = DdpmScheme()
+        scheme.attach(mesh)
+        path_coords = [(1, 1), (2, 1), (3, 1), (3, 0), (2, 0), (2, 1), (2, 2), (2, 3)]
+        path = [mesh.index(c) for c in path_coords]
+        packet = Packet(IPHeader(1, 2), path[0], path[-1])
+        scheme.on_inject(packet, path[0])
+        seen = []
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+            seen.append(scheme.layout.decode(packet.header.identification))
+        assert seen == [(1, 0), (2, 0), (2, -1), (1, -1), (1, 0), (1, 1), (1, 2)]
+        assert mesh.coord(scheme.identify(packet, path[-1])) == (1, 1)
+
+    def test_hypercube_walkthrough(self):
+        """(1,1,0) -> (0,0,0): vector ends (1,1,0); S = D XOR V."""
+        cube = Hypercube(3)
+        scheme = DdpmScheme()
+        scheme.attach(cube)
+        src = cube.index((1, 1, 0))
+        # Hop axes reproducing the paper's vector sequence.
+        deltas = [(1, 0, 0), (0, 0, 1), (1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 0, 0)]
+        expected = [(1, 0, 0), (1, 0, 1), (0, 0, 1), (0, 1, 1), (0, 1, 0), (1, 1, 0)]
+        packet = Packet(IPHeader(1, 2), src, 0)
+        scheme.on_inject(packet, src)
+        node = src
+        seen = []
+        for delta in deltas:
+            nxt = cube.step(node, delta.index(1), 1)
+            scheme.on_hop(packet, node, nxt)
+            seen.append(scheme.layout.decode(packet.header.identification))
+            node = nxt
+        assert node == cube.index((0, 0, 0))
+        assert seen == expected
+        assert scheme.identify(packet, node) == src
+
+
+class TestSection5Claims:
+    def test_one_packet_suffices(self):
+        """'The victim needs only one packet to identify the source.'"""
+        mesh = Mesh((8, 8))
+        scheme = DdpmScheme()
+        fab = Fabric(mesh, FullyAdaptiveRouter(), marking=scheme,
+                     selection=RandomPolicy(np.random.default_rng(0)))
+        analysis = scheme.new_victim_analysis(63)
+        fab.add_delivery_handler(63, lambda ev: analysis.observe(ev.packet))
+        fab.inject(fab.make_packet(20, 63, spoofed_src_ip=0x01010101))
+        fab.run()
+        assert analysis.packets_observed == 1
+        assert analysis.suspects() == frozenset({20})
+
+    def test_robust_to_routing_algorithm(self):
+        """'Our technique is robust to routing algorithms.'"""
+        from repro.routing import MinimalAdaptiveRouter, ValiantRouter
+
+        mesh = Torus((4, 4))
+        rng = np.random.default_rng(0)
+        routers = [DimensionOrderRouter(), MinimalAdaptiveRouter(),
+                   FullyAdaptiveRouter(),
+                   ValiantRouter(np.random.default_rng(1))]
+        for router in routers:
+            scheme = DdpmScheme()
+            scheme.attach(mesh)
+            path = walk_route(mesh, router, 5, 10,
+                              RandomPolicy(rng).binder(), misroute_budget=6,
+                              max_hops=200)
+            packet = Packet(IPHeader(1, 2), 5, 10)
+            scheme.on_inject(packet, 5)
+            for u, v in zip(path[:-1], path[1:]):
+                scheme.on_hop(packet, u, v)
+            assert scheme.identify(packet, 10) == 5, router.name

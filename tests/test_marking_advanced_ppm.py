@@ -1,0 +1,157 @@
+"""Unit and integration tests for Song-Perrig advanced marking (§2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FieldLayoutError
+from repro.marking import AdvancedPpmScheme, FragmentPpmScheme
+from repro.marking.ppm_fragment import FragmentEncoder
+from repro.defense.metrics import packets_until_identified
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter, RandomPolicy, walk_route
+from repro.topology import Mesh
+
+
+def make_scheme(topology, probability=0.2, seed=0, **kw):
+    scheme = AdvancedPpmScheme(probability, np.random.default_rng(seed), **kw)
+    scheme.attach(topology)
+    return scheme
+
+
+def run_flow(scheme, topology, src, dst, count, analysis=None, router=None,
+             select=None):
+    router = router if router is not None else DimensionOrderRouter()
+    select = select if select is not None else (lambda c, cur: c[0])
+    analysis = analysis if analysis is not None else scheme.new_victim_analysis(dst)
+    for _ in range(count):
+        path = walk_route(topology, router, src, dst, select)
+        packet = Packet(IPHeader(1, 2), src, dst)
+        scheme.on_inject(packet, src)
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        analysis.observe(packet)
+    return analysis
+
+
+class TestConstruction:
+    def test_hash_width_independent_of_network_size(self):
+        # The scheme's selling point: attaches to networks far beyond
+        # Table 1's 8x8 limit (16x16 with the default 11-bit hash; larger
+        # diameters trade hash bits for distance bits).
+        scheme = make_scheme(Mesh((16, 16)))
+        assert scheme.layout.used_bits == 16
+        scheme32 = make_scheme(Mesh((32, 32)), hash_bits_width=10)
+        assert scheme32.distance_bits == 6
+
+    def test_distance_slot_must_cover_diameter(self):
+        # 64x64 mesh: diameter 126 needs 7 distance bits; 11+5 fails but a
+        # narrower hash works.
+        with pytest.raises(FieldLayoutError):
+            make_scheme(Mesh((64, 64)))
+        scheme = make_scheme(Mesh((64, 64)), hash_bits_width=9)
+        assert scheme.distance_bits == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdvancedPpmScheme(0.1, None)
+        with pytest.raises(ConfigurationError):
+            AdvancedPpmScheme(0.1, np.random.default_rng(0), hash_bits_width=2)
+
+
+class TestMarking:
+    def test_marked_then_xored(self, mesh44):
+        scheme = make_scheme(mesh44, probability=1.0)
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        scheme.on_inject(packet, 0)
+        scheme.on_hop(packet, 0, 1)  # p=1: marks
+        values = scheme.layout.unpack(packet.header.identification)
+        assert values["edge"] == scheme.node_hash(0)
+        assert values["distance"] == 0
+        scheme.probability = 0.0
+        scheme.on_hop(packet, 1, 2)  # else-branch: XOR + increment
+        values = scheme.layout.unpack(packet.header.identification)
+        assert values["edge"] == scheme.node_hash(0) ^ scheme.node_hash(1)
+        assert values["distance"] == 1
+
+    def test_distance_saturates(self, mesh44):
+        scheme = make_scheme(mesh44, probability=0.0)
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        scheme.on_inject(packet, 0)
+        for _ in range(100):
+            scheme.on_hop(packet, 0, 1)
+        assert (scheme.layout.unpack(packet.header.identification)["distance"]
+                == scheme.max_distance)
+
+
+class TestReconstruction:
+    def test_single_source_identified(self, mesh44):
+        scheme = make_scheme(mesh44, probability=0.25, seed=1)
+        analysis = run_flow(scheme, mesh44, 0, 15, 400)
+        assert analysis.suspects() == frozenset({0})
+
+    def test_levels_follow_true_path(self, mesh44):
+        scheme = make_scheme(mesh44, probability=0.25, seed=2)
+        analysis = run_flow(scheme, mesh44, 0, 15, 600)
+        levels = analysis.reconstruct()
+        path = walk_route(mesh44, DimensionOrderRouter(), 0, 15,
+                          lambda c, cur: c[0])
+        # The last forwarding switch sits at level 0, the source deepest.
+        assert path[-2] in levels[0]
+        deepest = max(levels)
+        assert 0 in levels[deepest]
+
+    def test_multiple_sources(self, mesh44):
+        scheme = make_scheme(mesh44, probability=0.25, seed=3)
+        analysis = scheme.new_victim_analysis(15)
+        for src in (0, 3, 5):
+            run_flow(scheme, mesh44, src, 15, 400, analysis=analysis)
+        assert analysis.suspects() == frozenset({0, 3, 5})
+
+    def test_no_marks_no_suspects(self, mesh44):
+        scheme = make_scheme(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        assert analysis.suspects() == frozenset()
+
+    def test_adaptive_routing_degrades(self):
+        topology = Mesh((5, 5))
+        scheme = make_scheme(Mesh((5, 5)), probability=0.25, seed=4)
+        rng = np.random.default_rng(5)
+        analysis = scheme.new_victim_analysis(24)
+        for src in (0, 4):
+            run_flow(scheme, topology, src, 24, 500, analysis=analysis,
+                     router=MinimalAdaptiveRouter(),
+                     select=RandomPolicy(rng).binder())
+        # Path-based scheme: adaptivity breaks exactness one way or another.
+        assert analysis.suspects() != frozenset({0, 4})
+
+
+class TestSongPerrigClaim:
+    def test_fewer_packets_than_fragment_ppm(self, mesh44):
+        """§2: advanced marking needs ~8x fewer packets than fragment PPM."""
+
+        def stream(scheme, count=100000):
+            path = walk_route(mesh44, DimensionOrderRouter(), 0, 15,
+                              lambda c, cur: c[0])
+            for _ in range(count):
+                packet = Packet(IPHeader(1, 2), 0, 15)
+                scheme.on_inject(packet, 0)
+                for u, v in zip(path[:-1], path[1:]):
+                    scheme.on_hop(packet, u, v)
+                yield packet
+
+        advanced = make_scheme(mesh44, probability=0.2, seed=6)
+        adv_needed = packets_until_identified(
+            advanced.new_victim_analysis(15), stream(advanced), {0},
+            check_every=10)
+
+        fragment = FragmentPpmScheme(0.2, np.random.default_rng(6),
+                                     encoder=FragmentEncoder(num_fragments=4,
+                                                             check_bits=8))
+        fragment.attach(Mesh((4, 4)))
+        frag_needed = packets_until_identified(
+            fragment.new_victim_analysis(15), stream(fragment), {0},
+            check_every=50)
+
+        assert adv_needed is not None and frag_needed is not None
+        assert frag_needed > 4 * adv_needed

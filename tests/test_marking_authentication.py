@@ -1,0 +1,113 @@
+"""Unit tests for authenticated DDPM (the §6.2 switch-compromise discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IdentificationError
+from repro.marking.authentication import AuthenticatedDdpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter, RandomPolicy, walk_route
+from repro.topology import Mesh
+
+
+@pytest.fixture
+def scheme(mesh44):
+    return AuthenticatedDdpmScheme.with_random_keys(mesh44, np.random.default_rng(0))
+
+
+def send(scheme, topology, src, dst, router=None, select=None):
+    router = router if router is not None else DimensionOrderRouter()
+    select = select if select is not None else (lambda c, cur: c[0])
+    path = walk_route(topology, router, src, dst, select)
+    packet = Packet(IPHeader(1, 2), src, dst)
+    scheme.on_inject(packet, src)
+    for u, v in zip(path[:-1], path[1:]):
+        scheme.on_hop(packet, u, v)
+    return packet
+
+
+class TestHappyPath:
+    def test_clean_chain_verifies(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        result = scheme.verify(packet, 15)
+        assert result.valid, result.reason
+
+    def test_identify_verified_matches_plain_identify(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 3, 15)
+        assert scheme.identify_verified(packet, 15) == 3
+
+    def test_verifies_under_adaptive_routing(self, scheme, mesh44):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            packet = send(scheme, mesh44, 0, 15, MinimalAdaptiveRouter(),
+                          RandomPolicy(rng).binder())
+            assert scheme.verify(packet, 15).valid
+
+    def test_trail_length_is_hops_plus_one(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        trail = scheme._trail_of(packet)
+        assert len(trail) == mesh44.min_hops(0, 15) + 1
+
+
+class TestTamperDetection:
+    def test_forged_mf_detected(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        # A compromised host rewrites the final MF to frame node 9.
+        packet.header.identification = scheme.layout.encode(
+            mesh44.distance_vector(9, 15))
+        result = scheme.verify(packet, 15)
+        assert not result.valid
+        assert "differs from last attested" in result.reason
+
+    def test_tampered_trail_entry_detected(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        trail = scheme._trail_of(packet)
+        entry = trail[2]
+        trail[2] = entry._replace(mf_after=entry.mf_after ^ 1)
+        result = scheme.verify(packet, 15)
+        assert not result.valid
+
+    def test_compromised_switch_wrong_mac_detected(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        trail = scheme._trail_of(packet)
+        trail[1] = trail[1]._replace(mac=trail[1].mac ^ 0xFF)
+        result = scheme.verify(packet, 15)
+        assert not result.valid
+        assert "MAC mismatch" in result.reason
+        assert result.tampered_at == 1
+
+    def test_non_link_hop_claim_detected(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        trail = scheme._trail_of(packet)
+        # Splice out an intermediate entry: the remaining chain claims a
+        # two-hop jump, which is not a physical link.
+        del trail[2]
+        result = scheme.verify(packet, 15)
+        assert not result.valid
+
+    def test_missing_trail_detected(self, scheme, mesh44):
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        result = scheme.verify(packet, 15)
+        assert not result.valid
+        assert "missing audit trail" in result.reason
+
+    def test_identify_verified_raises_on_tamper(self, scheme, mesh44):
+        packet = send(scheme, mesh44, 0, 15)
+        packet.header.identification ^= 1
+        with pytest.raises(IdentificationError):
+            scheme.identify_verified(packet, 15)
+
+
+class TestConfiguration:
+    def test_missing_keys_rejected(self, mesh44):
+        scheme = AuthenticatedDdpmScheme({0: 1, 1: 2})
+        with pytest.raises(ConfigurationError):
+            scheme.attach(mesh44)
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AuthenticatedDdpmScheme({})
+
+    def test_mac_cost_reported(self, scheme):
+        assert scheme.per_hop_operations()["mac"] == 1

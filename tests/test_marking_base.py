@@ -1,0 +1,94 @@
+"""Unit tests for the marking-scheme base interfaces and error hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import MarkingError, ReproError
+from repro.marking.base import MarkingScheme, VictimAnalysis
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.topology import Mesh
+
+
+class NullScheme(MarkingScheme):
+    """Minimal concrete scheme for exercising the base class."""
+
+    name = "null"
+
+    def on_hop(self, packet, from_node, to_node):
+        """No-op hop."""
+
+    def new_victim_analysis(self, victim):
+        """Counting-only analysis."""
+        return CountingAnalysis(victim)
+
+
+class CountingAnalysis(VictimAnalysis):
+    """Accumulates nothing but the base counter."""
+
+    def _observe(self, packet):
+        pass
+
+    def suspects(self):
+        """Always empty."""
+        return frozenset()
+
+
+class TestMarkingSchemeBase:
+    def test_on_inject_default_zeroes_mf(self, mesh44):
+        scheme = NullScheme()
+        scheme.attach(mesh44)
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        packet.header.identification = 0xFFFF
+        scheme.on_inject(packet, 0)
+        assert packet.header.identification == 0
+
+    def test_use_before_attach_rejected(self):
+        scheme = NullScheme()
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        with pytest.raises(MarkingError):
+            scheme.on_inject(packet, 0)
+
+    def test_default_cost_model_empty(self, mesh44):
+        scheme = NullScheme()
+        scheme.attach(mesh44)
+        assert scheme.per_hop_operations() == {}
+
+    def test_victim_analysis_counts_observations(self, mesh44):
+        scheme = NullScheme()
+        scheme.attach(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        for _ in range(5):
+            analysis.observe(Packet(IPHeader(1, 2), 0, 15))
+        assert analysis.packets_observed == 5
+        assert analysis.victim == 15
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_is_a_repro_error(self):
+        for name in errors.__all__:
+            exc_class = getattr(errors, name)
+            assert issubclass(exc_class, ReproError), name
+
+    @pytest.mark.parametrize("name,parent", [
+        ("ConfigurationError", ValueError),
+        ("TopologyError", ValueError),
+        ("AddressingError", KeyError),
+        ("SimulationError", RuntimeError),
+        ("FieldLayoutError", ValueError),
+    ])
+    def test_stdlib_compatible_parents(self, name, parent):
+        assert issubclass(getattr(errors, name), parent)
+
+    def test_specific_catches(self):
+        # A FieldOverflowError is a MarkingError is a ReproError.
+        assert issubclass(errors.FieldOverflowError, errors.MarkingError)
+        assert issubclass(errors.ReconstructionError, errors.IdentificationError)
+        assert issubclass(errors.UnroutablePacketError, errors.RoutingError)
+        assert issubclass(errors.LivelockError, errors.RoutingError)
+        assert issubclass(errors.BufferOverflowError, errors.NetworkError)
+
+    def test_unroutable_carries_context(self):
+        exc = errors.UnroutablePacketError("blocked", current=3, destination=9)
+        assert exc.current == 3
+        assert exc.destination == 9

@@ -1,0 +1,101 @@
+"""Unit tests for DDPM field layouts — the paper's Table 3."""
+
+import pytest
+
+from repro.errors import FieldLayoutError, MarkingError
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.topology import Hypercube, IrregularTopology, Mesh, Torus
+
+
+class TestTable3:
+    """Exact reproduction of the paper's Table 3."""
+
+    def test_2d_max_is_128x128(self):
+        assert DdpmLayout.capacities(2) == (128, 128)
+        assert DdpmLayout.max_nodes(2) == 16384
+
+    def test_3d_max_is_8192_nodes(self):
+        # "splitting the MF into two five-bits and one six-bits (8192 nodes)"
+        assert DdpmLayout.capacities(3) == (16, 16, 32)
+        assert DdpmLayout.max_nodes(3) == 8192
+
+    def test_hypercube_max_is_2_to_16(self):
+        assert DdpmLayout.max_nodes(16, hypercube=True) == 65536
+
+    def test_signed_width_rule(self):
+        # w bits support 2^(w-1) nodes per dimension.
+        assert DdpmLayout.signed_width_for(128) == 8
+        assert DdpmLayout.signed_width_for(16) == 5
+        assert DdpmLayout.signed_width_for(32) == 6
+
+    def test_oversized_hypercube_rejected(self):
+        with pytest.raises(FieldLayoutError):
+            DdpmLayout.capacities(17, hypercube=True)
+
+    def test_too_many_signed_dims_rejected(self):
+        with pytest.raises(FieldLayoutError):
+            DdpmLayout.capacities(10)  # 16/10 < 2 bits per signed slot
+
+
+class TestForTopology:
+    def test_mesh_gets_signed_layout(self):
+        layout = DdpmLayout.for_topology(Mesh((4, 4)))
+        assert layout.signed and not layout.fold_modulo
+        assert layout.widths == (3, 3)
+
+    def test_torus_gets_folding_layout(self):
+        layout = DdpmLayout.for_topology(Torus((8, 8)))
+        assert layout.signed and layout.fold_modulo
+
+    def test_hypercube_gets_bit_layout(self):
+        layout = DdpmLayout.for_topology(Hypercube(10))
+        assert not layout.signed
+        assert layout.widths == (1,) * 10
+
+    def test_oversized_topology_rejected(self):
+        with pytest.raises(FieldLayoutError):
+            DdpmLayout.for_topology(Mesh((256, 256)))
+
+    def test_max_size_topology_accepted(self):
+        layout = DdpmLayout.for_topology(Mesh((128, 128)))
+        assert layout.layout.used_bits == 16
+
+    def test_irregular_rejected(self):
+        topo = IrregularTopology(3, [(0, 1), (1, 2)])
+        with pytest.raises(MarkingError):
+            DdpmLayout.for_topology(topo)
+
+
+class TestEncodeDecode:
+    def test_mesh_roundtrip(self):
+        layout = DdpmLayout.for_topology(Mesh((8, 8)))
+        for vec in [(0, 0), (7, -7), (-3, 5)]:
+            assert layout.decode(layout.encode(vec)) == vec
+
+    def test_hypercube_roundtrip(self):
+        layout = DdpmLayout.for_topology(Hypercube(6))
+        for vec in [(0,) * 6, (1,) * 6, (1, 0, 1, 0, 1, 0)]:
+            assert layout.decode(layout.encode(vec)) == vec
+
+    def test_torus_folds_mod_k(self):
+        layout = DdpmLayout.for_topology(Torus((8, 8)))
+        # +9 ≡ +1 (mod 8); -7 ≡ +1 (mod 8)
+        assert layout.decode(layout.encode((9, -7))) == (1, 1)
+
+    def test_torus_fold_never_overflows(self):
+        # Even absurd loop counts stay in range after folding.
+        layout = DdpmLayout.for_topology(Torus((8, 8)))
+        word = layout.encode((8 * 1000 + 3, -8 * 999 - 2))
+        assert layout.decode(word) == (3, -2)
+
+    def test_mesh_overflow_raises(self):
+        from repro.errors import FieldOverflowError
+
+        layout = DdpmLayout.for_topology(Mesh((8, 8)))
+        with pytest.raises(FieldOverflowError):
+            layout.encode((99, 0))
+
+    def test_arity_checked(self):
+        layout = DdpmLayout.for_topology(Mesh((8, 8)))
+        with pytest.raises(MarkingError):
+            layout.encode((1,))

@@ -1,0 +1,93 @@
+"""Unit tests for SubfieldLayout bit packing."""
+
+import pytest
+
+from repro.errors import FieldLayoutError, FieldOverflowError
+from repro.marking.field import SubfieldLayout
+
+
+class TestLayoutConstruction:
+    def test_fits_checked_at_construction(self):
+        SubfieldLayout([("a", 8), ("b", 8)])  # exactly 16
+        with pytest.raises(FieldLayoutError):
+            SubfieldLayout([("a", 9), ("b", 8)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FieldLayoutError):
+            SubfieldLayout([("a", 4), ("a", 4)])
+
+    def test_bad_slot_shape_rejected(self):
+        with pytest.raises(FieldLayoutError):
+            SubfieldLayout([("a",)])
+        with pytest.raises(FieldLayoutError):
+            SubfieldLayout([("a", 0)])
+
+    def test_used_bits(self):
+        layout = SubfieldLayout([("a", 5), ("b", 6)])
+        assert layout.used_bits == 11
+        assert layout.names == ("a", "b")
+
+
+class TestPackUnpack:
+    def test_roundtrip_unsigned(self):
+        layout = SubfieldLayout([("x", 4), ("y", 4), ("d", 3)])
+        values = {"x": 9, "y": 14, "d": 5}
+        assert layout.unpack(layout.pack(values)) == values
+
+    def test_roundtrip_signed(self):
+        layout = SubfieldLayout([("v0", 8, True), ("v1", 8, True)])
+        for v0 in (-128, -1, 0, 127):
+            for v1 in (-5, 64):
+                values = {"v0": v0, "v1": v1}
+                assert layout.unpack(layout.pack(values)) == values
+
+    def test_slots_independent(self):
+        layout = SubfieldLayout([("a", 8, True), ("b", 8, True)])
+        word = layout.pack({"a": -1, "b": 0})
+        assert layout.unpack(word)["b"] == 0
+
+    def test_paper_ddpm_2d_example(self):
+        # §5: "each half of the MF contains the distance in one dimension."
+        layout = SubfieldLayout([("v0", 8, True), ("v1", 8, True)])
+        word = layout.pack({"v0": 1, "v1": 2})
+        assert layout.unpack(word) == {"v0": 1, "v1": 2}
+        assert word < (1 << 16)
+
+    def test_overflow_is_error_not_truncation(self):
+        layout = SubfieldLayout([("v", 4, True)])
+        with pytest.raises(FieldOverflowError):
+            layout.pack({"v": 8})
+        with pytest.raises(FieldOverflowError):
+            layout.pack({"v": -9})
+
+    def test_unsigned_negative_rejected(self):
+        layout = SubfieldLayout([("v", 4)])
+        with pytest.raises(FieldOverflowError):
+            layout.pack({"v": -1})
+
+    def test_missing_and_extra_keys_rejected(self):
+        layout = SubfieldLayout([("a", 4), ("b", 4)])
+        with pytest.raises(FieldLayoutError):
+            layout.pack({"a": 1})
+        with pytest.raises(FieldLayoutError):
+            layout.pack({"a": 1, "b": 2, "c": 3})
+
+    def test_unpack_range_checked(self):
+        layout = SubfieldLayout([("a", 4)], total_bits=8)
+        with pytest.raises(FieldOverflowError):
+            layout.unpack(256)
+        with pytest.raises(FieldOverflowError):
+            layout.unpack(-1)
+
+
+class TestIntrospection:
+    def test_width_and_range(self):
+        layout = SubfieldLayout([("u", 5), ("s", 6, True)])
+        assert layout.width("u") == 5
+        assert layout.value_range("u") == (0, 31)
+        assert layout.value_range("s") == (-32, 31)
+
+    def test_unknown_slot(self):
+        layout = SubfieldLayout([("u", 5)])
+        with pytest.raises(FieldLayoutError):
+            layout.width("nope")

@@ -1,0 +1,133 @@
+"""Unit and integration tests for hierarchical DDPM on hybrid topologies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdentificationError, MarkingError
+from repro.marking import HierarchicalDdpmScheme
+from repro.network import Fabric
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import TableRouter, walk_route
+from repro.routing.selection import RandomPolicy
+from repro.topology import ClusterMesh, Mesh
+
+
+@pytest.fixture
+def cm():
+    return ClusterMesh((3, 3), hosts_per_switch=4)
+
+
+@pytest.fixture
+def scheme(cm):
+    s = HierarchicalDdpmScheme()
+    s.attach(cm)
+    return s
+
+
+def mark_along(scheme, topology, path):
+    packet = Packet(IPHeader(1, 2), path[0], path[-1])
+    scheme.on_inject(packet, path[0])
+    for u, v in zip(path[:-1], path[1:]):
+        scheme.on_hop(packet, u, v)
+    return packet
+
+
+class TestLayout:
+    def test_port_plus_vector_fits(self, scheme):
+        # 4 hosts -> 2 port bits; 3x3 backbone -> 3+3 signed bits.
+        assert scheme.port_bits == 2
+        assert scheme.layout.used_bits == 2 + 3 + 3
+
+    def test_requires_cluster_mesh(self):
+        scheme = HierarchicalDdpmScheme()
+        with pytest.raises(MarkingError):
+            scheme.attach(Mesh((4, 4)))
+
+    def test_capacity_example(self):
+        # 32x32 torus backbone (6+6 bits) + 16 hosts (4 bits) = 16 bits:
+        # 16384 addressable hosts.
+        cm = ClusterMesh((32, 32), hosts_per_switch=16, wraparound=True)
+        scheme = HierarchicalDdpmScheme()
+        scheme.attach(cm)
+        assert scheme.layout.used_bits == 16
+        assert cm.num_hosts == 16384
+
+    def test_oversized_rejected(self):
+        from repro.errors import FieldLayoutError
+
+        cm = ClusterMesh((64, 64), hosts_per_switch=16)
+        scheme = HierarchicalDdpmScheme()
+        with pytest.raises(FieldLayoutError):
+            scheme.attach(cm)
+
+
+class TestIdentification:
+    def test_all_host_pairs_exact(self, cm, scheme, rng):
+        router = TableRouter(cm)
+        select = RandomPolicy(rng).binder()
+        for src in cm.hosts():
+            for dst in (0, 17, 35):
+                if src == dst:
+                    continue
+                path = walk_route(cm, router, src, dst, select)
+                packet = mark_along(scheme, cm, path)
+                assert scheme.identify(packet, dst) == src
+
+    def test_same_switch_pair(self, cm, scheme, rng):
+        # Hosts 0 and 1 share a switch: vector stays zero, port decides.
+        router = TableRouter(cm)
+        path = walk_route(cm, router, 1, 0, RandomPolicy(rng).binder())
+        packet = mark_along(scheme, cm, path)
+        assert scheme.identify(packet, 0) == 1
+
+    def test_attacker_preload_overwritten(self, cm, scheme, rng):
+        router = TableRouter(cm)
+        path = walk_route(cm, router, 7, 30, RandomPolicy(rng).binder())
+        packet = Packet(IPHeader(1, 2), 7, 30)
+        packet.header.identification = 0xFFFF
+        scheme.on_inject(packet, 7)
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        assert scheme.identify(packet, 30) == 7
+
+    def test_victim_must_be_host(self, cm, scheme):
+        packet = Packet(IPHeader(1, 2), 0, cm.num_hosts)
+        scheme.on_inject(packet, 0)
+        with pytest.raises(IdentificationError):
+            scheme.identify(packet, cm.num_hosts)
+
+    def test_injection_from_switch_rejected(self, cm, scheme):
+        packet = Packet(IPHeader(1, 2), cm.num_hosts, 0)
+        with pytest.raises(MarkingError):
+            scheme.on_inject(packet, cm.num_hosts)
+
+
+class TestFabricIntegration:
+    def test_spoofed_flood_identified(self, cm):
+        scheme = HierarchicalDdpmScheme()
+        fab = Fabric(cm, TableRouter(cm), marking=scheme,
+                     selection=RandomPolicy(np.random.default_rng(0)))
+        victim = 35
+        analysis = scheme.new_victim_analysis(victim)
+        fab.add_delivery_handler(victim, lambda ev: analysis.observe(ev.packet))
+        attackers = [2, 13, 22]
+        for i, a in enumerate(attackers * 10):
+            fab.inject(fab.make_packet(a, victim, spoofed_src_ip=0x01020304),
+                       delay=i * 0.05)
+        fab.run()
+        assert analysis.suspects() == frozenset(attackers)
+
+    def test_torus_backbone_wraparound(self):
+        cm = ClusterMesh((4, 4), hosts_per_switch=2, wraparound=True)
+        scheme = HierarchicalDdpmScheme()
+        fab = Fabric(cm, TableRouter(cm), marking=scheme,
+                     selection=RandomPolicy(np.random.default_rng(1)))
+        victim = 0
+        analysis = scheme.new_victim_analysis(victim)
+        fab.add_delivery_handler(victim, lambda ev: analysis.observe(ev.packet))
+        attacker = 31  # opposite corner host: wrap links in play
+        for i in range(10):
+            fab.inject(fab.make_packet(attacker, victim), delay=i * 0.1)
+        fab.run()
+        assert analysis.suspects() == frozenset({attacker})

@@ -1,0 +1,200 @@
+"""Unit and integration tests for edge-sampling PPM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.marking import FullIndexEncoder, PpmScheme, XorEncoder
+from repro.network import Fabric
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import (
+    DimensionOrderRouter,
+    MinimalAdaptiveRouter,
+    RandomPolicy,
+    walk_route,
+)
+from repro.topology import Mesh
+
+
+def make_scheme(probability=0.3, seed=0, encoder=None):
+    return PpmScheme(encoder if encoder is not None else FullIndexEncoder(),
+                     probability, np.random.default_rng(seed))
+
+
+def run_flow(scheme, topology, src, dst, count, router=None, select=None,
+             analysis=None, misroute_budget=4):
+    router = router if router is not None else DimensionOrderRouter()
+    select = select if select is not None else (lambda c, cur: c[0])
+    analysis = analysis if analysis is not None else scheme.new_victim_analysis(dst)
+    for _ in range(count):
+        path = walk_route(topology, router, src, dst, select,
+                          misroute_budget=misroute_budget)
+        packet = Packet(IPHeader(1, 2), src, dst)
+        scheme.on_inject(packet, src)
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        analysis.observe(packet)
+    return analysis
+
+
+class TestSwitchSide:
+    def test_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            PpmScheme(FullIndexEncoder(), 1.5, np.random.default_rng(0))
+
+    def test_rng_required(self):
+        with pytest.raises(ConfigurationError):
+            PpmScheme(FullIndexEncoder(), 0.1, None)
+
+    def test_p1_always_marks_last_switch(self, mesh44):
+        scheme = make_scheme(probability=1.0)
+        scheme.attach(mesh44)
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        scheme.on_inject(packet, 0)
+        path = walk_route(mesh44, DimensionOrderRouter(), 0, 15,
+                          lambda c, cur: c[0])
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        enc = scheme.encoder
+        (mark,) = enc.candidate_edges(packet.header.identification, 15)
+        assert mark.start == path[-2]
+        assert mark.distance == 0
+
+    def test_p0_never_marks(self, mesh44):
+        scheme = make_scheme(probability=0.0)
+        scheme.attach(mesh44)
+        packet = Packet(IPHeader(1, 2), 0, 15)
+        scheme.on_inject(packet, 0)
+        scheme.on_hop(packet, 0, 1)
+        scheme.on_hop(packet, 1, 2)
+        # Only distance increments happened (else-branch).
+        assert scheme.encoder.read_distance(packet.header.identification) == 2
+
+
+class TestDeterministicReconstruction:
+    def test_single_source_identified(self, mesh44):
+        scheme = make_scheme(probability=0.25, seed=1)
+        scheme.attach(mesh44)
+        analysis = run_flow(scheme, mesh44, 0, 15, 500)
+        assert analysis.suspects() == frozenset({0})
+
+    def test_multiple_sources_identified(self, mesh44):
+        # Sources chosen so no XY path is a suffix of another's.
+        scheme = make_scheme(probability=0.25, seed=2)
+        scheme.attach(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        for src in (0, 3, 5):
+            run_flow(scheme, mesh44, src, 15, 500, analysis=analysis)
+        assert analysis.suspects() == frozenset({0, 3, 5})
+
+    def test_attacker_on_anothers_path_absorbed(self, mesh44):
+        # Known PPM limitation: an attacker sitting on another attacker's
+        # path is indistinguishable from a transit switch.
+        scheme = make_scheme(probability=0.25, seed=2)
+        scheme.attach(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        for src in (0, 12):  # 12 lies on 0's dimension-order path to 15
+            run_flow(scheme, mesh44, src, 15, 500, analysis=analysis)
+        assert analysis.suspects() == frozenset({0})
+
+    def test_reconstruction_edges_form_true_path(self, mesh44):
+        scheme = make_scheme(probability=0.3, seed=3)
+        scheme.attach(mesh44)
+        analysis = run_flow(scheme, mesh44, 0, 15, 800)
+        graph = analysis.reconstruction()
+        path = walk_route(mesh44, DimensionOrderRouter(), 0, 15,
+                          lambda c, cur: c[0])
+        true_edges = set(zip(path[:-1], path[1:]))
+        accepted = set(graph.edges)
+        assert true_edges <= accepted
+
+    def test_insufficient_packets_incomplete(self, mesh44):
+        # With very few packets the farthest mark is unlikely to arrive.
+        scheme = make_scheme(probability=0.05, seed=4)
+        scheme.attach(mesh44)
+        analysis = run_flow(scheme, mesh44, 0, 15, 3)
+        assert 0 not in analysis.suspects() or len(analysis.suspects()) >= 1
+
+
+class TestAdaptiveDegradation:
+    """The paper's §4.2 claim: adaptivity breaks PPM reconstruction.
+
+    Three measurable failure modes, each pinned by a test below: the
+    reconstruction graph inflates (work + ambiguity), minimal-adaptive
+    coverage absorbs a co-located attacker (recall loss), and non-minimal
+    adaptivity manufactures spurious sources (precision loss).
+    """
+
+    def _run_with(self, router, select, seed, sources, count=600):
+        topology = Mesh((5, 5))
+        victim = topology.num_nodes - 1
+        scheme = make_scheme(probability=0.25, seed=seed)
+        scheme.attach(Mesh((5, 5)))
+        analysis = scheme.new_victim_analysis(victim)
+        for src in sources:
+            run_flow(scheme, topology, src, victim, count,
+                     router=router, select=select, analysis=analysis)
+        return analysis.suspects(), analysis.reconstruction()
+
+    def test_deterministic_baseline_exact(self):
+        suspects, _ = self._run_with(DimensionOrderRouter(),
+                                     lambda c, cur: c[0], 5, (0, 4))
+        assert suspects == frozenset({0, 4})
+
+    def test_reconstruction_graph_inflates(self):
+        _, det_graph = self._run_with(DimensionOrderRouter(),
+                                      lambda c, cur: c[0], 5, (0, 4))
+        rng = np.random.default_rng(6)
+        _, ada_graph = self._run_with(MinimalAdaptiveRouter(),
+                                      RandomPolicy(rng).binder(), 6, (0, 4))
+        assert len(ada_graph.edges) > 2 * len(det_graph.edges)
+
+    def test_minimal_adaptive_absorbs_colocated_attacker(self):
+        # Attacker 4 = (0,4) lies on minimal paths from 0 = (0,0) to the
+        # victim corner; the wandering DAG swallows it (recall loss).
+        rng = np.random.default_rng(6)
+        suspects, _ = self._run_with(MinimalAdaptiveRouter(),
+                                     RandomPolicy(rng).binder(), 6, (0, 4))
+        assert 4 not in suspects
+
+    def test_nonminimal_adaptive_inflates_suspects(self):
+        from repro.routing import FullyAdaptiveRouter
+
+        rng = np.random.default_rng(7)
+        suspects, _ = self._run_with(
+            FullyAdaptiveRouter(prefer_minimal=False),
+            RandomPolicy(rng).binder(), 7, (0, 4))
+        assert len(suspects) > 2  # spurious sources (precision loss)
+
+
+class TestMinMarkCount:
+    def test_noise_filter_drops_rare_marks(self, mesh44):
+        scheme = make_scheme(probability=0.3, seed=7)
+        scheme.attach(mesh44)
+        analysis = scheme.new_victim_analysis(15)
+        analysis.min_mark_count = 10**9  # filter everything
+        run_flow(scheme, mesh44, 0, 15, 50, analysis=analysis)
+        assert analysis.collected_edges() == ()
+        assert analysis.suspects() == frozenset()
+
+    def test_min_mark_count_validated(self, mesh44):
+        scheme = make_scheme()
+        scheme.attach(mesh44)
+        from repro.marking.ppm import PpmVictimAnalysis
+
+        with pytest.raises(ConfigurationError):
+            PpmVictimAnalysis(scheme, 15, min_mark_count=0)
+
+
+class TestFabricIntegration:
+    def test_end_to_end_on_fabric(self):
+        topology = Mesh((4, 4))
+        scheme = make_scheme(probability=0.3, seed=8)
+        fab = Fabric(topology, DimensionOrderRouter(), marking=scheme)
+        analysis = scheme.new_victim_analysis(15)
+        fab.add_delivery_handler(15, lambda ev: analysis.observe(ev.packet))
+        for i in range(600):
+            fab.inject(fab.make_packet(0, 15), delay=i * 0.002)
+        fab.run()
+        assert analysis.suspects() == frozenset({0})

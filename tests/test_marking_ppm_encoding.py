@@ -1,0 +1,185 @@
+"""Unit tests for PPM mark encoders and Gray labeling."""
+
+import pytest
+
+from repro.errors import FieldLayoutError, MarkingError
+from repro.marking.ppm_encoding import (
+    BitDifferenceEncoder,
+    EdgeMark,
+    FullIndexEncoder,
+    XorEncoder,
+    gray_label,
+    gray_label_bits,
+    gray_unlabel,
+)
+from repro.topology import Hypercube, Mesh, Torus
+from repro.util.bitops import popcount
+
+
+class TestGrayLabels:
+    def test_paper_figure3a_labels(self, mesh44):
+        """The paper's Figure 3(a) node labels are per-dimension Gray codes."""
+        expected = {
+            (0, 1): 0b0001, (0, 2): 0b0011, (0, 3): 0b0010,
+            (1, 3): 0b0110, (2, 3): 0b1110, (1, 1): 0b0101, (1, 2): 0b0111,
+        }
+        for coord, label in expected.items():
+            assert gray_label(mesh44, mesh44.index(coord)) == label
+
+    def test_labels_unique(self, mesh44):
+        labels = {gray_label(mesh44, n) for n in mesh44.nodes()}
+        assert len(labels) == mesh44.num_nodes
+
+    def test_unlabel_roundtrip(self, mesh44):
+        for node in mesh44.nodes():
+            assert gray_unlabel(mesh44, gray_label(mesh44, node)) == node
+
+    def test_mesh_neighbors_differ_one_bit(self, mesh44):
+        for u, v in mesh44.links.all_links:
+            assert popcount(gray_label(mesh44, u) ^ gray_label(mesh44, v)) == 1
+
+    def test_pow2_torus_wrap_differs_one_bit(self, torus44):
+        # Reflected Gray codes are cyclic for power-of-two lengths.
+        for u, v in torus44.links.all_links:
+            assert popcount(gray_label(torus44, u) ^ gray_label(torus44, v)) == 1
+
+    def test_nonpow2_mesh_unused_codes_rejected(self):
+        mesh = Mesh((3, 3))
+        with pytest.raises(MarkingError):
+            gray_unlabel(mesh, 0b0101 ^ 0b0111)  # decodes coord >= 3
+
+    def test_label_bits(self, mesh44, cube4):
+        assert gray_label_bits(mesh44) == 4
+        assert gray_label_bits(cube4) == 4
+
+
+class TestFullIndexEncoder:
+    def test_attach_computes_geometry(self, mesh44):
+        enc = FullIndexEncoder()
+        enc.attach(mesh44)
+        assert enc.label_bits == 4
+        assert enc.distance_bits == 3  # diameter 6 -> values 0..6
+        assert enc.layout.used_bits == 11  # paper: 11 bits < 16
+
+    def test_too_large_network_rejected(self):
+        enc = FullIndexEncoder()
+        with pytest.raises(FieldLayoutError):
+            enc.attach(Mesh((16, 16)))  # Table 1: 8x8 is the max
+
+    def test_max_table1_network_accepted(self):
+        enc = FullIndexEncoder()
+        enc.attach(Mesh((8, 8)))
+        assert enc.layout.used_bits == 16
+
+    def test_write_and_decode_edge(self, mesh44):
+        enc = FullIndexEncoder()
+        enc.attach(mesh44)
+        u, v = mesh44.index((2, 0)), mesh44.index((2, 1))
+        word = enc.write_start(0, u)
+        word = enc.write_continue(word, v)
+        word = enc.write_continue(word, mesh44.index((2, 2)))
+        assert enc.read_distance(word) == 2
+        (mark,) = enc.candidate_edges(word, mesh44.index((1, 2)))
+        assert (mark.start, mark.end, mark.distance) == (u, v, 2)
+
+    def test_distance_zero_edge_ends_at_victim(self, mesh44):
+        enc = FullIndexEncoder()
+        enc.attach(mesh44)
+        last_switch = mesh44.index((1, 3))
+        victim = mesh44.index((2, 3))
+        word = enc.write_start(0, last_switch)
+        (mark,) = enc.candidate_edges(word, victim)
+        assert mark == EdgeMark(last_switch, None, 0)
+
+    def test_nonadjacent_claim_filtered(self, mesh44):
+        enc = FullIndexEncoder()
+        enc.attach(mesh44)
+        word = enc.write_start(0, mesh44.index((0, 0)))
+        # Distance-0 mark decoded at a victim that is NOT a neighbor.
+        assert enc.candidate_edges(word, mesh44.index((3, 3))) == ()
+
+    def test_distance_saturates(self, mesh44):
+        enc = FullIndexEncoder()
+        enc.attach(mesh44)
+        word = enc.write_start(0, 0)
+        for _ in range(20):
+            word = enc.write_continue(word, 1)
+        assert enc.read_distance(word) == enc.max_distance
+
+
+class TestXorEncoder:
+    def test_xor_value_is_one_hot(self, mesh44):
+        enc = XorEncoder()
+        enc.attach(mesh44)
+        u, v = mesh44.index((1, 1)), mesh44.index((1, 2))
+        word = enc.write_start(0, u)
+        word = enc.write_continue(word, v)
+        values = enc.layout.unpack(word)
+        assert popcount(values["edge"]) == 1  # the paper's §4.2 observation
+
+    def test_ambiguity_multiple_candidates(self, mesh44):
+        # An XOR value maps to every parallel edge: ambiguity by design.
+        enc = XorEncoder()
+        enc.attach(mesh44)
+        u, v = mesh44.index((1, 1)), mesh44.index((1, 2))
+        word = enc.write_start(0, u)
+        word = enc.write_continue(word, v)
+        word = enc.write_continue(word, mesh44.index((1, 3)))
+        marks = enc.candidate_edges(word, mesh44.index((2, 3)))
+        assert len(marks) > 2
+        assert any(m.start == u and m.end == v for m in marks)
+
+    def test_rejects_non_onebit_topology(self):
+        enc = XorEncoder()
+        with pytest.raises(MarkingError):
+            enc.attach(Torus((5, 5)))  # non-pow2 wrap breaks one-bit adjacency
+
+    def test_accepts_hypercube(self, cube4):
+        enc = XorEncoder()
+        enc.attach(cube4)
+        word = enc.write_start(0, 0b0000)
+        word = enc.write_continue(word, 0b0001)
+        marks = enc.candidate_edges(word, 0b0011)
+        assert any(m.start == 0b0000 and m.end == 0b0001 for m in marks)
+
+
+class TestBitDifferenceEncoder:
+    def test_attach_geometry(self, mesh44):
+        enc = BitDifferenceEncoder()
+        enc.attach(mesh44)
+        # 4 label + 2 bitpos + 3 distance = 9 bits.
+        assert enc.layout.used_bits == 4 + 2 + 3
+
+    def test_paper_figure3a_marks(self, mesh44):
+        """Victim 1110 receives (0001, 1, 3): start label 0001, bit 1, d=3."""
+        enc = BitDifferenceEncoder()
+        enc.attach(mesh44)
+        path_labels = [0b0001, 0b0011, 0b0010, 0b0110]  # then victim 1110
+        nodes = [gray_unlabel(mesh44, lab) for lab in path_labels]
+        word = enc.write_start(0, nodes[0])
+        for nxt in nodes[1:]:
+            word = enc.write_continue(word, nxt)
+        values = enc.layout.unpack(word)
+        assert values["start"] == 0b0001
+        assert values["bitpos"] == 1     # 0001 ^ 0011 = 0010 -> bit 1
+        assert values["distance"] == 3
+
+    def test_decode_edge(self, mesh44):
+        enc = BitDifferenceEncoder()
+        enc.attach(mesh44)
+        u, v = mesh44.index((0, 1)), mesh44.index((0, 2))
+        word = enc.write_start(0, u)
+        word = enc.write_continue(word, v)
+        (mark,) = enc.candidate_edges(word, mesh44.index((0, 3)))
+        assert (mark.start, mark.end, mark.distance) == (u, v, 1)
+
+    def test_table2_limit(self):
+        enc = BitDifferenceEncoder()
+        enc.attach(Mesh((16, 16)))  # computed Table 2 max
+        assert enc.layout.used_bits <= 16
+        with pytest.raises(FieldLayoutError):
+            BitDifferenceEncoder().attach(Mesh((32, 32)))
+
+    def test_rejects_non_onebit_topology(self):
+        with pytest.raises(MarkingError):
+            BitDifferenceEncoder().attach(Torus((6, 6)))

@@ -1,0 +1,118 @@
+"""Unit tests for Savage's compressed-fragment PPM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FieldLayoutError, MarkingError
+from repro.marking.ppm_fragment import (
+    FragmentEncoder,
+    FragmentPpmScheme,
+    FragmentVictimAnalysis,
+)
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter, RandomPolicy, walk_route
+from repro.topology import Mesh
+
+
+def make_scheme(topology, probability=0.3, seed=0, **enc_kwargs):
+    scheme = FragmentPpmScheme(probability, np.random.default_rng(seed),
+                               encoder=FragmentEncoder(**enc_kwargs))
+    scheme.attach(topology)
+    return scheme
+
+
+def run_flow(scheme, topology, src, dst, count, analysis=None, router=None,
+             select=None):
+    router = router if router is not None else DimensionOrderRouter()
+    select = select if select is not None else (lambda c, cur: c[0])
+    analysis = analysis if analysis is not None else scheme.new_victim_analysis(dst)
+    for _ in range(count):
+        path = walk_route(topology, router, src, dst, select)
+        packet = Packet(IPHeader(1, 2), src, dst)
+        scheme.on_inject(packet, src)
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        analysis.observe(packet)
+    return analysis
+
+
+class TestEncoder:
+    def test_geometry_fits_large_networks(self):
+        # Full-index PPM dies at 8x8; fragments must handle 32x32.
+        enc = FragmentEncoder(num_fragments=8, check_bits=12)
+        enc.attach(Mesh((32, 32)))
+        assert enc.layout.used_bits <= 16
+
+    def test_fragments_reassemble_to_edge(self, mesh44):
+        enc = FragmentEncoder(num_fragments=4, check_bits=8)
+        enc.attach(mesh44)
+        word = enc.edge_word(0, 1)
+        fragments = tuple(enc.fragment_of(word, o) for o in range(4))
+        assert enc.reassemble(fragments) == (0, 1)
+
+    def test_corrupt_fragment_fails_checksum(self, mesh44):
+        enc = FragmentEncoder(num_fragments=4, check_bits=8)
+        enc.attach(mesh44)
+        word = enc.edge_word(0, 1)
+        fragments = [enc.fragment_of(word, o) for o in range(4)]
+        fragments[2] ^= 1
+        assert enc.reassemble(tuple(fragments)) is None
+
+    def test_non_physical_edge_rejected(self, mesh44):
+        enc = FragmentEncoder(num_fragments=4, check_bits=8)
+        enc.attach(mesh44)
+        # Forge a word for a non-adjacent pair with a valid checksum.
+        from repro.marking.ppm_encoding import gray_label
+        from repro.util.hashing import hash_bits
+
+        edge = (gray_label(mesh44, 0) << enc.label_bits) | gray_label(mesh44, 5)
+        word = (edge << enc.check_bits) | hash_bits(edge, enc.check_bits)
+        fragments = tuple(enc.fragment_of(word, o) for o in range(4))
+        assert enc.reassemble(fragments) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FragmentEncoder(num_fragments=1)
+        with pytest.raises(ConfigurationError):
+            FragmentEncoder(check_bits=0)
+
+    def test_impossible_layout_rejected(self):
+        enc = FragmentEncoder(num_fragments=2, check_bits=32)
+        with pytest.raises(FieldLayoutError):
+            enc.attach(Mesh((8, 8)))
+
+
+class TestEndToEnd:
+    def test_single_path_reconstructs(self, mesh44):
+        scheme = make_scheme(mesh44, probability=0.3, seed=1,
+                             num_fragments=4, check_bits=8)
+        analysis = run_flow(scheme, mesh44, 0, 15, 3000)
+        assert analysis.suspects() == frozenset({0})
+        assert not analysis.truncated
+
+    def test_needs_far_more_packets_than_full_index(self, mesh44):
+        # With the same budget that full-index converges on, fragments have
+        # not yet assembled every edge.
+        scheme = make_scheme(mesh44, probability=0.3, seed=2,
+                             num_fragments=4, check_bits=8)
+        analysis = run_flow(scheme, mesh44, 0, 15, 60)
+        assert analysis.suspects() != frozenset({0})
+
+    def test_truncation_flag_on_combinatorial_blowup(self, mesh44):
+        scheme = make_scheme(mesh44, probability=0.5, seed=3,
+                             num_fragments=4, check_bits=8)
+        analysis = scheme.new_victim_analysis(15)
+        analysis.max_combinations = 1
+        rng = np.random.default_rng(4)
+        for src in (0, 3, 12, 5):
+            run_flow(scheme, mesh44, src, 15, 200, analysis=analysis,
+                     router=MinimalAdaptiveRouter(),
+                     select=RandomPolicy(rng).binder())
+        analysis.reassembled_edges()
+        assert analysis.truncated
+
+    def test_per_hop_operations_reported(self, mesh44):
+        scheme = make_scheme(mesh44)
+        ops = scheme.per_hop_operations()
+        assert "rng_draw" in ops and "hash" in ops

@@ -1,0 +1,103 @@
+"""Unit tests for PPM path reconstruction."""
+
+import pytest
+
+from repro.marking.ppm_encoding import EdgeMark
+from repro.marking.ppm_reconstruct import ReconstructedGraph, reconstruct_paths
+from repro.topology import Mesh
+
+
+@pytest.fixture
+def line():
+    """1x5 mesh: 0-1-2-3-4, victim at 4."""
+    return Mesh((1, 5))
+
+
+def marks_for_path(path):
+    """Full mark set for a path src..victim with d = hops(end -> victim)."""
+    victim = path[-1]
+    marks = []
+    n = len(path) - 1  # forwarding switches path[0..n-1]
+    for i in range(n):
+        start = path[i]
+        end = path[i + 1] if i + 1 < n else None  # last mark: end = victim
+        distance = n - 1 - i
+        marks.append(EdgeMark(start, end if distance > 0 else None, distance))
+    return marks
+
+
+class TestChaining:
+    def test_full_path_reconstructs_single_source(self, line):
+        marks = marks_for_path([0, 1, 2, 3, 4])
+        graph = reconstruct_paths(marks, line, 4)
+        assert graph.sources() == {0}
+        assert graph.depth() == 4
+
+    def test_gap_truncates_frontier(self, line):
+        # Missing mark at distance 2 breaks the chain; deepest reachable
+        # start becomes the apparent source.
+        marks = [m for m in marks_for_path([0, 1, 2, 3, 4]) if m.distance != 2]
+        graph = reconstruct_paths(marks, line, 4)
+        assert graph.sources() == {2}
+
+    def test_disconnected_garbage_rejected(self, line):
+        # A mark claiming a far edge with no chain to the victim never
+        # attaches.
+        marks = [EdgeMark(0, 1, 3)]
+        graph = reconstruct_paths(marks, line, 4)
+        assert graph.sources() == set()
+        assert graph.edges == {}
+
+    def test_level0_must_end_at_victim(self, line):
+        marks = [EdgeMark(1, 2, 0)]  # claims last-hop switch 1, but 2 != victim 4
+        graph = reconstruct_paths(marks, line, 4)
+        assert graph.edges == {}
+
+    def test_level0_neighbor_check(self, line):
+        marks = [EdgeMark(0, None, 0)]  # node 0 is not adjacent to victim 4
+        graph = reconstruct_paths(marks, line, 4)
+        assert graph.edges == {}
+
+    def test_non_physical_edge_rejected(self):
+        mesh = Mesh((3, 3))
+        victim = 8
+        marks = [EdgeMark(7, None, 0), EdgeMark(0, 7, 1)]  # 0-7 not a link
+        graph = reconstruct_paths(marks, mesh, victim)
+        assert (0, 7) not in graph.edges
+
+
+class TestMultiplePaths:
+    def test_two_attackers_two_sources(self):
+        mesh = Mesh((3, 3))
+        victim = mesh.index((2, 2))
+        # Two deterministic XY-ish paths.
+        path_a = [mesh.index(c) for c in [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]]
+        path_b = [mesh.index(c) for c in [(2, 0), (2, 1), (2, 2)]]
+        marks = marks_for_path(path_a) + marks_for_path(path_b)
+        graph = reconstruct_paths(marks, mesh, victim)
+        assert graph.sources() == {path_a[0], path_b[0]}
+
+    def test_shared_suffix_does_not_merge_sources(self):
+        mesh = Mesh((3, 3))
+        victim = mesh.index((2, 2))
+        path_a = [mesh.index(c) for c in [(0, 2), (1, 2), (2, 2)]]
+        path_b = [mesh.index(c) for c in [(1, 1), (1, 2), (2, 2)]]
+        marks = marks_for_path(path_a) + marks_for_path(path_b)
+        graph = reconstruct_paths(marks, mesh, victim)
+        assert graph.sources() == {path_a[0], path_b[0]}
+
+
+class TestGraphQueries:
+    def test_reached_at_levels(self, line):
+        graph = reconstruct_paths(marks_for_path([0, 1, 2, 3, 4]), line, 4)
+        assert graph.reached_at(0) == {3}
+        assert graph.reached_at(3) == {0}
+
+    def test_nodes_includes_victim(self, line):
+        graph = reconstruct_paths(marks_for_path([2, 3, 4]), line, 4)
+        assert 4 in graph.nodes()
+
+    def test_empty_marks_empty_graph(self, line):
+        graph = reconstruct_paths([], line, 4)
+        assert graph.sources() == set()
+        assert graph.depth() == 0

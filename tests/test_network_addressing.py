@@ -1,0 +1,49 @@
+"""Unit tests for the IP <-> node-index mapping table."""
+
+import pytest
+
+from repro.errors import AddressingError, ConfigurationError
+from repro.network.addressing import AddressMap
+from repro.network.ip import format_ip
+
+
+class TestAddressMap:
+    def test_bijection(self):
+        amap = AddressMap(64)
+        for node in range(64):
+            assert amap.node_of(amap.ip_of(node)) == node
+
+    def test_sequential_private_block(self):
+        amap = AddressMap(4)
+        assert format_ip(amap.ip_of(0)) == "10.0.0.1"
+        assert format_ip(amap.ip_of(3)) == "10.0.0.4"
+
+    def test_contains(self):
+        amap = AddressMap(4)
+        assert amap.contains(amap.ip_of(0))
+        assert not amap.contains(amap.base)          # network address unassigned
+        assert not amap.contains(amap.ip_of(3) + 1)  # past the block
+
+    def test_unknown_address_raises(self):
+        amap = AddressMap(4)
+        with pytest.raises(AddressingError):
+            amap.node_of(0xC0A80101)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(AddressingError):
+            AddressMap(4).ip_of(4)
+
+    def test_addresses_iterator(self):
+        amap = AddressMap(3)
+        assert list(amap.addresses()) == [amap.ip_of(i) for i in range(3)]
+
+    def test_len(self):
+        assert len(AddressMap(17)) == 17
+
+    def test_block_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(10, base=(1 << 32) - 5)
+
+    def test_custom_base(self):
+        amap = AddressMap(2, base=0xC0A80000)
+        assert format_ip(amap.ip_of(0)) == "192.168.0.1"

@@ -1,0 +1,192 @@
+"""Integration tests for the fabric: injection, delivery, drops, failures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import Fabric, FabricConfig, StoreAndForward
+from repro.network.packet import PacketKind
+from repro.routing import (
+    DimensionOrderRouter,
+    FullyAdaptiveRouter,
+    LeastCongestedPolicy,
+    MinimalAdaptiveRouter,
+    RandomPolicy,
+)
+from repro.topology import Hypercube, Mesh, Torus
+
+
+def build(topology=None, router=None, **cfg):
+    topology = topology if topology is not None else Mesh((4, 4))
+    router = router if router is not None else DimensionOrderRouter()
+    return Fabric(topology, router, config=FabricConfig(**cfg))
+
+
+class TestDelivery:
+    def test_single_packet_delivered(self):
+        fab = build()
+        received = []
+        fab.add_delivery_handler(15, lambda ev: received.append(ev))
+        fab.inject(fab.make_packet(0, 15))
+        fab.run()
+        assert len(received) == 1
+        assert received[0].packet.hops == fab.topology.min_hops(0, 15)
+        assert fab.counters["delivered"] == 1
+
+    def test_local_delivery_without_hops(self):
+        fab = build()
+        received = []
+        fab.add_delivery_handler(5, lambda ev: received.append(ev))
+        fab.inject(fab.make_packet(5, 5))
+        fab.run()
+        assert received[0].packet.hops == 0
+
+    def test_latency_grows_with_distance(self):
+        fab = build()
+        near, far = [], []
+        fab.add_delivery_handler(1, lambda ev: near.append(ev.packet.latency))
+        fab.add_delivery_handler(15, lambda ev: far.append(ev.packet.latency))
+        fab.inject(fab.make_packet(0, 1))
+        fab.inject(fab.make_packet(0, 15))
+        fab.run()
+        assert far[0] > near[0]
+
+    def test_many_packets_all_arrive(self):
+        fab = build(topology=Torus((4, 4)))
+        rng = np.random.default_rng(0)
+        n = 200
+        for i in range(n):
+            src, dst = rng.integers(16, size=2)
+            while dst == src:
+                dst = rng.integers(16)
+            fab.inject(fab.make_packet(int(src), int(dst)), delay=float(i) * 0.01)
+        fab.run()
+        assert fab.counters["delivered"] == n
+        assert fab.counters["dropped"] == 0
+
+    def test_stats_summary_fields(self):
+        fab = build()
+        fab.inject(fab.make_packet(0, 15))
+        fab.run()
+        stats = fab.stats_summary()
+        assert stats["injected"] == 1
+        assert stats["delivered"] == 1
+        assert stats["mean_hops"] == 6
+
+
+class TestSpoofing:
+    def test_spoofed_source_preserved_in_header(self):
+        fab = build()
+        received = []
+        fab.add_delivery_handler(15, lambda ev: received.append(ev.packet))
+        fab.inject(fab.make_packet(0, 15, spoofed_src_ip=0xDEADBEEF))
+        fab.run()
+        assert received[0].header.src == 0xDEADBEEF
+        assert received[0].true_source == 0  # ground truth intact
+
+    def test_honest_source_by_default(self):
+        fab = build()
+        p = fab.make_packet(3, 15)
+        assert p.header.src == fab.addresses.ip_of(3)
+
+
+class TestDrops:
+    def test_ttl_expiry_drops(self):
+        fab = build(default_ttl=2)
+        drops = []
+        fab.add_drop_handler(lambda p, n, r: drops.append(r))
+        fab.inject(fab.make_packet(0, 15))  # needs 6 hops
+        fab.run()
+        assert fab.counters["dropped_ttl_expired"] == 1
+        assert drops == ["ttl_expired"]
+        assert fab.counters["delivered"] == 0
+
+    def test_unroutable_drops_on_deterministic_fault(self):
+        topo = Mesh((4, 4))
+        topo.fail_link(0, 1)
+        topo.fail_link(0, 4)
+        fab = Fabric(topo, DimensionOrderRouter())
+        fab.inject(fab.make_packet(0, 15))
+        fab.run()
+        assert fab.counters["dropped_unroutable"] == 1
+
+    def test_injection_filter_blocks(self):
+        fab = build()
+        fab.injection_filter = lambda packet, node: node != 0
+        fab.inject(fab.make_packet(0, 15))
+        fab.inject(fab.make_packet(1, 15))
+        fab.run()
+        assert fab.counters["dropped_filtered_at_source"] == 1
+        assert fab.counters["delivered"] == 1
+
+
+class TestLinkFailureMidRun:
+    def test_fail_link_drops_queued_and_blocks_future(self):
+        fab = build()
+        fab.run_until(0.0)
+        fab.fail_link(0, 1)
+        fab.inject(fab.make_packet(0, 1))
+        fab.run()
+        # DOR's unique hop is dead -> unroutable.
+        assert fab.counters["dropped_unroutable"] == 1
+
+    def test_restore_link_recovers(self):
+        fab = build()
+        fab.fail_link(0, 1)
+        fab.restore_link(0, 1)
+        fab.inject(fab.make_packet(0, 1))
+        fab.run()
+        assert fab.counters["delivered"] == 1
+
+
+class TestAdaptiveCongestion:
+    def test_congestion_view_reflects_queues(self):
+        fab = build()
+        assert fab.congestion(0, 1) == 0.0
+        for i in range(10):
+            fab.inject(fab.make_packet(0, 3, payload_bytes=0))
+        fab.run_until(0.005)
+        assert fab.congestion(0, 1) > 0.0
+
+    def test_least_congested_spreads_paths(self):
+        topo = Mesh((4, 4))
+        fab = Fabric(topo, MinimalAdaptiveRouter(),
+                     config=FabricConfig(trace_packets=True))
+        fab.selection = LeastCongestedPolicy(fab.congestion,
+                                             np.random.default_rng(0))
+        paths = set()
+        fab.add_delivery_handler(15, lambda ev: paths.add(tuple(ev.packet.trace)))
+        for i in range(50):
+            fab.inject(fab.make_packet(0, 15), delay=i * 0.001)
+        fab.run()
+        assert len(paths) > 1  # adaptivity is live
+
+
+class TestValidation:
+    def test_bad_nodes_rejected(self):
+        fab = build()
+        with pytest.raises(ConfigurationError):
+            fab.make_packet(0, 99)
+        with pytest.raises(ConfigurationError):
+            fab.inject(fab.make_packet(0, 15), at_node=99)
+
+    def test_fabric_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FabricConfig(link_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            FabricConfig(buffer_capacity=0)
+        with pytest.raises(ConfigurationError):
+            FabricConfig(default_ttl=300)
+
+
+class TestStoreAndForwardMode:
+    def test_saf_slower_than_vct(self):
+        lat = {}
+        for name, service in (("saf", StoreAndForward()), ("vct", None)):
+            topo = Mesh((4, 4))
+            fab = Fabric(topo, DimensionOrderRouter(), service=service)
+            fab.add_delivery_handler(15, lambda ev, n=name: lat.__setitem__(
+                n, ev.packet.latency))
+            fab.inject(fab.make_packet(0, 15, payload_bytes=400))
+            fab.run()
+        assert lat["saf"] > lat["vct"]

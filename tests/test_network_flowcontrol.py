@@ -1,0 +1,53 @@
+"""Unit tests for service models (store-and-forward vs virtual cut-through)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.flowcontrol import StoreAndForward, VirtualCutThrough
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+
+
+def packet_of(total_length):
+    return Packet(IPHeader(1, 2, total_length=total_length), 0, 1)
+
+
+class TestStoreAndForward:
+    def test_full_packet_time(self):
+        saf = StoreAndForward()
+        assert saf.serialization_time(packet_of(100), 50.0) == pytest.approx(2.0)
+
+    def test_scales_with_size(self):
+        saf = StoreAndForward()
+        small = saf.serialization_time(packet_of(40), 10.0)
+        big = saf.serialization_time(packet_of(400), 10.0)
+        assert big == pytest.approx(10 * small)
+
+    def test_bandwidth_validated(self):
+        with pytest.raises(ConfigurationError):
+            StoreAndForward().serialization_time(packet_of(40), 0.0)
+
+
+class TestVirtualCutThrough:
+    def test_per_hop_cost_is_header_only(self):
+        vct = VirtualCutThrough()
+        t = vct.serialization_time(packet_of(1000), 20.0)
+        assert t == pytest.approx(IPHeader.HEADER_BYTES / 20.0)
+
+    def test_per_hop_cost_independent_of_payload(self):
+        vct = VirtualCutThrough()
+        assert (vct.serialization_time(packet_of(40), 10.0)
+                == vct.serialization_time(packet_of(4000), 10.0))
+
+    def test_injection_overhead_covers_payload(self):
+        vct = VirtualCutThrough()
+        assert vct.injection_overhead(packet_of(120), 10.0) == pytest.approx(10.0)
+
+    def test_injection_overhead_zero_for_header_only(self):
+        vct = VirtualCutThrough()
+        assert vct.injection_overhead(packet_of(20), 10.0) == 0.0
+
+    def test_vct_beats_saf_per_hop(self):
+        p = packet_of(500)
+        assert (VirtualCutThrough().serialization_time(p, 10.0)
+                < StoreAndForward().serialization_time(p, 10.0))

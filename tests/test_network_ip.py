@@ -1,0 +1,82 @@
+"""Unit tests for the IP header model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.ip import DEFAULT_TTL, IPHeader, MF_MAX, format_ip, parse_ip
+
+
+class TestAddressFormatting:
+    def test_roundtrip(self):
+        for dotted in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.77"):
+            assert format_ip(parse_ip(dotted)) == dotted
+
+    def test_known_value(self):
+        assert format_ip(0x0A000001) == "10.0.0.1"
+        assert parse_ip("10.0.0.1") == 0x0A000001
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "256.0.0.1"])
+    def test_bad_strings(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_ip(bad)
+
+    def test_bad_int(self):
+        with pytest.raises(ConfigurationError):
+            format_ip(1 << 32)
+
+
+class TestHeader:
+    def test_defaults(self):
+        h = IPHeader(1, 2)
+        assert h.ttl == DEFAULT_TTL
+        assert h.identification == 0
+        assert h.total_length == IPHeader.HEADER_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IPHeader(-1, 2)
+        with pytest.raises(ConfigurationError):
+            IPHeader(1, 2, identification=MF_MAX + 1)
+        with pytest.raises(ConfigurationError):
+            IPHeader(1, 2, ttl=0)
+        with pytest.raises(ConfigurationError):
+            IPHeader(1, 2, total_length=10)
+
+    def test_ttl_decrement_floors_at_zero(self):
+        h = IPHeader(1, 2, ttl=2)
+        assert h.decrement_ttl() == 1
+        assert h.decrement_ttl() == 0
+        assert h.decrement_ttl() == 0
+
+    def test_copy_is_independent(self):
+        h = IPHeader(1, 2, identification=0xABCD)
+        c = h.copy()
+        c.identification = 0
+        assert h.identification == 0xABCD
+
+    def test_checksum_changes_with_marking(self):
+        # A marking write must invalidate the previous checksum — the
+        # realistic per-switch cost the paper's §6.2 discussion implies.
+        h = IPHeader(1, 2, identification=0x1234)
+        before = h.checksum()
+        h.identification = 0x1235
+        assert h.checksum() != before
+
+    def test_checksum_verifies(self):
+        # One's-complement sum of header-with-checksum is 0xFFFF.
+        h = IPHeader(parse_ip("10.0.0.1"), parse_ip("10.0.0.2"),
+                     identification=0xBEEF, ttl=37, total_length=84)
+        words = [
+            (4 << 12) | (5 << 8),
+            h.total_length,
+            h.identification,
+            0,
+            (h.ttl << 8) | h.protocol,
+            (h.src >> 16) & 0xFFFF, h.src & 0xFFFF,
+            (h.dst >> 16) & 0xFFFF, h.dst & 0xFFFF,
+            h.checksum(),
+        ]
+        total = sum(words)
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF

@@ -1,0 +1,47 @@
+"""Unit tests for the Packet model."""
+
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet, PacketKind
+
+
+class TestPacket:
+    def _make(self, **kw):
+        return Packet(IPHeader(1, 2), true_source=3, destination_node=7, **kw)
+
+    def test_ids_unique(self):
+        a, b = self._make(), self._make()
+        assert a.packet_id != b.packet_id
+
+    def test_route_state_initialized(self):
+        p = self._make(misroute_budget=5)
+        assert p.route_state.destination == 7
+        assert p.route_state.misroute_budget == 5
+        assert p.route_state.last_node is None
+
+    def test_latency_requires_both_timestamps(self):
+        p = self._make()
+        assert p.latency is None
+        p.injected_at = 1.0
+        assert p.latency is None
+        p.delivered_at = 3.5
+        assert p.latency == 2.5
+
+    def test_size_mirrors_header(self):
+        p = Packet(IPHeader(1, 2, total_length=84), 0, 1)
+        assert p.size_bytes == 84
+
+    def test_trace_disabled_by_default(self):
+        p = self._make()
+        p.record_hop(4)  # no-op without start_trace
+        assert p.trace is None
+
+    def test_trace_records_path(self):
+        p = self._make()
+        p.start_trace(3)
+        p.record_hop(4)
+        p.record_hop(7)
+        assert p.trace == [3, 4, 7]
+
+    def test_kind_default_and_custom(self):
+        assert self._make().kind is PacketKind.DATA
+        assert self._make(kind=PacketKind.SYN).kind is PacketKind.SYN

@@ -1,0 +1,117 @@
+"""Property-based tests for the extension components (hypothesis).
+
+H-DDPM's invariant mirrors plain DDPM's: for any legal walk between hosts
+on a hybrid topology, marking through the real 16-bit field and resolving
+at the destination recovers the true source host. Advanced-PPM's
+reconstruction must be *sound*: every node it accepts at level d really is
+d+1 minimal hops from the victim along an accepted chain.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marking import AdvancedPpmScheme, HierarchicalDdpmScheme
+from repro.network.ip import IPHeader
+from repro.network.packet import Packet
+from repro.routing import TableRouter, walk_route
+from repro.topology import ClusterMesh, Mesh
+
+
+@st.composite
+def hybrid_and_hosts(draw):
+    """A random small ClusterMesh plus a (src, dst) host pair."""
+    dims = tuple(draw(st.lists(st.integers(2, 4), min_size=1, max_size=2)))
+    hosts_per_switch = draw(st.integers(1, 4))
+    wrap = draw(st.booleans()) and all(k >= 3 for k in dims)
+    cm = ClusterMesh(dims, hosts_per_switch, wraparound=wrap)
+    src = draw(st.integers(0, cm.num_hosts - 1))
+    dst = draw(st.integers(0, cm.num_hosts - 1))
+    return cm, src, dst
+
+
+@st.composite
+def hybrid_random_walk(draw):
+    """A random ClusterMesh plus an arbitrary legal walk host -> host."""
+    cm, src, dst = draw(hybrid_and_hosts())
+    # Random wander on the graph, then a shortest-path tail to a host.
+    node = src
+    walk = [node]
+    for _ in range(draw(st.integers(0, 12))):
+        neighbors = cm.neighbors(node)
+        node = neighbors[draw(st.integers(0, len(neighbors) - 1))]
+        walk.append(node)
+    from repro.topology.properties import shortest_path
+
+    tail = shortest_path(cm, node, dst)
+    walk.extend(tail[1:])
+    return cm, walk
+
+
+class TestHddpmInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(hybrid_random_walk())
+    def test_any_walk_between_hosts_resolves_exactly(self, case):
+        cm, walk = case
+        src, dst = walk[0], walk[-1]
+        if src == dst:
+            return
+        scheme = HierarchicalDdpmScheme()
+        try:
+            scheme.attach(cm)
+        except Exception:
+            return  # layout too large for this draw; capacity is tested elsewhere
+        packet = Packet(IPHeader(1, 2), src, dst)
+        scheme.on_inject(packet, src)
+        for u, v in zip(walk[:-1], walk[1:]):
+            scheme.on_hop(packet, u, v)
+        assert scheme.identify(packet, dst) == src
+
+    @settings(max_examples=40, deadline=None)
+    @given(hybrid_and_hosts())
+    def test_shortest_routes_resolve_exactly(self, case):
+        cm, src, dst = case
+        if src == dst:
+            return
+        scheme = HierarchicalDdpmScheme()
+        try:
+            scheme.attach(cm)
+        except Exception:
+            return
+        router = TableRouter(cm)
+        path = walk_route(cm, router, src, dst, lambda c, cur: c[0])
+        packet = Packet(IPHeader(1, 2), src, dst)
+        scheme.on_inject(packet, src)
+        for u, v in zip(path[:-1], path[1:]):
+            scheme.on_hop(packet, u, v)
+        assert scheme.identify(packet, dst) == src
+
+
+class TestAdvancedPpmSoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 14), st.integers(0, 2**31 - 1))
+    def test_accepted_levels_are_true_distances(self, src, seed):
+        """Every accepted level-d node is within d+1 hops of the victim and
+        lies on the true path (soundness of the map-based chaining, modulo
+        hash collisions the 11-bit hash makes vanishingly rare on 16 nodes)."""
+        mesh = Mesh((4, 4))
+        victim = 15
+        if src == victim:
+            return
+        scheme = AdvancedPpmScheme(0.3, np.random.default_rng(seed))
+        scheme.attach(mesh)
+        analysis = scheme.new_victim_analysis(victim)
+        from repro.routing import DimensionOrderRouter
+
+        path = walk_route(mesh, DimensionOrderRouter(), src, victim,
+                          lambda c, cur: c[0])
+        for _ in range(200):
+            packet = Packet(IPHeader(1, 2), src, victim)
+            scheme.on_inject(packet, src)
+            for u, v in zip(path[:-1], path[1:]):
+                scheme.on_hop(packet, u, v)
+            analysis.observe(packet)
+        for level, nodes in analysis.reconstruct().items():
+            for node in nodes:
+                assert mesh.min_hops(node, victim) <= level + 1
+                assert node in path

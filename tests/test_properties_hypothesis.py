@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The paper's correctness argument for DDPM is a telescoping-sum invariant:
+for ANY walk, the accumulated offset equals the source-to-destination offset
+in the topology's algebra. These tests search for counterexamples across
+random topologies, walks, and encoders.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.marking.field import SubfieldLayout
+from repro.marking.ppm_encoding import gray_label, gray_unlabel
+from repro.topology import Hypercube, Mesh, Torus
+from repro.topology.coords import coord_to_index, index_to_coord, minimal_signed_residue
+from repro.util.bitops import (
+    gray_decode,
+    gray_encode,
+    popcount,
+    to_signed,
+    to_unsigned,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def mesh_dims():
+    return st.lists(st.integers(2, 6), min_size=1, max_size=3).map(tuple)
+
+
+def torus_dims():
+    return st.lists(st.integers(3, 7), min_size=1, max_size=3).map(tuple)
+
+
+@st.composite
+def topology_and_walk(draw):
+    """A random topology plus a random legal walk (possibly non-minimal)."""
+    kind = draw(st.sampled_from(["mesh", "torus", "hypercube"]))
+    if kind == "mesh":
+        topo = Mesh(draw(mesh_dims()))
+    elif kind == "torus":
+        topo = Torus(draw(torus_dims()))
+    else:
+        topo = Hypercube(draw(st.integers(2, 6)))
+    start = draw(st.integers(0, topo.num_nodes - 1))
+    length = draw(st.integers(1, 24))
+    walk = [start]
+    for _ in range(length):
+        neighbors = topo.neighbors(walk[-1])
+        walk.append(neighbors[draw(st.integers(0, len(neighbors) - 1))])
+    return topo, walk
+
+
+# ----------------------------------------------------------------------
+# Bit-level invariants
+# ----------------------------------------------------------------------
+class TestBitops:
+    @given(st.integers(0, 2**20))
+    def test_gray_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(0, 2**20 - 2))
+    def test_gray_adjacency(self, value):
+        assert popcount(gray_encode(value) ^ gray_encode(value + 1)) == 1
+
+    @given(st.integers(1, 32), st.data())
+    def test_twos_complement_roundtrip(self, bits, data):
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        value = data.draw(st.integers(low, high))
+        assert to_signed(to_unsigned(value, bits), bits) == value
+
+
+class TestCoords:
+    @given(mesh_dims(), st.data())
+    def test_index_coord_roundtrip(self, dims, data):
+        total = int(np.prod(dims))
+        index = data.draw(st.integers(0, total - 1))
+        assert coord_to_index(index_to_coord(index, dims), dims) == index
+
+    @given(st.integers(-1000, 1000), st.integers(1, 64))
+    def test_minimal_residue_properties(self, delta, k):
+        r = minimal_signed_residue(delta, k)
+        assert (r - delta) % k == 0
+        assert abs(r) <= k // 2
+
+
+# ----------------------------------------------------------------------
+# The DDPM telescoping invariant — the paper's core correctness claim
+# ----------------------------------------------------------------------
+class TestDdpmInvariant:
+    @settings(max_examples=200, deadline=None)
+    @given(topology_and_walk())
+    def test_any_walk_resolves_to_true_source(self, topo_walk):
+        """For EVERY walk (minimal, looping, backtracking), accumulating
+        per-hop deltas and resolving at the end node recovers the start."""
+        topo, walk = topo_walk
+        offset = topo.identity_offset()
+        for u, v in zip(walk[:-1], walk[1:]):
+            offset = topo.combine_offsets(offset, topo.hop_delta(u, v))
+        assert topo.resolve_source(walk[-1], offset) == walk[0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(topology_and_walk())
+    def test_encoded_walk_survives_the_16bit_field(self, topo_walk):
+        """Same invariant, but through the real 16-bit encode/decode at
+        every hop — i.e. what the switch actually stores."""
+        topo, walk = topo_walk
+        layout = DdpmLayout.for_topology(topo)
+        word = layout.encode(topo.identity_offset())
+        for u, v in zip(walk[:-1], walk[1:]):
+            vector = layout.decode(word)
+            word = layout.encode(topo.combine_offsets(vector, topo.hop_delta(u, v)))
+        assert topo.resolve_source(walk[-1], layout.decode(word)) == walk[0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(topology_and_walk())
+    def test_distance_vector_consistency(self, topo_walk):
+        """distance_vector(src, dst) must itself resolve back to src."""
+        topo, walk = topo_walk
+        src, dst = walk[0], walk[-1]
+        assert topo.resolve_source(dst, topo.distance_vector(src, dst)) == src
+
+
+# ----------------------------------------------------------------------
+# Field packing and labels
+# ----------------------------------------------------------------------
+class TestFieldRoundtrip:
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=4), st.data())
+    def test_subfield_pack_unpack(self, widths, data):
+        if sum(widths) > 16:
+            widths = widths[:1]
+        slots = [(f"s{i}", w, True) for i, w in enumerate(widths)]
+        layout = SubfieldLayout(slots)
+        values = {}
+        for i, w in enumerate(widths):
+            low, high = -(1 << (w - 1)), (1 << (w - 1)) - 1
+            values[f"s{i}"] = data.draw(st.integers(low, high))
+        assert layout.unpack(layout.pack(values)) == values
+
+
+class TestGrayLabels:
+    @settings(max_examples=50, deadline=None)
+    @given(mesh_dims(), st.data())
+    def test_label_roundtrip(self, dims, data):
+        topo = Mesh(dims)
+        node = data.draw(st.integers(0, topo.num_nodes - 1))
+        assert gray_unlabel(topo, gray_label(topo, node)) == node
+
+    @settings(max_examples=50, deadline=None)
+    @given(mesh_dims())
+    def test_mesh_edges_flip_one_label_bit(self, dims):
+        topo = Mesh(dims)
+        for u, v in topo.links.all_links:
+            assert popcount(gray_label(topo, u) ^ gray_label(topo, v)) == 1
+
+
+# ----------------------------------------------------------------------
+# Topology metric invariants
+# ----------------------------------------------------------------------
+class TestTopologyInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(topology_and_walk())
+    def test_min_hops_triangle_inequality(self, topo_walk):
+        topo, walk = topo_walk
+        a, b = walk[0], walk[-1]
+        mid = walk[len(walk) // 2]
+        assert topo.min_hops(a, b) <= topo.min_hops(a, mid) + topo.min_hops(mid, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(topology_and_walk())
+    def test_min_hops_symmetric_and_bounded(self, topo_walk):
+        topo, walk = topo_walk
+        a, b = walk[0], walk[-1]
+        assert topo.min_hops(a, b) == topo.min_hops(b, a)
+        assert topo.min_hops(a, b) <= topo.diameter()
+        assert topo.min_hops(a, b) <= len(walk) - 1  # walk is a witness
+
+    @settings(max_examples=30, deadline=None)
+    @given(topology_and_walk())
+    def test_neighbor_symmetry(self, topo_walk):
+        topo, _ = topo_walk
+        for node in list(topo.nodes())[:16]:
+            for nb in topo.neighbors(node):
+                assert node in topo.neighbors(nb)

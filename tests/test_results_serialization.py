@@ -1,0 +1,57 @@
+"""Integration: experiment results round-trip through JSON/CSV cleanly."""
+
+import csv
+
+from repro.core import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+    sweep,
+)
+from repro.util.serialization import read_json, write_csv, write_json
+
+
+def small_sweep():
+    configs = [
+        ExperimentConfig(
+            topology=TopologySpec("mesh", (4, 4)),
+            routing=RoutingSpec(routing),
+            marking=MarkingSpec("ddpm"),
+            selection=SelectionSpec("random"),
+            num_attackers=2, duration=1.0, seed=3,
+        )
+        for routing in ("xy", "minimal-adaptive")
+    ]
+    return sweep(configs)
+
+
+class TestResultSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        records = [r.to_record() for r in small_sweep()]
+        path = write_json(records, tmp_path / "results.json")
+        loaded = read_json(path)
+        assert len(loaded) == 2
+        assert loaded[0]["marking"] == "ddpm"
+        assert loaded[0]["precision"] == 1.0
+        assert isinstance(loaded[0]["exact"], bool)
+
+    def test_csv_roundtrip(self, tmp_path):
+        results = small_sweep()
+        path = write_csv([r.to_record() for r in results],
+                         tmp_path / "results.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert {row["routing"] for row in rows} == {"xy", "minimal-adaptive"}
+        assert all(float(row["recall"]) == 1.0 for row in rows)
+
+    def test_score_namedtuple_serializes(self, tmp_path):
+        result = small_sweep()[0]
+        # The full dataclass (nested NamedTuple score, tuples) must survive.
+        path = write_json({"score": result.score,
+                           "suspects": result.suspects}, tmp_path / "s.json")
+        loaded = read_json(path)
+        assert loaded["score"]["precision"] == 1.0
+        assert loaded["suspects"] == sorted(result.suspects)

@@ -1,0 +1,143 @@
+"""Unit tests for minimal/fully adaptive routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LivelockError, UnroutablePacketError
+from repro.routing import (
+    DimensionOrderRouter,
+    FullyAdaptiveRouter,
+    MinimalAdaptiveRouter,
+    walk_route,
+)
+from repro.routing.base import RouteState
+from repro.routing.selection import RandomPolicy
+from repro.topology import Hypercube, Mesh, Torus
+
+from tests.conftest import first_candidate
+
+
+class TestMinimalAdaptive:
+    def test_offers_every_profitable_axis(self, mesh44):
+        router = MinimalAdaptiveRouter()
+        state = RouteState(mesh44.index((2, 2)))
+        options = router.candidates(mesh44, mesh44.index((0, 0)), state)
+        assert set(options) == {mesh44.index((1, 0)), mesh44.index((0, 1))}
+
+    def test_paths_always_minimal(self, mesh66, rng):
+        router = MinimalAdaptiveRouter()
+        select = RandomPolicy(rng).binder()
+        for _ in range(50):
+            src, dst = rng.integers(36, size=2)
+            if src == dst:
+                continue
+            path = walk_route(mesh66, router, int(src), int(dst), select)
+            assert len(path) - 1 == mesh66.min_hops(int(src), int(dst))
+
+    def test_path_diversity_under_random_selection(self, mesh44):
+        # The paper's §4.1 assumption: adaptive routes are not stable.
+        router = MinimalAdaptiveRouter()
+        rng = np.random.default_rng(0)
+        select = RandomPolicy(rng).binder()
+        paths = {tuple(walk_route(mesh44, router, 0, 15, select)) for _ in range(60)}
+        assert len(paths) > 5
+
+    def test_blocked_when_all_profitable_links_fail(self, mesh44):
+        router = MinimalAdaptiveRouter()
+        src = mesh44.index((0, 0))
+        mesh44.fail_link(src, mesh44.index((0, 1)))
+        mesh44.fail_link(src, mesh44.index((1, 0)))
+        with pytest.raises(UnroutablePacketError):
+            walk_route(mesh44, router, src, 15, first_candidate)
+
+    def test_works_on_torus_and_hypercube(self, torus44, cube4, rng):
+        router = MinimalAdaptiveRouter()
+        select = RandomPolicy(rng).binder()
+        p1 = walk_route(torus44, router, 0, torus44.index((2, 2)), select)
+        assert len(p1) - 1 == torus44.min_hops(0, torus44.index((2, 2)))
+        p2 = walk_route(cube4, router, 0b0000, 0b1111, select)
+        assert len(p2) - 1 == 4
+
+
+class TestFullyAdaptive:
+    def test_prefers_minimal_when_available(self, mesh44):
+        router = FullyAdaptiveRouter()
+        state = RouteState(15, misroute_budget=8)
+        options = router.candidates(mesh44, 0, state)
+        # Only profitable hops offered while they exist.
+        assert set(options) == {mesh44.index((0, 1)), mesh44.index((1, 0))}
+
+    def test_misroutes_around_fault(self, rng):
+        # Corridor fault: the only profitable hop from (1,1) is dead; must
+        # detour (non-minimally) and still arrive.
+        mesh = Mesh((3, 3))
+        src, dst = mesh.index((1, 0)), mesh.index((1, 2))
+        mesh.fail_link(mesh.index((1, 1)), mesh.index((1, 2)))
+        router = FullyAdaptiveRouter()
+        path = walk_route(mesh, router, src, dst, RandomPolicy(rng).binder(),
+                          misroute_budget=6)
+        assert path[-1] == dst
+        assert len(path) - 1 > mesh.min_hops(src, dst)
+
+    def test_routes_figure2c_like_isolation(self, rng):
+        """Paper Figure 2(c): heavy faults force a final west turn; fully
+        adaptive routing still delivers."""
+        mesh = Mesh((4, 4))
+        d = mesh.index((1, 2))
+        mesh.fail_link(d, mesh.index((0, 2)))
+        mesh.fail_link(d, mesh.index((2, 2)))
+        mesh.fail_link(d, mesh.index((1, 1)))
+        src = mesh.index((2, 0))
+        router = FullyAdaptiveRouter()
+        path = walk_route(mesh, router, src, d, RandomPolicy(rng).binder(),
+                          misroute_budget=10)
+        assert path[-1] == d
+        # The approach must come from the east neighbor (1,3).
+        assert path[-2] == mesh.index((1, 3))
+
+    def test_zero_budget_behaves_minimal(self, mesh44):
+        router = FullyAdaptiveRouter()
+        state = RouteState(15, misroute_budget=0)
+        src = mesh44.index((0, 0))
+        mesh44.fail_link(src, mesh44.index((0, 1)))
+        mesh44.fail_link(src, mesh44.index((1, 0)))
+        assert router.candidates(mesh44, src, state) == ()
+
+    def test_budget_exhaustion_stops_misrouting(self):
+        mesh = Mesh((3, 3))
+        router = FullyAdaptiveRouter()
+        state = RouteState(mesh.index((1, 2)), misroute_budget=2)
+        state.misroutes = 2
+        node = mesh.index((1, 1))
+        mesh.fail_link(node, mesh.index((1, 2)))
+        # Profitable hop dead, budget spent: nothing offered.
+        assert router.candidates(mesh, node, state) == ()
+
+    def test_dead_end_allows_backtrack(self):
+        # Line graph: 0-1-2, dst=2, link 1-2 dead. From 1 the only escape is
+        # back to 0 even though it is the last node.
+        mesh = Mesh((1, 3))
+        mesh.fail_link(1, 2)
+        router = FullyAdaptiveRouter()
+        state = RouteState(2, misroute_budget=4)
+        state.last_node = 0
+        assert router.candidates(mesh, 1, state) == (0,)
+
+    def test_pooled_variant_mixes_candidates(self, mesh44):
+        router = FullyAdaptiveRouter(prefer_minimal=False)
+        state = RouteState(15, misroute_budget=4)
+        options = router.candidates(mesh44, mesh44.index((1, 1)), state)
+        # Profitable (2) + misroutes (2, excluding none yet) all pooled.
+        assert len(options) == 4
+
+    def test_livelock_guard_raises(self, mesh44):
+        # Pathological selection that always walks away from the target.
+        router = FullyAdaptiveRouter(prefer_minimal=False)
+
+        def worst(candidates, current):
+            return max(candidates,
+                       key=lambda c: mesh44.min_hops(c, 15))
+
+        with pytest.raises(LivelockError):
+            walk_route(mesh44, router, 0, 15, worst,
+                       misroute_budget=10**6, max_hops=50)

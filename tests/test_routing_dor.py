@@ -1,0 +1,92 @@
+"""Unit tests for dimension-order routing."""
+
+import pytest
+
+from repro.errors import RoutingError, UnroutablePacketError
+from repro.routing import DimensionOrderRouter, walk_route
+from repro.routing.base import RouteState
+from repro.topology import Hypercube, Mesh, Torus
+
+from tests.conftest import first_candidate
+
+
+class TestMeshXY:
+    def test_xy_routes_row_then_column(self, mesh44):
+        # Paper Figure 2(a): S1 (2,0) -> D (1,2) via the row, then the column.
+        router = DimensionOrderRouter(axis_order=(1, 0))
+        path = walk_route(mesh44, router, mesh44.index((2, 0)), mesh44.index((1, 2)),
+                          first_candidate)
+        coords = [mesh44.coord(n) for n in path]
+        assert coords == [(2, 0), (2, 1), (2, 2), (1, 2)]
+
+    def test_xy_single_turn(self, mesh44):
+        # XY paths turn at most once: column changes never precede row moves
+        # once the column leg started.
+        router = DimensionOrderRouter(axis_order=(1, 0))
+        path = walk_route(mesh44, router, 0, 15, first_candidate)
+        coords = [mesh44.coord(n) for n in path]
+        turns = 0
+        for i in range(1, len(coords) - 1):
+            prev_axis = 0 if coords[i][0] != coords[i - 1][0] else 1
+            next_axis = 0 if coords[i + 1][0] != coords[i][0] else 1
+            if prev_axis != next_axis:
+                turns += 1
+        assert turns <= 1
+
+    def test_path_is_minimal(self, mesh44):
+        router = DimensionOrderRouter()
+        for dst in (3, 7, 12, 15):
+            path = walk_route(mesh44, router, 0, dst, first_candidate)
+            assert len(path) - 1 == mesh44.min_hops(0, dst)
+
+    def test_deterministic_single_candidate(self, mesh44):
+        router = DimensionOrderRouter()
+        state = RouteState(destination=15)
+        options = router.candidates(mesh44, 0, state)
+        assert len(options) == 1
+
+    def test_blocked_by_failed_link(self, mesh44):
+        # Paper Figure 2(b): XY cannot route around a failed east link.
+        router = DimensionOrderRouter(axis_order=(1, 0))
+        s1 = mesh44.index((2, 0))
+        mesh44.fail_link(s1, mesh44.index((2, 1)))
+        with pytest.raises(UnroutablePacketError):
+            walk_route(mesh44, router, s1, mesh44.index((1, 2)), first_candidate)
+
+    def test_invalid_axis_order(self, mesh44):
+        router = DimensionOrderRouter(axis_order=(0, 0))
+        with pytest.raises(RoutingError):
+            router.validate(mesh44)
+
+
+class TestTorusDor:
+    def test_takes_wraparound_shortcut(self, torus44):
+        router = DimensionOrderRouter()
+        path = walk_route(torus44, router, torus44.index((0, 0)),
+                          torus44.index((3, 3)), first_candidate)
+        assert len(path) - 1 == 2  # wraps both dimensions
+
+    def test_all_pairs_minimal(self, torus44):
+        router = DimensionOrderRouter()
+        for src in torus44.nodes():
+            for dst in torus44.nodes():
+                if src == dst:
+                    continue
+                path = walk_route(torus44, router, src, dst, first_candidate)
+                assert len(path) - 1 == torus44.min_hops(src, dst)
+
+
+class TestEcube:
+    def test_corrects_highest_axis_first(self, cube4):
+        router = DimensionOrderRouter()
+        path = walk_route(cube4, router, 0b0000, 0b1011, first_candidate)
+        assert path == [0b0000, 0b1000, 0b1010, 0b1011]
+
+    def test_all_pairs_minimal(self, cube4):
+        router = DimensionOrderRouter()
+        for src in (0, 5, 9):
+            for dst in cube4.nodes():
+                if src == dst:
+                    continue
+                path = walk_route(cube4, router, src, dst, first_candidate)
+                assert len(path) - 1 == cube4.min_hops(src, dst)

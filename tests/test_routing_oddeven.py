@@ -1,0 +1,105 @@
+"""Unit tests for odd-even turn-model routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import OddEvenRouter, walk_route
+from repro.routing.base import RouteState
+from repro.routing.selection import RandomPolicy
+from repro.topology import Mesh, Torus
+
+from tests.conftest import first_candidate
+
+
+class TestLegality:
+    def test_requires_2d_mesh(self, torus44, cube3):
+        with pytest.raises(RoutingError):
+            OddEvenRouter().validate(torus44)
+        with pytest.raises(RoutingError):
+            OddEvenRouter().validate(cube3)
+
+    def test_all_pairs_deliver_minimally(self):
+        mesh = Mesh((6, 6))
+        router = OddEvenRouter()
+        rng = np.random.default_rng(0)
+        select = RandomPolicy(rng).binder()
+        for src in range(36):
+            for dst in range(36):
+                if src == dst:
+                    continue
+                path = walk_route(mesh, router, src, dst, select)
+                assert len(path) - 1 == mesh.min_hops(src, dst), (src, dst)
+
+    def test_no_en_es_turns_in_even_columns(self):
+        """Chiu's rule 1/2: turns from east to north/south never occur at
+        even columns (outside the source column)."""
+        mesh = Mesh((6, 6))
+        router = OddEvenRouter()
+        rng = np.random.default_rng(1)
+        select = RandomPolicy(rng).binder()
+        for trial in range(200):
+            src, dst = rng.integers(36, size=2)
+            if src == dst:
+                continue
+            path = walk_route(mesh, router, int(src), int(dst), select)
+            coords = [mesh.coord(n) for n in path]
+            for i in range(1, len(coords) - 1):
+                arrived_east = coords[i][1] == coords[i - 1][1] + 1
+                turns_vertical = coords[i + 1][1] == coords[i][1]
+                if arrived_east and turns_vertical:
+                    col = coords[i][1]
+                    assert col % 2 == 1, (coords, i)
+
+    def test_no_nw_sw_turns_in_odd_columns(self):
+        mesh = Mesh((6, 6))
+        router = OddEvenRouter()
+        rng = np.random.default_rng(2)
+        select = RandomPolicy(rng).binder()
+        for trial in range(200):
+            src, dst = rng.integers(36, size=2)
+            if src == dst:
+                continue
+            path = walk_route(mesh, router, int(src), int(dst), select)
+            coords = [mesh.coord(n) for n in path]
+            for i in range(1, len(coords) - 1):
+                arrived_vertical = coords[i][1] == coords[i - 1][1] and \
+                    coords[i][0] != coords[i - 1][0]
+                turns_west = coords[i + 1][1] == coords[i][1] - 1
+                if arrived_vertical and turns_west:
+                    assert coords[i][1] % 2 == 0, (coords, i)
+
+
+class TestAdaptivity:
+    def test_offers_multiple_candidates_somewhere(self):
+        mesh = Mesh((6, 6))
+        router = OddEvenRouter()
+        found = False
+        for src in range(36):
+            state = RouteState(35)
+            state.scratch["oddeven_source_col"] = mesh.coord(src)[1]
+            if len(router.candidates(mesh, src, state)) > 1:
+                found = True
+                break
+        assert found
+
+    def test_path_diversity(self):
+        mesh = Mesh((6, 6))
+        router = OddEvenRouter()
+        rng = np.random.default_rng(3)
+        select = RandomPolicy(rng).binder()
+        paths = {tuple(walk_route(mesh, router, 0, 35, select))
+                 for _ in range(50)}
+        assert len(paths) > 2
+
+    def test_routes_around_some_faults(self):
+        # Odd-even has adaptivity where XY has none: a fault on one of two
+        # offered candidates is survivable.
+        mesh = Mesh((6, 6))
+        src = mesh.index((0, 1))  # odd column: vertical or east both legal
+        dst = mesh.index((3, 4))
+        mesh.fail_link(src, mesh.index((0, 2)))  # kill the east option
+        router = OddEvenRouter()
+        rng = np.random.default_rng(4)
+        path = walk_route(mesh, router, src, dst, RandomPolicy(rng).binder())
+        assert path[-1] == dst

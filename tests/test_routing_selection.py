@@ -1,0 +1,65 @@
+"""Unit tests for output-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.selection import (
+    FirstCandidatePolicy,
+    LeastCongestedPolicy,
+    RandomPolicy,
+)
+
+
+class TestFirstCandidate:
+    def test_picks_first(self):
+        assert FirstCandidatePolicy().choose((7, 3, 9), 0) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            FirstCandidatePolicy().choose((), 0)
+
+
+class TestRandom:
+    def test_only_candidates_returned(self):
+        policy = RandomPolicy(np.random.default_rng(0))
+        for _ in range(100):
+            assert policy.choose((4, 8), 0) in (4, 8)
+
+    def test_covers_all_candidates(self):
+        policy = RandomPolicy(np.random.default_rng(0))
+        seen = {policy.choose((1, 2, 3), 0) for _ in range(200)}
+        assert seen == {1, 2, 3}
+
+    def test_single_candidate_shortcut(self):
+        policy = RandomPolicy(np.random.default_rng(0))
+        assert policy.choose((42,), 0) == 42
+
+    def test_reproducible(self):
+        a = RandomPolicy(np.random.default_rng(5))
+        b = RandomPolicy(np.random.default_rng(5))
+        seq_a = [a.choose((1, 2, 3, 4), 0) for _ in range(20)]
+        seq_b = [b.choose((1, 2, 3, 4), 0) for _ in range(20)]
+        assert seq_a == seq_b
+
+
+class TestLeastCongested:
+    def test_picks_minimum_load(self):
+        loads = {(0, 1): 5.0, (0, 2): 1.0, (0, 3): 3.0}
+        policy = LeastCongestedPolicy(lambda u, v: loads[(u, v)])
+        assert policy.choose((1, 2, 3), 0) == 2
+
+    def test_tie_breaks_first_without_rng(self):
+        policy = LeastCongestedPolicy(lambda u, v: 0.0)
+        assert policy.choose((9, 4), 0) == 9
+
+    def test_tie_breaks_randomly_with_rng(self):
+        policy = LeastCongestedPolicy(lambda u, v: 0.0,
+                                      rng=np.random.default_rng(0))
+        seen = {policy.choose((9, 4), 0) for _ in range(50)}
+        assert seen == {4, 9}
+
+    def test_binder_is_callable_form(self):
+        policy = FirstCandidatePolicy()
+        select = policy.binder()
+        assert select((5,), 0) == 5

@@ -1,0 +1,71 @@
+"""Unit tests for table-driven routing on irregular topologies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import TableRouter, build_shortest_path_tables, walk_route
+from repro.routing.selection import RandomPolicy
+from repro.topology import IrregularTopology, Mesh
+
+from tests.conftest import first_candidate
+
+
+@pytest.fixture
+def graph():
+    """0-1-2-3 path plus chord 0-2."""
+    return IrregularTopology(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+
+
+class TestTables:
+    def test_next_hops_shorten_distance(self, graph):
+        tables = build_shortest_path_tables(graph)
+        for dst, per_node in tables.items():
+            for node, hops in per_node.items():
+                if node == dst:
+                    assert hops == ()
+                    continue
+                for nxt in hops:
+                    assert graph.min_hops(nxt, dst) == graph.min_hops(node, dst) - 1
+
+    def test_multiple_shortest_next_hops(self):
+        # Square 0-1, 1-3, 0-2, 2-3: from 0 to 3 both 1 and 2 are on
+        # shortest paths.
+        square = IrregularTopology(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        tables = build_shortest_path_tables(square)
+        assert set(tables[3][0]) == {1, 2}
+
+    def test_unreachable_gets_empty(self, graph):
+        graph.fail_link(2, 3)
+        tables = build_shortest_path_tables(graph)
+        assert tables[3][0] == ()
+
+
+class TestTableRouter:
+    def test_routes_all_pairs_minimally(self, graph, rng):
+        router = TableRouter(graph)
+        select = RandomPolicy(rng).binder()
+        for src in graph.nodes():
+            for dst in graph.nodes():
+                if src == dst:
+                    continue
+                path = walk_route(graph, router, src, dst, select)
+                assert len(path) - 1 == graph.min_hops(src, dst)
+
+    def test_rebuild_after_failure(self, graph):
+        router = TableRouter(graph)
+        graph.fail_link(0, 2)
+        router.rebuild()
+        path = walk_route(graph, router, 0, 2, first_candidate)
+        assert path == [0, 1, 2]
+
+    def test_validate_rejects_other_topology(self, graph):
+        router = TableRouter(graph)
+        with pytest.raises(RoutingError):
+            router.validate(Mesh((2, 2)))
+
+    def test_works_on_regular_topologies_too(self, mesh44, rng):
+        router = TableRouter(mesh44)
+        select = RandomPolicy(rng).binder()
+        path = walk_route(mesh44, router, 0, 15, select)
+        assert len(path) - 1 == mesh44.min_hops(0, 15)

@@ -1,0 +1,161 @@
+"""Unit tests for turn-model routing (west-first, north-last, negative-first)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError, UnroutablePacketError
+from repro.routing import (
+    DimensionOrderRouter,
+    NegativeFirstRouter,
+    NorthLastRouter,
+    WestFirstRouter,
+    walk_route,
+)
+from repro.routing.selection import RandomPolicy
+from repro.topology import Hypercube, Mesh
+
+from tests.conftest import first_candidate
+
+
+def build_figure2b_mesh():
+    """4x4 mesh with the east links of S1 (2,0) and S2 (0,0) failed."""
+    mesh = Mesh((4, 4))
+    s1, s2, d = mesh.index((2, 0)), mesh.index((0, 0)), mesh.index((1, 2))
+    mesh.fail_link(s1, mesh.index((2, 1)))
+    mesh.fail_link(s2, mesh.index((0, 1)))
+    return mesh, s1, s2, d
+
+
+class TestWestFirst:
+    def test_routes_figure2b_pattern(self, rng):
+        # Paper Figure 2(b): XY fails, west-first succeeds by moving
+        # north/south first, then east.
+        mesh, s1, s2, d = build_figure2b_mesh()
+        wf = WestFirstRouter()
+        for src in (s1, s2):
+            path = walk_route(mesh, wf, src, d, RandomPolicy(rng).binder())
+            assert path[-1] == d
+
+    def test_xy_fails_same_pattern(self):
+        mesh, s1, _, d = build_figure2b_mesh()
+        with pytest.raises(UnroutablePacketError):
+            walk_route(mesh, DimensionOrderRouter(axis_order=(1, 0)), s1, d,
+                       first_candidate)
+
+    def test_west_leg_is_deterministic(self, mesh44):
+        # While the destination is west, the only candidate is the west hop.
+        wf = WestFirstRouter()
+        from repro.routing.base import RouteState
+
+        state = RouteState(mesh44.index((0, 0)))
+        options = wf.candidates(mesh44, mesh44.index((3, 3)), state)
+        assert options == (mesh44.index((3, 2)),)
+
+    def test_never_proposes_west_after_start(self, mesh44, rng):
+        # From (0,0) to (3,3) the destination is east: no west hop may ever
+        # be proposed.
+        wf = WestFirstRouter()
+        from repro.routing.base import RouteState
+
+        state = RouteState(mesh44.index((3, 3)))
+        for node in mesh44.nodes():
+            for cand in wf.candidates(mesh44, node, state):
+                assert mesh44.coord(cand)[1] >= mesh44.coord(node)[1]
+
+    def test_minimal_paths(self, mesh44, rng):
+        wf = WestFirstRouter()
+        select = RandomPolicy(rng).binder()
+        for src, dst in [(0, 15), (15, 0), (3, 12), (12, 3)]:
+            path = walk_route(mesh44, wf, src, dst, select)
+            assert len(path) - 1 == mesh44.min_hops(src, dst)
+
+    def test_figure2c_forced_final_west_turn_fails(self):
+        """Paper Figure 2(c): when every route must turn west at the node
+        east of D, west-first cannot deliver."""
+        mesh = Mesh((4, 4))
+        d = mesh.index((1, 2))
+        # Isolate D except via its east neighbor (1,3).
+        mesh.fail_link(d, mesh.index((0, 2)))
+        mesh.fail_link(d, mesh.index((2, 2)))
+        mesh.fail_link(d, mesh.index((1, 1)))
+        src = mesh.index((2, 0))
+        with pytest.raises((UnroutablePacketError, Exception)):
+            walk_route(mesh, WestFirstRouter(), src, d, first_candidate)
+
+    def test_requires_2d_mesh(self, cube3):
+        with pytest.raises(RoutingError):
+            WestFirstRouter().validate(cube3)
+
+    def test_nonminimal_variant_misroutes_around_block(self, rng):
+        # Fully blocked profitable hops, non-minimal west-first escapes
+        # south/north/east within budget.
+        mesh = Mesh((4, 4))
+        src, dst = mesh.index((1, 0)), mesh.index((1, 3))
+        mesh.fail_link(src, mesh.index((1, 1)))  # east hop dead
+        wf = WestFirstRouter(minimal=False)
+        path = walk_route(mesh, wf, src, dst, RandomPolicy(rng).binder(),
+                          misroute_budget=6)
+        assert path[-1] == dst
+
+
+class TestNorthLast:
+    def test_routes_simple_pairs(self, mesh44, rng):
+        nl = NorthLastRouter()
+        select = RandomPolicy(rng).binder()
+        for src, dst in [(0, 15), (15, 0), (12, 3)]:
+            path = walk_route(mesh44, nl, src, dst, select)
+            assert len(path) - 1 == mesh44.min_hops(src, dst)
+
+    def test_north_moves_only_when_nothing_else_profits(self, mesh44):
+        from repro.routing.base import RouteState
+
+        nl = NorthLastRouter()
+        # Destination north-east: east must be offered, north must not.
+        state = RouteState(mesh44.index((0, 3)))
+        options = nl.candidates(mesh44, mesh44.index((2, 1)), state)
+        assert options == (mesh44.index((2, 2)),)
+
+    def test_final_leg_is_pure_north(self, mesh44):
+        from repro.routing.base import RouteState
+
+        nl = NorthLastRouter()
+        state = RouteState(mesh44.index((0, 2)))
+        options = nl.candidates(mesh44, mesh44.index((2, 2)), state)
+        assert options == (mesh44.index((1, 2)),)
+
+    def test_requires_2d_mesh(self):
+        with pytest.raises(RoutingError):
+            NorthLastRouter().validate(Mesh((2, 2, 2)))
+
+
+class TestNegativeFirst:
+    def test_all_negative_moves_first(self, mesh44):
+        from repro.routing.base import RouteState
+
+        nf = NegativeFirstRouter()
+        # Destination requires -row and +col: only the negative hop offered.
+        state = RouteState(mesh44.index((0, 3)))
+        options = nf.candidates(mesh44, mesh44.index((2, 1)), state)
+        assert options == (mesh44.index((1, 1)),)
+
+    def test_works_in_3d(self, rng):
+        mesh = Mesh((3, 3, 3))
+        nf = NegativeFirstRouter()
+        select = RandomPolicy(rng).binder()
+        src, dst = mesh.index((2, 0, 2)), mesh.index((0, 2, 0))
+        path = walk_route(mesh, nf, src, dst, select)
+        assert len(path) - 1 == mesh.min_hops(src, dst)
+
+    def test_minimal_on_random_pairs(self, mesh66, rng):
+        nf = NegativeFirstRouter()
+        select = RandomPolicy(rng).binder()
+        for _ in range(30):
+            src, dst = rng.integers(36, size=2)
+            if src == dst:
+                continue
+            path = walk_route(mesh66, nf, int(src), int(dst), select)
+            assert len(path) - 1 == mesh66.min_hops(int(src), int(dst))
+
+    def test_requires_mesh(self, torus44):
+        with pytest.raises(RoutingError):
+            NegativeFirstRouter().validate(torus44)

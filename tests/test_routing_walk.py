@@ -1,0 +1,67 @@
+"""Unit tests for walk_route and RouteState."""
+
+import pytest
+
+from repro.errors import LivelockError, RoutingError, UnroutablePacketError
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter, walk_route
+from repro.routing.base import RouteState
+from repro.topology import Mesh
+
+from tests.conftest import first_candidate
+
+
+class TestRouteState:
+    def test_note_hop_tracks_last_and_misroutes(self):
+        state = RouteState(9, misroute_budget=2)
+        state.note_hop(4, profitable=True)
+        assert state.last_node == 4
+        assert state.misroutes == 0
+        state.note_hop(5, profitable=False)
+        assert state.misroutes == 1
+
+    def test_scratch_is_per_state(self):
+        a, b = RouteState(1), RouteState(1)
+        a.scratch["x"] = 1
+        assert "x" not in b.scratch
+
+
+class TestWalkRoute:
+    def test_trivial_src_equals_dst(self, mesh44):
+        assert walk_route(mesh44, DimensionOrderRouter(), 5, 5, first_candidate) == [5]
+
+    def test_on_hop_fires_once_per_hop(self, mesh44):
+        hops = []
+        path = walk_route(mesh44, DimensionOrderRouter(), 0, 15, first_candidate,
+                          on_hop=lambda u, v: hops.append((u, v)))
+        assert len(hops) == len(path) - 1
+        assert hops == list(zip(path[:-1], path[1:]))
+
+    def test_path_consecutive_nodes_adjacent(self, mesh44):
+        path = walk_route(mesh44, MinimalAdaptiveRouter(), 0, 15, first_candidate)
+        for u, v in zip(path[:-1], path[1:]):
+            assert mesh44.is_neighbor(u, v)
+
+    def test_unroutable_error_carries_context(self, mesh44):
+        src = mesh44.index((0, 0))
+        mesh44.fail_link(src, mesh44.index((0, 1)))
+        mesh44.fail_link(src, mesh44.index((1, 0)))
+        with pytest.raises(UnroutablePacketError) as exc_info:
+            walk_route(mesh44, DimensionOrderRouter(), src, 15, first_candidate)
+        assert exc_info.value.current == src
+        assert exc_info.value.destination == 15
+
+    def test_selection_must_return_candidate(self, mesh44):
+        with pytest.raises(RoutingError):
+            walk_route(mesh44, DimensionOrderRouter(), 0, 15,
+                       lambda cands, cur: 99)
+
+    def test_max_hops_livelock(self, mesh44):
+        # max_hops below the real distance forces the guard.
+        with pytest.raises(LivelockError):
+            walk_route(mesh44, DimensionOrderRouter(), 0, 15, first_candidate,
+                       max_hops=2)
+
+    def test_default_max_hops_generous(self, mesh44):
+        # Default budget is comfortably above the diameter.
+        path = walk_route(mesh44, DimensionOrderRouter(), 0, 15, first_candidate)
+        assert len(path) - 1 <= 4 * mesh44.diameter() + 16

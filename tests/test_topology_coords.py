@@ -1,0 +1,103 @@
+"""Unit tests for coordinate algebra."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.coords import (
+    coord_to_index,
+    index_to_coord,
+    manhattan,
+    minimal_signed_residue,
+    torus_distance_vector,
+    torus_hop_distance,
+    vector_add,
+    vector_sub,
+)
+
+
+class TestIndexing:
+    def test_roundtrip_3d(self):
+        dims = (3, 4, 5)
+        for index in range(3 * 4 * 5):
+            assert coord_to_index(index_to_coord(index, dims), dims) == index
+
+    def test_lexicographic_last_dim_fastest(self):
+        assert coord_to_index((0, 1), (4, 4)) == 1
+        assert coord_to_index((1, 0), (4, 4)) == 4
+        assert coord_to_index((2, 3), (4, 4)) == 11
+
+    def test_out_of_bounds(self):
+        with pytest.raises(TopologyError):
+            coord_to_index((4, 0), (4, 4))
+        with pytest.raises(TopologyError):
+            index_to_coord(16, (4, 4))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TopologyError):
+            coord_to_index((1, 1, 1), (4, 4))
+
+
+class TestVectorOps:
+    def test_add_sub_inverse(self):
+        a, b = (3, -2, 7), (1, 5, -4)
+        assert vector_sub(vector_add(a, b), b) == a
+
+    def test_manhattan(self):
+        assert manhattan((0, 0)) == 0
+        assert manhattan((-3, 2)) == 5
+
+    def test_arity_checked(self):
+        with pytest.raises(TopologyError):
+            vector_add((1,), (1, 2))
+
+
+class TestMinimalResidue:
+    def test_within_half(self):
+        assert minimal_signed_residue(1, 8) == 1
+        assert minimal_signed_residue(-3, 8) == -3
+
+    def test_folds_long_way(self):
+        assert minimal_signed_residue(7, 8) == -1
+        assert minimal_signed_residue(-7, 8) == 1
+
+    def test_even_tie_positive(self):
+        assert minimal_signed_residue(4, 8) == 4
+        assert minimal_signed_residue(-4, 8) == 4
+
+    def test_odd_modulus(self):
+        assert minimal_signed_residue(3, 5) == -2
+        assert minimal_signed_residue(2, 5) == 2
+
+    def test_mod_one(self):
+        assert minimal_signed_residue(17, 1) == 0
+
+    def test_preserves_congruence_class(self):
+        for k in (3, 4, 5, 8):
+            for d in range(-20, 21):
+                r = minimal_signed_residue(d, k)
+                assert (r - d) % k == 0
+                assert abs(r) <= k // 2
+
+    def test_invalid_modulus(self):
+        with pytest.raises(TopologyError):
+            minimal_signed_residue(1, 0)
+
+
+class TestTorusHelpers:
+    def test_distance_vector_prefers_short_way(self):
+        assert torus_distance_vector((0, 0), (3, 3), (4, 4)) == (-1, -1)
+        assert torus_distance_vector((0, 0), (1, 1), (4, 4)) == (1, 1)
+
+    def test_hop_distance_wrap(self):
+        assert torus_hop_distance(3, 0, 4) == 1   # wrap forward
+        assert torus_hop_distance(0, 3, 4) == -1  # wrap backward
+        assert torus_hop_distance(1, 2, 4) == 1
+        assert torus_hop_distance(2, 1, 4) == -1
+
+    def test_hop_distance_rejects_non_neighbors(self):
+        with pytest.raises(TopologyError):
+            torus_hop_distance(0, 2, 5)
+
+    def test_hop_distance_rejects_trivial_ring(self):
+        with pytest.raises(TopologyError):
+            torus_hop_distance(0, 0, 1)

@@ -1,0 +1,99 @@
+"""Unit tests for the fat-tree (paper §6.3 indirect-network counterpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.marking import DpmScheme
+from repro.marking.ddpm_layout import DdpmLayout
+from repro.routing import TableRouter, walk_route
+from repro.routing.selection import RandomPolicy
+from repro.topology import FatTree
+from repro.topology.properties import diameter, is_connected
+
+
+@pytest.fixture
+def ft4():
+    return FatTree(4)
+
+
+class TestShape:
+    def test_k4_counts(self, ft4):
+        # k=4: 16 hosts, 8 edge, 8 agg, 4 core = 36 nodes.
+        assert ft4.num_hosts == 16
+        assert ft4.num_nodes == 36
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTree(3)
+
+    def test_tiers(self, ft4):
+        assert ft4.tier_of(0) == "host"
+        assert ft4.tier_of(16) == "edge"
+        assert ft4.tier_of(24) == "aggregation"
+        assert ft4.tier_of(32) == "core"
+        with pytest.raises(TopologyError):
+            ft4.tier_of(36)
+
+    def test_host_degree_is_one(self, ft4):
+        for host in ft4.hosts():
+            assert len(ft4.neighbors(host)) == 1
+            assert ft4.tier_of(ft4.neighbors(host)[0]) == "edge"
+
+    def test_edge_switch_degree(self, ft4):
+        # k/2 hosts + k/2 aggregation uplinks.
+        for node in range(16, 24):
+            assert len(ft4.neighbors(node)) == 4
+
+    def test_core_connects_all_pods(self, ft4):
+        for core in range(32, 36):
+            pods = {ft4.pod_of(agg) for agg in ft4.neighbors(core)}
+            assert pods == {0, 1, 2, 3}
+
+    def test_connected_and_diameter(self, ft4):
+        assert is_connected(ft4)
+        # host -> edge -> agg -> core -> agg -> edge -> host.
+        assert diameter(ft4) == 6
+
+    def test_pod_of_core_rejected(self, ft4):
+        with pytest.raises(TopologyError):
+            ft4.pod_of(32)
+
+
+class TestRoutingOnFatTree:
+    def test_table_routing_host_to_host(self, ft4, rng):
+        router = TableRouter(ft4)
+        select = RandomPolicy(rng).binder()
+        # Cross-pod pair must climb to the core: 6 hops.
+        src, dst = 0, 15
+        path = walk_route(ft4, router, src, dst, select)
+        assert len(path) - 1 == 6
+        tiers = [ft4.tier_of(n) for n in path]
+        assert "core" in tiers
+
+    def test_same_edge_pair_is_two_hops(self, ft4, rng):
+        router = TableRouter(ft4)
+        path = walk_route(ft4, router, 0, 1, RandomPolicy(rng).binder())
+        assert len(path) - 1 == 2  # host -> edge -> host
+
+    def test_multipath_diversity_across_core(self, ft4):
+        router = TableRouter(ft4)
+        rng = np.random.default_rng(0)
+        select = RandomPolicy(rng).binder()
+        paths = {tuple(walk_route(ft4, router, 0, 15, select))
+                 for _ in range(60)}
+        assert len(paths) > 2  # ECMP-style diversity
+
+
+class TestPaperSection63:
+    def test_ddpm_structurally_unavailable(self, ft4):
+        from repro.errors import MarkingError
+
+        with pytest.raises(MarkingError):
+            DdpmLayout.for_topology(ft4)
+
+    def test_dpm_still_works(self, ft4):
+        # Label-based schemes only need unique switch indexes.
+        scheme = DpmScheme()
+        scheme.attach(ft4)
+        assert scheme.node_bit(0) in (0, 1)

@@ -1,0 +1,81 @@
+"""Unit tests for the hybrid ClusterMesh topology (§6.3)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import ClusterMesh
+from repro.topology.properties import diameter, is_connected
+
+
+@pytest.fixture
+def cm():
+    """3x3 mesh backbone, 4 hosts per switch: 36 hosts + 9 switches."""
+    return ClusterMesh((3, 3), hosts_per_switch=4)
+
+
+class TestShape:
+    def test_counts(self, cm):
+        assert cm.num_hosts == 36
+        assert cm.num_nodes == 45
+
+    def test_host_degree_one(self, cm):
+        for host in cm.hosts():
+            assert len(cm.neighbors(host)) == 1
+
+    def test_switch_degree(self, cm):
+        # Center backbone switch: 4 hosts + 4 backbone links.
+        center = cm.num_hosts + 4  # backbone index 4 = (1,1)
+        assert len(cm.neighbors(center)) == 8
+
+    def test_connected(self, cm):
+        assert is_connected(cm)
+
+    def test_diameter(self, cm):
+        # host -> switch -> (backbone diameter 4) -> switch -> host.
+        assert diameter(cm) == 6
+
+    def test_torus_backbone(self):
+        cm = ClusterMesh((4, 4), hosts_per_switch=2, wraparound=True)
+        assert cm.backbone.kind == "torus"
+        assert diameter(cm) == 4 + 2
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            ClusterMesh((3, 3), hosts_per_switch=0)
+
+
+class TestAccessors:
+    def test_switch_host_roundtrip(self, cm):
+        for host in cm.hosts():
+            switch = cm.switch_of(host)
+            assert cm.is_backbone(switch)
+            backbone_local = cm.backbone_index(switch)
+            assert cm.host_at(backbone_local, cm.port_of(host)) == host
+
+    def test_hosts_of_same_switch_share_it(self, cm):
+        assert cm.switch_of(0) == cm.switch_of(3)
+        assert cm.switch_of(0) != cm.switch_of(4)
+
+    def test_type_guards(self, cm):
+        switch = cm.num_hosts
+        with pytest.raises(TopologyError):
+            cm.switch_of(switch)
+        with pytest.raises(TopologyError):
+            cm.port_of(switch)
+        with pytest.raises(TopologyError):
+            cm.backbone_index(0)
+        with pytest.raises(TopologyError):
+            cm.host_at(0, 99)
+
+    def test_is_host_is_backbone_partition(self, cm):
+        for node in cm.nodes():
+            assert cm.is_host(node) != cm.is_backbone(node)
+
+
+class TestDdpmUnavailableDirectly:
+    def test_plain_ddpm_refuses(self, cm):
+        from repro.errors import MarkingError
+        from repro.marking.ddpm_layout import DdpmLayout
+
+        with pytest.raises(MarkingError):
+            DdpmLayout.for_topology(cm)

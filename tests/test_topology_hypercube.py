@@ -1,0 +1,127 @@
+"""Unit tests for the hypercube topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Hypercube
+from repro.topology.properties import bfs_distances, diameter
+from repro.util.bitops import popcount
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert Hypercube(3).num_nodes == 8
+        assert Hypercube(5).num_nodes == 32
+
+    def test_n_must_be_positive(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Hypercube(0)
+
+
+class TestNeighbors:
+    def test_degree_is_n_everywhere(self):
+        cube = Hypercube(4)
+        for node in cube.nodes():
+            assert len(cube.neighbors(node)) == 4
+
+    def test_neighbors_differ_in_one_bit(self):
+        cube = Hypercube(4)
+        for node in cube.nodes():
+            for nb in cube.neighbors(node):
+                assert popcount(node ^ nb) == 1
+
+    def test_ordered_by_axis_msb_first(self):
+        cube = Hypercube(3)
+        # Axis 0 is the most significant bit (coordinate convention).
+        assert cube.neighbors(0) == (0b100, 0b010, 0b001)
+
+    def test_edge_count(self):
+        # n-cube: n * 2^(n-1) links.
+        assert len(Hypercube(4).to_edge_list()) == 4 * 8
+
+
+class TestMetrics:
+    def test_paper_degree_and_diameter(self):
+        # Paper: "Its degree and diameter is n."
+        for n in (3, 4, 5):
+            cube = Hypercube(n)
+            assert cube.degree() == n
+            assert cube.diameter() == n
+
+    def test_diameter_matches_bfs(self):
+        assert Hypercube(4).diameter() == diameter(Hypercube(4))
+
+    def test_min_hops_is_hamming(self):
+        cube = Hypercube(4)
+        dist = bfs_distances(cube, 0b0110)
+        for node, d in dist.items():
+            assert cube.min_hops(0b0110, node) == d == popcount(0b0110 ^ node)
+
+
+class TestBitHelpers:
+    def test_bit_of(self):
+        cube = Hypercube(3)
+        assert cube.bit_of(0b101, 0) == 1
+        assert cube.bit_of(0b101, 1) == 0
+        assert cube.bit_of(0b101, 2) == 1
+
+    def test_bit_of_bad_axis(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).bit_of(0, 3)
+
+    def test_step_toggles_bit_regardless_of_direction(self):
+        cube = Hypercube(3)
+        assert cube.step(0b000, 0, 1) == 0b100
+        assert cube.step(0b000, 0, -1) == 0b100
+        assert cube.step(0b100, 2, 1) == 0b101
+
+
+class TestOffsetAlgebra:
+    def test_distance_vector_is_xor_bits(self):
+        cube = Hypercube(3)
+        assert cube.distance_vector(0b110, 0b000) == (1, 1, 0)
+
+    def test_hop_delta_one_hot(self):
+        cube = Hypercube(3)
+        assert cube.hop_delta(0b110, 0b010) == (1, 0, 0)
+        with pytest.raises(TopologyError):
+            cube.hop_delta(0b110, 0b000)
+
+    def test_combine_is_xor(self):
+        cube = Hypercube(3)
+        assert cube.combine_offsets((1, 0, 1), (1, 1, 0)) == (0, 1, 1)
+
+    def test_resolve_source_all_pairs(self):
+        cube = Hypercube(4)
+        for src in cube.nodes():
+            for dst in cube.nodes():
+                v = cube.distance_vector(src, dst)
+                assert cube.resolve_source(dst, v) == src
+
+    def test_resolve_rejects_non_bits(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).resolve_source(0, (2, 0, 0))
+
+
+class TestPaperWalkthrough:
+    def test_figure3c_vector_sequence(self):
+        """Paper §5: 3-cube walk with vector evolution (1,0,0),(1,0,1),
+        (0,0,1),(0,1,1),(0,1,0),(1,1,0), then S = D XOR V = (1,1,0)."""
+        cube = Hypercube(3)
+        src = cube.index((1, 1, 0))
+        deltas = [(1, 0, 0), (0, 0, 1), (1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 0, 0)]
+        expected = [(1, 0, 0), (1, 0, 1), (0, 0, 1), (0, 1, 1), (0, 1, 0), (1, 1, 0)]
+        v = cube.identity_offset()
+        node = src
+        seen = []
+        for delta in deltas:
+            axis = delta.index(1)
+            nxt = cube.step(node, axis, 1)
+            v = cube.combine_offsets(v, cube.hop_delta(node, nxt))
+            seen.append(v)
+            node = nxt
+        assert seen == expected
+        assert node == cube.index((0, 0, 0))
+        assert cube.resolve_source(node, v) == src

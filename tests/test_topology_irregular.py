@@ -1,0 +1,73 @@
+"""Unit tests for irregular topologies (paper §6.3)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import IrregularTopology
+
+
+@pytest.fixture
+def tri():
+    """Triangle plus a pendant: 0-1, 1-2, 2-0, 2-3."""
+    return IrregularTopology(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestConstruction:
+    def test_neighbors(self, tri):
+        assert tri.neighbors(2) == (0, 1, 3)
+        assert tri.neighbors(3) == (2,)
+
+    def test_duplicate_edges_collapse(self):
+        topo = IrregularTopology(3, [(0, 1), (1, 0), (1, 2)])
+        assert len(topo.to_edge_list()) == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            IrregularTopology(3, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            IrregularTopology(3, [(0, 3)])
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(TopologyError):
+            IrregularTopology(3, [])
+
+
+class TestMetrics:
+    def test_degree(self, tri):
+        assert tri.degree() == 3
+
+    def test_diameter(self, tri):
+        assert tri.diameter() == 2
+
+    def test_min_hops(self, tri):
+        assert tri.min_hops(0, 3) == 2
+        assert tri.min_hops(1, 1) == 0
+
+
+class TestDdpmUnsupported:
+    """The paper's §6.3 point: no coordinate regularity, no DDPM."""
+
+    def test_distance_vector_raises(self, tri):
+        with pytest.raises(TopologyError):
+            tri.distance_vector(0, 3)
+
+    def test_hop_delta_raises(self, tri):
+        with pytest.raises(TopologyError):
+            tri.hop_delta(0, 1)
+
+    def test_resolve_source_raises(self, tri):
+        with pytest.raises(TopologyError):
+            tri.resolve_source(0, (1,))
+
+    def test_step_raises(self, tri):
+        with pytest.raises(TopologyError):
+            tri.step(0, 0, 1)
+
+    def test_ddpm_layout_refuses(self, tri):
+        from repro.errors import MarkingError
+        from repro.marking.ddpm_layout import DdpmLayout
+
+        with pytest.raises(MarkingError):
+            DdpmLayout.for_topology(tri)

@@ -1,0 +1,77 @@
+"""Unit tests for link failure bookkeeping."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Mesh
+from repro.topology.links import LinkSet, canonical_link
+
+
+class TestCanonical:
+    def test_orders_pair(self):
+        assert canonical_link(5, 2) == (2, 5)
+        assert canonical_link(2, 5) == (2, 5)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            canonical_link(3, 3)
+
+
+class TestLinkSet:
+    def test_duplicates_collapse(self):
+        links = LinkSet([(0, 1), (1, 0), (1, 2)])
+        assert len(links) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            LinkSet([])
+
+    def test_fail_and_restore(self):
+        links = LinkSet([(0, 1), (1, 2)])
+        assert links.is_up(0, 1)
+        links.fail(1, 0)  # either order
+        assert not links.is_up(0, 1)
+        assert links.exists(0, 1)
+        assert links.failed_links == frozenset({(0, 1)})
+        links.restore(0, 1)
+        assert links.is_up(0, 1)
+
+    def test_fail_nonexistent_rejected(self):
+        links = LinkSet([(0, 1)])
+        with pytest.raises(TopologyError):
+            links.fail(0, 2)
+
+    def test_restore_unfailed_rejected(self):
+        links = LinkSet([(0, 1)])
+        with pytest.raises(TopologyError):
+            links.restore(0, 1)
+
+    def test_live_links(self):
+        links = LinkSet([(0, 1), (1, 2), (2, 3)])
+        links.fail(1, 2)
+        assert links.live_links() == frozenset({(0, 1), (2, 3)})
+
+    def test_restore_all(self):
+        links = LinkSet([(0, 1), (1, 2)])
+        links.fail(0, 1)
+        links.fail(1, 2)
+        links.restore_all()
+        assert links.failed_links == frozenset()
+
+
+class TestTopologyIntegration:
+    def test_failed_link_hides_neighbor(self):
+        mesh = Mesh((4, 4))
+        a, b = mesh.index((0, 0)), mesh.index((0, 1))
+        mesh.fail_link(a, b)
+        assert b not in mesh.neighbors(a)
+        assert b in mesh.neighbors(a, include_failed=True)
+        mesh.restore_link(a, b)
+        assert b in mesh.neighbors(a)
+
+    def test_edge_list_excludes_failed_by_default(self):
+        mesh = Mesh((3, 3))
+        total = len(mesh.to_edge_list())
+        mesh.fail_link(0, 1)
+        assert len(mesh.to_edge_list()) == total - 1
+        assert len(mesh.to_edge_list(include_failed=True)) == total

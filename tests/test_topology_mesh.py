@@ -1,0 +1,148 @@
+"""Unit tests for the mesh topology."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Mesh
+from repro.topology.properties import bfs_distances, diameter
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert Mesh((4, 4)).num_nodes == 16
+        assert Mesh((2, 3, 4)).num_nodes == 24
+
+    def test_single_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh((1,))
+
+    def test_bad_dims_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Mesh((4, 0))
+
+
+class TestNeighbors:
+    def test_interior_node_has_2n_neighbors(self):
+        mesh = Mesh((4, 4))
+        interior = mesh.index((1, 1))
+        assert len(mesh.neighbors(interior)) == 4
+
+    def test_corner_has_n_neighbors(self):
+        mesh = Mesh((4, 4))
+        assert len(mesh.neighbors(mesh.index((0, 0)))) == 2
+
+    def test_neighbors_differ_in_one_coordinate_by_one(self):
+        mesh = Mesh((3, 3, 3))
+        for node in mesh.nodes():
+            for nb in mesh.neighbors(node):
+                diff = [abs(a - b) for a, b in
+                        zip(mesh.coord(node), mesh.coord(nb))]
+                assert sum(diff) == 1
+
+    def test_no_wraparound(self):
+        mesh = Mesh((4, 4))
+        west_edge = mesh.index((2, 0))
+        east_edge = mesh.index((2, 3))
+        assert east_edge not in mesh.neighbors(west_edge)
+
+    def test_symmetry(self):
+        mesh = Mesh((3, 5))
+        for node in mesh.nodes():
+            for nb in mesh.neighbors(node):
+                assert node in mesh.neighbors(nb)
+
+
+class TestMetrics:
+    def test_paper_figure1a_values(self):
+        # Paper: 4x4 2-D mesh has degree four and diameter six.
+        mesh = Mesh((4, 4))
+        assert mesh.degree() == 4
+        assert mesh.diameter() == 6
+
+    def test_degree_matches_graph(self):
+        mesh = Mesh((4, 5))
+        assert mesh.degree() == max(len(mesh.neighbors(n)) for n in mesh.nodes())
+
+    def test_diameter_matches_bfs(self):
+        mesh = Mesh((3, 4))
+        assert mesh.diameter() == diameter(mesh)
+
+    def test_min_hops_equals_bfs(self):
+        mesh = Mesh((3, 4))
+        dist = bfs_distances(mesh, 0)
+        for node, d in dist.items():
+            assert mesh.min_hops(0, node) == d
+
+
+class TestStep:
+    def test_step_moves_one(self):
+        mesh = Mesh((4, 4))
+        node = mesh.index((1, 1))
+        assert mesh.coord(mesh.step(node, 0, 1)) == (2, 1)
+        assert mesh.coord(mesh.step(node, 1, -1)) == (1, 0)
+
+    def test_step_off_edge_is_none(self):
+        mesh = Mesh((4, 4))
+        assert mesh.step(mesh.index((0, 0)), 0, -1) is None
+        assert mesh.step(mesh.index((3, 3)), 1, 1) is None
+
+    def test_step_invalid_axis(self):
+        mesh = Mesh((4, 4))
+        with pytest.raises(TopologyError):
+            mesh.step(0, 2, 1)
+
+    def test_step_invalid_direction(self):
+        mesh = Mesh((4, 4))
+        with pytest.raises(TopologyError):
+            mesh.step(0, 0, 2)
+
+
+class TestOffsetAlgebra:
+    def test_distance_vector_is_plain_difference(self):
+        mesh = Mesh((4, 4))
+        src, dst = mesh.index((1, 1)), mesh.index((2, 3))
+        assert mesh.distance_vector(src, dst) == (1, 2)
+
+    def test_hop_delta_unit_vectors(self):
+        mesh = Mesh((4, 4))
+        u = mesh.index((1, 1))
+        assert mesh.hop_delta(u, mesh.index((1, 2))) == (0, 1)
+        assert mesh.hop_delta(u, mesh.index((0, 1))) == (-1, 0)
+
+    def test_hop_delta_rejects_non_hop(self):
+        mesh = Mesh((4, 4))
+        with pytest.raises(TopologyError):
+            mesh.hop_delta(0, 5)  # diagonal
+
+    def test_resolve_source_inverts_distance_vector(self):
+        mesh = Mesh((4, 5))
+        for src in mesh.nodes():
+            for dst in (0, 7, 19):
+                v = mesh.distance_vector(src, dst)
+                assert mesh.resolve_source(dst, v) == src
+
+    def test_resolve_source_out_of_mesh_rejected(self):
+        mesh = Mesh((4, 4))
+        with pytest.raises(TopologyError):
+            mesh.resolve_source(0, (1, 1))  # source would be (-1, -1)
+
+    def test_identity_offset(self):
+        assert Mesh((4, 4)).identity_offset() == (0, 0)
+
+    def test_combine_is_addition(self):
+        mesh = Mesh((4, 4))
+        assert mesh.combine_offsets((1, -1), (0, 1)) == (1, 0)
+
+
+class TestExport:
+    def test_edge_count_2d(self):
+        # n x m mesh: m(n-1) + n(m-1) undirected links.
+        mesh = Mesh((4, 4))
+        assert len(mesh.to_edge_list()) == 2 * 4 * 3
+
+    def test_networkx_roundtrip(self):
+        nx_graph = Mesh((3, 3)).to_networkx()
+        assert nx_graph.number_of_nodes() == 9
+        assert nx_graph.number_of_edges() == 12

@@ -1,0 +1,155 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+
+from repro.util.bitops import (
+    bit_length_for,
+    bit_positions,
+    bits_required_signed,
+    bits_required_unsigned,
+    extract_bits,
+    gray_decode,
+    gray_encode,
+    hamming_distance,
+    insert_bits,
+    lowest_set_bit,
+    popcount,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(0xFFFF) == 16
+
+    def test_single_bits(self):
+        for i in range(30):
+            assert popcount(1 << i) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming_distance(0b1010, 0b1010) == 0
+
+    def test_complement(self):
+        assert hamming_distance(0b1111, 0b0000) == 4
+
+    def test_symmetry(self):
+        assert hamming_distance(13, 27) == hamming_distance(27, 13)
+
+
+class TestLowestSetBit:
+    def test_powers(self):
+        for i in range(20):
+            assert lowest_set_bit(1 << i) == i
+
+    def test_mixed(self):
+        assert lowest_set_bit(0b1011000) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lowest_set_bit(0)
+
+
+class TestBitPositions:
+    def test_empty(self):
+        assert bit_positions(0) == []
+
+    def test_mixed(self):
+        assert bit_positions(0b10110) == [1, 2, 4]
+
+
+class TestBitLengthFor:
+    def test_one_item_needs_zero_bits(self):
+        assert bit_length_for(1) == 0
+
+    def test_powers_of_two(self):
+        assert bit_length_for(2) == 1
+        assert bit_length_for(16) == 4
+        assert bit_length_for(17) == 5
+
+    def test_paper_mesh_labels(self):
+        # 4x4 mesh: 16 nodes need 4 bits (paper Figure 3 labels).
+        assert bit_length_for(16) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bit_length_for(0)
+
+
+class TestBitsRequired:
+    def test_unsigned(self):
+        assert bits_required_unsigned(0) == 1
+        assert bits_required_unsigned(255) == 8
+        assert bits_required_unsigned(256) == 9
+
+    def test_signed_symmetric(self):
+        assert bits_required_signed(-8, 7) == 4
+        assert bits_required_signed(-9, 7) == 5
+
+    def test_signed_positive_only(self):
+        assert bits_required_signed(0, 127) == 8
+
+    def test_empty_range(self):
+        with pytest.raises(ValueError):
+            bits_required_signed(5, 4)
+
+
+class TestTwosComplement:
+    @pytest.mark.parametrize("value", [-128, -1, 0, 1, 127])
+    def test_roundtrip_8bit(self, value):
+        assert to_signed(to_unsigned(value, 8), 8) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            to_unsigned(128, 8)
+        with pytest.raises(ValueError):
+            to_unsigned(-129, 8)
+
+    def test_known_encodings(self):
+        assert to_unsigned(-1, 8) == 0xFF
+        assert to_unsigned(-128, 8) == 0x80
+
+    def test_to_signed_rejects_wide_words(self):
+        with pytest.raises(ValueError):
+            to_signed(256, 8)
+
+
+class TestBitSlices:
+    def test_extract(self):
+        assert extract_bits(0b1101_0110, 1, 3) == 0b011
+
+    def test_insert_then_extract(self):
+        word = insert_bits(0, 4, 5, 0b10101)
+        assert extract_bits(word, 4, 5) == 0b10101
+
+    def test_insert_preserves_other_bits(self):
+        word = 0xFFFF
+        word = insert_bits(word, 4, 4, 0)
+        assert word == 0xFF0F
+
+    def test_insert_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            insert_bits(0, 0, 3, 8)
+
+
+class TestGray:
+    def test_roundtrip(self):
+        for value in range(512):
+            assert gray_decode(gray_encode(value)) == value
+
+    def test_adjacent_values_differ_one_bit(self):
+        for value in range(255):
+            diff = gray_encode(value) ^ gray_encode(value + 1)
+            assert popcount(diff) == 1
+
+    def test_known_sequence(self):
+        assert [gray_encode(i) for i in range(4)] == [0b00, 0b01, 0b11, 0b10]

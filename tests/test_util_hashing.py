@@ -1,0 +1,48 @@
+"""Unit tests for repro.util.hashing."""
+
+import pytest
+
+from repro.util.hashing import hash_bits, hash_edge, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_64bit_range(self):
+        for v in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(v) < 2**64
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        a, b = splitmix64(1000), splitmix64(1001)
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+    def test_distinct_inputs_distinct_outputs_smallrange(self):
+        outputs = {splitmix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+
+class TestHashEdge:
+    def test_order_sensitive(self):
+        assert hash_edge(1, 2) != hash_edge(2, 1)
+
+    def test_deterministic(self):
+        assert hash_edge(5, 9) == hash_edge(5, 9)
+
+
+class TestHashBits:
+    def test_width(self):
+        for bits in (1, 8, 16, 64):
+            assert 0 <= hash_bits(123, bits) < (1 << bits)
+
+    def test_one_bit_balanced(self):
+        ones = sum(hash_bits(i, 1) for i in range(2000))
+        assert 800 <= ones <= 1200  # roughly fair coin
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            hash_bits(1, 0)
+        with pytest.raises(ValueError):
+            hash_bits(1, 65)

@@ -1,0 +1,52 @@
+"""Unit tests for repro.util.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.util.serialization import read_json, to_jsonable, write_csv, write_json
+
+
+class TestToJsonable:
+    def test_builtins_pass_through(self):
+        assert to_jsonable({"a": 1, "b": [1.5, "x", None, True]}) == {
+            "a": 1, "b": [1.5, "x", None, True]
+        }
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(7)) == 7
+        assert to_jsonable(np.float64(2.5)) == 2.5
+
+    def test_numpy_arrays(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_tuples_and_sets_become_lists(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert sorted(to_jsonable({3, 1})) == [1, 3]
+
+    def test_namedtuple_via_asdict(self):
+        from collections import namedtuple
+
+        Point = namedtuple("Point", "x y")
+        assert to_jsonable(Point(1, 2)) == {"x": 1, "y": 2}
+
+
+class TestJsonRoundtrip:
+    def test_write_and_read(self, tmp_path):
+        records = [{"k": 1, "v": [1, 2, 3]}]
+        path = write_json(records, tmp_path / "out" / "r.json")
+        assert read_json(path) == records
+
+
+class TestCsv:
+    def test_union_of_keys_in_order(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2, "a": 3}]
+        path = write_csv(rows, tmp_path / "r.csv")
+        text = path.read_text().splitlines()
+        assert text[0] == "a,b"
+        assert text[1] == "1,"
+        assert text[2] == "3,2"
+
+    def test_explicit_fieldnames(self, tmp_path):
+        rows = [{"a": 1, "b": 2}]
+        path = write_csv(rows, tmp_path / "r.csv", fieldnames=["b", "a"])
+        assert path.read_text().splitlines()[0] == "b,a"

@@ -1,0 +1,40 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import TextTable
+
+
+class TestTextTable:
+    def test_renders_header_and_rows(self):
+        table = TextTable(["A", "B"])
+        table.add_row([1, "xy"])
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("A")
+        assert "-+-" in lines[1]
+        assert "xy" in lines[2]
+
+    def test_title_appears_first(self):
+        table = TextTable(["A"], title="Table 3")
+        table.add_row(["v"])
+        assert table.render().splitlines()[0] == "Table 3"
+
+    def test_columns_align(self):
+        table = TextTable(["name", "n"])
+        table.add_row(["very-long-name", 1])
+        table.add_row(["x", 22])
+        lines = table.render().splitlines()
+        # Column separator positions match across all rows.
+        positions = [line.index("|") for line in lines if "|" in line]
+        assert len(set(positions)) == 1
+
+    def test_arity_mismatch_rejected(self):
+        table = TextTable(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_str_equals_render(self):
+        table = TextTable(["A"])
+        table.add_row(["x"])
+        assert str(table) == table.render()

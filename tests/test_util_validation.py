@@ -1,0 +1,68 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_sequence_of_positive_ints,
+)
+
+
+class TestPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True, None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "x")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, False])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(bad, "x")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1, 1.0])
+    def test_accepts(self, value):
+        assert check_probability(value, "p") == float(value)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, "half", None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability(bad, "p")
+
+
+class TestInRange:
+    def test_boundaries_inclusive(self):
+        assert check_in_range(0, "x", 0, 10) == 0.0
+        assert check_in_range(10, "x", 0, 10) == 10.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(10.5, "x", 0, 10)
+
+
+class TestSequence:
+    def test_accepts_tuple_and_list(self):
+        assert check_sequence_of_positive_ints([4, 4], "dims") == (4, 4)
+        assert check_sequence_of_positive_ints((2, 3, 4), "dims") == (2, 3, 4)
+
+    @pytest.mark.parametrize("bad", [[], "44", [4, 0], [4, 2.5], None, [True]])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_sequence_of_positive_ints(bad, "dims")
+
+    def test_error_names_offending_index(self):
+        with pytest.raises(ConfigurationError, match=r"dims\[1\]"):
+            check_sequence_of_positive_ints([4, -1], "dims")
