@@ -4,6 +4,11 @@ Runs the full DDoS-and-identify experiment matrix (scheme x routing) on the
 event-driven fabric and reports precision/recall. Expected shape: DDPM
 exact everywhere; PPM exact only with deterministic routing; DPM ambiguous
 always, worse when adaptive.
+
+The matrix is a :class:`SweepSpec` executed by the shared ``runner``
+fixture, so it parallelizes over ``REPRO_BENCH_JOBS`` workers and, with
+``REPRO_BENCH_CACHE`` set, a repeated run simulates nothing (the report's
+``simulated 0`` line).
 """
 
 from repro.core import (
@@ -12,8 +17,8 @@ from repro.core import (
     RoutingSpec,
     SelectionSpec,
     TopologySpec,
-    run_identification_experiment,
 )
+from repro.runner import SweepSpec
 from repro.util.tables import TextTable
 
 ROUTINGS = [
@@ -24,35 +29,41 @@ ROUTINGS = [
 ]
 MARKINGS = ["ppm-full", "dpm", "ddpm"]
 
+BASE = ExperimentConfig(
+    topology=TopologySpec("mesh", (6, 6)),
+    routing=RoutingSpec("xy"),
+    marking=MarkingSpec("ddpm", probability=0.2),
+    num_attackers=3, duration=2.0,
+    attack_rate_per_node=40.0, background_rate=2.0,
+)
 
-def _matrix(seed=42):
-    rows = []
-    for routing, selection in ROUTINGS:
-        for marking in MARKINGS:
-            config = ExperimentConfig(
-                topology=TopologySpec("mesh", (6, 6)),
-                routing=RoutingSpec(routing),
-                marking=MarkingSpec(marking, probability=0.2),
-                selection=selection,
-                seed=seed, num_attackers=3, duration=2.0,
-                attack_rate_per_node=40.0, background_rate=2.0,
-            )
-            result = run_identification_experiment(config)
-            rows.append((routing, marking, result.score.precision,
-                         result.score.recall, result.score.f1,
-                         len(result.suspects)))
-    return rows
+# Selection rides along with routing (deterministic routing uses 'first'),
+# so the matrix is an explicit override list rather than a plain grid.
+SWEEP = SweepSpec(
+    base=BASE,
+    overrides=tuple(
+        {"routing": routing, "selection": selection,
+         "marking": MarkingSpec(marking, probability=0.2)}
+        for routing, selection in ROUTINGS
+        for marking in MARKINGS
+    ),
+    seeds=(42,),
+)
 
 
-def test_claim_a3_scheme_routing_matrix(benchmark, report):
-    rows = benchmark.pedantic(_matrix, rounds=1, iterations=1)
+def test_claim_a3_scheme_routing_matrix(benchmark, report, runner):
+    sweep_report = benchmark.pedantic(runner.run_sweep, args=(SWEEP,),
+                                      rounds=1, iterations=1)
+    rows = [(result.routing, result.marking, result.score.precision,
+             result.score.recall, result.score.f1, len(result.suspects))
+            for result in sweep_report.results]
     table = TextTable(["routing", "scheme", "precision", "recall", "F1",
                        "suspects"])
     for routing, marking, precision, recall, f1, suspects in rows:
         table.add_row([routing, marking, f"{precision:.2f}", f"{recall:.2f}",
                        f"{f1:.2f}", suspects])
     report("Claim A3 - identification quality: scheme x routing matrix",
-           table.render())
+           table.render() + "\n" + sweep_report.describe())
 
     f1 = {(r, m): v for r, m, _, _, v, _ in rows}
     # DDPM: exact everywhere.

@@ -75,30 +75,30 @@ def test_claim_scalability_identify_cost_flat(benchmark, report):
     assert by_name["mesh 128x128 (16384)"] < 4 * by_name["mesh 8x8 (64)"]
 
 
-def test_claim_scalability_full_fabric_1024_nodes(benchmark, report):
-    """End-to-end DDoS on a 1024-node torus through the event-driven fabric."""
-    from repro.network import Fabric
+def test_claim_scalability_full_fabric_1024_nodes(benchmark, report, runner):
+    """End-to-end DDoS on a 1024-node torus through the event-driven fabric,
+    expressed as one declarative config on the experiment runner."""
+    from repro.core import ExperimentConfig, MarkingSpec, RoutingSpec, SelectionSpec, TopologySpec
 
-    def run():
-        topology = Torus((32, 32))
-        scheme = DdpmScheme()
-        fab = Fabric(topology, MinimalAdaptiveRouter(), marking=scheme,
-                     selection=RandomPolicy(np.random.default_rng(0)))
-        victim = topology.index((16, 16))
-        analysis = scheme.new_victim_analysis(victim)
-        fab.add_delivery_handler(victim, lambda ev: analysis.observe(ev.packet))
-        rng = np.random.default_rng(1)
-        attackers = [int(a) for a in rng.choice(1024, size=8, replace=False)
-                     if a != victim][:6]
-        for i in range(300):
-            fab.inject(fab.make_packet(attackers[i % len(attackers)], victim,
-                                       spoofed_src_ip=int(rng.integers(2**32))),
-                       delay=i * 0.01)
-        fab.run()
-        return analysis.suspects(), frozenset(attackers), fab.counters["delivered"]
+    topology = Torus((32, 32))
+    rng = np.random.default_rng(1)
+    victim = topology.index((16, 16))
+    attackers = tuple(int(a) for a in rng.choice(1024, size=8, replace=False)
+                      if a != victim)[:6]
+    config = ExperimentConfig(
+        topology=TopologySpec("torus", (32, 32)),
+        routing=RoutingSpec("minimal-adaptive"),
+        marking=MarkingSpec("ddpm"),
+        selection=SelectionSpec("random"),
+        seed=1, victim=victim, attackers=attackers,
+        attack_rate_per_node=25.0, duration=2.0, background_rate=0.0,
+    )
 
-    suspects, attackers, delivered = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(runner.run, args=(config,),
+                                rounds=1, iterations=1)
     report("Claim (scalability) - 1024-node torus end-to-end",
-           f"delivered {delivered} spoofed packets; suspects == attackers: "
-           f"{suspects == attackers} ({len(attackers)} attackers)")
-    assert suspects == attackers
+           f"delivered {result.packets_delivered} spoofed packets; "
+           f"suspects == attackers: {result.score.exact} "
+           f"({len(result.attackers)} attackers)")
+    assert result.score.exact
+    assert frozenset(result.suspects) == frozenset(attackers)

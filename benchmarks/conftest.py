@@ -4,12 +4,27 @@ Every benchmark regenerates one of the paper's tables/figures/claims and
 reports it two ways: printed to the terminal (so ``pytest benchmarks/
 --benchmark-only`` output doubles as the reproduction log) and written to
 ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+
+Config-driven benchmarks go through the session ``runner`` fixture — a
+:class:`repro.runner.ParallelRunner` configured by environment:
+
+``REPRO_BENCH_JOBS``
+    Worker processes (default 1; any value produces identical results —
+    the runner's determinism contract).
+``REPRO_BENCH_CACHE``
+    Result-cache directory. Unset/empty/"off" disables caching (the
+    default, so recorded results always reflect the current code); when
+    set, a repeated benchmark run simulates nothing — its report shows
+    ``simulated 0``.
 """
 
+import os
 import re
 from pathlib import Path
 
 import pytest
+
+from repro.runner import ParallelRunner, ResultCache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,3 +43,14 @@ def report():
         return path
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Environment-configured experiment runner shared by the session."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE", "")
+    cache = (ResultCache(cache_dir)
+             if cache_dir and cache_dir.lower() not in ("off", "none", "0")
+             else None)
+    return ParallelRunner(n_jobs=jobs, cache=cache)

@@ -37,6 +37,7 @@ from repro.marking.ppm import PpmScheme
 from repro.network.fabric import Fabric, FabricConfig
 from repro.topology.hypercube import Hypercube
 from repro.topology.mesh import Mesh
+from repro.runner import ParallelRunner, ResultCache, RunReport, SweepSpec
 from repro.topology.torus import Torus
 
 __all__ = [
@@ -49,6 +50,10 @@ __all__ = [
     "ExperimentConfig",
     "run_identification_experiment",
     "sweep",
+    "ParallelRunner",
+    "ResultCache",
+    "RunReport",
+    "SweepSpec",
     "DdpmScheme",
     "DpmScheme",
     "PpmScheme",

@@ -10,6 +10,7 @@ from repro.core.config import (
     TopologySpec,
 )
 from repro.core.experiment import run_identification_experiment, sweep
+from repro.core.replication import MetricSummary, replicate, summarize_metric
 from repro.core.results import ExperimentResult
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "MarkingSpec",
     "ExperimentConfig",
     "ExperimentResult",
+    "MetricSummary",
+    "replicate",
+    "summarize_metric",
     "run_identification_experiment",
     "sweep",
 ]

@@ -56,7 +56,13 @@ class Cluster:
     # ------------------------------------------------------------------
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "Cluster":
-        """Build a cluster from a declarative :class:`ExperimentConfig`."""
+        """Build a cluster from a declarative :class:`ExperimentConfig`.
+
+        Every name in the config (topology kind, routing, marking,
+        selection) is resolved through :mod:`repro.registry` by the specs'
+        ``build`` methods, so a newly registered scheme is constructible
+        here with no dispatch changes.
+        """
         topology = config.topology.build()
         seed_rng = np.random.default_rng(config.seed)
         router = config.routing.build(np.random.default_rng(seed_rng.integers(2**31)))

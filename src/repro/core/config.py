@@ -1,107 +1,125 @@
 """Declarative experiment configuration.
 
-Specs are small dataclasses with a ``build(...)`` method, so an experiment
-is one literal value — easy to sweep, serialize into results, and keep in
-benchmark code without imperative setup noise.
+Specs are small frozen dataclasses with a ``build(...)`` method, so an
+experiment is one literal value — easy to sweep, serialize into results,
+and keep in benchmark code without imperative setup noise.
+
+Two contracts layered on top of the plain dataclasses:
+
+* **Registry dispatch** — ``build()`` resolves names through
+  :mod:`repro.registry`, so a newly registered routing algorithm or
+  marking scheme is immediately constructible from a config (and appears
+  in the CLI ``choices`` lists) without touching this module.
+* **Canonical serialization** — every spec and :class:`ExperimentConfig`
+  round-trips through ``to_dict()``/``from_dict()`` with validation errors
+  raised as :class:`ConfigurationError`. ``ExperimentConfig.canonical_json``
+  is the *stable* form (sorted keys, no whitespace) that the result cache
+  hashes; see :mod:`repro.runner.cache`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import registry
 from repro.errors import ConfigurationError
-from repro.marking.authentication import AuthenticatedDdpmScheme
 from repro.marking.base import MarkingScheme
-from repro.marking.ddpm import DdpmScheme
-from repro.marking.dpm import DpmScheme
-from repro.marking.ppm import PpmScheme
-from repro.marking.ppm_encoding import BitDifferenceEncoder, FullIndexEncoder, XorEncoder
-from repro.marking.ppm_fragment import FragmentPpmScheme
 from repro.network.fabric import FabricConfig
-from repro.routing.adaptive import FullyAdaptiveRouter, MinimalAdaptiveRouter
 from repro.routing.base import Router
-from repro.routing.dor import DimensionOrderRouter
-from repro.routing.selection import (
-    FirstCandidatePolicy,
-    LeastCongestedPolicy,
-    RandomPolicy,
-    SelectionPolicy,
-)
-from repro.routing.turn_model import NegativeFirstRouter, NorthLastRouter, WestFirstRouter
-from repro.routing.valiant import ValiantRouter
+from repro.routing.selection import SelectionPolicy
 from repro.topology.base import Topology
-from repro.topology.hypercube import Hypercube
-from repro.topology.mesh import Mesh
-from repro.topology.torus import Torus
 
 __all__ = ["TopologySpec", "RoutingSpec", "SelectionSpec", "MarkingSpec", "ExperimentConfig"]
 
 
+def _require_keys(kind: str, data: Mapping[str, Any], required: Tuple[str, ...],
+                  optional: Tuple[str, ...] = ()) -> None:
+    """Shared ``from_dict`` shape check: mapping, no unknown/missing keys."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"{kind} must be a mapping, got {type(data).__name__}")
+    unknown = set(data) - set(required) - set(optional)
+    if unknown:
+        raise ConfigurationError(f"{kind} has unknown keys {sorted(unknown)}")
+    missing = set(required) - set(data)
+    if missing:
+        raise ConfigurationError(f"{kind} is missing keys {sorted(missing)}")
+
+
+def _require_name(kind: str, reg: registry.Registry, name: Any) -> str:
+    if not isinstance(name, str):
+        raise ConfigurationError(f"{kind} name must be a string, got {name!r}")
+    if name not in reg:
+        known = ", ".join(reg.names())
+        raise ConfigurationError(f"unknown {kind} {name!r} (known: {known})")
+    return name
+
+
 @dataclass(frozen=True)
 class TopologySpec:
-    """Topology selector: kind in {'mesh', 'torus', 'hypercube'}."""
+    """Topology selector: kind from the ``TOPOLOGY`` registry
+    ('mesh', 'torus', 'hypercube')."""
 
     kind: str
     dims: Tuple[int, ...]
 
     def build(self) -> Topology:
         """Instantiate the selected topology."""
-        if self.kind == "mesh":
-            return Mesh(self.dims)
-        if self.kind == "torus":
-            return Torus(self.dims)
-        if self.kind == "hypercube":
-            if len(self.dims) != 1:
-                raise ConfigurationError(
-                    f"hypercube dims must be (n,), got {self.dims}"
-                )
-            return Hypercube(self.dims[0])
-        raise ConfigurationError(f"unknown topology kind {self.kind!r}")
+        return registry.TOPOLOGY.create(self.kind, tuple(self.dims))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {"kind": self.kind, "dims": [int(d) for d in self.dims]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        """Validate and rebuild a spec from :meth:`to_dict` output."""
+        _require_keys("TopologySpec", data, ("kind", "dims"))
+        kind = _require_name("topology", registry.TOPOLOGY, data["kind"])
+        dims = data["dims"]
+        if (not isinstance(dims, (list, tuple)) or not dims
+                or not all(isinstance(d, int) and not isinstance(d, bool) and d > 0
+                           for d in dims)):
+            raise ConfigurationError(
+                f"topology dims must be a non-empty list of positive ints, got {dims!r}"
+            )
+        return cls(kind=kind, dims=tuple(int(d) for d in dims))
 
 
 @dataclass(frozen=True)
 class RoutingSpec:
-    """Router selector.
+    """Router selector; names come from the ``ROUTING`` registry.
 
-    Names: 'xy' (2-D dimension-order, row-then-column is ('dor'); 'xy' moves
-    along the row — column axis — first, the paper's convention), 'dor',
-    'west-first', 'north-last', 'negative-first', 'minimal-adaptive',
-    'fully-adaptive', 'valiant'.
+    Built-ins: 'xy' (2-D dimension-order moving along the row — column
+    axis — first, the paper's convention), 'dor' (row-then-column),
+    'west-first', 'north-last', 'negative-first', 'odd-even',
+    'minimal-adaptive', 'fully-adaptive', 'valiant'.
     """
 
     name: str
 
     def build(self, rng: np.random.Generator) -> Router:
         """Instantiate the selected router."""
-        if self.name == "xy":
-            return DimensionOrderRouter(axis_order=(1, 0))
-        if self.name == "dor":
-            return DimensionOrderRouter()
-        if self.name == "west-first":
-            return WestFirstRouter()
-        if self.name == "odd-even":
-            from repro.routing.oddeven import OddEvenRouter
-
-            return OddEvenRouter()
-        if self.name == "north-last":
-            return NorthLastRouter()
-        if self.name == "negative-first":
-            return NegativeFirstRouter()
-        if self.name == "minimal-adaptive":
-            return MinimalAdaptiveRouter()
-        if self.name == "fully-adaptive":
-            return FullyAdaptiveRouter()
-        if self.name == "valiant":
-            return ValiantRouter(rng)
-        raise ConfigurationError(f"unknown routing {self.name!r}")
+        return registry.ROUTING.create(self.name, rng)
 
     @property
     def is_adaptive(self) -> bool:
         """True when routes may vary packet to packet."""
-        return self.name not in ("xy", "dor")
+        return self.name not in registry.DETERMINISTIC_ROUTING
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoutingSpec":
+        """Validate and rebuild a spec from :meth:`to_dict` output."""
+        _require_keys("RoutingSpec", data, ("name",))
+        return cls(name=_require_name("routing", registry.ROUTING, data["name"]))
 
 
 @dataclass(frozen=True)
@@ -112,25 +130,27 @@ class SelectionSpec:
 
     def build(self, rng: np.random.Generator, fabric=None) -> SelectionPolicy:
         """Instantiate the selected policy (least-congested needs the fabric)."""
-        if self.name == "first":
-            return FirstCandidatePolicy()
-        if self.name == "random":
-            return RandomPolicy(rng)
-        if self.name == "least-congested":
-            if fabric is None:
-                raise ConfigurationError(
-                    "least-congested selection needs the fabric's congestion view"
-                )
-            return LeastCongestedPolicy(fabric.congestion, rng)
-        raise ConfigurationError(f"unknown selection {self.name!r}")
+        return registry.SELECTION.create(self.name, rng, fabric)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SelectionSpec":
+        """Validate and rebuild a spec from :meth:`to_dict` output."""
+        _require_keys("SelectionSpec", data, ("name",))
+        return cls(name=_require_name("selection policy", registry.SELECTION,
+                                      data["name"]))
 
 
 @dataclass(frozen=True)
 class MarkingSpec:
-    """Marking-scheme selector.
+    """Marking-scheme selector; names come from the ``MARKING`` registry.
 
-    Names: 'ddpm', 'ddpm-auth', 'dpm', 'ppm-full', 'ppm-xor', 'ppm-bitdiff',
-    'ppm-fragment', 'none'. ``probability`` applies to the PPM family.
+    Built-ins: 'ddpm', 'ddpm-auth', 'dpm', 'ppm-full', 'ppm-xor',
+    'ppm-bitdiff', 'ppm-fragment', 'ppm-advanced', 'none'.
+    ``probability`` applies to the PPM family.
     """
 
     name: str = "ddpm"
@@ -139,30 +159,36 @@ class MarkingSpec:
     def build(self, rng: np.random.Generator,
               topology: Optional[Topology] = None) -> Optional[MarkingScheme]:
         """Instantiate the selected marking scheme (None for 'none')."""
-        if self.name == "none":
-            return None
-        if self.name == "ddpm":
-            return DdpmScheme()
-        if self.name == "ddpm-auth":
-            if topology is None:
-                raise ConfigurationError("ddpm-auth needs the topology to mint keys")
-            keys = {n: int(rng.integers(1, 2**63)) for n in topology.nodes()}
-            return AuthenticatedDdpmScheme(keys)
-        if self.name == "dpm":
-            return DpmScheme()
-        if self.name == "ppm-full":
-            return PpmScheme(FullIndexEncoder(), self.probability, rng)
-        if self.name == "ppm-xor":
-            return PpmScheme(XorEncoder(), self.probability, rng)
-        if self.name == "ppm-bitdiff":
-            return PpmScheme(BitDifferenceEncoder(), self.probability, rng)
-        if self.name == "ppm-fragment":
-            return FragmentPpmScheme(self.probability, rng)
-        if self.name == "ppm-advanced":
-            from repro.marking.advanced_ppm import AdvancedPpmScheme
+        return registry.MARKING.create(self.name, rng, topology, self.probability)
 
-            return AdvancedPpmScheme(self.probability, rng)
-        raise ConfigurationError(f"unknown marking scheme {self.name!r}")
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {"name": self.name, "probability": float(self.probability)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MarkingSpec":
+        """Validate and rebuild a spec from :meth:`to_dict` output."""
+        _require_keys("MarkingSpec", data, ("name",), ("probability",))
+        name = _require_name("marking scheme", registry.MARKING, data["name"])
+        probability = data.get("probability", 0.05)
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool) \
+                or not 0.0 <= float(probability) <= 1.0:
+            raise ConfigurationError(
+                f"marking probability must be in [0, 1], got {probability!r}"
+            )
+        return cls(name=name, probability=float(probability))
+
+
+#: scalar ExperimentConfig fields serialized verbatim, with their types.
+_SCALAR_FIELDS = {
+    "seed": int,
+    "num_attackers": int,
+    "attack_rate_per_node": float,
+    "background_rate": float,
+    "duration": float,
+    "misroute_budget": int,
+    "trace_packets": bool,
+}
 
 
 @dataclass(frozen=True)
@@ -187,3 +213,86 @@ class ExperimentConfig:
         """FabricConfig derived from this experiment's knobs."""
         return FabricConfig(misroute_budget=self.misroute_budget,
                             trace_packets=self.trace_packets)
+
+    # -- canonical serialization ----------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested JSON-ready form; inverse of :meth:`from_dict`.
+
+        This is the *canonical* representation: the result cache hashes
+        :meth:`canonical_json`, so any field that affects simulation
+        output must appear here.
+        """
+        return {
+            "topology": self.topology.to_dict(),
+            "routing": self.routing.to_dict(),
+            "marking": self.marking.to_dict(),
+            "selection": self.selection.to_dict(),
+            "seed": int(self.seed),
+            "victim": None if self.victim is None else int(self.victim),
+            "num_attackers": int(self.num_attackers),
+            "attackers": (None if self.attackers is None
+                          else [int(a) for a in self.attackers]),
+            "attack_rate_per_node": float(self.attack_rate_per_node),
+            "background_rate": float(self.background_rate),
+            "duration": float(self.duration),
+            "misroute_budget": int(self.misroute_budget),
+            "trace_packets": bool(self.trace_packets),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Validate and rebuild a config from :meth:`to_dict` output."""
+        _require_keys(
+            "ExperimentConfig", data,
+            ("topology", "routing", "marking"),
+            ("selection", "victim", "attackers") + tuple(_SCALAR_FIELDS),
+        )
+        kwargs: Dict[str, Any] = {
+            "topology": TopologySpec.from_dict(data["topology"]),
+            "routing": RoutingSpec.from_dict(data["routing"]),
+            "marking": MarkingSpec.from_dict(data["marking"]),
+        }
+        if "selection" in data:
+            kwargs["selection"] = SelectionSpec.from_dict(data["selection"])
+        for field, kind in _SCALAR_FIELDS.items():
+            if field not in data:
+                continue
+            value = data[field]
+            if kind is bool:
+                if not isinstance(value, bool):
+                    raise ConfigurationError(
+                        f"{field} must be a bool, got {value!r}")
+            elif kind is int:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ConfigurationError(
+                        f"{field} must be an int, got {value!r}")
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{field} must be a number, got {value!r}")
+            kwargs[field] = kind(value)
+        victim = data.get("victim")
+        if victim is not None:
+            if not isinstance(victim, int) or isinstance(victim, bool):
+                raise ConfigurationError(f"victim must be an int, got {victim!r}")
+            kwargs["victim"] = victim
+        attackers = data.get("attackers")
+        if attackers is not None:
+            if (not isinstance(attackers, (list, tuple))
+                    or not all(isinstance(a, int) and not isinstance(a, bool)
+                               for a in attackers)):
+                raise ConfigurationError(
+                    f"attackers must be a list of ints, got {attackers!r}")
+            kwargs["attackers"] = tuple(int(a) for a in attackers)
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding (sorted keys, no whitespace).
+
+        Equal configs — however constructed — produce byte-identical
+        strings; this is the form the result cache hashes.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Copy of this config with a different seed (replication helper)."""
+        return dataclasses.replace(self, seed=int(seed))

@@ -40,15 +40,30 @@ class MetricSummary(NamedTuple):
         return self.ci_low <= value <= self.ci_high
 
 
-def replicate(config: ExperimentConfig, seeds: Iterable[int]) -> List[ExperimentResult]:
-    """Run the same experiment across ``seeds``; returns one result per seed."""
-    results = []
-    for seed in seeds:
-        results.append(run_identification_experiment(
-            dataclasses.replace(config, seed=seed)))
-    if not results:
+def replicate(config: ExperimentConfig, seeds: Iterable[int], *,
+              n_jobs: int = 1, cache=None) -> List[ExperimentResult]:
+    """Run the same experiment across ``seeds``; returns one result per seed.
+
+    The per-seed :class:`ExperimentResult` records are returned raw (not
+    just an aggregate), so callers can both feed :func:`summarize_metric`
+    and reuse individual runs without re-simulating.
+
+    ``n_jobs`` fans the seeds out over worker processes and ``cache`` (a
+    :class:`repro.runner.ResultCache`) skips already-simulated seeds; both
+    delegate to :class:`repro.runner.ParallelRunner`. Results are
+    bit-identical for any ``n_jobs`` — the default ``n_jobs=1`` with no
+    cache keeps the original single-process code path.
+    """
+    seeds = list(seeds)
+    if not seeds:
         raise ConfigurationError("at least one seed is required")
-    return results
+    if n_jobs == 1 and cache is None:
+        return [run_identification_experiment(dataclasses.replace(config, seed=seed))
+                for seed in seeds]
+    from repro.runner import ParallelRunner  # local: runner imports this module
+
+    report = ParallelRunner(n_jobs=n_jobs, cache=cache).run_seeds(config, seeds)
+    return list(report.results)
 
 
 def summarize_metric(results: Sequence[ExperimentResult], metric: str,

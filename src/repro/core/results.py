@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.defense.metrics import IdentificationScore
+from repro.errors import ConfigurationError
 
 __all__ = ["ExperimentResult"]
 
@@ -53,3 +54,66 @@ class ExperimentResult:
         }
         record.update(self.extra)
         return record
+
+    # -- lossless round-trip (the form the result cache persists) --------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-ready form; inverse of :meth:`from_dict`.
+
+        Unlike :meth:`to_record` (a flat view for tables/CSV), this keeps
+        every field reconstructible, including the score components and
+        the suspect set.
+        """
+        return {
+            "topology": self.topology,
+            "routing": self.routing,
+            "marking": self.marking,
+            "seed": int(self.seed),
+            "victim": int(self.victim),
+            "attackers": [int(a) for a in self.attackers],
+            "score": {
+                "precision": float(self.score.precision),
+                "recall": float(self.score.recall),
+                "true_positives": int(self.score.true_positives),
+                "false_positives": int(self.score.false_positives),
+                "false_negatives": int(self.score.false_negatives),
+            },
+            "suspects": [int(s) for s in self.suspects],
+            "packets_analyzed": int(self.packets_analyzed),
+            "packets_delivered": int(self.packets_delivered),
+            "packets_dropped": int(self.packets_dropped),
+            "mean_latency": float(self.mean_latency),
+            "mean_hops": float(self.mean_hops),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            score = data["score"]
+            return cls(
+                topology=str(data["topology"]),
+                routing=str(data["routing"]),
+                marking=str(data["marking"]),
+                seed=int(data["seed"]),
+                victim=int(data["victim"]),
+                attackers=tuple(int(a) for a in data["attackers"]),
+                score=IdentificationScore(
+                    precision=float(score["precision"]),
+                    recall=float(score["recall"]),
+                    true_positives=int(score["true_positives"]),
+                    false_positives=int(score["false_positives"]),
+                    false_negatives=int(score["false_negatives"]),
+                ),
+                suspects=tuple(int(s) for s in data["suspects"]),
+                packets_analyzed=int(data["packets_analyzed"]),
+                packets_delivered=int(data["packets_delivered"]),
+                packets_dropped=int(data["packets_dropped"]),
+                mean_latency=float(data["mean_latency"]),
+                mean_hops=float(data["mean_hops"]),
+                extra=dict(data.get("extra", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed ExperimentResult dict: {exc}"
+            ) from exc

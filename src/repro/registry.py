@@ -1,0 +1,302 @@
+"""String -> factory registries for the pluggable pieces of an experiment.
+
+Every axis a config can select by name — routing algorithm, marking scheme,
+topology family, output-selection policy — is one :class:`Registry`. The
+declarative specs in :mod:`repro.core.config` and therefore
+``Cluster.from_config`` dispatch through these tables, and the CLI derives
+its ``choices=`` lists from :meth:`Registry.names`, so adding a new scheme
+is a single ``register()`` call (or ``@REGISTRY.register(name)`` decorator)
+next to its implementation-facing factory below.
+
+Factory signatures are fixed per registry:
+
+* ``ROUTING``:   ``factory(rng) -> Router``
+* ``MARKING``:   ``factory(rng, topology, probability) -> MarkingScheme | None``
+* ``TOPOLOGY``:  ``factory(dims) -> Topology``
+* ``SELECTION``: ``factory(rng, fabric) -> SelectionPolicy``
+
+``rng`` is a ``numpy.random.Generator``; factories that do not need an
+argument simply ignore it, which keeps the dispatch sites uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Registry", "ROUTING", "MARKING", "TOPOLOGY", "SELECTION"]
+
+
+class Registry:
+    """An ordered name -> factory table with decorator-style registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, name: str, factory: Optional[Callable] = None):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``REG.register("foo", make_foo)``) or as a
+        decorator (``@REG.register("foo")``). Duplicate names are a
+        :class:`ConfigurationError`: silent overrides would make the
+        active implementation depend on import order.
+        """
+        if factory is None:
+            def _decorator(fn: Callable) -> Callable:
+                self.register(name, fn)
+                return fn
+
+            return _decorator
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"{self.kind} registry names must be non-empty strings, got {name!r}"
+            )
+        if name in self._factories:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (mainly for tests of custom schemes)."""
+        if name not in self._factories:
+            raise ConfigurationError(f"unknown {self.kind} {name!r}")
+        del self._factories[name]
+
+    # -- lookup ---------------------------------------------------------
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the registered factory for ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r} (known: {known})"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names in registration order (stable for CLI help)."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Registry({self.kind!r}, {list(self._factories)})"
+
+
+ROUTING = Registry("routing")
+MARKING = Registry("marking scheme")
+TOPOLOGY = Registry("topology")
+SELECTION = Registry("selection policy")
+
+
+# ----------------------------------------------------------------------
+# Built-in topologies.
+def _make_mesh(dims):
+    from repro.topology.mesh import Mesh
+
+    return Mesh(dims)
+
+
+def _make_torus(dims):
+    from repro.topology.torus import Torus
+
+    return Torus(dims)
+
+
+def _make_hypercube(dims):
+    from repro.topology.hypercube import Hypercube
+
+    if len(dims) != 1:
+        raise ConfigurationError(f"hypercube dims must be (n,), got {tuple(dims)}")
+    return Hypercube(dims[0])
+
+
+TOPOLOGY.register("mesh", _make_mesh)
+TOPOLOGY.register("torus", _make_torus)
+TOPOLOGY.register("hypercube", _make_hypercube)
+
+
+# ----------------------------------------------------------------------
+# Built-in routing algorithms.
+def _make_xy(rng):
+    from repro.routing.dor import DimensionOrderRouter
+
+    # The paper's XY convention: move along the row (column axis) first.
+    return DimensionOrderRouter(axis_order=(1, 0))
+
+
+def _make_dor(rng):
+    from repro.routing.dor import DimensionOrderRouter
+
+    return DimensionOrderRouter()
+
+
+def _make_west_first(rng):
+    from repro.routing.turn_model import WestFirstRouter
+
+    return WestFirstRouter()
+
+
+def _make_north_last(rng):
+    from repro.routing.turn_model import NorthLastRouter
+
+    return NorthLastRouter()
+
+
+def _make_negative_first(rng):
+    from repro.routing.turn_model import NegativeFirstRouter
+
+    return NegativeFirstRouter()
+
+
+def _make_odd_even(rng):
+    from repro.routing.oddeven import OddEvenRouter
+
+    return OddEvenRouter()
+
+
+def _make_minimal_adaptive(rng):
+    from repro.routing.adaptive import MinimalAdaptiveRouter
+
+    return MinimalAdaptiveRouter()
+
+
+def _make_fully_adaptive(rng):
+    from repro.routing.adaptive import FullyAdaptiveRouter
+
+    return FullyAdaptiveRouter()
+
+
+def _make_valiant(rng):
+    from repro.routing.valiant import ValiantRouter
+
+    return ValiantRouter(rng)
+
+
+ROUTING.register("xy", _make_xy)
+ROUTING.register("dor", _make_dor)
+ROUTING.register("west-first", _make_west_first)
+ROUTING.register("north-last", _make_north_last)
+ROUTING.register("negative-first", _make_negative_first)
+ROUTING.register("odd-even", _make_odd_even)
+ROUTING.register("minimal-adaptive", _make_minimal_adaptive)
+ROUTING.register("fully-adaptive", _make_fully_adaptive)
+ROUTING.register("valiant", _make_valiant)
+
+#: Routing names whose routes never vary packet to packet.
+DETERMINISTIC_ROUTING = frozenset({"xy", "dor"})
+
+
+# ----------------------------------------------------------------------
+# Built-in marking schemes.
+def _make_none(rng, topology, probability):
+    return None
+
+
+def _make_ddpm(rng, topology, probability):
+    from repro.marking.ddpm import DdpmScheme
+
+    return DdpmScheme()
+
+
+def _make_ddpm_auth(rng, topology, probability):
+    from repro.marking.authentication import AuthenticatedDdpmScheme
+
+    if topology is None:
+        raise ConfigurationError("ddpm-auth needs the topology to mint keys")
+    keys = {n: int(rng.integers(1, 2**63)) for n in topology.nodes()}
+    return AuthenticatedDdpmScheme(keys)
+
+
+def _make_dpm(rng, topology, probability):
+    from repro.marking.dpm import DpmScheme
+
+    return DpmScheme()
+
+
+def _make_ppm_full(rng, topology, probability):
+    from repro.marking.ppm import PpmScheme
+    from repro.marking.ppm_encoding import FullIndexEncoder
+
+    return PpmScheme(FullIndexEncoder(), probability, rng)
+
+
+def _make_ppm_xor(rng, topology, probability):
+    from repro.marking.ppm import PpmScheme
+    from repro.marking.ppm_encoding import XorEncoder
+
+    return PpmScheme(XorEncoder(), probability, rng)
+
+
+def _make_ppm_bitdiff(rng, topology, probability):
+    from repro.marking.ppm import PpmScheme
+    from repro.marking.ppm_encoding import BitDifferenceEncoder
+
+    return PpmScheme(BitDifferenceEncoder(), probability, rng)
+
+
+def _make_ppm_fragment(rng, topology, probability):
+    from repro.marking.ppm_fragment import FragmentPpmScheme
+
+    return FragmentPpmScheme(probability, rng)
+
+
+def _make_ppm_advanced(rng, topology, probability):
+    from repro.marking.advanced_ppm import AdvancedPpmScheme
+
+    return AdvancedPpmScheme(probability, rng)
+
+
+MARKING.register("ddpm", _make_ddpm)
+MARKING.register("ddpm-auth", _make_ddpm_auth)
+MARKING.register("dpm", _make_dpm)
+MARKING.register("ppm-full", _make_ppm_full)
+MARKING.register("ppm-xor", _make_ppm_xor)
+MARKING.register("ppm-bitdiff", _make_ppm_bitdiff)
+MARKING.register("ppm-fragment", _make_ppm_fragment)
+MARKING.register("ppm-advanced", _make_ppm_advanced)
+MARKING.register("none", _make_none)
+
+
+# ----------------------------------------------------------------------
+# Built-in output-selection policies.
+def _make_first(rng, fabric):
+    from repro.routing.selection import FirstCandidatePolicy
+
+    return FirstCandidatePolicy()
+
+
+def _make_random(rng, fabric):
+    from repro.routing.selection import RandomPolicy
+
+    return RandomPolicy(rng)
+
+
+def _make_least_congested(rng, fabric):
+    from repro.routing.selection import LeastCongestedPolicy
+
+    if fabric is None:
+        raise ConfigurationError(
+            "least-congested selection needs the fabric's congestion view"
+        )
+    return LeastCongestedPolicy(fabric.congestion, rng)
+
+
+SELECTION.register("first", _make_first)
+SELECTION.register("random", _make_random)
+SELECTION.register("least-congested", _make_least_congested)
+
+__all__ += ["DETERMINISTIC_ROUTING"]

@@ -1,0 +1,30 @@
+"""Parallel, cache-aware experiment runner.
+
+The unified entry point for executing identification experiments at
+scale: :class:`ParallelRunner` fans multi-seed replications and sweep
+grids out over worker processes, :class:`ResultCache` makes re-runs of
+identical ``(config, seed, code-version)`` points free, and
+:class:`SweepSpec`/:class:`RunReport` batch config grids and feed the
+``MetricSummary`` confidence-interval machinery.
+
+Quick use::
+
+    from repro.runner import ParallelRunner, ResultCache, SweepSpec
+
+    runner = ParallelRunner(n_jobs=8, cache=ResultCache(".repro-cache"))
+    report = runner.run_seeds(config, seeds=range(20))
+    print(report.summarize("precision"), report.describe())
+"""
+
+from repro.runner.cache import CacheStats, ResultCache, default_code_version
+from repro.runner.parallel import ParallelRunner
+from repro.runner.sweep import RunReport, SweepSpec
+
+__all__ = [
+    "CacheStats",
+    "ParallelRunner",
+    "ResultCache",
+    "RunReport",
+    "SweepSpec",
+    "default_code_version",
+]

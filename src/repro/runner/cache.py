@@ -1,0 +1,179 @@
+"""Disk-backed result cache keyed by canonical config hashes.
+
+Monte-Carlo sweeps over identification experiments re-simulate identical
+``(config, seed)`` points constantly — every ``bench_claim_*`` run, every
+CI pass. The cache makes re-runs free: a key is the SHA-256 of the
+config's canonical JSON (which includes the seed) plus a *code version*
+string, so results are invalidated whenever either the experiment inputs
+or the simulator revision changes.
+
+Entries are one small JSON file each, sharded into 256 two-hex-character
+subdirectories so even million-entry caches keep directory listings sane.
+Writes go through a same-directory temp file + ``os.replace`` so a killed
+worker never leaves a half-written entry behind; corrupt or mismatched
+files are treated as misses and overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro._version import __version__
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentResult
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheStats", "ResultCache", "default_code_version"]
+
+#: bump when the cache entry layout itself changes shape
+_ENTRY_FORMAT = 1
+
+
+def default_code_version() -> str:
+    """Code-version component of every cache key.
+
+    Derived from the package version (so releases invalidate stale
+    results) and overridable through ``REPRO_CACHE_VERSION`` for
+    development workflows where the simulator changes without a version
+    bump — ``REPRO_CACHE_VERSION=$(git rev-parse HEAD)`` pins the cache
+    to a commit.
+    """
+    override = os.environ.get("REPRO_CACHE_VERSION")
+    return override if override else f"repro-{__version__}"
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/store counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0    # corrupt or version-mismatched entries seen
+
+    def snapshot(self) -> "CacheStats":
+        """Point-in-time copy (for computing per-run deltas)."""
+        return CacheStats(self.hits, self.misses, self.stores, self.invalid)
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """Delta between this snapshot and an earlier one."""
+        return CacheStats(self.hits - before.hits,
+                          self.misses - before.misses,
+                          self.stores - before.stores,
+                          self.invalid - before.invalid)
+
+
+class ResultCache:
+    """Persistent ``ExperimentConfig -> ExperimentResult`` store.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).
+    code_version:
+        Key component identifying the simulator revision; defaults to
+        :func:`default_code_version`. Two caches sharing a directory but
+        built with different code versions never see each other's entries.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 code_version: Optional[str] = None):
+        if not str(root):
+            raise ConfigurationError("cache root must be a non-empty path")
+        self.root = Path(root)
+        self.code_version = code_version or default_code_version()
+        self.stats = CacheStats()
+
+    # -- keys ------------------------------------------------------------
+    def key_for(self, config: ExperimentConfig) -> str:
+        """Stable hex digest of (canonical config JSON, code version)."""
+        payload = f"{config.canonical_json()}\n{self.code_version}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """On-disk location of the entry for ``config``."""
+        key = self.key_for(config)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """Cached result for ``config``, or None (counted as hit/miss)."""
+        path = self.path_for(config)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        try:
+            if (entry["format"] != _ENTRY_FORMAT
+                    or entry["code_version"] != self.code_version
+                    or entry["key"] != self.key_for(config)):
+                raise KeyError("stale entry")
+            result = ExperimentResult.from_dict(entry["result"])
+        except (KeyError, TypeError, ConfigurationError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``config``'s key (atomic replace)."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": _ENTRY_FORMAT,
+            "key": self.key_for(config),
+            "code_version": self.code_version,
+            "config": config.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance -----------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ResultCache({str(self.root)!r}, "
+                f"code_version={self.code_version!r})")

@@ -1,0 +1,135 @@
+"""Process-parallel, cache-aware execution of experiment batches.
+
+The determinism contract
+------------------------
+``run_identification_experiment`` is a pure function of its
+:class:`ExperimentConfig`: every random draw comes from generators seeded
+by ``config.seed``, and no simulator state outlives a call. The runner
+leans on exactly that — each worker process receives a pickled config,
+builds its own simulator, and returns a pickled result; nothing is shared.
+Consequently ``n_jobs`` only changes wall-clock time, never results:
+``n_jobs=1`` executes in-process through the very same code path the
+serial API always used, and ``n_jobs>1`` must produce bit-identical
+:class:`ExperimentResult` records in the same order (asserted by
+``tests/test_runner.py``).
+
+Caching composes orthogonally: configs found in the :class:`ResultCache`
+are never re-simulated; only the misses are fanned out, and fresh results
+are written back so the next run is a pure cache read.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_identification_experiment
+from repro.core.results import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.sweep import RunReport, SweepSpec
+
+__all__ = ["ParallelRunner"]
+
+#: submitting a 2-config batch to a 16-way pool is pure overhead; the pool
+#: is sized to min(n_jobs, pending work)
+_CHUNKSIZE = 1
+
+
+def _execute(config: ExperimentConfig) -> ExperimentResult:
+    """Worker entry point (module-level so it pickles under any start method)."""
+    return run_identification_experiment(config)
+
+
+class ParallelRunner:
+    """Fan experiment batches over worker processes, with result caching.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes. ``1`` (the default) runs everything in-process —
+        the exact legacy code path, no executor involved. Values > 1 use a
+        :class:`ProcessPoolExecutor`; results are identical either way.
+    cache:
+        Optional :class:`ResultCache`. Hits skip simulation entirely;
+        misses are simulated then stored.
+    """
+
+    def __init__(self, n_jobs: int = 1, cache: Optional[ResultCache] = None):
+        if not isinstance(n_jobs, int) or isinstance(n_jobs, bool) or n_jobs < 1:
+            raise ConfigurationError(
+                f"n_jobs must be a positive integer, got {n_jobs!r}"
+            )
+        self.n_jobs = n_jobs
+        self.cache = cache
+
+    # -- core batch execution -------------------------------------------
+    def run_batch(self, configs: Sequence[ExperimentConfig]) -> RunReport:
+        """Run ``configs`` (cache-aware, order-preserving)."""
+        configs = list(configs)
+        if not configs:
+            raise ConfigurationError("at least one config is required")
+        started = time.perf_counter()
+
+        results: List[Optional[ExperimentResult]] = [None] * len(configs)
+        pending: List[Tuple[int, ExperimentConfig]] = []
+        hits = 0
+        if self.cache is not None:
+            for index, config in enumerate(configs):
+                cached = self.cache.get(config)
+                if cached is None:
+                    pending.append((index, config))
+                else:
+                    results[index] = cached
+                    hits += 1
+        else:
+            pending = list(enumerate(configs))
+
+        if pending:
+            fresh = self._simulate([config for _, config in pending])
+            for (index, config), result in zip(pending, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(config, result)
+
+        return RunReport(
+            configs=configs,
+            results=results,  # fully populated: every index was hit or simulated
+            cache_hits=hits,
+            simulated=len(pending),
+            n_jobs=self.n_jobs,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _simulate(self, configs: Sequence[ExperimentConfig]
+                  ) -> List[ExperimentResult]:
+        """Execute ``configs`` in submission order (pool iff it pays off)."""
+        if self.n_jobs == 1 or len(configs) == 1:
+            return [_execute(config) for config in configs]
+        workers = min(self.n_jobs, len(configs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves input order irrespective of
+            # completion order, which keeps reports deterministic.
+            return list(pool.map(_execute, configs, chunksize=_CHUNKSIZE))
+
+    # -- conveniences ----------------------------------------------------
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Run one config (through the cache when present)."""
+        return self.run_batch([config]).results[0]
+
+    def run_seeds(self, config: ExperimentConfig,
+                  seeds: Sequence[int]) -> RunReport:
+        """Replicate ``config`` across ``seeds`` (the multi-seed fan-out)."""
+        seeds = list(seeds)
+        if not seeds:
+            raise ConfigurationError("at least one seed is required")
+        return self.run_batch([config.with_seed(seed) for seed in seeds])
+
+    def run_sweep(self, spec: SweepSpec) -> RunReport:
+        """Expand and run a :class:`SweepSpec` grid."""
+        return self.run_batch(spec.expand())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ParallelRunner(n_jobs={self.n_jobs}, cache={self.cache!r})"

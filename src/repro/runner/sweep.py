@@ -1,0 +1,187 @@
+"""Sweep specifications and run reports.
+
+A :class:`SweepSpec` turns "this base experiment, varied along these axes,
+replicated over these seeds" into an explicit, ordered list of
+:class:`ExperimentConfig` values; the runner executes them and hands back
+a :class:`RunReport` that keeps the per-config results *and* the cache
+counters, and feeds the existing :func:`summarize_metric` CI machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.replication import MetricSummary, summarize_metric
+from repro.core.results import ExperimentResult
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepSpec", "RunReport"]
+
+#: spec-valued ExperimentConfig fields and how to coerce override values
+_SPEC_FIELDS = {
+    "topology": TopologySpec,
+    "routing": RoutingSpec,
+    "marking": MarkingSpec,
+    "selection": SelectionSpec,
+}
+
+
+def _coerce_override(name: str, value: Any) -> Any:
+    """Coerce one override value onto its ExperimentConfig field.
+
+    Spec fields accept the spec instance itself, a ``to_dict()``-shaped
+    mapping, or (except topology, whose dims are required) a bare name
+    string.
+    """
+    if name not in ExperimentConfig.__dataclass_fields__:
+        known = ", ".join(ExperimentConfig.__dataclass_fields__)
+        raise ConfigurationError(
+            f"unknown ExperimentConfig field {name!r} in sweep override "
+            f"(known: {known})"
+        )
+    spec_cls = _SPEC_FIELDS.get(name)
+    if spec_cls is None:
+        return value
+    if isinstance(value, spec_cls):
+        return value
+    if isinstance(value, Mapping):
+        return spec_cls.from_dict(value)
+    if isinstance(value, str):
+        if spec_cls is TopologySpec:
+            raise ConfigurationError(
+                "topology overrides need dims; pass a TopologySpec or "
+                "{'kind': ..., 'dims': [...]}"
+            )
+        return spec_cls.from_dict({"name": value})
+    raise ConfigurationError(
+        f"cannot coerce {value!r} into a {spec_cls.__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A batch of configs: base x overrides x seeds, in a fixed order.
+
+    ``overrides`` is a sequence of field-update mappings applied to
+    ``base`` (an empty mapping means "the base itself"); ``seeds`` is the
+    replication axis. Expansion order is overrides-major, seeds-minor,
+    and is part of the determinism contract: the runner's report lists
+    results in exactly this order regardless of worker count.
+    """
+
+    base: ExperimentConfig
+    # one empty override by default: "just the base config"
+    overrides: Tuple[Mapping[str, Any], ...] = ({},)
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self):
+        if not isinstance(self.base, ExperimentConfig):
+            raise ConfigurationError(
+                f"SweepSpec base must be an ExperimentConfig, got {self.base!r}"
+            )
+        overrides = tuple(self.overrides) if self.overrides else ({},)
+        object.__setattr__(self, "overrides", overrides)
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ConfigurationError("SweepSpec needs at least one seed")
+        object.__setattr__(self, "seeds", seeds)
+
+    @classmethod
+    def grid(cls, base: ExperimentConfig, axes: Mapping[str, Sequence[Any]],
+             seeds: Sequence[int] = (0,)) -> "SweepSpec":
+        """Cartesian product over ``axes`` (field -> candidate values)."""
+        names = list(axes)
+        combos = []
+        for values in itertools.product(*(axes[name] for name in names)):
+            combos.append(dict(zip(names, values)))
+        return cls(base=base, overrides=tuple(combos) or ({},), seeds=seeds)
+
+    def expand(self) -> List[ExperimentConfig]:
+        """The ordered config list this spec denotes."""
+        import dataclasses
+
+        configs: List[ExperimentConfig] = []
+        for override in self.overrides:
+            coerced = {name: _coerce_override(name, value)
+                       for name, value in dict(override).items()}
+            varied = dataclasses.replace(self.base, **coerced)
+            for seed in self.seeds:
+                configs.append(varied.with_seed(seed))
+        return configs
+
+    def __len__(self) -> int:
+        return len(self.overrides) * len(self.seeds)
+
+
+@dataclass
+class RunReport:
+    """Results of one runner batch plus where they came from.
+
+    ``results[i]`` corresponds to ``configs[i]``; ``simulated`` counts the
+    configs that actually ran (cache misses), ``cache_hits`` the ones
+    served from disk. A warm-cache re-run therefore shows
+    ``simulated == 0`` — the counter the benchmark harness asserts on.
+    """
+
+    configs: List[ExperimentConfig]
+    results: List[ExperimentResult]
+    cache_hits: int = 0
+    simulated: int = 0
+    n_jobs: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def cache_misses(self) -> int:
+        """Alias for :attr:`simulated` (every miss is simulated once)."""
+        return self.simulated
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    # -- views -----------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Flat per-result records (``ExperimentResult.to_record``)."""
+        return [result.to_record() for result in self.results]
+
+    def by(self, *fields: str) -> "Dict[Tuple[Any, ...], List[ExperimentResult]]":
+        """Group results by result attributes, first-seen order.
+
+        ``report.by("routing", "marking")`` -> ``{(r, m): [results...]}``.
+        """
+        groups: Dict[Tuple[Any, ...], List[ExperimentResult]] = {}
+        for result in self.results:
+            key = tuple(getattr(result, f) for f in fields)
+            groups.setdefault(key, []).append(result)
+        return groups
+
+    # -- statistics ------------------------------------------------------
+    def summarize(self, metric: str, confidence: float = 0.95) -> MetricSummary:
+        """Mean +/- CI of ``metric`` over every result in the report."""
+        return summarize_metric(self.results, metric, confidence)
+
+    def summarize_by(self, fields: Sequence[str], metric: str,
+                     confidence: float = 0.95
+                     ) -> "Dict[Tuple[Any, ...], MetricSummary]":
+        """Per-group :func:`summarize_metric`, grouped as in :meth:`by`."""
+        return {
+            key: summarize_metric(group, metric, confidence)
+            for key, group in self.by(*fields).items()
+        }
+
+    def describe(self) -> str:
+        """One-line cache/parallelism account for logs and reports."""
+        return (f"runs {len(self.results)} (simulated {self.simulated}, "
+                f"cache hits {self.cache_hits}, jobs {self.n_jobs}, "
+                f"{self.elapsed:.2f}s)")

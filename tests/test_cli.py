@@ -52,3 +52,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "95% CI" in out
         assert "precision" in out
+
+    def test_experiment_replicated_parallel_matches_serial(self, capsys):
+        serial_args = ["experiment", "--marking", "ddpm", "--duration", "1.0",
+                       "--dims", "4", "4", "--seeds", "1", "2"]
+        assert main(serial_args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(serial_args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # identical metric table; only the trailing runs/jobs line differs
+        assert serial_out.splitlines()[:-1] == parallel_out.splitlines()[:-1]
+        assert "jobs 2" in parallel_out
+
+    def test_experiment_cache_dir_warm_run_simulates_nothing(self, capsys,
+                                                             tmp_path):
+        args = ["experiment", "--marking", "ddpm", "--duration", "1.0",
+                "--dims", "4", "4", "--seeds", "1", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "simulated 2" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "simulated 0" in warm and "cache hits 2" in warm
+
+    def test_experiment_single_with_cache(self, capsys, tmp_path):
+        args = ["experiment", "--marking", "ddpm", "--duration", "1.0",
+                "--dims", "4", "4", "--seed", "5",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "simulated 1" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache hits 1" in out and "precision" in out

@@ -1,0 +1,156 @@
+"""Canonical serialization round-trips for configs and results.
+
+The cache key is a hash of ``ExperimentConfig.canonical_json()``, so these
+round-trips are a correctness requirement, not a convenience: a field that
+fails to round-trip (or to appear in the canonical form) would silently
+alias distinct experiments onto one cache entry.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.replication import replicate
+from repro.core.results import ExperimentResult
+from repro.errors import ConfigurationError
+
+
+def make_config(**overrides):
+    base = ExperimentConfig(
+        topology=TopologySpec("mesh", (4, 4)),
+        routing=RoutingSpec("minimal-adaptive"),
+        marking=MarkingSpec("ddpm", probability=0.2),
+        selection=SelectionSpec("random"),
+        num_attackers=2, duration=1.0,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestConfigRoundTrip:
+    def test_default_round_trip(self):
+        config = make_config()
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_exotic_round_trip(self):
+        config = make_config(
+            topology=TopologySpec("hypercube", (4,)),
+            routing=RoutingSpec("valiant"),
+            marking=MarkingSpec("ppm-fragment", probability=0.33),
+            selection=SelectionSpec("first"),
+            seed=99, victim=3, attackers=(1, 5, 7),
+            attack_rate_per_node=12.5, background_rate=0.0,
+            duration=0.5, misroute_budget=2, trace_packets=True,
+        )
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_json_safe(self):
+        config = make_config(attackers=(1, 2))
+        rebuilt = ExperimentConfig.from_dict(
+            json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+
+    def test_canonical_json_is_stable(self):
+        a = make_config()
+        b = ExperimentConfig.from_dict(a.to_dict())
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_canonical_json_distinguishes_configs(self):
+        a = make_config()
+        assert a.canonical_json() != make_config(seed=1).canonical_json()
+        assert (a.canonical_json()
+                != make_config(marking=MarkingSpec("ddpm", probability=0.21))
+                .canonical_json())
+
+    def test_with_seed(self):
+        assert make_config().with_seed(9).seed == 9
+        assert make_config(seed=4).with_seed(4) == make_config(seed=4)
+
+    def test_minimal_dict_uses_defaults(self):
+        config = ExperimentConfig.from_dict({
+            "topology": {"kind": "mesh", "dims": [4, 4]},
+            "routing": {"name": "xy"},
+            "marking": {"name": "ddpm"},
+        })
+        assert config.selection == SelectionSpec("random")
+        assert config.seed == 0 and config.victim is None
+
+
+class TestConfigValidation:
+    def test_unknown_key_rejected(self):
+        data = make_config().to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            ExperimentConfig.from_dict(data)
+
+    def test_missing_required_rejected(self):
+        data = make_config().to_dict()
+        del data["routing"]
+        with pytest.raises(ConfigurationError, match="routing"):
+            ExperimentConfig.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_dict([1, 2, 3])
+
+    def test_unknown_routing_name_rejected(self):
+        data = make_config().to_dict()
+        data["routing"] = {"name": "warp"}
+        with pytest.raises(ConfigurationError, match="warp"):
+            ExperimentConfig.from_dict(data)
+
+    def test_unknown_marking_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkingSpec.from_dict({"name": "stamp"})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkingSpec.from_dict({"name": "ppm-full", "probability": 1.5})
+        with pytest.raises(ConfigurationError):
+            MarkingSpec.from_dict({"name": "ppm-full", "probability": "hi"})
+
+    def test_bad_dims_rejected(self):
+        for dims in ([], [0, 4], ["4", "4"], "44", [True, True]):
+            with pytest.raises(ConfigurationError):
+                TopologySpec.from_dict({"kind": "mesh", "dims": dims})
+
+    def test_bad_scalars_rejected(self):
+        for field, value in [("seed", "zero"), ("seed", True),
+                             ("duration", "long"), ("trace_packets", 1),
+                             ("victim", 1.5), ("attackers", [1, "x"]),
+                             ("num_attackers", 2.5)]:
+            data = make_config().to_dict()
+            data[field] = value
+            with pytest.raises(ConfigurationError):
+                ExperimentConfig.from_dict(data)
+
+    def test_spec_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoutingSpec.from_dict({"name": "xy", "speed": 11})
+
+
+class TestResultRoundTrip:
+    def test_result_round_trip_through_json(self):
+        result = replicate(make_config(), seeds=[5])[0]
+        rebuilt = ExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.to_record() == result.to_record()
+        assert rebuilt.score.f1 == result.score.f1
+
+    def test_extra_preserved(self):
+        result = replicate(make_config(), seeds=[5])[0]
+        result.extra["note"] = "hello"
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt.extra == {"note": "hello"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult.from_dict({"topology": "mesh"})

@@ -1,0 +1,131 @@
+"""Unit tests for the string -> factory registries."""
+
+import numpy as np
+import pytest
+
+from repro import cli, registry
+from repro.core.config import MarkingSpec, RoutingSpec, SelectionSpec, TopologySpec
+from repro.errors import ConfigurationError
+from repro.marking.base import MarkingScheme
+from repro.routing.base import Router
+from repro.routing.selection import SelectionPolicy
+from repro.topology.base import Topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRegistryMechanics:
+    def test_register_create_names(self):
+        reg = registry.Registry("widget")
+        reg.register("a", lambda: "made-a")
+        assert reg.create("a") == "made-a"
+        assert reg.names() == ("a",)
+        assert "a" in reg and "b" not in reg
+        assert len(reg) == 1 and list(reg) == ["a"]
+
+    def test_decorator_form(self):
+        reg = registry.Registry("widget")
+
+        @reg.register("fancy")
+        def make_fancy():
+            return "fancy!"
+
+        assert reg.create("fancy") == "fancy!"
+        assert make_fancy() == "fancy!"   # decorator returns the factory
+
+    def test_duplicate_rejected(self):
+        reg = registry.Registry("widget")
+        reg.register("a", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            reg.register("a", lambda: 2)
+
+    def test_bad_name_rejected(self):
+        reg = registry.Registry("widget")
+        with pytest.raises(ConfigurationError):
+            reg.register("", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            reg.register(3, lambda: 1)
+
+    def test_unknown_create_lists_known(self):
+        reg = registry.Registry("widget")
+        reg.register("a", lambda: 1)
+        with pytest.raises(ConfigurationError, match="known: a"):
+            reg.create("b")
+
+    def test_unregister(self):
+        reg = registry.Registry("widget")
+        reg.register("a", lambda: 1)
+        reg.unregister("a")
+        assert "a" not in reg
+        with pytest.raises(ConfigurationError):
+            reg.unregister("a")
+
+
+class TestBuiltinCoverage:
+    """Every name the CLI exposes builds through spec -> registry."""
+
+    @pytest.mark.parametrize("name", cli.ROUTING_CHOICES)
+    def test_every_cli_routing_builds(self, name, rng):
+        router = RoutingSpec(name).build(rng)
+        assert isinstance(router, Router)
+
+    @pytest.mark.parametrize("name", cli.MARKING_CHOICES)
+    def test_every_cli_marking_builds(self, name, rng):
+        from repro.topology import Mesh
+
+        scheme = MarkingSpec(name, probability=0.1).build(rng, Mesh((4, 4)))
+        assert isinstance(scheme, MarkingScheme)
+
+    @pytest.mark.parametrize("name", cli.TOPOLOGY_CHOICES)
+    def test_every_cli_topology_builds(self, name):
+        dims = (3,) if name == "hypercube" else (4, 4)
+        assert isinstance(TopologySpec(name, dims).build(), Topology)
+
+    def test_cli_choices_track_registry(self):
+        assert set(cli.ROUTING_CHOICES) == set(registry.ROUTING.names())
+        assert set(cli.MARKING_CHOICES) == set(registry.MARKING.names()) - {"none"}
+        assert set(cli.TOPOLOGY_CHOICES) == set(registry.TOPOLOGY.names())
+
+    @pytest.mark.parametrize("name", ["first", "random", "least-congested"])
+    def test_selection_names_registered(self, name):
+        assert name in registry.SELECTION
+
+    def test_selection_builds(self, rng):
+        assert isinstance(SelectionSpec("first").build(rng), SelectionPolicy)
+        assert isinstance(SelectionSpec("random").build(rng), SelectionPolicy)
+
+    def test_marking_none_builds_none(self, rng):
+        assert registry.MARKING.create("none", rng, None, 0.0) is None
+
+    @pytest.mark.parametrize("name", cli.ROUTING_CHOICES)
+    def test_roundtrip_every_routing_name(self, name):
+        spec = RoutingSpec.from_dict(RoutingSpec(name).to_dict())
+        assert spec.name == name
+
+    @pytest.mark.parametrize("name", cli.MARKING_CHOICES)
+    def test_roundtrip_every_marking_name(self, name):
+        spec = MarkingSpec.from_dict(MarkingSpec(name, probability=0.3).to_dict())
+        assert spec.name == name and spec.probability == 0.3
+
+
+class TestExtensibility:
+    def test_registered_scheme_reaches_config_build(self, rng):
+        """One registration point: a new marking name becomes buildable
+        from a MarkingSpec with no dispatch edits."""
+        from repro.marking.ddpm import DdpmScheme
+
+        registry.MARKING.register("test-ddpm-alias",
+                                  lambda rng, topology, probability: DdpmScheme())
+        try:
+            scheme = MarkingSpec("test-ddpm-alias").build(rng)
+            assert isinstance(scheme, DdpmScheme)
+        finally:
+            registry.MARKING.unregister("test-ddpm-alias")
+
+    def test_deterministic_routing_set(self):
+        assert registry.DETERMINISTIC_ROUTING == {"xy", "dor"}
+        assert not RoutingSpec("xy").is_adaptive
+        assert RoutingSpec("valiant").is_adaptive

@@ -1,0 +1,230 @@
+"""Tests for the parallel experiment runner, result cache, and sweeps.
+
+The two hard requirements from the runner's contract:
+
+* **Determinism** — ``n_jobs`` must never change results: parallel and
+  serial execution of the same seed list produce identical
+  ``ExperimentResult`` records, in the same order.
+* **Cache correctness** — identical ``(config, seed, code-version)``
+  triples hit; any config change, seed change, or code-version change
+  misses.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.replication import replicate
+from repro.errors import ConfigurationError
+from repro.runner import ParallelRunner, ResultCache, RunReport, SweepSpec
+
+SEEDS = [1, 2, 3]
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        topology=TopologySpec("mesh", (4, 4)),
+        routing=RoutingSpec("minimal-adaptive"),
+        marking=MarkingSpec("ddpm", probability=0.2),
+        selection=SelectionSpec("random"),
+        num_attackers=2, duration=1.0,
+    )
+
+
+def dicts(results):
+    return [r.to_dict() for r in results]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_identical(self, config):
+        serial = ParallelRunner(n_jobs=1).run_seeds(config, SEEDS)
+        parallel = ParallelRunner(n_jobs=3).run_seeds(config, SEEDS)
+        assert dicts(serial.results) == dicts(parallel.results)
+        assert [r.seed for r in parallel.results] == SEEDS
+
+    def test_replicate_n_jobs_matches_serial(self, config):
+        serial = replicate(config, SEEDS)
+        parallel = replicate(config, SEEDS, n_jobs=3)
+        assert dicts(serial) == dicts(parallel)
+
+    def test_runner_matches_legacy_replicate(self, config):
+        legacy = replicate(config, SEEDS)
+        report = ParallelRunner(n_jobs=1).run_seeds(config, SEEDS)
+        assert dicts(legacy) == dicts(report.results)
+
+    def test_parallel_sweep_matches_serial(self, config):
+        spec = SweepSpec.grid(config, {"marking": ["ddpm", "dpm"]},
+                              seeds=[1, 2])
+        serial = ParallelRunner(n_jobs=1).run_sweep(spec)
+        parallel = ParallelRunner(n_jobs=2).run_sweep(spec)
+        assert dicts(serial.results) == dicts(parallel.results)
+
+
+class TestRunnerBasics:
+    def test_invalid_n_jobs(self):
+        for bad in (0, -1, 1.5, True, "4"):
+            with pytest.raises(ConfigurationError):
+                ParallelRunner(n_jobs=bad)
+
+    def test_empty_batch_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner().run_batch([])
+        with pytest.raises(ConfigurationError):
+            ParallelRunner().run_seeds(config, [])
+
+    def test_run_single(self, config):
+        result = ParallelRunner().run(config.with_seed(7))
+        assert result.seed == 7
+
+    def test_report_accounting_without_cache(self, config):
+        report = ParallelRunner().run_seeds(config, SEEDS)
+        assert report.simulated == len(SEEDS)
+        assert report.cache_hits == 0 and report.cache_misses == 3
+        assert len(report) == 3 and list(report) == report.results
+        assert "simulated 3" in report.describe()
+
+    def test_report_summaries(self, config):
+        report = ParallelRunner().run_seeds(config, range(4))
+        summary = report.summarize("precision")
+        assert summary.n == 4 and summary.mean == 1.0
+        by_marking = report.summarize_by(("marking",), "precision")
+        assert by_marking[("ddpm",)].mean == 1.0
+
+
+class TestCache:
+    def test_miss_then_hit(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = ParallelRunner(cache=cache).run_seeds(config, SEEDS)
+        assert cold.simulated == 3 and cold.cache_hits == 0
+        warm = ParallelRunner(cache=cache).run_seeds(config, SEEDS)
+        assert warm.simulated == 0 and warm.cache_hits == 3
+        assert dicts(cold.results) == dicts(warm.results)
+        assert cache.stats.hits == 3 and cache.stats.misses == 3
+        assert cache.stats.stores == 3 and len(cache) == 3
+
+    def test_config_change_misses(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        ParallelRunner(cache=cache).run_seeds(config, SEEDS)
+        changed = dataclasses.replace(config, duration=1.5)
+        report = ParallelRunner(cache=cache).run_seeds(changed, SEEDS)
+        assert report.simulated == 3 and report.cache_hits == 0
+
+    def test_seed_change_misses(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        ParallelRunner(cache=cache).run_seeds(config, [1, 2])
+        report = ParallelRunner(cache=cache).run_seeds(config, [2, 3])
+        assert report.cache_hits == 1 and report.simulated == 1
+
+    def test_code_version_change_invalidates(self, config, tmp_path):
+        ParallelRunner(cache=ResultCache(tmp_path, code_version="v1")) \
+            .run_seeds(config, [1])
+        report = ParallelRunner(cache=ResultCache(tmp_path, code_version="v2")) \
+            .run_seeds(config, [1])
+        assert report.simulated == 1 and report.cache_hits == 0
+
+    def test_corrupt_entry_is_a_miss_and_repaired(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(cache=cache)
+        runner.run_seeds(config, [1])
+        path = cache.path_for(config.with_seed(1))
+        path.write_text("{not json")
+        report = runner.run_seeds(config, [1])
+        assert report.simulated == 1 and cache.stats.invalid == 1
+        # ...and the entry was rewritten: next run hits.
+        assert runner.run_seeds(config, [1]).cache_hits == 1
+
+    def test_entry_payload_shape(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        ParallelRunner(cache=cache).run(config)
+        entry = json.loads(cache.path_for(config).read_text())
+        assert entry["key"] == cache.key_for(config)
+        assert entry["config"] == config.to_dict()
+        assert entry["code_version"] == cache.code_version
+
+    def test_clear(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        ParallelRunner(cache=cache).run_seeds(config, SEEDS)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_cache_env_version_override(self, config, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_VERSION", "pinned-sha")
+        assert ResultCache(tmp_path).code_version == "pinned-sha"
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache("")
+
+    def test_stats_snapshot_delta(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(cache=cache)
+        runner.run_seeds(config, SEEDS)
+        before = cache.stats.snapshot()
+        runner.run_seeds(config, SEEDS)
+        delta = cache.stats.since(before)
+        assert delta.hits == 3 and delta.misses == 0
+
+
+class TestSweepSpec:
+    def test_grid_expansion_order(self, config):
+        spec = SweepSpec.grid(config,
+                              {"marking": ["ddpm", "dpm"],
+                               "num_attackers": [1, 2]},
+                              seeds=[10, 11])
+        configs = spec.expand()
+        assert len(spec) == 8 and len(configs) == 8
+        # overrides-major (grid order), seeds-minor
+        assert [(c.marking.name, c.num_attackers, c.seed) for c in configs[:4]] \
+            == [("ddpm", 1, 10), ("ddpm", 1, 11), ("ddpm", 2, 10), ("ddpm", 2, 11)]
+
+    def test_string_and_dict_coercion(self, config):
+        spec = SweepSpec(config, overrides=(
+            {"routing": "xy", "selection": "first"},
+            {"marking": {"name": "dpm", "probability": 0.4}},
+        ), seeds=[0])
+        first, second = spec.expand()
+        assert first.routing == RoutingSpec("xy")
+        assert first.selection == SelectionSpec("first")
+        assert second.marking == MarkingSpec("dpm", probability=0.4)
+
+    def test_topology_override_requires_dims(self, config):
+        spec = SweepSpec(config, overrides=({"topology": "torus"},), seeds=[0])
+        with pytest.raises(ConfigurationError, match="dims"):
+            spec.expand()
+        ok = SweepSpec(config, overrides=(
+            {"topology": {"kind": "torus", "dims": [4, 4]}},), seeds=[0])
+        assert ok.expand()[0].topology == TopologySpec("torus", (4, 4))
+
+    def test_unknown_field_rejected(self, config):
+        spec = SweepSpec(config, overrides=({"warp": 1},), seeds=[0])
+        with pytest.raises(ConfigurationError, match="warp"):
+            spec.expand()
+
+    def test_empty_seeds_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(config, seeds=())
+
+    def test_base_must_be_config(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(base="nope")
+
+    def test_default_is_base_only(self, config):
+        spec = SweepSpec(config, seeds=[3])
+        assert spec.expand() == [config.with_seed(3)]
+
+    def test_report_by_groups(self, config):
+        spec = SweepSpec.grid(config, {"marking": ["ddpm", "dpm"]}, seeds=[1, 2])
+        report = ParallelRunner().run_sweep(spec)
+        groups = report.by("marking")
+        assert set(groups) == {("ddpm",), ("dpm",)}
+        assert all(len(g) == 2 for g in groups.values())
+        assert report.records()[0]["marking"] == "ddpm"
