@@ -6,11 +6,24 @@ PYPATH  := PYTHONPATH=src
 SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
-.PHONY: test bench bench-smoke clean-cache
+.PHONY: test bench bench-smoke bench-throughput profile clean-cache
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
+
+# Hot-path regression gate: measure fabric throughput and compare against
+# the committed baseline (benchmarks/BENCH_throughput.json); fails on a
+# >30% drop (override with REPRO_BENCH_TOLERANCE).
+bench-throughput:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_fabric_throughput.py -q
+	$(PYPATH) $(PY) benchmarks/check_throughput.py
+
+# Event-level profile of the standard 64-node torus workload: top-10
+# labels/callsites by cumulative wall-clock time inside callbacks.
+profile:
+	$(PYPATH) $(PY) -m repro experiment --topology torus --dims 8 8 \
+		--routing fully-adaptive --profile
 
 # Full reproduction log: every paper table/figure benchmark.
 bench:

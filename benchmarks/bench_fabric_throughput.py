@@ -4,7 +4,16 @@ Not a paper artifact — a performance-regression guard for the simulator
 itself (guides: measure before optimizing). Reports delivered packets and
 executed events per wall-second on a standard uniform-random workload, so a
 future change that quietly makes the event loop quadratic fails here first.
+
+Besides the human-readable artifact, the run writes
+``benchmarks/results/BENCH_throughput.json`` with the machine-readable
+numbers; ``benchmarks/check_throughput.py`` compares that file against the
+committed baseline ``benchmarks/BENCH_throughput.json`` and fails CI on a
+large regression.
 """
+
+import json
+from pathlib import Path
 
 import numpy as np
 
@@ -13,6 +22,8 @@ from repro.marking import DdpmScheme
 from repro.network import Fabric
 from repro.routing import LeastCongestedPolicy, MinimalAdaptiveRouter
 from repro.topology import Torus
+
+RESULTS_JSON = Path(__file__).parent / "results" / "BENCH_throughput.json"
 
 
 def _build_loaded_fabric(seed=0):
@@ -40,6 +51,14 @@ def test_fabric_event_throughput(benchmark, report):
            f"{delivered} packets delivered, {events} events per run; "
            f"{events / mean_s:,.0f} events/s, {delivered / mean_s:,.0f} "
            "packets/s (wall clock)")
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps({
+        "delivered": int(delivered),
+        "events": int(events),
+        "mean_seconds": mean_s,
+        "events_per_sec": events / mean_s,
+        "packets_per_sec": delivered / mean_s,
+    }, indent=2) + "\n")
     assert delivered > 2500
     # Regression guard with headroom for slow machines: a complexity bug in
     # the event loop would collapse throughput by orders of magnitude.

@@ -1,0 +1,61 @@
+"""Throughput-regression gate for CI.
+
+Compares a freshly measured ``benchmarks/results/BENCH_throughput.json``
+(written by ``bench_fabric_throughput.py``) against the committed baseline
+``benchmarks/BENCH_throughput.json`` and exits non-zero when events/s or
+packets/s dropped by more than the tolerance (default 30%, overridable via
+``REPRO_BENCH_TOLERANCE``; CI machines are noisy, so the gate only catches
+structural regressions — a complexity bug, not a few percent of jitter).
+
+Being *faster* than the baseline never fails; refresh the baseline by
+copying the fresh results file over it when a change legitimately shifts
+throughput.
+
+Usage: ``python benchmarks/check_throughput.py`` (after running the
+benchmark), or ``make bench-throughput`` for the full sequence.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+BASELINE = HERE / "BENCH_throughput.json"
+FRESH = HERE / "results" / "BENCH_throughput.json"
+METRICS = ("events_per_sec", "packets_per_sec")
+
+
+def main() -> int:
+    """Compare fresh benchmark output against the committed baseline."""
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30"))
+    if not BASELINE.exists():
+        print(f"no committed baseline at {BASELINE}; nothing to compare")
+        return 1
+    if not FRESH.exists():
+        print(f"no fresh results at {FRESH}; run "
+              "`pytest benchmarks/bench_fabric_throughput.py` first")
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+    fresh = json.loads(FRESH.read_text())
+
+    failed = False
+    for metric in METRICS:
+        base = float(baseline[metric])
+        new = float(fresh[metric])
+        ratio = new / base if base else float("inf")
+        status = "ok"
+        if new < base * (1.0 - tolerance):
+            status = f"REGRESSION (>{tolerance:.0%} below baseline)"
+            failed = True
+        print(f"{metric:>16}: baseline {base:>12,.0f}  fresh {new:>12,.0f}  "
+              f"({ratio:6.2f}x)  {status}")
+    if failed:
+        print("throughput regression gate FAILED")
+        return 1
+    print("throughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,9 +35,10 @@ class Cluster:
                  marking: Optional[MarkingScheme] = None,
                  selection: Optional[SelectionPolicy] = None,
                  config: Optional[FabricConfig] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 profile=None):
         self.seed = seed
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, profile=profile)
         self.rng = self.sim.rng.stream("cluster")
         self.topology = topology
         self.router = router
@@ -55,13 +56,14 @@ class Cluster:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_config(cls, config: ExperimentConfig) -> "Cluster":
+    def from_config(cls, config: ExperimentConfig, *, profile=None) -> "Cluster":
         """Build a cluster from a declarative :class:`ExperimentConfig`.
 
         Every name in the config (topology kind, routing, marking,
         selection) is resolved through :mod:`repro.registry` by the specs'
         ``build`` methods, so a newly registered scheme is constructible
-        here with no dispatch changes.
+        here with no dispatch changes. ``profile`` optionally attaches an
+        :class:`repro.engine.profile.EventProfiler` to the simulator.
         """
         topology = config.topology.build()
         seed_rng = np.random.default_rng(config.seed)
@@ -70,7 +72,8 @@ class Cluster:
             np.random.default_rng(seed_rng.integers(2**31)), topology
         )
         cluster = cls(topology, router, marking=marking,
-                      config=config.fabric_config(), seed=config.seed)
+                      config=config.fabric_config(), seed=config.seed,
+                      profile=profile)
         if config.selection.name != "least-congested":
             cluster.fabric.selection = config.selection.build(
                 cluster.sim.rng.stream("selection"), cluster.fabric

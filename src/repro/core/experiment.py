@@ -43,9 +43,15 @@ def _victim_analysis_for(cluster: Cluster, victim: int):
     return scheme.new_victim_analysis(victim)
 
 
-def run_identification_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one configured DDoS + identification scenario and score it."""
-    cluster = Cluster.from_config(config)
+def run_identification_experiment(config: ExperimentConfig,
+                                  profile=None) -> ExperimentResult:
+    """Run one configured DDoS + identification scenario and score it.
+
+    ``profile`` optionally attaches an
+    :class:`repro.engine.profile.EventProfiler` to the simulation (the CLI's
+    ``--profile`` plumbs through here).
+    """
+    cluster = Cluster.from_config(config, profile=profile)
     victim = config.victim if config.victim is not None else cluster.default_victim()
 
     analysis = _victim_analysis_for(cluster, victim)

@@ -7,6 +7,7 @@ fabric (:mod:`repro.network`) is built entirely on these primitives.
 """
 
 from repro.engine.events import Event, EventQueue
+from repro.engine.profile import EventProfiler, ProfileEntry
 from repro.engine.rng import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.engine.stats import Counter, Histogram, TimeSeries, WelfordAccumulator
@@ -14,6 +15,8 @@ from repro.engine.stats import Counter, Histogram, TimeSeries, WelfordAccumulato
 __all__ = [
     "Event",
     "EventQueue",
+    "EventProfiler",
+    "ProfileEntry",
     "Simulator",
     "RngRegistry",
     "Counter",

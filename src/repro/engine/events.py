@@ -4,13 +4,23 @@ Events are ordered by ``(time, priority, sequence)``: ties at the same
 simulated time break first on an explicit integer priority (lower runs
 earlier), then on insertion order, which keeps runs deterministic for a
 fixed seed regardless of dict/hash ordering.
+
+Hot-path design: an event stores a *bound callable plus an args tuple*
+instead of requiring callers to close over their arguments — the forwarding
+pipeline schedules millions of events and a fresh closure per hop dominated
+the allocation profile. Events scheduled through the zero-closure path
+(:meth:`repro.engine.simulator.Simulator.schedule_call`) go further: no
+handle is returned (so they can never be cancelled), which lets the queue
+represent them as bare heap tuples with **no Event object at all** — the
+``event`` element of the heap entry is ``None`` and the callback, args, and
+label ride in the entry itself.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -27,19 +37,25 @@ class Event:
     priority:
         Tie-breaker among events at the same time; lower fires first.
     callback:
-        Zero-argument callable invoked when the event fires.
+        Callable invoked as ``callback(*args)`` when the event fires.
+    args:
+        Positional arguments stored on the event (empty for plain
+        zero-argument callbacks).
     cancelled:
         Set by :meth:`cancel`; cancelled events are skipped by the queue.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "label")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[[], Any], label: str = ""):
+                 callback: Callable[..., Any], label: str = "",
+                 args: Tuple = ()):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         self.label = label
 
@@ -47,12 +63,20 @@ class Event:
         """Mark this event so the queue discards it instead of firing it."""
         self.cancelled = True
 
+    def fire(self) -> Any:
+        """Invoke the stored callback with its stored arguments."""
+        return self.callback(*self.args)
+
     def sort_key(self):
         """Total ordering: (time, priority, insertion sequence)."""
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -61,7 +85,20 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap event queue with lazy deletion of cancelled events."""
+    """Binary-heap event queue with lazy deletion and handle-free fast entries.
+
+    Heap entries are tuples, not bare events, in one of two shapes:
+
+    * ``(time, priority, seq, event)`` — cancellable, from :meth:`push`;
+    * ``(time, priority, seq, None, callback, args, label)`` — the
+      zero-closure fast path from :meth:`push_call`, which allocates no
+      Event object at all.
+
+    ``seq`` is unique, so every comparison is decided by the three leading
+    numbers and runs entirely inside the C tuple-comparison loop —
+    ``heappush``/``heappop`` never call back into :meth:`Event.__lt__`, and
+    the mixed entry shapes are never compared past element 2.
+    """
 
     def __init__(self):
         self._heap: list = []
@@ -74,21 +111,45 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
-    def push(self, time: float, callback: Callable[[], Any], priority: int = 0,
-             label: str = "") -> Event:
-        """Schedule ``callback`` at absolute ``time``; returns a cancellable Event."""
-        event = Event(time, priority, next(self._counter), callback, label)
-        heapq.heappush(self._heap, event)
+    def push(self, time: float, callback: Callable[..., Any], priority: int = 0,
+             label: str = "", args: Tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``; returns a cancellable Event."""
+        seq = next(self._counter)
+        event = Event(time, priority, seq, callback, label, args)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def push_call(self, time: float, callback: Callable[..., Any],
+                  args: Tuple = (), label: str = "") -> None:
+        """Zero-allocation scheduling: no handle, no Event, not cancellable.
+
+        The entry carries the callback/args/label itself; the run loop
+        recognizes the ``None`` in the event slot and invokes the callback
+        straight off the tuple.
+        """
+        heapq.heappush(
+            self._heap,
+            (time, 0, next(self._counter), None, callback, args, label),
+        )
+        self._live += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
+        Fast-path entries (from :meth:`push_call`) are wrapped in a fresh
+        :class:`Event` here — only :meth:`Simulator.step` and tests take
+        this path; the inlined run loop never calls ``pop``.
+
         Raises :class:`SimulationError` when the queue is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            event = entry[3]
+            if event is None:
+                self._live -= 1
+                return Event(entry[0], entry[1], entry[2], entry[4],
+                             entry[6], entry[5])
             if event.cancelled:
                 continue
             self._live -= 1
@@ -97,9 +158,14 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            event = heap[0][3]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
 
     def note_cancelled(self) -> None:
         """Bookkeeping hook: callers that cancel an Event should report it here."""

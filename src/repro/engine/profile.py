@@ -1,0 +1,129 @@
+"""Opt-in event profiling: per-label timing and callsite attribution.
+
+The hot-path rewrite of the engine was guided by measurement; this module
+keeps that ability permanent so future optimizations are measured, not
+guessed. An :class:`EventProfiler` attaches to a simulator
+(``Simulator(profile=EventProfiler())``, ``Cluster(..., profile=...)`` or the
+CLI's ``--profile``) and times every executed event with
+``time.perf_counter``, attributing it to the event's label when one was
+given and to the callback's qualified name (the callsite) always.
+
+The profiler lives entirely off the common path: a simulator constructed
+without one pays a single ``is None`` check per event.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, NamedTuple
+
+from repro.util.tables import TextTable
+
+__all__ = ["EventProfiler", "ProfileEntry"]
+
+
+class ProfileEntry(NamedTuple):
+    """Aggregated timing for one (label, callsite) bucket."""
+
+    label: str
+    callsite: str
+    count: int
+    total_time: float
+
+    @property
+    def mean_time(self) -> float:
+        """Average seconds per event in this bucket (0.0 when empty)."""
+        return self.total_time / self.count if self.count else 0.0
+
+
+class EventProfiler:
+    """Accumulates per-event wall-clock timings, bucketed by label + callsite.
+
+    ``record_call`` is invoked by the simulator's run loop *instead of* the
+    raw callback invocation, so the two timestamps bracket exactly the
+    event's own work (including any events it schedules, but not their
+    execution).
+    """
+
+    def __init__(self):
+        # (label, callsite) -> [count, total_seconds]
+        self._buckets: Dict[tuple, List] = {}
+        self.events_recorded = 0
+
+    # ------------------------------------------------------------------
+    def record(self, callback, args, label: str) -> None:
+        """Execute ``callback(*args)`` and fold its wall-clock cost into the buckets."""
+        start = perf_counter()
+        callback(*args)
+        elapsed = perf_counter() - start
+        key = (label,
+               getattr(callback, "__qualname__", None) or repr(callback))
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [1, elapsed]
+        else:
+            bucket[0] += 1
+            bucket[1] += elapsed
+        self.events_recorded += 1
+
+    def record_call(self, event) -> None:
+        """Execute an :class:`~repro.engine.events.Event` and record its cost."""
+        self.record(event.callback, event.args, event.label)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Wall-clock seconds spent inside all recorded event callbacks."""
+        return sum(bucket[1] for bucket in self._buckets.values())
+
+    def entries(self) -> List[ProfileEntry]:
+        """All buckets, sorted by cumulative time (descending)."""
+        out = [ProfileEntry(label, callsite, count, total)
+               for (label, callsite), (count, total) in self._buckets.items()]
+        out.sort(key=lambda e: e.total_time, reverse=True)
+        return out
+
+    def top(self, n: int = 10) -> List[ProfileEntry]:
+        """The ``n`` most expensive buckets by cumulative time."""
+        return self.entries()[:n]
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready summary keyed by ``label@callsite``."""
+        return {
+            f"{entry.label or '-'}@{entry.callsite}": {
+                "count": entry.count,
+                "total_time": entry.total_time,
+                "mean_time": entry.mean_time,
+            }
+            for entry in self.entries()
+        }
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable top-N table (the ``make profile`` output)."""
+        total = self.total_time
+        table = TextTable(["label", "callsite", "events", "total s",
+                           "mean us", "share"])
+        for entry in self.top(top):
+            share = entry.total_time / total if total else 0.0
+            table.add_row([
+                entry.label or "-",
+                entry.callsite,
+                entry.count,
+                f"{entry.total_time:.4f}",
+                f"{entry.mean_time * 1e6:.2f}",
+                f"{share:6.1%}",
+            ])
+        header = (f"event profile: {self.events_recorded} events, "
+                  f"{total:.4f}s inside callbacks")
+        return f"{header}\n{table.render()}"
+
+    def reset(self) -> None:
+        """Drop all recorded samples."""
+        self._buckets.clear()
+        self.events_recorded = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"EventProfiler(events={self.events_recorded}, "
+                f"buckets={len(self._buckets)})")

@@ -2,18 +2,35 @@
 
 :class:`Simulator` owns the clock, the event queue, and the RNG registry.
 Components schedule work with :meth:`Simulator.schedule` /
-:meth:`Simulator.schedule_at` and the driver advances the world with
-:meth:`run_until` / :meth:`run` / :meth:`step`.
+:meth:`Simulator.schedule_at` / :meth:`Simulator.schedule_call` and the
+driver advances the world with :meth:`run_until` / :meth:`run` / :meth:`step`.
+
+Hot-path notes
+--------------
+``schedule_call(delay, fn, *args)`` is the zero-closure fast path: the bound
+method and its arguments ride in the heap entry itself (no lambda, no cell
+objects, no Event allocation) and no handle is returned. ``run_until``
+inlines the peek/pop/execute cycle over the raw heap — one heap operation
+and zero method calls of queue bookkeeping per event.
+
+Profiling is opt-in (``Simulator(profile=EventProfiler())`` or the CLI's
+``--profile``): when enabled, every executed event is timed and attributed
+to its label/callsite; when disabled the run loop pays a single ``is None``
+check per event.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.engine.events import Event, EventQueue
 from repro.engine.rng import RngRegistry
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.profile import EventProfiler
 
 __all__ = ["Simulator"]
 
@@ -29,14 +46,19 @@ class Simulator:
         Safety valve: :meth:`run` raises :class:`SimulationError` after this
         many events, which turns accidental infinite event loops into a
         diagnosable failure instead of a hang.
+    profile:
+        Optional :class:`repro.engine.profile.EventProfiler`; when given,
+        every executed event is timed and attributed.
     """
 
-    def __init__(self, seed: int = 0, max_events: int = 50_000_000):
+    def __init__(self, seed: int = 0, max_events: int = 50_000_000,
+                 profile: Optional["EventProfiler"] = None):
         self.now: float = 0.0
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.max_events = max_events
         self.events_executed = 0
+        self.profile = profile
         self._running = False
 
     # ------------------------------------------------------------------
@@ -45,9 +67,29 @@ class Simulator:
     def schedule(self, delay: float, callback: Callable[[], Any],
                  priority: int = 0, label: str = "") -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
-        if delay < 0 or math.isnan(delay):
+        if delay < 0 or delay != delay:  # delay != delay <=> NaN
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         return self.queue.push(self.now + delay, callback, priority, label)
+
+    def schedule_call(self, delay: float, callback: Callable[..., Any],
+                      *args: Any, label: str = "") -> None:
+        """Zero-closure fast-path scheduling: fire ``callback(*args)`` after ``delay``.
+
+        The callable and arguments ride in the heap entry itself, so hot
+        paths schedule without building a lambda — or even an Event — per
+        hop. No handle is returned; an event scheduled this way cannot be
+        cancelled. Use :meth:`schedule` when you need the handle.
+        """
+        if delay < 0 or delay != delay:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        # Inlined EventQueue.push_call: this is called once per packet-hop
+        # event, so even one method call of indirection is measurable.
+        queue = self.queue
+        heapq.heappush(
+            queue._heap,
+            (self.now + delay, 0, next(queue._counter), None, callback, args, label),
+        )
+        queue._live += 1
 
     def schedule_at(self, time: float, callback: Callable[[], Any],
                     priority: int = 0, label: str = "") -> Event:
@@ -76,7 +118,11 @@ class Simulator:
             )
         self.now = event.time
         self.events_executed += 1
-        event.callback()
+        profile = self.profile
+        if profile is None:
+            event.callback(*event.args)
+        else:
+            profile.record_call(event)
         return True
 
     def run(self) -> float:
@@ -93,21 +139,55 @@ class Simulator:
         if self._running:
             raise SimulationError("re-entrant run_until() call")
         self._running = True
+        # The loop below is the single hottest code in the repository: it
+        # inlines EventQueue.peek_time/pop over the raw heap so each event
+        # costs one heappop plus the callback, with no per-event method
+        # calls. Semantics match step(): lazy deletion of cancelled events,
+        # max_events safety valve, monotonic clock enforcement.
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        max_events = self.max_events
+        profile = self.profile
+        executed = self.events_executed
         try:
-            while True:
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time > end_time:
+            while heap:
+                entry = heap[0]
+                event = entry[3]
+                if event is not None and event.cancelled:
+                    heappop(heap)
+                    continue
+                time = entry[0]
+                if time > end_time:
                     break
-                if self.events_executed >= self.max_events:
+                if executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={self.max_events}; "
                         "likely an event loop that never drains"
                     )
-                self.step()
+                if time < self.now:
+                    raise SimulationError(
+                        f"event time {time} precedes clock {self.now} (queue corrupt)"
+                    )
+                heappop(heap)
+                queue._live -= 1
+                self.now = time
+                executed += 1
+                if event is None:
+                    # Fast-path entry: (..., None, callback, args, label).
+                    if profile is None:
+                        entry[4](*entry[5])
+                    else:
+                        profile.record(entry[4], entry[5], entry[6])
+                elif profile is None:
+                    event.callback(*event.args)
+                else:
+                    profile.record_call(event)
             if math.isfinite(end_time) and end_time > self.now:
                 self.now = end_time
             return self.now
         finally:
+            self.events_executed = executed
             self._running = False
 
     def reset(self, seed: Optional[int] = None) -> None:

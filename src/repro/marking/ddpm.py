@@ -41,23 +41,40 @@ class DdpmScheme(MarkingScheme):
         super().__init__()
         self.total_bits = total_bits
         self.layout: Optional[DdpmLayout] = None
+        # Memo of the pure per-hop MF transform and the inject constant;
+        # rebuilt on attach (they are functions of the attached topology).
+        self._hop_cache: Dict[tuple, int] = {}
+        self._inject_word: Optional[int] = None
 
     def _on_attach(self, topology: Topology) -> None:
         self.layout = DdpmLayout.for_topology(topology, total_bits=self.total_bits)
+        self._hop_cache = {}
+        self._inject_word = self.layout.encode(topology.identity_offset())
 
     # -- switch side -------------------------------------------------------
     def on_inject(self, packet: Packet, node: int) -> None:
         """Zero the distance vector (overwrites attacker-preloaded MF)."""
-        topo = self._require_attached()
-        packet.header.identification = self.layout.encode(topo.identity_offset())
+        self._require_attached()
+        packet.header.identification = self._inject_word
 
     def on_hop(self, packet: Packet, from_node: int, to_node: int) -> None:
-        """V' := V + (Y - X), the constant-time per-switch operation."""
-        topo = self._require_attached()
-        vector = self.layout.decode(packet.header.identification)
-        delta = topo.hop_delta(from_node, to_node)
-        combined = topo.combine_offsets(vector, delta)
-        packet.header.identification = self.layout.encode(combined)
+        """V' := V + (Y - X), the constant-time per-switch operation.
+
+        The transform is a pure function of (MF word, from, to), so each
+        distinct triple is decoded/combined/encoded once and memoized —
+        the steady-state per-hop cost is one dict lookup.
+        """
+        ident = packet.header.identification
+        key = (ident, from_node, to_node)
+        word = self._hop_cache.get(key)
+        if word is None:
+            topo = self._require_attached()
+            vector = self.layout.decode(ident)
+            delta = topo.hop_delta(from_node, to_node)
+            combined = topo.combine_offsets(vector, delta)
+            word = self.layout.encode(combined)
+            self._hop_cache[key] = word
+        packet.header.identification = word
 
     # -- victim side -------------------------------------------------------
     def identify(self, packet: Packet, victim: int) -> int:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-from repro.errors import FieldLayoutError, MarkingError
+from repro.errors import FieldLayoutError, FieldOverflowError, MarkingError
 from repro.marking.field import SubfieldLayout
 from repro.network.ip import MF_BITS
 from repro.topology.base import Topology
@@ -66,6 +66,21 @@ class DdpmLayout:
                 f"{total_bits} bits: {exc}"
             ) from exc
         self.widths = tuple(widths)
+        # Precomputed per-slot metadata for the fast encode/decode paths:
+        # (bit offset, value mask, min, max, sign bit, fold modulus or 0,
+        # fold threshold). Equivalent to SubfieldLayout.pack/unpack over the
+        # v0..vn slots, minus the per-call dict building and name checks.
+        meta = []
+        offset = 0
+        for width, k in zip(widths, self.dims):
+            sign_bit = (1 << (width - 1)) if signed else 0
+            low = -sign_bit if signed else 0
+            high = (sign_bit - 1) if signed else (1 << width) - 1
+            meta.append((offset, (1 << width) - 1, low, high, sign_bit,
+                         k if fold_modulo else 0, k // 2))
+            offset += width
+        self._slot_meta = tuple(meta)
+        self._word_limit = 1 << total_bits
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -134,18 +149,44 @@ class DdpmLayout:
         return tuple(minimal_signed_residue(v, k) for v, k in zip(vector, self.dims))
 
     def encode(self, vector: Sequence[int]) -> int:
-        """Pack a distance vector into the MF word (folding tori mod k)."""
+        """Pack a distance vector into the MF word (folding tori mod k).
+
+        Slot placement and overflow semantics are identical to packing
+        through ``self.layout``; this inlines the arithmetic because DDPM
+        encodes once per packet-hop. Folded (torus) components always fit
+        their slot by construction; unfolded components that overflow
+        delegate to the validating slow path for the canonical error.
+        """
         if len(vector) != len(self.dims):
             raise MarkingError(
                 f"vector arity {len(vector)} != {len(self.dims)} dimensions"
             )
-        folded = self._fold(vector)
-        return self.layout.pack({f"v{i}": v for i, v in enumerate(folded)})
+        word = 0
+        for (offset, mask, low, high, _sign, k, fold_max), v in zip(
+                self._slot_meta, vector):
+            if k:
+                v = v % k
+                if v > fold_max:
+                    v -= k
+            elif v < low or v > high:
+                folded = self._fold(vector)
+                return self.layout.pack({f"v{i}": x for i, x in enumerate(folded)})
+            word |= (v & mask) << offset
+        return word
 
     def decode(self, word: int) -> Tuple[int, ...]:
         """Unpack an MF word into the distance vector."""
-        values = self.layout.unpack(word)
-        return tuple(values[f"v{i}"] for i in range(len(self.dims)))
+        if word < 0 or word >= self._word_limit:
+            raise FieldOverflowError(
+                f"word {word} is not a {self.total_bits}-bit value"
+            )
+        out = []
+        for offset, mask, _low, _high, sign_bit, _k, _fold_max in self._slot_meta:
+            raw = (word >> offset) & mask
+            if sign_bit and raw >= sign_bit:
+                raw -= sign_bit << 1
+            out.append(raw)
+        return tuple(out)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"DdpmLayout(dims={self.dims}, widths={self.widths}, "

@@ -40,7 +40,7 @@ class Channel:
     __slots__ = (
         "src", "dst", "latency", "bandwidth", "buffer_capacity", "credits",
         "queue", "busy", "sim", "service", "on_arrival", "packets_carried",
-        "failed",
+        "failed", "_serialization_done_cb", "_arrive_cb",
     )
 
     def __init__(self, sim: Simulator, service: ServiceModel, src: int, dst: int, *,
@@ -65,6 +65,10 @@ class Channel:
         self.on_arrival = on_arrival
         self.packets_carried = 0
         self.failed = False
+        # Pre-bound callbacks: binding per hop would allocate a fresh bound
+        # method for every scheduled event on the hot path.
+        self._serialization_done_cb = self._serialization_done
+        self._arrive_cb = self._arrive
 
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
@@ -89,6 +93,16 @@ class Channel:
         self.credits += 1
         self._try_transmit()
 
+    def kick(self) -> None:
+        """Public nudge: start a send if idle, credited, and queue-nonempty.
+
+        External state changes that can unblock a transfer — most notably
+        :meth:`repro.network.fabric.Fabric.restore_link` bringing this
+        channel back up — call this instead of poking the private transmit
+        machinery.
+        """
+        self._try_transmit()
+
     # ------------------------------------------------------------------
     def _try_transmit(self) -> None:
         if self.busy or self.failed or not self.queue or self.credits == 0:
@@ -97,8 +111,9 @@ class Channel:
         self.credits -= 1
         self.busy = True
         hold = self.service.serialization_time(packet, self.bandwidth)
-        self.sim.schedule(hold, self._serialization_done, label="chan-serial")
-        self.sim.schedule(hold + self.latency, lambda p=packet: self._arrive(p),
+        sim = self.sim
+        sim.schedule_call(hold, self._serialization_done_cb, label="chan-serial")
+        sim.schedule_call(hold + self.latency, self._arrive_cb, packet,
                           label="chan-arrive")
 
     def _serialization_done(self) -> None:

@@ -104,13 +104,25 @@ class Fabric:
         if marking is not None:
             marking.attach(topology)
 
+        #: shared memoized distance lookup (== topology.min_hops, but O(1));
+        #: the switches' per-hop profitability test goes through this.
+        self.oracle = topology.distance_oracle()
+        #: True when the service model charges a VirtualCutThrough injection
+        #: overhead — hoisted out of the per-packet inject path.
+        self._vct_injection = isinstance(self.service, VirtualCutThrough)
+
         self.switches: List[Switch] = []
         self.nics: List[Nic] = []
         self.channels: Dict[Tuple[int, int], Channel] = {}
         self._build()
 
-        # Global statistics
-        self.counters = Counter()
+        # Global statistics. The three per-packet counters are integer slots
+        # (see the `counters` property for the string-keyed view); only the
+        # rare drop path keeps a per-reason dict.
+        self.n_injected = 0
+        self.n_delivered = 0
+        self.n_dropped = 0
+        self._drop_reasons: Dict[str, int] = {}
         self.latency = WelfordAccumulator()
         self.hop_histogram = Histogram()
         self.dropped_packets: List[Tuple[Packet, int, str]] = []
@@ -123,6 +135,24 @@ class Fabric:
         #: Fired when a switch FORWARDS a packet (not on delivery) — the
         #: instrumentation point for §6.1's trusted-monitor-switch idea.
         self._transit_observers: Dict[int, List[Callable[[Packet, int, float], None]]] = {}
+
+    @property
+    def counters(self) -> Counter:
+        """String-keyed view of the hot-loop counters (materialized on access).
+
+        Mutating the returned Counter does not write back; the live values
+        are the integer attributes ``n_injected``/``n_delivered``/``n_dropped``.
+        """
+        view = Counter()
+        if self.n_injected:
+            view.incr("injected", self.n_injected)
+        if self.n_delivered:
+            view.incr("delivered", self.n_delivered)
+        if self.n_dropped:
+            view.incr("dropped", self.n_dropped)
+        for reason, count in self._drop_reasons.items():
+            view.incr(f"dropped_{reason}", count)
+        return view
 
     # ------------------------------------------------------------------
     # Construction
@@ -152,8 +182,13 @@ class Fabric:
     # Congestion view for adaptive selection
     # ------------------------------------------------------------------
     def congestion(self, u: int, v: int) -> float:
-        """Occupancy of directed channel u -> v (selection-policy input)."""
-        return float(self.channels[(u, v)].occupancy())
+        """Occupancy of directed channel u -> v (selection-policy input).
+
+        Inlines :meth:`Channel.occupancy` — adaptive selection queries this
+        once per candidate per routed packet.
+        """
+        channel = self.channels[(u, v)]
+        return float(len(channel.queue) + channel.buffer_capacity - channel.credits)
 
     def select(self, candidates: Sequence[int], current: int) -> int:
         """Apply the configured selection policy."""
@@ -192,37 +227,36 @@ class Fabric:
         node = at_node if at_node is not None else packet.true_source
         if not self.topology.contains(node):
             raise ConfigurationError(f"injection node {node} outside topology")
-        nic = self.nics[node]
+        self.sim.schedule_call(delay, self._do_inject, packet, node, label="inject")
 
-        def _do_inject(p=packet, n=node):
-            p.injected_at = self.sim.now
-            if self.config.trace_packets:
-                p.start_trace(n)
-            nic.note_injected()
-            self.counters.incr("injected")
-            extra = 0.0
-            if isinstance(self.service, VirtualCutThrough):
-                extra = self.service.injection_overhead(p, self.config.link_bandwidth)
-            if extra > 0:
-                self.sim.schedule(extra, lambda: self.switches[n].accept_from_nic(p),
-                                  label="nic-inject")
-            else:
-                self.switches[n].accept_from_nic(p)
-
-        self.sim.schedule(delay, _do_inject, label="inject")
+    def _do_inject(self, packet: Packet, node: int) -> None:
+        packet.injected_at = self.sim.now
+        if self.config.trace_packets:
+            packet.start_trace(node)
+        self.nics[node].note_injected()
+        self.n_injected += 1
+        extra = 0.0
+        if self._vct_injection:
+            extra = self.service.injection_overhead(packet, self.config.link_bandwidth)
+        if extra > 0:
+            self.sim.schedule_call(extra, self.switches[node].accept_from_nic,
+                                   packet, label="nic-inject")
+        else:
+            self.switches[node].accept_from_nic(packet)
 
     def deliver_local(self, packet: Packet, node: int) -> None:
         """A packet reached its destination switch; hand it to the NIC."""
-        self.counters.incr("delivered")
+        self.n_delivered += 1
         self.hop_histogram.add(packet.hops)
         self.nics[node].deliver(packet, self.sim.now)
-        if packet.latency is not None:
-            self.latency.add(packet.latency)
+        latency = packet.latency
+        if latency is not None:
+            self.latency.add(latency)
 
     def drop(self, packet: Packet, at_node: int, reason: str) -> None:
         """Discard a packet, recording the reason."""
-        self.counters.incr("dropped")
-        self.counters.incr(f"dropped_{reason}")
+        self.n_dropped += 1
+        self._drop_reasons[reason] = self._drop_reasons.get(reason, 0) + 1
         self.dropped_packets.append((packet, at_node, reason))
         for handler in self._drop_handlers:
             handler(packet, at_node, reason)
@@ -272,11 +306,16 @@ class Fabric:
         """Restore a previously failed link."""
         self.topology.restore_link(u, v)
         for a, b in ((u, v), (v, u)):
-            self.channels[(a, b)].failed = False
-            self.channels[(a, b)]._try_transmit()
+            channel = self.channels[(a, b)]
+            channel.failed = False
+            channel.kick()
 
     def stats_summary(self) -> Dict[str, float]:
-        """Flat dict of headline statistics for result records."""
+        """Flat dict of headline statistics for result records.
+
+        This is where the integer slot counters are materialized into their
+        string-keyed form — never on the per-packet path.
+        """
         out: Dict[str, float] = dict(self.counters.as_dict())
         out["mean_latency"] = self.latency.mean
         out["max_latency"] = self.latency.max if self.latency.count else float("nan")

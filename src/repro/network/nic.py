@@ -32,12 +32,24 @@ DeliveryHandler = Callable[[DeliveredPacket], None]
 class Nic:
     """Injection/ejection endpoint of one compute node."""
 
-    __slots__ = ("node", "counters", "_handlers")
+    __slots__ = ("node", "n_injected", "n_delivered", "_handlers")
 
     def __init__(self, node: int):
         self.node = node
-        self.counters = Counter()
+        # Hot-loop counters as integer slots; see the `counters` property.
+        self.n_injected = 0
+        self.n_delivered = 0
         self._handlers: List[DeliveryHandler] = []
+
+    @property
+    def counters(self) -> Counter:
+        """String-keyed view of the integer slot counters (built on access)."""
+        view = Counter()
+        if self.n_injected:
+            view.incr("injected", self.n_injected)
+        if self.n_delivered:
+            view.incr("delivered", self.n_delivered)
+        return view
 
     def add_delivery_handler(self, handler: DeliveryHandler) -> None:
         """Register a callback fired for every packet delivered to this node."""
@@ -46,11 +58,11 @@ class Nic:
     def deliver(self, packet: Packet, time: float) -> None:
         """Hand a packet that reached this node to the host side."""
         packet.delivered_at = time
-        self.counters.incr("delivered")
+        self.n_delivered += 1
         event = DeliveredPacket(packet, self.node, time)
         for handler in self._handlers:
             handler(event)
 
     def note_injected(self) -> None:
         """Count a packet the host pushed into the fabric through this NIC."""
-        self.counters.incr("injected")
+        self.n_injected += 1

@@ -13,6 +13,13 @@ addition, subtraction, and XOR" (§6.2). Concretely, for each packet a switch:
    decision, exactly as Figure 4 specifies (the delta depends on the chosen
    next node);
 5. enqueues the packet on the chosen output channel.
+
+This is the per-packet hot loop, so the bookkeeping is deliberately lean:
+counters are plain integer slots (materialized into a
+:class:`repro.engine.stats.Counter` view only on demand), the profitability
+test is one :class:`repro.topology.oracle.DistanceOracle` lookup with the
+current node's distance threaded through :class:`repro.routing.base.RouteState`,
+and the routing-delay event is scheduled closure-free.
 """
 
 from __future__ import annotations
@@ -32,15 +39,34 @@ __all__ = ["Switch"]
 class Switch:
     """One switch of the direct network, owned by a :class:`Fabric`."""
 
-    __slots__ = ("fabric", "node", "counters", "routing_delay", "outputs")
+    __slots__ = ("fabric", "node", "routing_delay", "outputs",
+                 "n_injected", "n_received", "n_forwarded", "n_filtered",
+                 "_process_buffered_cb")
 
     def __init__(self, fabric: "Fabric", node: int, routing_delay: float):
         self.fabric = fabric
         self.node = node
         self.routing_delay = routing_delay
-        self.counters = Counter()
         #: next-hop node -> output Channel, wired by the fabric
         self.outputs: Dict[int, Channel] = {}
+        # Hot-loop counters as integer slots; see the `counters` property.
+        self.n_injected = 0
+        self.n_received = 0
+        self.n_forwarded = 0
+        self.n_filtered = 0
+        self._process_buffered_cb = self._process_buffered
+
+    @property
+    def counters(self) -> Counter:
+        """String-keyed view of the integer slot counters (built on access)."""
+        view = Counter()
+        for name, value in (("injected", self.n_injected),
+                            ("received", self.n_received),
+                            ("forwarded", self.n_forwarded),
+                            ("filtered", self.n_filtered)):
+            if value:
+                view.incr(name, value)
+        return view
 
     # ------------------------------------------------------------------
     # Entry points
@@ -54,22 +80,21 @@ class Switch:
         """
         filter_fn = self.fabric.injection_filter
         if filter_fn is not None and not filter_fn(packet, self.node):
-            self.counters.incr("filtered")
+            self.n_filtered += 1
             self.fabric.drop(packet, self.node, "filtered_at_source")
             return
         scheme = self.fabric.marking
         if scheme is not None:
             scheme.on_inject(packet, self.node)
-        self.counters.incr("injected")
+        self.n_injected += 1
         self._dispatch(packet)
 
     def accept_from_channel(self, packet: Packet, channel: Channel) -> None:
         """A packet arriving over channel ``channel`` (input buffer holds it)."""
-        self.counters.incr("received")
+        self.n_received += 1
         if self.routing_delay > 0:
-            self.fabric.sim.schedule(
-                self.routing_delay,
-                lambda: self._process_buffered(packet, channel),
+            self.fabric.sim.schedule_call(
+                self.routing_delay, self._process_buffered_cb, packet, channel,
                 label="switch-route",
             )
         else:
@@ -83,37 +108,45 @@ class Switch:
     # Forwarding
     # ------------------------------------------------------------------
     def _dispatch(self, packet: Packet) -> None:
-        if packet.destination_node == self.node:
-            self.fabric.deliver_local(packet, self.node)
+        fabric = self.fabric
+        node = self.node
+        dst = packet.destination_node
+        if dst == node:
+            fabric.deliver_local(packet, node)
             return
 
         if packet.header.decrement_ttl() == 0:
-            self.fabric.drop(packet, self.node, "ttl_expired")
+            fabric.drop(packet, node, "ttl_expired")
             return
 
-        candidates = self.fabric.router.candidates(
-            self.fabric.topology, self.node, packet.route_state
-        )
+        state = packet.route_state
+        candidates = fabric.router.routed_candidates(fabric.topology, node, state)
         if not candidates:
-            self.fabric.drop(packet, self.node, "unroutable")
+            fabric.drop(packet, node, "unroutable")
             return
 
-        next_node = self.fabric.select(candidates, self.node)
-        topo = self.fabric.topology
-        profitable = (topo.min_hops(next_node, packet.destination_node)
-                      < topo.min_hops(self.node, packet.destination_node))
-        packet.route_state.note_hop(self.node, profitable)
+        next_node = fabric.select(candidates, node)
+        # Profitability: one oracle lookup for the chosen hop; this node's
+        # own distance was threaded through RouteState by the previous hop
+        # (None only on the packet's first hop after injection).
+        oracle = fabric.oracle
+        current_dist = state.distance_to_go
+        if current_dist is None:
+            current_dist = oracle.distance(node, dst)
+        next_dist = oracle.distance(next_node, dst)
+        state.note_hop(node, next_dist < current_dist, next_dist)
 
         # Monitors observe the packet as received — before this switch's own
         # marking write — so a transit monitor's DDPM decode relative to
         # itself yields the true source (V = here - source at this instant).
-        self.fabric.notify_transit(packet, self.node)
+        fabric.notify_transit(packet, node)
 
-        scheme = self.fabric.marking
+        scheme = fabric.marking
         if scheme is not None:
-            scheme.on_hop(packet, self.node, next_node)
+            scheme.on_hop(packet, node, next_node)
 
         packet.hops += 1
-        packet.record_hop(next_node)
-        self.counters.incr("forwarded")
+        if packet.trace is not None:
+            packet.trace.append(next_node)
+        self.n_forwarded += 1
         self.outputs[next_node].enqueue(packet)

@@ -25,6 +25,8 @@ class MinimalAdaptiveRouter(Router):
     """All live profitable next hops are candidates; never misroutes."""
 
     allows_misrouting = False
+    # Profitable hops depend only on (node, destination): memoizable.
+    is_stateless = True
 
     def __init__(self):
         self.name = "minimal-adaptive"

@@ -32,24 +32,38 @@ class RouteState:
         Count of non-profitable hops taken so far.
     misroute_budget:
         Maximum allowed misroutes; exceeding it is a livelock condition.
+    distance_to_go:
+        Minimal hops from the packet's *current* position to the destination,
+        threaded hop to hop by the forwarding path so each switch performs a
+        single oracle lookup instead of re-deriving both endpoints' distances
+        (None until the first hop is taken).
     scratch:
         Free-form dict for router-specific state (e.g. Valiant's intermediate).
     """
 
-    __slots__ = ("destination", "last_node", "misroutes", "misroute_budget", "scratch")
+    __slots__ = ("destination", "last_node", "misroutes", "misroute_budget",
+                 "distance_to_go", "scratch")
 
     def __init__(self, destination: int, misroute_budget: int = 0):
         self.destination = destination
         self.last_node: Optional[int] = None
         self.misroutes = 0
         self.misroute_budget = misroute_budget
+        self.distance_to_go: Optional[int] = None
         self.scratch: Dict[str, object] = {}
 
-    def note_hop(self, from_node: int, profitable: bool) -> None:
-        """Record a departed hop: remembers the node, counts misroutes."""
+    def note_hop(self, from_node: int, profitable: bool,
+                 distance_to_go: Optional[int] = None) -> None:
+        """Record a departed hop: remembers the node, counts misroutes.
+
+        ``distance_to_go`` is the already-known distance from the hop's
+        *target* to the destination; the next switch reads it back instead of
+        asking the oracle about its own position.
+        """
         self.last_node = from_node
         if not profitable:
             self.misroutes += 1
+        self.distance_to_go = distance_to_go
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"RouteState(dest={self.destination}, last={self.last_node}, "
@@ -65,6 +79,12 @@ class Router(ABC):
     is_deterministic: bool = False
     #: True when the router may propose non-profitable (misroute) hops
     allows_misrouting: bool = False
+    #: True when candidates() depends only on (topology, current node,
+    #: destination) — never on last_node, misroutes, or scratch. Stateless
+    #: routers get their candidate tuples memoized per (node, destination)
+    #: pair by :meth:`routed_candidates`; the cache is invalidated whenever
+    #: the topology's link version changes (fail_link/restore_link).
+    is_stateless: bool = False
 
     @abstractmethod
     def candidates(self, topology: Topology, current: int,
@@ -74,6 +94,39 @@ class Router(ABC):
         Empty means the packet is blocked (for deterministic algorithms on a
         failed link this is terminal — paper Figure 2(b) for XY routing).
         """
+
+    # ------------------------------------------------------------------
+    # Hot-path front-end: memoized candidate tables
+    # ------------------------------------------------------------------
+    def routed_candidates(self, topology: Topology, current: int,
+                          state: RouteState) -> Tuple[int, ...]:
+        """Memoized :meth:`candidates` — the entry point forwarding uses.
+
+        For stateless routers the (current, destination) -> candidates tuple
+        is computed once and replayed for every later packet, eliminating the
+        per-hop coordinate math and list allocation. Stateful routers
+        (adaptive fallback phases, Valiant, odd-even) fall through to the
+        live computation, which itself benefits from the memoized
+        :meth:`minimal_candidates` below.
+        """
+        if not self.is_stateless:
+            return self.candidates(topology, current, state)
+        cache = self._table_for(topology, "_candidate_table")
+        key = current * topology.num_nodes + state.destination
+        hit = cache.get(key)
+        if hit is None:
+            hit = self.candidates(topology, current, state)
+            cache[key] = hit
+        return hit
+
+    def _table_for(self, topology: Topology, attr: str) -> Dict[int, Tuple[int, ...]]:
+        """Per-(router, topology) cache dict, cleared when links change."""
+        state = getattr(self, attr, None)
+        version = topology.links.version
+        if state is None or state[0] is not topology or state[1] != version:
+            state = (topology, version, {})
+            setattr(self, attr, state)
+        return state[2]
 
     def validate(self, topology: Topology) -> None:
         """Raise :class:`RoutingError` if this router cannot run on ``topology``.
@@ -89,17 +142,26 @@ class Router(ABC):
         single profitable step along that axis (both wrap directions can be
         profitable only at exact torus antipodes, where the tie resolves to
         the positive direction — consistent with ``distance_vector``).
+
+        Depends only on (current, destination) and link state, so results
+        are memoized per pair and invalidated with the link version.
         """
-        vector = topology.distance_vector(current, state.destination)
-        out: List[int] = []
-        for axis, component in enumerate(vector):
-            if component == 0:
-                continue
-            direction = 1 if component > 0 else -1
-            nxt = topology.step(current, axis, direction)
-            if nxt is not None and topology.links.is_up(current, nxt):
-                out.append(nxt)
-        return tuple(out)
+        cache = self._table_for(topology, "_minimal_table")
+        key = current * topology.num_nodes + state.destination
+        hit = cache.get(key)
+        if hit is None:
+            vector = topology.distance_vector(current, state.destination)
+            out: List[int] = []
+            for axis, component in enumerate(vector):
+                if component == 0:
+                    continue
+                direction = 1 if component > 0 else -1
+                nxt = topology.step(current, axis, direction)
+                if nxt is not None and topology.links.is_up(current, nxt):
+                    out.append(nxt)
+            hit = tuple(out)
+            cache[key] = hit
+        return hit
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<{type(self).__name__} {self.name!r}>"
@@ -138,11 +200,13 @@ def walk_route(topology: Topology, router: Router, src: int, dst: int,
     if max_hops is None:
         max_hops = 4 * topology.diameter() + 16
     router.validate(topology)
+    oracle = topology.distance_oracle()
     state = RouteState(dst, misroute_budget=misroute_budget)
     path = [src]
     current = src
+    current_dist = oracle.distance(src, dst)
     for _ in range(max_hops):
-        options = router.candidates(topology, current, state)
+        options = router.routed_candidates(topology, current, state)
         if not options:
             raise UnroutablePacketError(
                 f"{router.name} has no legal hop from {current} "
@@ -152,8 +216,9 @@ def walk_route(topology: Topology, router: Router, src: int, dst: int,
         nxt = select(options, current)
         if nxt not in options:
             raise RoutingError(f"selection returned {nxt}, not among candidates {options}")
-        profitable = topology.min_hops(nxt, dst) < topology.min_hops(current, dst)
-        state.note_hop(current, profitable)
+        next_dist = oracle.distance(nxt, dst)
+        state.note_hop(current, next_dist < current_dist, next_dist)
+        current_dist = next_dist
         if on_hop is not None:
             on_hop(current, nxt)
         path.append(nxt)

@@ -35,6 +35,9 @@ class DimensionOrderRouter(Router):
 
     is_deterministic = True
     allows_misrouting = False
+    # candidates() reads only the destination from RouteState, so the unique
+    # next hop per (node, destination) is memoized by routed_candidates().
+    is_stateless = True
 
     def __init__(self, axis_order: Optional[Sequence[int]] = None):
         self.axis_order = tuple(axis_order) if axis_order is not None else None

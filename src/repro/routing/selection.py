@@ -96,9 +96,21 @@ class LeastCongestedPolicy(SelectionPolicy):
         self._check(candidates)
         if len(candidates) == 1:
             return candidates[0]
-        loads = [self.congestion(current, v) for v in candidates]
-        best = min(loads)
-        ties: Tuple[int, ...] = tuple(v for v, load in zip(candidates, loads) if load == best)
+        # Single pass: track the running minimum and its ties (equivalent to
+        # min()-then-filter, but one congestion query and no intermediate
+        # lists per candidate — this runs once per routed packet).
+        congestion = self.congestion
+        iterator = iter(candidates)
+        first = next(iterator)
+        best = congestion(current, first)
+        ties = [first]
+        for v in iterator:
+            load = congestion(current, v)
+            if load < best:
+                best = load
+                ties = [v]
+            elif load == best:
+                ties.append(v)
         if len(ties) == 1 or self.rng is None:
             return ties[0]
         return ties[int(self.rng.integers(len(ties)))]

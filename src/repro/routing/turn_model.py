@@ -56,6 +56,9 @@ class WestFirstRouter(Router):
     def __init__(self, minimal: bool = True):
         self.minimal = minimal
         self.allows_misrouting = not minimal
+        # The non-minimal variant's misroute branch reads last_node/misroutes
+        # from RouteState, so only the minimal form is memoizable.
+        self.is_stateless = minimal
         self.name = "west-first" if minimal else "west-first-nonminimal"
 
     def validate(self, topology: Topology) -> None:
@@ -108,6 +111,8 @@ class NorthLastRouter(Router):
     Prohibited turns are the two *out of* the north direction.
     """
 
+    is_stateless = True
+
     def __init__(self):
         self.name = "north-last"
 
@@ -149,6 +154,8 @@ class NegativeFirstRouter(Router):
     (adaptively among the negative ones), then adaptively among positive
     hops. Works on meshes of any dimensionality.
     """
+
+    is_stateless = True
 
     def __init__(self):
         self.name = "negative-first"

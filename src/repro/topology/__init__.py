@@ -13,6 +13,7 @@ from repro.topology.hypercube import Hypercube
 from repro.topology.irregular import IrregularTopology
 from repro.topology.links import LinkSet
 from repro.topology.mesh import Mesh
+from repro.topology.oracle import DistanceOracle
 from repro.topology.properties import (
     average_distance,
     bfs_distances,
@@ -31,6 +32,7 @@ __all__ = [
     "FatTree",
     "ClusterMesh",
     "LinkSet",
+    "DistanceOracle",
     "bfs_distances",
     "diameter",
     "average_distance",

@@ -43,14 +43,28 @@ class Topology(ABC):
         if self.num_nodes < 2:
             raise TopologyError(f"a network needs at least 2 nodes, got dims {self.dims}")
         self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._oracle = None
+        self._coords = None
         self.links = LinkSet(self._enumerate_links())
 
     # ------------------------------------------------------------------
     # Node addressing
     # ------------------------------------------------------------------
     def coord(self, node: int) -> Coord:
-        """Coordinate tuple of flat node index ``node``."""
-        return C.index_to_coord(node, self.dims)
+        """Coordinate tuple of flat node index ``node``.
+
+        Answered from a lazily built table — coordinate lookups happen on
+        every routing-table miss and hop-delta computation, so the
+        div/mod chain runs once per node, not once per call.
+        """
+        coords = self._coords
+        if coords is None:
+            coords = self._coords = tuple(
+                C.index_to_coord(i, self.dims) for i in range(self.num_nodes)
+            )
+        if 0 <= node < self.num_nodes:
+            return coords[node]
+        return C.index_to_coord(node, self.dims)  # canonical out-of-range error
 
     def index(self, coord: Sequence[int]) -> int:
         """Flat index of coordinate ``coord``."""
@@ -127,6 +141,19 @@ class Topology(ABC):
     @abstractmethod
     def min_hops(self, src: int, dst: int) -> int:
         """Minimal hop count between src and dst in the failure-free network."""
+
+    def distance_oracle(self) -> "DistanceOracle":
+        """Shared memoized distance lookup, equivalent to :meth:`min_hops`.
+
+        Lazily built and cached on the topology; hot paths (switch
+        profitability, route walking) go through the oracle so distances are
+        closed-form or cached-BFS instead of recomputed per hop.
+        """
+        if self._oracle is None:
+            from repro.topology.oracle import DistanceOracle
+
+            self._oracle = DistanceOracle(self)
+        return self._oracle
 
     # ------------------------------------------------------------------
     # Offset algebra (DDPM)

@@ -40,6 +40,10 @@ class LinkSet:
         if not self._all:
             raise TopologyError("a topology must have at least one link")
         self._failed: Set[Link] = set()
+        #: monotonically increasing change counter; bumped by every fail/
+        #: restore so caches keyed on link state (DistanceOracle, router
+        #: candidate tables) can detect staleness with one int comparison.
+        self.version = 0
 
     # -- queries --------------------------------------------------------
     def exists(self, u: int, v: int) -> bool:
@@ -75,6 +79,7 @@ class LinkSet:
         if key not in self._all:
             raise TopologyError(f"cannot fail nonexistent link {key}")
         self._failed.add(key)
+        self.version += 1
 
     def restore(self, u: int, v: int) -> None:
         """Bring a failed link back up. Raises if it was not failed."""
@@ -82,7 +87,9 @@ class LinkSet:
         if key not in self._failed:
             raise TopologyError(f"link {key} is not failed")
         self._failed.remove(key)
+        self.version += 1
 
     def restore_all(self) -> None:
         """Clear every failure."""
         self._failed.clear()
+        self.version += 1
