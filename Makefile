@@ -6,11 +6,23 @@ PYPATH  := PYTHONPATH=src
 SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
-.PHONY: test bench bench-smoke bench-throughput profile clean-cache
+.PHONY: test test-faults bench bench-smoke bench-throughput profile clean-cache
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
+
+# Robustness smoke: the fault/watchdog/hardened-runner suites, then a tiny
+# end-to-end campaign on a 4x4 mesh driven through the CLI (seeded random
+# link flaps under a wall-clock watchdog). Fast enough for every push.
+test-faults:
+	$(PYPATH) $(PY) -m pytest tests/test_faults_campaign.py \
+		tests/test_faults_injector.py tests/test_engine_watchdog.py \
+		tests/test_runner_hardening.py -x -q
+	$(PYPATH) $(PY) -m repro experiment --topology mesh --dims 4 4 \
+		--routing fully-adaptive --duration 1.0 \
+		--fault-rate 0.2 --fault-downtime 0.5 --timeout 120
+	@echo "test-faults OK: campaign completed under watchdog"
 
 # Hot-path regression gate: measure fabric throughput and compare against
 # the committed baseline (benchmarks/BENCH_throughput.json); fails on a

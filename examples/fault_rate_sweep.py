@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Identification accuracy vs link-failure rate: the robustness deliverable.
+
+Sweeps the per-link flap probability from 0 to 0.3 on an 8x8 torus under
+fully adaptive routing and compares PPM, DPM, and DDPM recall as the
+fabric degrades. Faults are seeded-random link flaps (mean downtime 0.5
+time units) armed by the declarative fault campaign; the hardened runner
+isolates any failing point instead of aborting the sweep.
+
+Expected shape: DDPM's per-hop distance sum survives rerouting, so its
+accuracy decays slowest; PPM's sampled path signatures scramble as soon
+as reroutes begin; DPM sits in between.
+
+Run:  python examples/fault_rate_sweep.py [--dims 8 8] [--topology torus]
+"""
+
+import argparse
+
+from repro.core import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.faults import FaultCampaign, RandomLinkFlapSpec
+from repro.runner import ParallelRunner, SweepSpec
+from repro.util.tables import TextTable
+
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
+MARKINGS = ("ppm-full", "dpm", "ddpm")
+SEEDS = (0, 1, 2, 3)
+
+
+def campaign_for(rate):
+    """The sweep knob: every link flaps with probability ``rate``."""
+    if rate == 0.0:
+        return None
+    return FaultCampaign((
+        RandomLinkFlapSpec(probability=rate, mean_downtime=0.5),
+    ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", choices=["mesh", "torus"],
+                        default="torus")
+    parser.add_argument("--dims", type=int, nargs=2, default=[8, 8])
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    base = ExperimentConfig(
+        topology=TopologySpec(args.topology, tuple(args.dims)),
+        routing=RoutingSpec("fully-adaptive"),
+        marking=MarkingSpec("ddpm"),
+        selection=SelectionSpec("random"),
+        num_attackers=3,
+        attack_rate_per_node=40.0,
+        background_rate=2.0,
+        duration=2.0,
+    )
+    runner = ParallelRunner(n_jobs=args.jobs, timeout=300.0, retries=1)
+
+    table = TextTable(
+        ["fault rate", "scheme", "recall", "precision", "links failed",
+         "rerouted"],
+        title=(f"Accuracy vs link-failure rate, {args.topology}"
+               f"{tuple(args.dims)}, {len(SEEDS)} seeds"),
+    )
+    for rate in FAULT_RATES:
+        spec = SweepSpec.grid(
+            base,
+            axes={
+                "marking": [MarkingSpec(m, probability=0.2) for m in MARKINGS],
+                "faults": [campaign_for(rate)],
+            },
+            seeds=SEEDS,
+        )
+        report = runner.run_sweep(spec)
+        for failure in report.failures:
+            print(f"FAILED {failure}")
+        for (marking,), group in report.by("marking").items():
+            recall = sum(r.score.recall for r in group) / len(group)
+            precision = sum(r.score.precision for r in group) / len(group)
+            failed = sum(r.extra.get("faults", {}).get("links_failed", 0)
+                         for r in group) / len(group)
+            rerouted = sum(r.extra.get("faults", {}).get("rerouted", 0)
+                           for r in group) / len(group)
+            table.add_row([f"{rate:.2f}", marking, f"{recall:.2f}",
+                           f"{precision:.2f}", f"{failed:.1f}",
+                           f"{rerouted:.1f}"])
+    print(table.render())
+    print("\nReading: as the flap rate rises, adaptive rerouting keeps")
+    print("packets flowing but scrambles path signatures — probabilistic")
+    print("schemes (PPM) decay first, while DDPM's telescoping distance")
+    print("sum is route-invariant and degrades only with outright packet")
+    print("loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,9 +36,10 @@ class Cluster:
                  selection: Optional[SelectionPolicy] = None,
                  config: Optional[FabricConfig] = None,
                  seed: int = 0,
-                 profile=None):
+                 profile=None,
+                 watchdog=None):
         self.seed = seed
-        self.sim = Simulator(seed=seed, profile=profile)
+        self.sim = Simulator(seed=seed, profile=profile, watchdog=watchdog)
         self.rng = self.sim.rng.stream("cluster")
         self.topology = topology
         self.router = router
@@ -56,14 +57,17 @@ class Cluster:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_config(cls, config: ExperimentConfig, *, profile=None) -> "Cluster":
+    def from_config(cls, config: ExperimentConfig, *, profile=None,
+                    watchdog=None) -> "Cluster":
         """Build a cluster from a declarative :class:`ExperimentConfig`.
 
         Every name in the config (topology kind, routing, marking,
         selection) is resolved through :mod:`repro.registry` by the specs'
         ``build`` methods, so a newly registered scheme is constructible
         here with no dispatch changes. ``profile`` optionally attaches an
-        :class:`repro.engine.profile.EventProfiler` to the simulator.
+        :class:`repro.engine.profile.EventProfiler` to the simulator;
+        ``watchdog`` a :class:`repro.engine.watchdog.Watchdog` (whose
+        hop ceiling and deadlock probe the fabric wires up).
         """
         topology = config.topology.build()
         seed_rng = np.random.default_rng(config.seed)
@@ -73,7 +77,7 @@ class Cluster:
         )
         cluster = cls(topology, router, marking=marking,
                       config=config.fabric_config(), seed=config.seed,
-                      profile=profile)
+                      profile=profile, watchdog=watchdog)
         if config.selection.name != "least-congested":
             cluster.fabric.selection = config.selection.build(
                 cluster.sim.rng.stream("selection"), cluster.fabric

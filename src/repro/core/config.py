@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import registry
 from repro.errors import ConfigurationError
+from repro.faults.campaign import FaultCampaign
 from repro.marking.base import MarkingScheme
 from repro.network.fabric import FabricConfig
 from repro.routing.base import Router
@@ -208,6 +209,7 @@ class ExperimentConfig:
     duration: float = 5.0
     misroute_budget: int = 8
     trace_packets: bool = False
+    faults: Optional[FaultCampaign] = None
 
     def fabric_config(self) -> FabricConfig:
         """FabricConfig derived from this experiment's knobs."""
@@ -222,7 +224,7 @@ class ExperimentConfig:
         :meth:`canonical_json`, so any field that affects simulation
         output must appear here.
         """
-        return {
+        out: Dict[str, Any] = {
             "topology": self.topology.to_dict(),
             "routing": self.routing.to_dict(),
             "marking": self.marking.to_dict(),
@@ -238,6 +240,12 @@ class ExperimentConfig:
             "misroute_budget": int(self.misroute_budget),
             "trace_packets": bool(self.trace_packets),
         }
+        # Serialized only when set, so fault-free configs keep the exact
+        # canonical JSON (and therefore cache keys) they had before fault
+        # campaigns existed.
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
@@ -245,7 +253,7 @@ class ExperimentConfig:
         _require_keys(
             "ExperimentConfig", data,
             ("topology", "routing", "marking"),
-            ("selection", "victim", "attackers") + tuple(_SCALAR_FIELDS),
+            ("selection", "victim", "attackers", "faults") + tuple(_SCALAR_FIELDS),
         )
         kwargs: Dict[str, Any] = {
             "topology": TopologySpec.from_dict(data["topology"]),
@@ -283,6 +291,9 @@ class ExperimentConfig:
                 raise ConfigurationError(
                     f"attackers must be a list of ints, got {attackers!r}")
             kwargs["attackers"] = tuple(int(a) for a in attackers)
+        faults = data.get("faults")
+        if faults is not None:
+            kwargs["faults"] = FaultCampaign.from_dict(faults)
         return cls(**kwargs)
 
     def canonical_json(self) -> str:

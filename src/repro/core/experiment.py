@@ -19,6 +19,7 @@ from repro.core.cluster import Cluster
 from repro.core.config import ExperimentConfig
 from repro.core.results import ExperimentResult
 from repro.defense.metrics import score_identification
+from repro.faults.injector import FaultInjector
 from repro.marking.dpm import DpmScheme, build_signature_table
 from repro.routing.dor import DimensionOrderRouter
 
@@ -44,15 +45,26 @@ def _victim_analysis_for(cluster: Cluster, victim: int):
 
 
 def run_identification_experiment(config: ExperimentConfig,
-                                  profile=None) -> ExperimentResult:
+                                  profile=None, watchdog=None) -> ExperimentResult:
     """Run one configured DDoS + identification scenario and score it.
 
     ``profile`` optionally attaches an
     :class:`repro.engine.profile.EventProfiler` to the simulation (the CLI's
-    ``--profile`` plumbs through here).
+    ``--profile`` plumbs through here); ``watchdog`` a
+    :class:`repro.engine.watchdog.Watchdog` guarding against hangs. When the
+    config carries a fault campaign it is armed before traffic starts, the
+    run degrades gracefully through the fabric's fault paths, and the
+    result's ``extra["faults"]`` reports what fired (per-fault counters,
+    reroutes, and per-reason drop counts).
     """
-    cluster = Cluster.from_config(config, profile=profile)
+    cluster = Cluster.from_config(config, profile=profile, watchdog=watchdog)
     victim = config.victim if config.victim is not None else cluster.default_victim()
+
+    injector = None
+    if config.faults is not None:
+        injector = FaultInjector(config.faults, cluster.fabric,
+                                 horizon=config.duration)
+        injector.arm()
 
     analysis = _victim_analysis_for(cluster, victim)
 
@@ -77,6 +89,15 @@ def run_identification_experiment(config: ExperimentConfig,
     suspects = analysis.suspects()
     score = score_identification(suspects, truth.attackers)
     stats = cluster.fabric.stats_summary()
+    extra = {}
+    if injector is not None:
+        fault_info = dict(injector.counters.as_dict())
+        fault_info["rerouted"] = int(cluster.fabric.n_rerouted)
+        fault_info.update(
+            (key, int(value)) for key, value in stats.items()
+            if key.startswith("dropped_")
+        )
+        extra["faults"] = fault_info
     return ExperimentResult(
         topology=f"{config.topology.kind}{config.topology.dims}",
         routing=config.routing.name,
@@ -91,6 +112,7 @@ def run_identification_experiment(config: ExperimentConfig,
         packets_dropped=int(stats.get("dropped", 0)),
         mean_latency=float(stats.get("mean_latency", float("nan"))),
         mean_hops=float(stats.get("mean_hops", float("nan"))),
+        extra=extra,
     )
 
 

@@ -11,6 +11,7 @@ from repro.engine.profile import EventProfiler, ProfileEntry
 from repro.engine.rng import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.engine.stats import Counter, Histogram, TimeSeries, WelfordAccumulator
+from repro.engine.watchdog import Watchdog, WatchdogReport
 
 __all__ = [
     "Event",
@@ -19,6 +20,8 @@ __all__ = [
     "ProfileEntry",
     "Simulator",
     "RngRegistry",
+    "Watchdog",
+    "WatchdogReport",
     "Counter",
     "Histogram",
     "TimeSeries",

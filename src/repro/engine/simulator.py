@@ -31,6 +31,7 @@ from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.profile import EventProfiler
+    from repro.engine.watchdog import Watchdog
 
 __all__ = ["Simulator"]
 
@@ -49,16 +50,24 @@ class Simulator:
     profile:
         Optional :class:`repro.engine.profile.EventProfiler`; when given,
         every executed event is timed and attributed.
+    watchdog:
+        Optional :class:`repro.engine.watchdog.Watchdog`; when given, the
+        run loop performs a periodic wall-clock stall check and a drain-time
+        deadlock check, terminating with a structured
+        :class:`repro.errors.WatchdogTimeout` instead of hanging. A run
+        without a watchdog pays one ``is None`` test per event.
     """
 
     def __init__(self, seed: int = 0, max_events: int = 50_000_000,
-                 profile: Optional["EventProfiler"] = None):
+                 profile: Optional["EventProfiler"] = None,
+                 watchdog: Optional["Watchdog"] = None):
         self.now: float = 0.0
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.max_events = max_events
         self.events_executed = 0
         self.profile = profile
+        self.watchdog = watchdog
         self._running = False
 
     # ------------------------------------------------------------------
@@ -150,6 +159,12 @@ class Simulator:
         max_events = self.max_events
         profile = self.profile
         executed = self.events_executed
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start()
+            wd_next_check = executed + watchdog.check_interval
+        else:
+            wd_next_check = None
         try:
             while heap:
                 entry = heap[0]
@@ -183,6 +198,15 @@ class Simulator:
                     event.callback(*event.args)
                 else:
                     profile.record_call(event)
+                if wd_next_check is not None and executed >= wd_next_check:
+                    self.events_executed = executed
+                    watchdog.check_stall(self)
+                    wd_next_check = executed + watchdog.check_interval
+            if watchdog is not None and not heap:
+                # The event queue drained: anything still parked in network
+                # queues can never move again — the deadlock signature.
+                self.events_executed = executed
+                watchdog.check_deadlock(self)
             if math.isfinite(end_time) and end_time > self.now:
                 self.now = end_time
             return self.now

@@ -1,0 +1,203 @@
+"""Engine watchdogs: deadlock, livelock, and wall-clock-stall detection.
+
+A simulation that hangs is worse than one that crashes: a sweep of
+thousands of configs stalls on the one degenerate point and nothing ever
+reports why. The :class:`Watchdog` turns the three classic hang modes of a
+credit-flow-controlled network simulation into *structured, terminating*
+failures:
+
+``deadlock``
+    The event queue drained but network queues still hold packets — a
+    credit cycle or a dead channel holding traffic with no event left to
+    move it. Detected at drain time through a ``deadlock_probe`` callback
+    (the fabric registers its pending-work counter).
+
+``livelock``
+    A packet keeps moving without ever arriving. Detected per packet via a
+    hop-count ceiling: the fabric drops offenders (counted as
+    ``dropped_livelock``) and reports to the watchdog, which terminates the
+    run once more than ``livelock_tolerance`` packets have been sacrificed.
+
+``stall``
+    Simulated progress is fine but wall-clock progress is not (a pathological
+    config, an accidental O(n²) path). Checked every ``check_interval``
+    executed events against ``wall_clock_limit`` seconds.
+
+All three terminate by raising :class:`repro.errors.WatchdogTimeout`
+carrying a :class:`WatchdogReport`; a simulator without a watchdog pays a
+single ``is None`` test per event.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import ConfigurationError, WatchdogTimeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.simulator import Simulator
+
+__all__ = ["Watchdog", "WatchdogReport"]
+
+
+@dataclass
+class WatchdogReport:
+    """Structured account of why (or that) a watchdog terminated a run.
+
+    Attributes
+    ----------
+    kind:
+        ``"deadlock"``, ``"livelock"``, or ``"stall"``.
+    detail:
+        Human-readable one-liner with the triggering numbers.
+    sim_time:
+        Simulated clock when the detector fired.
+    events_executed:
+        Engine event count when the detector fired.
+    wall_elapsed:
+        Wall-clock seconds since the watchdog started observing.
+    pending_work:
+        Units of stuck work reported by the deadlock probe (0 for the
+        other detectors).
+    """
+
+    kind: str
+    detail: str
+    sim_time: float
+    events_executed: int
+    wall_elapsed: float
+    pending_work: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (embedded in failed run reports)."""
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "sim_time": float(self.sim_time),
+            "events_executed": int(self.events_executed),
+            "wall_elapsed": float(self.wall_elapsed),
+            "pending_work": int(self.pending_work),
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.kind} at t={self.sim_time:.6g} "
+                f"({self.events_executed} events, "
+                f"{self.wall_elapsed:.2f}s wall): {self.detail}")
+
+
+class Watchdog:
+    """Hang detection for a :class:`repro.engine.simulator.Simulator`.
+
+    Parameters
+    ----------
+    wall_clock_limit:
+        Seconds of real time a run may consume before the stall detector
+        fires (None disables it).
+    check_interval:
+        Executed events between wall-clock checks; the per-event cost of an
+        enabled watchdog is one integer comparison.
+    hop_ceiling:
+        Per-packet hop limit enforced by the fabric (None disables the
+        livelock detector). Packets exceeding it are dropped and counted.
+    livelock_tolerance:
+        Number of livelocked packets the run may sacrifice before the
+        watchdog terminates it (0 = terminate on the first offender).
+    deadlock_probe:
+        Zero-argument callable returning the amount of work still stuck in
+        the simulated system; registered by the fabric via
+        :meth:`attach_deadlock_probe`. A positive return after the event
+        queue drains is a deadlock.
+    """
+
+    def __init__(self, wall_clock_limit: Optional[float] = None,
+                 check_interval: int = 4096,
+                 hop_ceiling: Optional[int] = None,
+                 livelock_tolerance: int = 0,
+                 deadlock_probe: Optional[Callable[[], int]] = None):
+        if wall_clock_limit is not None and wall_clock_limit <= 0:
+            raise ConfigurationError(
+                f"wall_clock_limit must be > 0 seconds, got {wall_clock_limit}")
+        if not isinstance(check_interval, int) or check_interval < 1:
+            raise ConfigurationError(
+                f"check_interval must be a positive int, got {check_interval!r}")
+        if hop_ceiling is not None and hop_ceiling < 1:
+            raise ConfigurationError(
+                f"hop_ceiling must be >= 1, got {hop_ceiling}")
+        if livelock_tolerance < 0:
+            raise ConfigurationError(
+                f"livelock_tolerance must be >= 0, got {livelock_tolerance}")
+        self.wall_clock_limit = wall_clock_limit
+        self.check_interval = check_interval
+        self.hop_ceiling = hop_ceiling
+        self.livelock_tolerance = livelock_tolerance
+        self.deadlock_probe = deadlock_probe
+        self.livelocked_packets = 0
+        self.report: Optional[WatchdogReport] = None
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_deadlock_probe(self, probe: Callable[[], int]) -> None:
+        """Register the pending-work probe (called once, by the fabric)."""
+        self.deadlock_probe = probe
+
+    def start(self) -> None:
+        """Begin (or continue) wall-clock observation; idempotent."""
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+
+    @property
+    def wall_elapsed(self) -> float:
+        """Wall-clock seconds since observation started (0 before start)."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # ------------------------------------------------------------------
+    # Detectors (called by the engine / fabric)
+    # ------------------------------------------------------------------
+    def _fire(self, kind: str, detail: str, sim: "Simulator",
+              pending: int = 0) -> None:
+        self.report = WatchdogReport(
+            kind=kind, detail=detail, sim_time=sim.now,
+            events_executed=sim.events_executed,
+            wall_elapsed=self.wall_elapsed, pending_work=pending,
+        )
+        raise WatchdogTimeout(self.report)
+
+    def check_stall(self, sim: "Simulator") -> None:
+        """Periodic wall-clock check (every ``check_interval`` events)."""
+        limit = self.wall_clock_limit
+        if limit is not None and self.wall_elapsed > limit:
+            self._fire("stall",
+                       f"exceeded wall-clock limit of {limit:.3g}s", sim)
+
+    def check_deadlock(self, sim: "Simulator") -> None:
+        """Drain-time check: stuck work with an empty event queue is deadlock."""
+        probe = self.deadlock_probe
+        if probe is None:
+            return
+        pending = int(probe())
+        if pending > 0:
+            self._fire(
+                "deadlock",
+                f"event queue drained with {pending} unit(s) of work still "
+                "queued in the network", sim, pending=pending)
+
+    def note_livelock(self, sim: "Simulator", packet_hops: int) -> None:
+        """Record one packet dropped at the hop ceiling; terminate past tolerance."""
+        self.livelocked_packets += 1
+        if self.livelocked_packets > self.livelock_tolerance:
+            self._fire(
+                "livelock",
+                f"{self.livelocked_packets} packet(s) exceeded the "
+                f"{self.hop_ceiling}-hop ceiling "
+                f"(last offender at {packet_hops} hops)", sim)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Watchdog(wall={self.wall_clock_limit}, "
+                f"hops={self.hop_ceiling}, "
+                f"livelocked={self.livelocked_packets})")

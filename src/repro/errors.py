@@ -24,6 +24,9 @@ __all__ = [
     "AddressingError",
     "SpoofingError",
     "SimulationError",
+    "WatchdogTimeout",
+    "FaultError",
+    "RunnerJobError",
     "DetectionError",
 ]
 
@@ -105,6 +108,33 @@ class SpoofingError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event engine reached an inconsistent state."""
+
+
+class WatchdogTimeout(SimulationError):
+    """A watchdog detector fired and terminated the simulation.
+
+    Carries the structured :class:`repro.engine.watchdog.WatchdogReport`
+    in :attr:`report`, so callers (the hardened runner, tests) can tell
+    deadlock from livelock from a wall-clock stall without parsing the
+    message string.
+    """
+
+    def __init__(self, report):
+        # args=(report,) keeps the exception picklable across process
+        # boundaries (the parallel runner ships worker failures home).
+        super().__init__(report)
+        self.report = report
+
+    def __str__(self) -> str:
+        return f"watchdog fired: {self.report}"
+
+
+class FaultError(ReproError, ValueError):
+    """A fault campaign was mis-specified or could not be armed."""
+
+
+class RunnerJobError(ReproError, RuntimeError):
+    """A runner job failed after exhausting isolation/retry handling."""
 
 
 class DetectionError(ReproError):

@@ -1,0 +1,40 @@
+"""Dynamic fault injection: campaigns, specs, and the injector.
+
+The paper evaluates source identification on a healthy interconnect; this
+package asks how the schemes hold up when the network itself misbehaves.
+A :class:`FaultCampaign` declares *what* goes wrong and *when* — link flaps,
+switch crashes, NIC stalls, packet drops/duplication/Marking-Field bit-flips,
+or seeded-random link failures — and a :class:`FaultInjector` arms it
+against a running :class:`repro.network.fabric.Fabric`, scheduling the
+events and counting everything that fires.
+
+Campaigns are plain values (registry-dispatched, ``to_dict``/``from_dict``
+round-trippable) so they ride inside
+:class:`repro.core.config.ExperimentConfig`, participate in result caching,
+and sweep like any other axis. With no campaign armed the forwarding path
+is untouched: the fabric's fault hooks stay ``None`` and cost one ``is
+None`` test per packet.
+"""
+
+from repro.faults.campaign import (
+    FaultCampaign,
+    FaultSpec,
+    LinkFlapSpec,
+    NicStallSpec,
+    PacketFaultSpec,
+    RandomLinkFlapSpec,
+    SwitchCrashSpec,
+)
+from repro.faults.injector import FaultCounters, FaultInjector
+
+__all__ = [
+    "FaultCampaign",
+    "FaultSpec",
+    "LinkFlapSpec",
+    "NicStallSpec",
+    "PacketFaultSpec",
+    "RandomLinkFlapSpec",
+    "SwitchCrashSpec",
+    "FaultCounters",
+    "FaultInjector",
+]

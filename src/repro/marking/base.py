@@ -16,7 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Optional
 
-from repro.errors import MarkingError
+from repro.errors import IdentificationError, MarkingError
 from repro.network.packet import Packet
 from repro.topology.base import Topology
 
@@ -29,11 +29,24 @@ class VictimAnalysis(ABC):
     def __init__(self, victim: int):
         self.victim = victim
         self.packets_observed = 0
+        #: packets whose Marking Field could not be attributed (e.g. a
+        #: fault-injected bit flip decoding to a coordinate outside the
+        #: network); discarded, never turned into suspects.
+        self.corrupted_packets = 0
 
     def observe(self, packet: Packet) -> None:
-        """Feed one delivered packet; updates the suspect estimate."""
+        """Feed one delivered packet; updates the suspect estimate.
+
+        A packet whose mark cannot be decoded — wire corruption is a fault
+        campaigns inject on purpose — is counted in ``corrupted_packets``
+        and otherwise ignored: a victim under attack must keep analyzing,
+        not die on the first damaged header.
+        """
         self.packets_observed += 1
-        self._observe(packet)
+        try:
+            self._observe(packet)
+        except IdentificationError:
+            self.corrupted_packets += 1
 
     @abstractmethod
     def _observe(self, packet: Packet) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional
 
-from repro.errors import IdentificationError, TopologyError
+from repro.errors import FieldOverflowError, IdentificationError, TopologyError
 from repro.marking.base import MarkingScheme, VictimAnalysis
 from repro.marking.ddpm_layout import DdpmLayout
 from repro.network.packet import Packet
@@ -72,7 +72,14 @@ class DdpmScheme(MarkingScheme):
             vector = self.layout.decode(ident)
             delta = topo.hop_delta(from_node, to_node)
             combined = topo.combine_offsets(vector, delta)
-            word = self.layout.encode(combined)
+            try:
+                word = self.layout.encode(combined)
+            except FieldOverflowError:
+                # Attach-time capacity validation guarantees honest marks
+                # never overflow, so this MF was corrupted in flight (e.g.
+                # a fault-injected bit flip). The switch forwards it
+                # unchanged — the victim discards it as corrupted.
+                word = ident
             self._hop_cache[key] = word
         packet.header.identification = word
 
@@ -81,8 +88,10 @@ class DdpmScheme(MarkingScheme):
         """Decode one packet's source node: S = D (-) V.
 
         Raises :class:`IdentificationError` when the MF decodes to a
-        coordinate outside the network (possible only if the packet bypassed
-        the marking path, since switches are trusted).
+        coordinate outside the network — the packet bypassed the marking
+        path (switches are trusted) or its MF was corrupted in flight
+        (fault campaigns inject exactly that); victim analyses discard
+        such packets as ``corrupted_packets`` rather than propagating.
         """
         topo = self._require_attached()
         vector = self.layout.decode(packet.header.identification)

@@ -12,7 +12,7 @@ selection policies consult.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque
+from typing import Callable, Deque, Optional
 
 from repro.engine.simulator import Simulator
 from repro.errors import BufferOverflowError, ConfigurationError
@@ -40,12 +40,15 @@ class Channel:
     __slots__ = (
         "src", "dst", "latency", "bandwidth", "buffer_capacity", "credits",
         "queue", "busy", "sim", "service", "on_arrival", "packets_carried",
-        "failed", "_serialization_done_cb", "_arrive_cb",
+        "failed", "on_transmit", "on_wire_drop",
+        "_serialization_done_cb", "_arrive_cb",
     )
 
     def __init__(self, sim: Simulator, service: ServiceModel, src: int, dst: int, *,
                  latency: float, bandwidth: float, buffer_capacity: int,
-                 on_arrival: Callable[[Packet, "Channel"], None]):
+                 on_arrival: Callable[[Packet, "Channel"], None],
+                 on_transmit: Optional[Callable[[Packet, "Channel"], None]] = None,
+                 on_wire_drop: Optional[Callable[[Packet, "Channel"], None]] = None):
         if latency < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency}")
         if bandwidth <= 0:
@@ -63,6 +66,15 @@ class Channel:
         self.queue: Deque[Packet] = deque()
         self.busy = False
         self.on_arrival = on_arrival
+        #: fired when a packet actually starts crossing (the fabric applies
+        #: hop accounting and the per-hop marking write here, so a packet
+        #: still parked in the queue carries no mark for an untaken hop and
+        #: can be rerouted cleanly when this link fails)
+        self.on_transmit = on_transmit
+        #: fired when a packet that was on the wire is lost to a link
+        #: failure (the fabric records the drop); the reserved receiver
+        #: credit is returned by the channel itself
+        self.on_wire_drop = on_wire_drop
         self.packets_carried = 0
         self.failed = False
         # Pre-bound callbacks: binding per hop would allocate a fresh bound
@@ -110,6 +122,8 @@ class Channel:
         packet = self.queue.popleft()
         self.credits -= 1
         self.busy = True
+        if self.on_transmit is not None:
+            self.on_transmit(packet, self)
         hold = self.service.serialization_time(packet, self.bandwidth)
         sim = self.sim
         sim.schedule_call(hold, self._serialization_done_cb, label="chan-serial")
@@ -122,6 +136,15 @@ class Channel:
         self._try_transmit()
 
     def _arrive(self, packet: Packet) -> None:
+        if self.failed:
+            # The cable was pulled while this packet was on the wire: the
+            # packet is lost, but the receiver-buffer slot it reserved must
+            # be released or the restored link would run with permanently
+            # reduced credit (see the credit-conservation regression tests).
+            self.return_credit()
+            if self.on_wire_drop is not None:
+                self.on_wire_drop(packet, self)
+            return
         self.on_arrival(packet, self)
 
     def __repr__(self) -> str:  # pragma: no cover

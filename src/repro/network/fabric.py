@@ -10,8 +10,15 @@ marking scheme into the switch pipeline, and exposes:
 * global statistics (delivered/dropped counts, latency, hop histogram).
 
 Link failures are honored at construction; for mid-run failures call
-:meth:`fail_link`, which marks both directed channels dead (queued packets
-are dropped, as on a real cable pull).
+:meth:`fail_link`, which marks both directed channels dead and degrades
+gracefully: queued packets are handed back to their sender switch and routed
+again (adaptive routers detour, deterministic ones drop with a counted
+reason), while a packet already on the wire is lost — its receiver credit is
+returned so a later :meth:`restore_link` resumes at full capacity. Per-hop
+marking happens at channel-transmit time, so rerouted packets never carry a
+mark for the aborted hop. Fault campaigns (:mod:`repro.faults`) drive these
+entry points plus the ``fault_hook`` / ``_inject_gate`` attributes; all of
+it costs one ``is None`` test per packet when nothing is armed.
 """
 
 from __future__ import annotations
@@ -122,6 +129,7 @@ class Fabric:
         self.n_injected = 0
         self.n_delivered = 0
         self.n_dropped = 0
+        self.n_rerouted = 0
         self._drop_reasons: Dict[str, int] = {}
         self.latency = WelfordAccumulator()
         self.hop_histogram = Histogram()
@@ -135,6 +143,25 @@ class Fabric:
         #: Fired when a switch FORWARDS a packet (not on delivery) — the
         #: instrumentation point for §6.1's trusted-monitor-switch idea.
         self._transit_observers: Dict[int, List[Callable[[Packet, int, float], None]]] = {}
+
+        # Fault-campaign attachment points (see repro.faults.FaultInjector).
+        #: optional (packet, from_node, next_node) -> bool hook fired right
+        #: before a switch enqueues a packet; returning False means the hook
+        #: consumed the packet (dropped and counted it). Packet-level faults
+        #: — drops, duplication, marking-field bit-flips — live here.
+        self.fault_hook: Optional[Callable[[Packet, int, int], bool]] = None
+        #: optional (packet, node) -> bool gate applied after injection
+        #: accounting; False drops with reason "nic_stalled" (so the
+        #: injected == delivered + dropped invariant still holds).
+        self._inject_gate: Optional[Callable[[Packet, int], bool]] = None
+        #: hop-count ceiling enforced by every switch; mirrored from the
+        #: simulator's watchdog so livelocked packets are caught in the
+        #: forwarding loop itself.
+        self.hop_ceiling: Optional[int] = None
+        watchdog = self.sim.watchdog
+        if watchdog is not None:
+            self.hop_ceiling = watchdog.hop_ceiling
+            watchdog.attach_deadlock_probe(self.pending_work)
 
     @property
     def counters(self) -> Counter:
@@ -150,6 +177,8 @@ class Fabric:
             view.incr("delivered", self.n_delivered)
         if self.n_dropped:
             view.incr("dropped", self.n_dropped)
+        if self.n_rerouted:
+            view.incr("rerouted", self.n_rerouted)
         for reason, count in self._drop_reasons.items():
             view.incr(f"dropped_{reason}", count)
         return view
@@ -170,6 +199,8 @@ class Fabric:
                     bandwidth=cfg.link_bandwidth,
                     buffer_capacity=cfg.buffer_capacity,
                     on_arrival=self._on_channel_arrival,
+                    on_transmit=self._on_channel_transmit,
+                    on_wire_drop=self._on_wire_drop,
                 )
                 channel.failed = not self.topology.links.is_up(a, b)
                 self.channels[(a, b)] = channel
@@ -177,6 +208,23 @@ class Fabric:
 
     def _on_channel_arrival(self, packet: Packet, channel: Channel) -> None:
         self.switches[channel.dst].accept_from_channel(packet, channel)
+
+    def _on_channel_transmit(self, packet: Packet, channel: Channel) -> None:
+        # The hop becomes real the moment the packet starts crossing: hop
+        # accounting, tracing, and the per-hop marking write all happen here
+        # rather than at route-decision time, so a packet still parked in a
+        # queue carries no state for a hop it may yet be rerouted away from.
+        scheme = self.marking
+        if scheme is not None:
+            scheme.on_hop(packet, channel.src, channel.dst)
+        packet.hops += 1
+        if packet.trace is not None:
+            packet.trace.append(channel.dst)
+
+    def _on_wire_drop(self, packet: Packet, channel: Channel) -> None:
+        # The packet was crossing when the link failed; the channel already
+        # returned the reserved receiver credit.
+        self.drop(packet, channel.src, "link_failed")
 
     # ------------------------------------------------------------------
     # Congestion view for adaptive selection
@@ -235,6 +283,12 @@ class Fabric:
             packet.start_trace(node)
         self.nics[node].note_injected()
         self.n_injected += 1
+        gate = self._inject_gate
+        if gate is not None and not gate(packet, node):
+            # NIC-stall fault: count first, then drop, so the conservation
+            # invariant (injected == delivered + dropped) keeps holding.
+            self.drop(packet, node, "nic_stalled")
+            return
         extra = 0.0
         if self._vct_injection:
             extra = self.service.injection_overhead(packet, self.config.link_bandwidth)
@@ -294,13 +348,31 @@ class Fabric:
         return self.sim.run()
 
     def fail_link(self, u: int, v: int) -> None:
-        """Fail a link mid-run: both directed channels die, queued packets drop."""
+        """Fail a link mid-run with graceful degradation.
+
+        Both directed channels die. Packets parked in their output queues
+        never started crossing, so they are handed back to the sender switch
+        and routed again (:meth:`Switch.redispatch`): adaptive routers find
+        a detour, deterministic ones drop them with reason ``link_failed``
+        instead of raising. A packet already serializing or on the wire is
+        lost when it would have arrived (see :meth:`Channel._arrive`), which
+        returns its receiver credit so the restored link runs at full
+        capacity. The topology's :class:`repro.topology.links.LinkSet`
+        version bump invalidates the distance oracle and memoized routing
+        tables, so reroutes see the post-failure network.
+        """
         self.topology.fail_link(u, v)
+        stranded: List[Tuple[int, Packet]] = []
         for a, b in ((u, v), (v, u)):
             channel = self.channels[(a, b)]
             channel.failed = True
             while channel.queue:
-                self.drop(channel.queue.popleft(), a, "link_failed")
+                stranded.append((a, channel.queue.popleft()))
+        # Redispatch only after BOTH directions are marked dead, or a packet
+        # could be steered straight onto the other doomed channel.
+        switches = self.switches
+        for a, packet in stranded:
+            switches[a].redispatch(packet)
 
     def restore_link(self, u: int, v: int) -> None:
         """Restore a previously failed link."""
@@ -309,6 +381,28 @@ class Fabric:
             channel = self.channels[(a, b)]
             channel.failed = False
             channel.kick()
+
+    def pending_work(self) -> int:
+        """Packets parked in channel queues or receiver buffers right now.
+
+        This is the watchdog's deadlock probe: if the event queue has
+        drained but this is non-zero, those packets can never move again.
+        """
+        total = 0
+        for channel in self.channels.values():
+            total += len(channel.queue) + (channel.buffer_capacity - channel.credits)
+        return total
+
+    def livelocked(self, packet: Packet, node: int) -> None:
+        """Drop a packet that hit the watchdog's hop ceiling.
+
+        The drop is counted under reason ``livelock`` and reported to the
+        watchdog, which terminates the run once its tolerance is exceeded.
+        """
+        self.drop(packet, node, "livelock")
+        watchdog = self.sim.watchdog
+        if watchdog is not None:
+            watchdog.note_livelock(self.sim, packet.hops)
 
     def stats_summary(self) -> Dict[str, float]:
         """Flat dict of headline statistics for result records.

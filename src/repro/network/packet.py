@@ -92,6 +92,30 @@ class Packet:
             return None
         return self.delivered_at - self.injected_at
 
+    def clone(self) -> "Packet":
+        """Mid-flight copy with its own id, header, and route state.
+
+        Used by duplication faults: the copy continues from the same point
+        in the network with the same accumulated marking field, TTL, hop
+        count, and routing state, but is otherwise an independent packet
+        (its own id, so ground-truth bookkeeping never confuses the two).
+        """
+        twin = Packet(
+            self.header.copy(), self.true_source, self.destination_node,
+            kind=self.kind, flow_id=self.flow_id, seq=self.seq,
+            misroute_budget=self.route_state.misroute_budget,
+            payload=self.payload,
+        )
+        state, twin_state = self.route_state, twin.route_state
+        twin_state.last_node = state.last_node
+        twin_state.misroutes = state.misroutes
+        twin_state.distance_to_go = state.distance_to_go
+        twin_state.scratch = dict(state.scratch)
+        twin.injected_at = self.injected_at
+        twin.hops = self.hops
+        twin.trace = None if self.trace is None else list(self.trace)
+        return twin
+
     def start_trace(self, at_node: int) -> None:
         """Begin recording the node path."""
         self.trace = [at_node]

@@ -1,4 +1,4 @@
-"""The trusted switch: routing, TTL handling, and marking live here.
+"""The trusted switch: routing, TTL handling, and fault degradation live here.
 
 Per the paper's assumptions (§4.1), switches are separate from compute nodes
 and cannot be compromised; they perform "only simple functions such as
@@ -9,17 +9,25 @@ addition, subtraction, and XOR" (§6.2). Concretely, for each packet a switch:
 2. decrements TTL and drops expired packets;
 3. asks the routing function for legal next hops and the selection policy
    for one of them;
-4. applies the marking scheme's per-hop write (``on_hop``) *after* the route
-   decision, exactly as Figure 4 specifies (the delta depends on the chosen
-   next node);
-5. enqueues the packet on the chosen output channel.
+4. enqueues the packet on the chosen output channel.
+
+The marking scheme's per-hop write (``on_hop``) fires when the packet
+*actually starts crossing* the chosen channel (the fabric's transmit hook),
+still after the route decision exactly as Figure 4 specifies — but late
+enough that a packet parked in an output queue carries no mark for a hop it
+has not taken. That is what makes mid-flight link failures survivable: when
+a link dies, queued packets are handed back to :meth:`redispatch` and simply
+routed again; their marking state is untouched because the aborted hop was
+never marked.
 
 This is the per-packet hot loop, so the bookkeeping is deliberately lean:
 counters are plain integer slots (materialized into a
 :class:`repro.engine.stats.Counter` view only on demand), the profitability
 test is one :class:`repro.topology.oracle.DistanceOracle` lookup with the
 current node's distance threaded through :class:`repro.routing.base.RouteState`,
-and the routing-delay event is scheduled closure-free.
+and the routing-delay event is scheduled closure-free. The fault hooks
+(hop ceiling, packet-fault injection, dead-channel reroute) each cost one
+``is None``/attribute test per packet when no campaign is armed.
 """
 
 from __future__ import annotations
@@ -104,6 +112,22 @@ class Switch:
         self._dispatch(packet)
         channel.return_credit()
 
+    def redispatch(self, packet: Packet) -> None:
+        """Route a packet again after its queued output link failed.
+
+        Called by :meth:`repro.network.fabric.Fabric.fail_link` for packets
+        that were parked in a now-dead channel's queue. The packet never
+        started crossing, so its marking field holds no mark for the aborted
+        hop; it simply takes another trip through the routing function —
+        adaptive routers find a detour, deterministic ones come up empty and
+        the packet is dropped with a counted reason instead of raising.
+        """
+        # The threaded distance refers to the abandoned hop's target, not to
+        # this switch; force the dispatcher to re-derive it from the oracle.
+        packet.route_state.distance_to_go = None
+        self.fabric.n_rerouted += 1
+        self._dispatch(packet)
+
     # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
@@ -113,6 +137,11 @@ class Switch:
         dst = packet.destination_node
         if dst == node:
             fabric.deliver_local(packet, node)
+            return
+
+        ceiling = fabric.hop_ceiling
+        if ceiling is not None and packet.hops >= ceiling:
+            fabric.livelocked(packet, node)
             return
 
         if packet.header.decrement_ttl() == 0:
@@ -126,6 +155,20 @@ class Switch:
             return
 
         next_node = fabric.select(candidates, node)
+        channel = self.outputs[next_node]
+        if channel.failed:
+            # Defense in depth for links failed behind the router's back
+            # (e.g. a campaign that raced a memoized decision): steer to a
+            # live alternative or degrade to a counted drop — never raise.
+            live = tuple(c for c in candidates
+                         if not self.outputs[c].failed)
+            if not live:
+                fabric.drop(packet, node, "link_failed")
+                return
+            fabric.n_rerouted += 1
+            next_node = live[0] if len(live) == 1 else fabric.select(live, node)
+            channel = self.outputs[next_node]
+
         # Profitability: one oracle lookup for the chosen hop; this node's
         # own distance was threaded through RouteState by the previous hop
         # (None only on the packet's first hop after injection).
@@ -141,12 +184,9 @@ class Switch:
         # itself yields the true source (V = here - source at this instant).
         fabric.notify_transit(packet, node)
 
-        scheme = fabric.marking
-        if scheme is not None:
-            scheme.on_hop(packet, node, next_node)
+        hook = fabric.fault_hook
+        if hook is not None and not hook(packet, node, next_node):
+            return  # the fault hook consumed (dropped and counted) it
 
-        packet.hops += 1
-        if packet.trace is not None:
-            packet.trace.append(next_node)
         self.n_forwarded += 1
-        self.outputs[next_node].enqueue(packet)
+        channel.enqueue(packet)

@@ -14,6 +14,8 @@ Factory signatures are fixed per registry:
 * ``MARKING``:   ``factory(rng, topology, probability) -> MarkingScheme | None``
 * ``TOPOLOGY``:  ``factory(dims) -> Topology``
 * ``SELECTION``: ``factory(rng, fabric) -> SelectionPolicy``
+* ``FAULTS``:    ``factory(data) -> FaultSpec`` (``data`` is the spec's
+  ``to_dict`` mapping; built-ins register their ``from_dict``)
 
 ``rng`` is a ``numpy.random.Generator``; factories that do not need an
 argument simply ignore it, which keeps the dispatch sites uniform.
@@ -25,7 +27,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Registry", "ROUTING", "MARKING", "TOPOLOGY", "SELECTION"]
+__all__ = ["Registry", "ROUTING", "MARKING", "TOPOLOGY", "SELECTION", "FAULTS"]
 
 
 class Registry:
@@ -100,6 +102,7 @@ ROUTING = Registry("routing")
 MARKING = Registry("marking scheme")
 TOPOLOGY = Registry("topology")
 SELECTION = Registry("selection policy")
+FAULTS = Registry("fault")
 
 
 # ----------------------------------------------------------------------
@@ -298,5 +301,44 @@ def _make_least_congested(rng, fabric):
 SELECTION.register("first", _make_first)
 SELECTION.register("random", _make_random)
 SELECTION.register("least-congested", _make_least_congested)
+
+
+# ----------------------------------------------------------------------
+# Built-in fault-spec kinds (see repro.faults.campaign).
+def _make_link_flap(data):
+    from repro.faults.campaign import LinkFlapSpec
+
+    return LinkFlapSpec.from_dict(data)
+
+
+def _make_switch_crash(data):
+    from repro.faults.campaign import SwitchCrashSpec
+
+    return SwitchCrashSpec.from_dict(data)
+
+
+def _make_nic_stall(data):
+    from repro.faults.campaign import NicStallSpec
+
+    return NicStallSpec.from_dict(data)
+
+
+def _make_packet_fault(data):
+    from repro.faults.campaign import PacketFaultSpec
+
+    return PacketFaultSpec.from_dict(data)
+
+
+def _make_random_link_flap(data):
+    from repro.faults.campaign import RandomLinkFlapSpec
+
+    return RandomLinkFlapSpec.from_dict(data)
+
+
+FAULTS.register("link-flap", _make_link_flap)
+FAULTS.register("switch-crash", _make_switch_crash)
+FAULTS.register("nic-stall", _make_nic_stall)
+FAULTS.register("packet", _make_packet_fault)
+FAULTS.register("random-link-flap", _make_random_link_flap)
 
 __all__ += ["DETERMINISTIC_ROUTING"]

@@ -18,13 +18,15 @@ Quick use::
 
 from repro.runner.cache import CacheStats, ResultCache, default_code_version
 from repro.runner.parallel import ParallelRunner
-from repro.runner.sweep import RunReport, SweepSpec
+from repro.runner.sweep import JobFailure, RunReport, SweepSpec, config_hash
 
 __all__ = [
     "CacheStats",
+    "JobFailure",
     "ParallelRunner",
     "ResultCache",
     "RunReport",
     "SweepSpec",
+    "config_hash",
     "default_code_version",
 ]

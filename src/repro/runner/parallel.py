@@ -1,4 +1,4 @@
-"""Process-parallel, cache-aware execution of experiment batches.
+"""Process-parallel, cache-aware, crash-isolated execution of batches.
 
 The determinism contract
 ------------------------
@@ -15,32 +15,71 @@ serial API always used, and ``n_jobs>1`` must produce bit-identical
 
 Caching composes orthogonally: configs found in the :class:`ResultCache`
 are never re-simulated; only the misses are fanned out, and fresh results
-are written back so the next run is a pure cache read.
+are written back so the next run is a pure cache read. Failed jobs are
+never cached.
+
+Hardening
+---------
+A sweep must survive its worst config. Three layers, each optional:
+
+* **Crash isolation** (always on): an exception in one job — in-process or
+  pickled back from a worker — becomes a :class:`repro.runner.sweep.JobFailure`
+  carrying the config's canonical hash; the batch continues and the report's
+  ``status`` turns ``"error"``. Only :meth:`ParallelRunner.run` (the
+  single-config convenience) re-raises, as :class:`RunnerJobError`.
+* **Per-job timeout** (``timeout=``): each job runs under an engine
+  :class:`repro.engine.watchdog.Watchdog` wall-clock limit, which ends a
+  wedged simulation *from the inside* with a structured
+  :class:`repro.errors.WatchdogTimeout` (picklable, so it crosses process
+  boundaries). For hangs the event loop never reaches (a stuck syscall, a
+  livelocked worker), the pool path adds a ``future.result`` backstop at
+  ``timeout + grace`` and rebuilds the executor, resubmitting the jobs the
+  teardown cancelled.
+* **Bounded retry** (``retries=``): failed jobs are re-attempted up to
+  ``retries`` extra times with exponential backoff
+  (``retry_backoff * 2**attempt`` seconds) before a failure is recorded —
+  pointless for deterministic sim bugs, exactly right for worker-pool
+  casualties (``BrokenProcessPool``) and other transient infrastructure.
 """
 
 from __future__ import annotations
 
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import run_identification_experiment
 from repro.core.results import ExperimentResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RunnerJobError
 from repro.runner.cache import ResultCache
-from repro.runner.sweep import RunReport, SweepSpec
+from repro.runner.sweep import JobFailure, RunReport, SweepSpec, config_hash
 
 __all__ = ["ParallelRunner"]
 
-#: submitting a 2-config batch to a 16-way pool is pure overhead; the pool
-#: is sized to min(n_jobs, pending work)
-_CHUNKSIZE = 1
+#: extra seconds the pool backstop waits beyond the in-worker watchdog
+#: limit before declaring the worker wedged and rebuilding the executor —
+#: covers pickling, process startup, and result transfer.
+_TIMEOUT_GRACE = 10.0
 
 
-def _execute(config: ExperimentConfig) -> ExperimentResult:
-    """Worker entry point (module-level so it pickles under any start method)."""
-    return run_identification_experiment(config)
+def _execute(config: ExperimentConfig,
+             wall_limit: Optional[float] = None) -> ExperimentResult:
+    """Worker entry point (module-level so it pickles under any start method).
+
+    ``wall_limit`` attaches an engine watchdog so a wedged simulation ends
+    itself with a :class:`repro.errors.WatchdogTimeout` instead of pinning
+    the worker until the pool-level backstop has to kill it.
+    """
+    watchdog = None
+    if wall_limit is not None:
+        from repro.engine.watchdog import Watchdog
+
+        watchdog = Watchdog(wall_clock_limit=wall_limit)
+    return run_identification_experiment(config, watchdog=watchdog)
 
 
 class ParallelRunner:
@@ -54,20 +93,51 @@ class ParallelRunner:
         :class:`ProcessPoolExecutor`; results are identical either way.
     cache:
         Optional :class:`ResultCache`. Hits skip simulation entirely;
-        misses are simulated then stored.
+        misses are simulated then stored. Failures are never stored.
+    timeout:
+        Optional per-job wall-clock limit in seconds, enforced by an
+        in-simulation watchdog (both paths) plus a pool-level backstop
+        (``n_jobs > 1``). ``None`` disables both.
+    retries:
+        Extra attempts per failed job before a
+        :class:`repro.runner.sweep.JobFailure` is recorded.
+    retry_backoff:
+        Base of the exponential backoff between attempts, in seconds
+        (attempt ``k`` sleeps ``retry_backoff * 2**k``). Zero disables the
+        sleep but keeps the retries.
     """
 
-    def __init__(self, n_jobs: int = 1, cache: Optional[ResultCache] = None):
+    def __init__(self, n_jobs: int = 1, cache: Optional[ResultCache] = None,
+                 *, timeout: Optional[float] = None, retries: int = 0,
+                 retry_backoff: float = 0.5):
         if not isinstance(n_jobs, int) or isinstance(n_jobs, bool) or n_jobs < 1:
             raise ConfigurationError(
                 f"n_jobs must be a positive integer, got {n_jobs!r}"
             )
+        if timeout is not None and (isinstance(timeout, bool)
+                                    or not isinstance(timeout, (int, float))
+                                    or timeout <= 0):
+            raise ConfigurationError(
+                f"timeout must be a positive number of seconds, got {timeout!r}"
+            )
+        if not isinstance(retries, int) or isinstance(retries, bool) or retries < 0:
+            raise ConfigurationError(
+                f"retries must be a non-negative integer, got {retries!r}"
+            )
+        if isinstance(retry_backoff, bool) \
+                or not isinstance(retry_backoff, (int, float)) or retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0 seconds, got {retry_backoff!r}"
+            )
         self.n_jobs = n_jobs
         self.cache = cache
+        self.timeout = None if timeout is None else float(timeout)
+        self.retries = retries
+        self.retry_backoff = float(retry_backoff)
 
     # -- core batch execution -------------------------------------------
     def run_batch(self, configs: Sequence[ExperimentConfig]) -> RunReport:
-        """Run ``configs`` (cache-aware, order-preserving)."""
+        """Run ``configs`` (cache-aware, order-preserving, crash-isolated)."""
         configs = list(configs)
         if not configs:
             raise ConfigurationError("at least one config is required")
@@ -87,37 +157,150 @@ class ParallelRunner:
         else:
             pending = list(enumerate(configs))
 
+        failures: List[JobFailure] = []
         if pending:
-            fresh = self._simulate([config for _, config in pending])
-            for (index, config), result in zip(pending, fresh):
+            fresh, failures = self._simulate(pending)
+            for index, config in pending:
+                result = fresh.get(index)
+                if result is None:
+                    continue
                 results[index] = result
                 if self.cache is not None:
                     self.cache.put(config, result)
 
         return RunReport(
             configs=configs,
-            results=results,  # fully populated: every index was hit or simulated
+            results=results,
             cache_hits=hits,
             simulated=len(pending),
             n_jobs=self.n_jobs,
             elapsed=time.perf_counter() - started,
+            failures=sorted(failures, key=lambda f: f.index),
         )
 
-    def _simulate(self, configs: Sequence[ExperimentConfig]
-                  ) -> List[ExperimentResult]:
-        """Execute ``configs`` in submission order (pool iff it pays off)."""
-        if self.n_jobs == 1 or len(configs) == 1:
-            return [_execute(config) for config in configs]
-        workers = min(self.n_jobs, len(configs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Executor.map preserves input order irrespective of
-            # completion order, which keeps reports deterministic.
-            return list(pool.map(_execute, configs, chunksize=_CHUNKSIZE))
+    # -- failure bookkeeping --------------------------------------------
+    def _attempt_failed(self, index: int, config: ExperimentConfig,
+                        exc: BaseException, attempts: Dict[int, int],
+                        retry_queue: List[Tuple[int, ExperimentConfig]],
+                        failures: List[JobFailure]) -> None:
+        """Record one failed attempt: requeue within budget, else finalize."""
+        attempts[index] = attempt = attempts.get(index, 0) + 1
+        if attempt <= self.retries:
+            if self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+            retry_queue.append((index, config))
+            return
+        details = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        failures.append(JobFailure(
+            index=index,
+            config_hash=config_hash(config),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            details=details,
+            attempts=attempt,
+        ))
+
+    # -- execution paths -------------------------------------------------
+    def _simulate(self, pending: Sequence[Tuple[int, ExperimentConfig]]
+                  ) -> Tuple[Dict[int, ExperimentResult], List[JobFailure]]:
+        """Execute the pending (index, config) jobs; never raises per-job."""
+        if self.n_jobs == 1 or len(pending) == 1:
+            return self._simulate_serial(pending)
+        return self._simulate_pool(pending)
+
+    def _simulate_serial(self, pending: Sequence[Tuple[int, ExperimentConfig]]
+                         ) -> Tuple[Dict[int, ExperimentResult], List[JobFailure]]:
+        results: Dict[int, ExperimentResult] = {}
+        failures: List[JobFailure] = []
+        attempts: Dict[int, int] = {}
+        queue = list(pending)
+        while queue:
+            batch, queue = queue, []
+            for index, config in batch:
+                try:
+                    results[index] = _execute(config, self.timeout)
+                except Exception as exc:
+                    self._attempt_failed(index, config, exc, attempts,
+                                         queue, failures)
+        return results, failures
+
+    def _simulate_pool(self, pending: Sequence[Tuple[int, ExperimentConfig]]
+                       ) -> Tuple[Dict[int, ExperimentResult], List[JobFailure]]:
+        results: Dict[int, ExperimentResult] = {}
+        failures: List[JobFailure] = []
+        attempts: Dict[int, int] = {}
+        workers = min(self.n_jobs, len(pending))
+        backstop = None if self.timeout is None else self.timeout + _TIMEOUT_GRACE
+        queue = list(pending)
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while queue:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                batch, queue = queue, []
+                submitted = [(index, config, pool.submit(_execute, config,
+                                                         self.timeout))
+                             for index, config in batch]
+                # Collect in submission order so retries and failures are
+                # deterministic irrespective of completion order.
+                rebuilding = False
+                for index, config, future in submitted:
+                    if rebuilding:
+                        # The executor was torn down mid-wave; this job was
+                        # cancelled through no fault of its own — resubmit
+                        # without charging an attempt.
+                        queue.append((index, config))
+                        continue
+                    try:
+                        results[index] = future.result(timeout=backstop)
+                    except FuturesTimeoutError:
+                        # The in-worker watchdog should have fired long ago:
+                        # the worker is wedged beyond the event loop's reach.
+                        # Nuke the pool (the only way to reclaim the slot)
+                        # and resubmit the wave's survivors.
+                        self._attempt_failed(
+                            index, config,
+                            RunnerJobError(
+                                f"job exceeded {self.timeout}s wall clock "
+                                "(worker unresponsive; pool rebuilt)"
+                            ),
+                            attempts, queue, failures,
+                        )
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool, rebuilding = None, True
+                    except BrokenProcessPool as exc:
+                        # A worker died (OOM-kill, segfault, interpreter
+                        # abort) and took the executor with it.
+                        self._attempt_failed(index, config, exc, attempts,
+                                             queue, failures)
+                        pool.shutdown(wait=False)
+                        pool, rebuilding = None, True
+                    except Exception as exc:
+                        # Normal job exception, pickled back from the
+                        # worker — isolate it, keep the pool.
+                        self._attempt_failed(index, config, exc, attempts,
+                                             queue, failures)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return results, failures
 
     # -- conveniences ----------------------------------------------------
     def run(self, config: ExperimentConfig) -> ExperimentResult:
-        """Run one config (through the cache when present)."""
-        return self.run_batch([config]).results[0]
+        """Run one config (through the cache when present).
+
+        Unlike batches — which isolate failures into the report — a failed
+        single run raises :class:`repro.errors.RunnerJobError` naming the
+        config hash and the underlying error.
+        """
+        report = self.run_batch([config])
+        result = report.results[0]
+        if result is None:
+            failure = report.failures[0]
+            raise RunnerJobError(str(failure))
+        return result
 
     def run_seeds(self, config: ExperimentConfig,
                   seeds: Sequence[int]) -> RunReport:
@@ -132,4 +315,5 @@ class ParallelRunner:
         return self.run_batch(spec.expand())
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"ParallelRunner(n_jobs={self.n_jobs}, cache={self.cache!r})"
+        return (f"ParallelRunner(n_jobs={self.n_jobs}, cache={self.cache!r}, "
+                f"timeout={self.timeout}, retries={self.retries})")

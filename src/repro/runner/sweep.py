@@ -9,9 +9,10 @@ counters, and feeds the existing :func:`summarize_metric` CI machinery.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import (
     ExperimentConfig,
@@ -23,8 +24,20 @@ from repro.core.config import (
 from repro.core.replication import MetricSummary, summarize_metric
 from repro.core.results import ExperimentResult
 from repro.errors import ConfigurationError
+from repro.faults.campaign import FaultCampaign
 
-__all__ = ["SweepSpec", "RunReport"]
+__all__ = ["SweepSpec", "RunReport", "JobFailure", "config_hash"]
+
+
+def config_hash(config: ExperimentConfig) -> str:
+    """Short stable identifier for a config (prefix of its canonical SHA-256).
+
+    The same digest family the result cache keys on, truncated for report
+    readability — enough to find the offending config in a sweep without
+    reproducing a whole canonical-JSON blob in every failure record.
+    """
+    payload = config.canonical_json().encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 #: spec-valued ExperimentConfig fields and how to coerce override values
 _SPEC_FIELDS = {
@@ -47,6 +60,14 @@ def _coerce_override(name: str, value: Any) -> Any:
         raise ConfigurationError(
             f"unknown ExperimentConfig field {name!r} in sweep override "
             f"(known: {known})"
+        )
+    if name == "faults":
+        if value is None or isinstance(value, FaultCampaign):
+            return value
+        if isinstance(value, Mapping):
+            return FaultCampaign.from_dict(value)
+        raise ConfigurationError(
+            f"cannot coerce {value!r} into a FaultCampaign"
         )
     spec_cls = _SPEC_FIELDS.get(name)
     if spec_cls is None:
@@ -122,6 +143,31 @@ class SweepSpec:
         return len(self.overrides) * len(self.seeds)
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """One config's terminal failure inside a runner batch.
+
+    A failed job never aborts the sweep: the runner records one of these
+    (after exhausting its retry budget), leaves ``results[index]`` as
+    ``None``, and keeps going. ``config_hash`` is the canonical-JSON digest
+    prefix — the stable handle for locating and replaying the poisoned
+    config — and ``error_type``/``message``/``details`` carry the summarized
+    exception instead of a raw worker-pool traceback.
+    """
+
+    index: int
+    config_hash: str
+    error_type: str
+    message: str
+    details: str = ""
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return (f"config[{self.index}] {self.config_hash}: "
+                f"{self.error_type}: {self.message} "
+                f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})")
+
+
 @dataclass
 class RunReport:
     """Results of one runner batch plus where they came from.
@@ -130,19 +176,34 @@ class RunReport:
     configs that actually ran (cache misses), ``cache_hits`` the ones
     served from disk. A warm-cache re-run therefore shows
     ``simulated == 0`` — the counter the benchmark harness asserts on.
+
+    Crash isolation: a config that failed terminally leaves ``None`` at its
+    result slot and a :class:`JobFailure` in ``failures``; every view below
+    (``records``/``by``/``summarize*``) operates on the successful results
+    only, and :attr:`status` says at a glance whether the batch was clean.
     """
 
     configs: List[ExperimentConfig]
-    results: List[ExperimentResult]
+    results: List[Optional[ExperimentResult]]
     cache_hits: int = 0
     simulated: int = 0
     n_jobs: int = 1
     elapsed: float = 0.0
+    failures: List[JobFailure] = field(default_factory=list)
 
     @property
     def cache_misses(self) -> int:
         """Alias for :attr:`simulated` (every miss is simulated once)."""
         return self.simulated
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` when every config produced a result, else ``"error"``."""
+        return "error" if self.failures else "ok"
+
+    def ok_results(self) -> List[ExperimentResult]:
+        """The successful results, batch order (failed slots skipped)."""
+        return [result for result in self.results if result is not None]
 
     def __len__(self) -> int:
         return len(self.results)
@@ -153,7 +214,7 @@ class RunReport:
     # -- views -----------------------------------------------------------
     def records(self) -> List[Dict[str, Any]]:
         """Flat per-result records (``ExperimentResult.to_record``)."""
-        return [result.to_record() for result in self.results]
+        return [result.to_record() for result in self.ok_results()]
 
     def by(self, *fields: str) -> "Dict[Tuple[Any, ...], List[ExperimentResult]]":
         """Group results by result attributes, first-seen order.
@@ -161,15 +222,15 @@ class RunReport:
         ``report.by("routing", "marking")`` -> ``{(r, m): [results...]}``.
         """
         groups: Dict[Tuple[Any, ...], List[ExperimentResult]] = {}
-        for result in self.results:
+        for result in self.ok_results():
             key = tuple(getattr(result, f) for f in fields)
             groups.setdefault(key, []).append(result)
         return groups
 
     # -- statistics ------------------------------------------------------
     def summarize(self, metric: str, confidence: float = 0.95) -> MetricSummary:
-        """Mean +/- CI of ``metric`` over every result in the report."""
-        return summarize_metric(self.results, metric, confidence)
+        """Mean +/- CI of ``metric`` over every successful result."""
+        return summarize_metric(self.ok_results(), metric, confidence)
 
     def summarize_by(self, fields: Sequence[str], metric: str,
                      confidence: float = 0.95
@@ -182,6 +243,9 @@ class RunReport:
 
     def describe(self) -> str:
         """One-line cache/parallelism account for logs and reports."""
-        return (f"runs {len(self.results)} (simulated {self.simulated}, "
+        line = (f"runs {len(self.results)} (simulated {self.simulated}, "
                 f"cache hits {self.cache_hits}, jobs {self.n_jobs}, "
                 f"{self.elapsed:.2f}s)")
+        if self.failures:
+            line += f" [{len(self.failures)} FAILED]"
+        return line

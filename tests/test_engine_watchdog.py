@@ -1,0 +1,150 @@
+"""Watchdog detectors: deadlock, livelock, and wall-clock stall each fire."""
+
+import pytest
+
+from repro.engine import Simulator, Watchdog, WatchdogReport
+from repro.errors import ConfigurationError, WatchdogTimeout
+from repro.network.fabric import Fabric
+from repro.routing.adaptive import FullyAdaptiveRouter
+from repro.routing.dor import DimensionOrderRouter
+from repro.topology import Mesh
+
+
+class TestValidation:
+    def test_bad_wall_clock_limit(self):
+        with pytest.raises(ConfigurationError):
+            Watchdog(wall_clock_limit=0)
+        with pytest.raises(ConfigurationError):
+            Watchdog(wall_clock_limit=-1.0)
+
+    def test_bad_check_interval(self):
+        with pytest.raises(ConfigurationError):
+            Watchdog(check_interval=0)
+
+    def test_bad_hop_ceiling(self):
+        with pytest.raises(ConfigurationError):
+            Watchdog(hop_ceiling=0)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            Watchdog(livelock_tolerance=-1)
+
+
+class TestStall:
+    def test_stall_fires_on_busy_loop(self):
+        # An event loop that reschedules itself forever makes simulated
+        # progress but would burn wall clock until max_events; the stall
+        # detector must end it far earlier.
+        watchdog = Watchdog(wall_clock_limit=0.05, check_interval=64)
+        sim = Simulator(seed=0, watchdog=watchdog)
+
+        def spin():
+            sim.schedule_call(0.001, spin)
+
+        sim.schedule_call(0.0, spin)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            sim.run_until(1e12)
+        report = excinfo.value.report
+        assert report.kind == "stall"
+        assert report.wall_elapsed >= 0.05
+        assert report.events_executed > 0
+        assert watchdog.report is report
+
+    def test_no_fire_within_limit(self):
+        watchdog = Watchdog(wall_clock_limit=60.0)
+        sim = Simulator(seed=0, watchdog=watchdog)
+        for _ in range(10):
+            sim.schedule_call(0.1, lambda: None)
+        sim.run()
+        assert watchdog.report is None
+
+
+class TestDeadlock:
+    def test_probe_positive_after_drain_fires(self):
+        watchdog = Watchdog()
+        watchdog.attach_deadlock_probe(lambda: 3)
+        sim = Simulator(seed=0, watchdog=watchdog)
+        sim.schedule_call(1.0, lambda: None)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            sim.run()
+        report = excinfo.value.report
+        assert report.kind == "deadlock"
+        assert report.pending_work == 3
+
+    def test_probe_zero_is_clean(self):
+        watchdog = Watchdog()
+        watchdog.attach_deadlock_probe(lambda: 0)
+        sim = Simulator(seed=0, watchdog=watchdog)
+        sim.schedule_call(1.0, lambda: None)
+        sim.run()
+        assert watchdog.report is None
+
+    def test_fabric_registers_probe_and_detects_stuck_packet(self):
+        # A packet parked in a channel queue with no event left to move it
+        # is the deadlock signature; plant one directly.
+        watchdog = Watchdog()
+        sim = Simulator(seed=0, watchdog=watchdog)
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter(), sim=sim)
+        assert watchdog.deadlock_probe is not None
+        fab.switches[0].outputs[1].queue.append(fab.make_packet(0, 1))
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            fab.run()
+        assert excinfo.value.report.kind == "deadlock"
+        assert excinfo.value.report.pending_work == 1
+
+    def test_healthy_fabric_run_is_clean(self):
+        watchdog = Watchdog(hop_ceiling=64)
+        sim = Simulator(seed=0, watchdog=watchdog)
+        fab = Fabric(Mesh((4, 4)), DimensionOrderRouter(), sim=sim)
+        for i in range(8):
+            fab.inject(fab.make_packet(i, 15), delay=0.01 * i)
+        fab.run()
+        assert fab.counters["delivered"] == 8
+        assert watchdog.report is None
+
+
+class TestLivelock:
+    def test_hop_ceiling_drops_and_fires(self):
+        # A ceiling below the (unique) DOR path length guarantees the
+        # packet is cut down mid-route.
+        watchdog = Watchdog(hop_ceiling=2, livelock_tolerance=0)
+        sim = Simulator(seed=0, watchdog=watchdog)
+        fab = Fabric(Mesh((4, 4)), FullyAdaptiveRouter(), sim=sim)
+        assert fab.hop_ceiling == 2
+        fab.inject(fab.make_packet(0, 15))  # 6 minimal hops
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            fab.run()
+        assert excinfo.value.report.kind == "livelock"
+        assert fab.counters["dropped_livelock"] == 1
+        assert watchdog.livelocked_packets == 1
+
+    def test_tolerance_allows_sacrifices(self):
+        watchdog = Watchdog(hop_ceiling=2, livelock_tolerance=10)
+        sim = Simulator(seed=0, watchdog=watchdog)
+        fab = Fabric(Mesh((4, 4)), FullyAdaptiveRouter(), sim=sim)
+        for _ in range(3):
+            fab.inject(fab.make_packet(0, 15))
+        fab.run()  # 3 sacrifices < tolerance of 10: completes
+        assert watchdog.livelocked_packets == 3
+        assert fab.counters["dropped_livelock"] == 3
+        assert watchdog.report is None
+
+
+class TestReportShape:
+    def test_report_roundtrip_and_str(self):
+        report = WatchdogReport(kind="stall", detail="too slow", sim_time=1.5,
+                                events_executed=42, wall_elapsed=2.0)
+        data = report.to_dict()
+        assert data["kind"] == "stall"
+        assert data["events_executed"] == 42
+        assert "stall" in str(report) and "too slow" in str(report)
+
+    def test_watchdog_timeout_is_picklable(self):
+        import pickle
+
+        report = WatchdogReport(kind="deadlock", detail="x", sim_time=0.0,
+                                events_executed=0, wall_elapsed=0.0,
+                                pending_work=2)
+        err = pickle.loads(pickle.dumps(WatchdogTimeout(report)))
+        assert err.report.kind == "deadlock"
+        assert err.report.pending_work == 2

@@ -1,0 +1,327 @@
+"""FaultInjector against live fabrics: the ISSUE acceptance scenario,
+credit conservation across mid-transmission link loss, NIC stalls,
+switch crashes, packet-level faults, and overlap safety."""
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.experiment import run_identification_experiment
+from repro.engine import Simulator
+from repro.errors import FaultError
+from repro.faults import (
+    FaultCampaign,
+    FaultInjector,
+    LinkFlapSpec,
+    NicStallSpec,
+    PacketFaultSpec,
+    RandomLinkFlapSpec,
+    SwitchCrashSpec,
+)
+from repro.network import Fabric, FabricConfig
+from repro.routing import DimensionOrderRouter, FullyAdaptiveRouter
+from repro.topology import Mesh, Torus
+
+
+def build(topology=None, router=None, **cfg):
+    topology = topology if topology is not None else Mesh((4, 4))
+    router = router if router is not None else DimensionOrderRouter()
+    return Fabric(topology, router, config=FabricConfig(**cfg))
+
+
+def arm(fab, *specs, horizon=10.0):
+    injector = FaultInjector(FaultCampaign(tuple(specs)), fab, horizon=horizon)
+    injector.arm()
+    return injector
+
+
+def conservation_ok(fab):
+    counters = fab.counters.as_dict()
+    dropped = sum(v for k, v in counters.items() if k.startswith("dropped_"))
+    return counters.get("injected", 0) == counters.get("delivered", 0) + dropped
+
+
+class TestAcceptanceScenario:
+    def test_link_failures_mid_run_on_adaptive_torus(self):
+        # The ISSUE's acceptance criterion: a campaign that fails at least
+        # one link mid-run on an 8x8 adaptive torus completes without
+        # raising, reroutes in-flight packets, and reports identification
+        # accuracy plus per-fault counters.
+        config = ExperimentConfig(
+            topology=TopologySpec("torus", (8, 8)),
+            routing=RoutingSpec("fully-adaptive"),
+            marking=MarkingSpec("ddpm"),
+            selection=SelectionSpec("random"),
+            seed=0,
+            num_attackers=3,
+            attack_rate_per_node=40.0,
+            background_rate=2.0,
+            duration=2.0,
+            faults=FaultCampaign((
+                RandomLinkFlapSpec(probability=0.1, mean_downtime=1.0),
+            )),
+        )
+        result = run_identification_experiment(config)
+        fault_info = result.extra["faults"]
+        assert fault_info["links_failed"] >= 1
+        assert fault_info["rerouted"] > 0
+        assert 0.0 <= result.score.precision <= 1.0
+        assert 0.0 <= result.score.recall <= 1.0
+        # every per-fault counter is surfaced for the result record
+        for key in ("links_restored", "packet_drops", "packet_bitflips",
+                    "nic_stall_drops"):
+            assert key in fault_info
+
+    def test_same_campaign_same_seed_is_deterministic(self):
+        config = ExperimentConfig(
+            topology=TopologySpec("torus", (6, 6)),
+            routing=RoutingSpec("fully-adaptive"),
+            marking=MarkingSpec("ddpm"),
+            selection=SelectionSpec("random"),
+            seed=7,
+            duration=1.0,
+            faults=FaultCampaign((
+                RandomLinkFlapSpec(probability=0.2, mean_downtime=0.5),
+            )),
+        )
+        first = run_identification_experiment(config)
+        second = run_identification_experiment(config)
+        assert first.extra["faults"] == second.extra["faults"]
+        assert first.suspects == second.suspects
+
+
+class TestCreditConservation:
+    def _run_until_on_wire(self, fab, chan):
+        t = 0.0
+        while not (chan.credits < chan.buffer_capacity and not chan.queue):
+            t += 0.005
+            fab.sim.run_until(t)
+            assert t < 2.0, "packet never reached the wire"
+
+    def test_mid_transmission_failure_returns_credit(self):
+        # Satellite regression: pulling the cable while a flit is crossing
+        # must not strand the receiver-buffer credit it reserved.
+        fab = build()
+        chan = fab.switches[0].outputs[1]
+        fab.inject(fab.make_packet(0, 1))
+        self._run_until_on_wire(fab, chan)
+        fab.fail_link(0, 1)
+        fab.run()
+        assert fab.counters["dropped_link_failed"] == 1
+        assert chan.credits == chan.buffer_capacity
+
+    def test_full_capacity_after_fail_restore_cycle(self):
+        fab = build(buffer_capacity=2)
+        chan = fab.switches[0].outputs[1]
+        delivered = []
+        fab.add_delivery_handler(1, lambda ev: delivered.append(ev))
+        fab.inject(fab.make_packet(0, 1))
+        self._run_until_on_wire(fab, chan)
+        fab.fail_link(0, 1)
+        fab.run()
+        fab.restore_link(0, 1)
+        assert chan.credits == chan.buffer_capacity
+        # A restored link must sustain a burst deeper than the credit pool:
+        # any stranded credit would wedge the tail of the burst forever.
+        for _ in range(chan.buffer_capacity + 3):
+            fab.inject(fab.make_packet(0, 1))
+        fab.run()
+        assert len(delivered) == chan.buffer_capacity + 3
+        assert chan.credits == chan.buffer_capacity
+        assert conservation_ok(fab)
+
+    def test_flap_spec_drives_the_same_cycle(self):
+        fab = build(topology=Torus((4, 4)), router=FullyAdaptiveRouter())
+        injector = arm(fab, LinkFlapSpec(u=0, v=1, fail_at=0.02,
+                                         restore_at=0.5))
+        for i in range(30):
+            fab.inject(fab.make_packet(0, 1), delay=0.001 * i)
+        fab.run()
+        assert injector.counters.links_failed == 1
+        assert injector.counters.links_restored == 1
+        chan = fab.switches[0].outputs[1]
+        assert chan.credits == chan.buffer_capacity
+        assert conservation_ok(fab)
+
+
+class TestNicStall:
+    def test_stall_window_swallows_injections(self):
+        fab = build()
+        injector = arm(fab, NicStallSpec(node=3, start_at=0.1, end_at=0.2))
+        for i in range(10):
+            fab.inject(fab.make_packet(3, 12), delay=0.02 * i)
+        fab.inject(fab.make_packet(5, 12), delay=0.15)  # other NICs unaffected
+        fab.run()
+        assert injector.counters.nic_stall_drops == 5  # t=0.10..0.18
+        assert fab.counters["dropped_nic_stalled"] == 5
+        assert fab.counters["delivered"] == 6
+        assert conservation_ok(fab)
+
+
+class TestSwitchCrash:
+    def test_crash_severs_and_restart_restores(self):
+        fab = build(topology=Mesh((4, 4)), router=FullyAdaptiveRouter())
+        injector = arm(fab, SwitchCrashSpec(node=5, crash_at=0.1,
+                                            restart_at=0.5))
+        delivered = []
+        fab.add_delivery_handler(10, lambda ev: delivered.append(ev))
+        fab.inject(fab.make_packet(0, 10), delay=0.8)  # after restart
+        fab.run()
+        # node 5 is interior: four links severed, all restored
+        assert injector.counters.switch_crashes == 1
+        assert injector.counters.switch_restarts == 1
+        assert injector.counters.links_failed == 4
+        assert injector.counters.links_restored == 4
+        assert all(fab.topology.links.is_up(5, n)
+                   for n in fab.topology.neighbors(5))
+        assert len(delivered) == 1
+
+    def test_crash_with_no_restart_leaves_node_cut_off(self):
+        fab = build(topology=Mesh((4, 4)), router=FullyAdaptiveRouter())
+        arm(fab, SwitchCrashSpec(node=5, crash_at=0.05))
+        fab.inject(fab.make_packet(5, 10), delay=0.5)
+        fab.run()
+        assert fab.counters["delivered"] == 0
+        assert conservation_ok(fab)
+
+
+class TestPacketFaults:
+    def test_drop_mode_counts_and_conserves(self):
+        fab = build()
+        injector = arm(fab, PacketFaultSpec(mode="drop", probability=1.0))
+        for i in range(5):
+            fab.inject(fab.make_packet(0, 15), delay=0.01 * i)
+        fab.run()
+        assert injector.counters.packet_drops == 5
+        assert fab.counters["dropped_fault_injected"] == 5
+        assert fab.counters["delivered"] == 0
+        assert conservation_ok(fab)
+
+    def test_duplicate_mode_delivers_extras(self):
+        fab = build()
+        injector = arm(fab, PacketFaultSpec(mode="duplicate", probability=1.0,
+                                            node=0))
+        delivered = []
+        fab.add_delivery_handler(1, lambda ev: delivered.append(ev))
+        fab.inject(fab.make_packet(0, 1))
+        fab.run()
+        assert injector.counters.packet_duplicates == 1
+        assert len(delivered) == 2
+
+    def test_bitflip_corrupts_marking_field(self):
+        fab = build()
+        injector = arm(fab, PacketFaultSpec(mode="bitflip", probability=1.0))
+        packet = fab.make_packet(0, 1)
+        packet.header.identification = 0
+        fab.inject(packet)
+        fab.run()
+        assert injector.counters.packet_bitflips == 1
+        assert packet.header.identification != 0
+        assert fab.counters["delivered"] == 1
+
+    def test_bitflip_on_mesh_does_not_kill_identification(self):
+        # On a mesh (no wraparound) a flipped MF bit can decode to a
+        # coordinate outside the grid; the victim analysis must discard
+        # the packet as corrupted, not die on IdentificationError.
+        config = ExperimentConfig(
+            topology=TopologySpec("mesh", (4, 4)),
+            routing=RoutingSpec("fully-adaptive"),
+            marking=MarkingSpec("ddpm"),
+            seed=3,
+            duration=1.0,
+            attack_rate_per_node=40.0,
+            faults=FaultCampaign((
+                PacketFaultSpec(mode="bitflip", probability=0.3),
+            )),
+        )
+        result = run_identification_experiment(config)
+        assert result.extra["faults"]["packet_bitflips"] > 0
+        assert 0.0 <= result.score.precision <= 1.0
+
+    def test_window_and_node_filters(self):
+        fab = build()
+        injector = arm(fab, PacketFaultSpec(mode="drop", probability=1.0,
+                                            start_at=1.0, end_at=2.0, node=7))
+        fab.inject(fab.make_packet(0, 15), delay=0.01)   # before window
+        fab.inject(fab.make_packet(1, 2), delay=1.5)     # window, wrong node
+        fab.run()
+        assert injector.counters.packet_drops == 0
+        assert fab.counters["delivered"] == 2
+
+
+class TestDegradedRouting:
+    def test_dor_drops_queued_packets_without_raising(self):
+        # DOR has a single legal output per hop: when that link dies, every
+        # packet reaching the broken hop must become a counted drop
+        # ("unroutable" when the router offers nothing, "link_failed" when
+        # the switch catches the dead channel), never an exception.
+        fab = build(buffer_capacity=1, link_bandwidth=10.0)
+        for i in range(8):
+            fab.inject(fab.make_packet(0, 3), delay=0.001 * i)
+        arm(fab, LinkFlapSpec(u=1, v=2, fail_at=0.5))
+        fab.run()
+        counters = fab.counters
+        dead_end = counters["dropped_unroutable"] + counters["dropped_link_failed"]
+        assert dead_end >= 1
+        assert conservation_ok(fab)
+
+    def test_adaptive_reroutes_stranded_packets(self):
+        # Congest one output (FirstCandidatePolicy funnels all 0->5 traffic
+        # onto it), then cut it: the stranded queue must detour over the
+        # live alternative instead of dying.
+        fab = build(topology=Mesh((4, 4)), router=FullyAdaptiveRouter(),
+                    buffer_capacity=1, link_bandwidth=10.0)
+        for i in range(12):
+            fab.inject(fab.make_packet(0, 5), delay=0.001 * i)
+        arm(fab, LinkFlapSpec(u=0, v=4, fail_at=15.0))
+        fab.run()
+        assert fab.n_rerouted > 0
+        # only the single packet on the wire at fail time may be lost
+        assert fab.counters["delivered"] >= 10
+        assert conservation_ok(fab)
+
+
+class TestOverlapSafety:
+    def test_double_arm_raises(self):
+        fab = build()
+        injector = FaultInjector(
+            FaultCampaign((LinkFlapSpec(u=0, v=1, fail_at=1.0),)), fab)
+        injector.arm()
+        with pytest.raises(FaultError):
+            injector.arm()
+
+    def test_crash_overlapping_flap_is_safe(self):
+        # The flap owns link (5, 6) when the crash hits; the crash must
+        # skip it, and each restore only touches links its spec failed.
+        fab = build(topology=Mesh((4, 4)), router=FullyAdaptiveRouter())
+        injector = arm(
+            fab,
+            LinkFlapSpec(u=5, v=6, fail_at=0.1, restore_at=2.0),
+            SwitchCrashSpec(node=5, crash_at=0.5, restart_at=1.0),
+        )
+        fab.inject(fab.make_packet(0, 15), delay=2.5)
+        fab.run()  # no FaultError from restoring an already-up link
+        assert injector.counters.links_failed == 4  # flap + 3 crash-severed
+        assert injector.counters.links_restored == 4
+        assert all(fab.topology.links.is_up(5, n)
+                   for n in fab.topology.neighbors(5))
+
+    def test_arm_validates_against_topology(self):
+        fab = build()
+        with pytest.raises(FaultError):
+            arm(fab, LinkFlapSpec(u=0, v=99, fail_at=1.0))
+        with pytest.raises(FaultError):
+            arm(fab, LinkFlapSpec(u=0, v=5, fail_at=1.0))  # not adjacent
+        with pytest.raises(FaultError):
+            arm(fab, SwitchCrashSpec(node=400, crash_at=1.0))
+
+    def test_arm_after_time_passed_raises(self):
+        fab = build()
+        fab.sim.run_until(2.0)
+        with pytest.raises(FaultError):
+            arm(fab, LinkFlapSpec(u=0, v=1, fail_at=1.0))

@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for fault robustness.
+
+The ISSUE's robustness claim: for any link-failure probability in
+[0, 0.3], a full identification experiment on a small fabric completes
+without raising, conserves packets, and DDPM accuracy does not *improve*
+as the fabric degrades (monotone-ish, checked against the fault-free
+baseline with slack rather than pairwise — single-seed runs are noisy).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    SelectionSpec,
+    TopologySpec,
+)
+from repro.core.experiment import run_identification_experiment
+from repro.faults import FaultCampaign, RandomLinkFlapSpec
+
+#: single shared settings: experiments are slow, keep the example count low.
+EXPERIMENT_SETTINGS = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _config(probability, seed, topology="torus"):
+    faults = None
+    if probability > 0.0:
+        faults = FaultCampaign((
+            RandomLinkFlapSpec(probability=probability, mean_downtime=0.5),
+        ))
+    return ExperimentConfig(
+        topology=TopologySpec(topology, (4, 4)),
+        routing=RoutingSpec("fully-adaptive"),
+        marking=MarkingSpec("ddpm"),
+        selection=SelectionSpec("random"),
+        seed=seed,
+        num_attackers=2,
+        attack_rate_per_node=30.0,
+        background_rate=1.0,
+        duration=1.0,
+        faults=faults,
+    )
+
+
+class TestNeverCrashes:
+    @EXPERIMENT_SETTINGS
+    @given(probability=st.floats(0.0, 0.3, allow_nan=False),
+           seed=st.integers(0, 2**16),
+           topology=st.sampled_from(["mesh", "torus"]))
+    def test_experiment_completes_and_conserves(self, probability, seed,
+                                                topology):
+        result = run_identification_experiment(
+            _config(probability, seed, topology))
+        assert 0.0 <= result.score.precision <= 1.0
+        assert 0.0 <= result.score.recall <= 1.0
+        assert result.packets_delivered > 0
+        assert result.packets_dropped >= 0
+        assert result.packets_analyzed <= result.packets_delivered
+        if probability > 0.0:
+            fault_info = result.extra["faults"]
+            assert fault_info["links_failed"] >= fault_info["links_restored"]
+        else:
+            # zero-cost when off: no fault machinery in the record
+            assert "faults" not in result.extra
+
+
+class TestAccuracyDegradesGracefully:
+    @EXPERIMENT_SETTINGS
+    @given(probability=st.floats(0.05, 0.3, allow_nan=False),
+           seed=st.integers(0, 2**10))
+    def test_faults_never_beat_the_healthy_baseline(self, probability, seed):
+        # Monotone-ish: a degraded fabric may lose marked packets and
+        # accuracy, but must never *beat* a healthy fabric's recall by more
+        # than single-run noise (slack 0.34 ~= one attacker of two).
+        healthy = run_identification_experiment(_config(0.0, seed))
+        faulty = run_identification_experiment(_config(probability, seed))
+        assert faulty.score.recall <= healthy.score.recall + 0.34

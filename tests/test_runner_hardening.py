@@ -1,0 +1,164 @@
+"""Runner hardening: crash isolation, retries, timeouts, failure reporting.
+
+A poisoned config — one that deserializes fine but explodes when armed
+against the actual topology — must cost exactly one slot of a batch, never
+the batch. These tests drive both execution paths (in-process and worker
+pool) with such configs.
+"""
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    MarkingSpec,
+    RoutingSpec,
+    TopologySpec,
+)
+from repro.errors import ConfigurationError, RunnerJobError
+from repro.faults import FaultCampaign, LinkFlapSpec
+from repro.runner import JobFailure, ParallelRunner, ResultCache, config_hash
+
+
+def good_config(seed=0):
+    return ExperimentConfig(
+        topology=TopologySpec("mesh", (4, 4)),
+        routing=RoutingSpec("fully-adaptive"),
+        marking=MarkingSpec("ddpm"),
+        seed=seed,
+        duration=0.5,
+        attack_rate_per_node=20.0,
+    )
+
+
+def poisoned_config(seed=0):
+    # Passes every value-level validation (node 99 is a legal index in
+    # principle) but FaultInjector.arm() raises FaultError on a 16-node
+    # mesh: the canonical "config from a bigger sweep grid" mistake.
+    return ExperimentConfig(
+        topology=TopologySpec("mesh", (4, 4)),
+        routing=RoutingSpec("fully-adaptive"),
+        marking=MarkingSpec("ddpm"),
+        seed=seed,
+        duration=0.5,
+        attack_rate_per_node=20.0,
+        faults=FaultCampaign((LinkFlapSpec(u=0, v=99, fail_at=0.1),)),
+    )
+
+
+class TestValidation:
+    def test_bad_runner_params(self):
+        for kwargs in ({"n_jobs": 0}, {"timeout": 0}, {"timeout": -1.0},
+                       {"retries": -1}, {"retry_backoff": -0.1}):
+            with pytest.raises(ConfigurationError):
+                ParallelRunner(**kwargs)
+
+
+class TestCrashIsolation:
+    def test_poisoned_config_yields_failed_report_not_crash(self):
+        runner = ParallelRunner()
+        configs = [good_config(0), poisoned_config(1), good_config(2)]
+        report = runner.run_batch(configs)
+        assert report.status == "error"
+        assert report.results[0] is not None
+        assert report.results[1] is None
+        assert report.results[2] is not None
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.index == 1
+        assert failure.error_type == "FaultError"
+        assert failure.config_hash == config_hash(configs[1])
+        assert "99" in failure.message
+        assert failure.attempts == 1
+
+    def test_pool_path_isolates_too(self):
+        runner = ParallelRunner(n_jobs=2)
+        report = runner.run_batch(
+            [good_config(0), poisoned_config(1), good_config(2)])
+        assert report.status == "error"
+        assert [r is None for r in report.results] == [False, True, False]
+        assert report.failures[0].error_type == "FaultError"
+
+    def test_pool_results_match_serial(self):
+        configs = [good_config(s) for s in range(3)] + [poisoned_config(9)]
+        serial = ParallelRunner(n_jobs=1).run_batch(configs)
+        pooled = ParallelRunner(n_jobs=2).run_batch(configs)
+        for a, b in zip(serial.results[:3], pooled.results[:3]):
+            assert a.to_record() == b.to_record()
+        assert serial.results[3] is None and pooled.results[3] is None
+
+    def test_summaries_skip_failed_slots(self):
+        report = ParallelRunner().run_batch(
+            [good_config(0), good_config(1), poisoned_config(2)])
+        assert len(report.ok_results()) == 2
+        summary = report.summarize("precision")
+        assert summary.n == 2
+        assert "FAILED" in report.describe()
+
+    def test_run_raises_for_single_failure(self):
+        with pytest.raises(RunnerJobError, match="FaultError"):
+            ParallelRunner().run(poisoned_config())
+
+
+class TestRetries:
+    def test_deterministic_failure_consumes_all_attempts(self):
+        runner = ParallelRunner(retries=2, retry_backoff=0.0)
+        report = runner.run_batch([poisoned_config()])
+        assert report.failures[0].attempts == 3  # 1 try + 2 retries
+
+    def test_successes_do_not_retry(self):
+        runner = ParallelRunner(retries=3, retry_backoff=0.0)
+        report = runner.run_batch([good_config()])
+        assert report.status == "ok"
+        assert report.failures == []
+
+
+class TestCacheInteraction:
+    def test_failures_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(cache=cache)
+        report = runner.run_batch([poisoned_config(), good_config()])
+        assert report.status == "error"
+        assert report.cache_hits == 0
+        # Re-run: the good config is a hit, the poisoned one re-fails
+        # (it was never stored as a bogus success).
+        again = runner.run_batch([poisoned_config(), good_config()])
+        assert again.cache_hits == 1
+        assert again.simulated == 1
+        assert again.status == "error"
+
+
+class TestTimeout:
+    def test_watchdog_timeout_becomes_failure(self):
+        # A 40 ms wall-clock budget is far below what this simulation
+        # needs, so the in-worker watchdog fires and the runner records a
+        # WatchdogTimeout failure instead of hanging or raising.
+        slow = ExperimentConfig(
+            topology=TopologySpec("torus", (8, 8)),
+            routing=RoutingSpec("fully-adaptive"),
+            marking=MarkingSpec("ddpm"),
+            duration=50.0,
+            attack_rate_per_node=200.0,
+        )
+        runner = ParallelRunner(timeout=0.04)
+        report = runner.run_batch([slow])
+        assert report.status == "error"
+        assert report.failures[0].error_type == "WatchdogTimeout"
+        assert "stall" in report.failures[0].message
+
+    def test_generous_timeout_is_invisible(self):
+        report = ParallelRunner(timeout=120.0).run_batch([good_config()])
+        assert report.status == "ok"
+
+
+class TestJobFailureShape:
+    def test_str_and_fields(self):
+        failure = JobFailure(index=4, config_hash="cafe" * 4,
+                             error_type="ValueError", message="boom",
+                             attempts=2)
+        text = str(failure)
+        assert "ValueError" in text and "boom" in text
+        assert "cafe" in text
+
+    def test_traceback_preserved_in_details(self):
+        report = ParallelRunner().run_batch([poisoned_config()])
+        assert "FaultError" in report.failures[0].details
