@@ -6,11 +6,29 @@ PYPATH  := PYTHONPATH=src
 SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
-.PHONY: test test-faults bench bench-smoke bench-throughput profile clean-cache
+.PHONY: test test-faults bench bench-smoke bench-throughput profile clean-cache \
+	lint typecheck
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
+
+# Determinism/invariant linter (in-tree, zero dependencies beyond stdlib).
+# Exit 1 = findings; suppress individual lines with
+# `# repro-lint: disable=<rule>` (see DESIGN.md §9).
+lint:
+	$(PYPATH) $(PY) -m repro.lint src tests
+
+# Strict typing gate over the public orchestration surface (repro.core,
+# repro.registry, repro.runner, repro.faults; config in pyproject.toml).
+# The dev container intentionally ships without mypy — CI installs it —
+# so a missing mypy skips with a notice while a failing mypy still fails.
+typecheck:
+	@if $(PY) -c "import mypy" 2>/dev/null; then \
+		$(PYPATH) $(PY) -m mypy; \
+	else \
+		echo "typecheck: mypy not installed locally; runs in CI"; \
+	fi
 
 # Robustness smoke: the fault/watchdog/hardened-runner suites, then a tiny
 # end-to-end campaign on a 4x4 mesh driven through the CLI (seeded random

@@ -8,7 +8,11 @@ advanced use (``cluster.fabric``, ``cluster.topology``, ...).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.engine.profile import EventProfiler
+    from repro.engine.watchdog import Watchdog
 
 import numpy as np
 
@@ -36,8 +40,8 @@ class Cluster:
                  selection: Optional[SelectionPolicy] = None,
                  config: Optional[FabricConfig] = None,
                  seed: int = 0,
-                 profile=None,
-                 watchdog=None):
+                 profile: Optional["EventProfiler"] = None,
+                 watchdog: Optional["Watchdog"] = None):
         self.seed = seed
         self.sim = Simulator(seed=seed, profile=profile, watchdog=watchdog)
         self.rng = self.sim.rng.stream("cluster")
@@ -57,8 +61,9 @@ class Cluster:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_config(cls, config: ExperimentConfig, *, profile=None,
-                    watchdog=None) -> "Cluster":
+    def from_config(cls, config: ExperimentConfig, *,
+                    profile: Optional["EventProfiler"] = None,
+                    watchdog: Optional["Watchdog"] = None) -> "Cluster":
         """Build a cluster from a declarative :class:`ExperimentConfig`.
 
         Every name in the config (topology kind, routing, marking,

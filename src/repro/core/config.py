@@ -22,12 +22,15 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from repro.network.fabric import Fabric
+
 from repro import registry
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownNameError
 from repro.faults.campaign import FaultCampaign
 from repro.marking.base import MarkingScheme
 from repro.network.fabric import FabricConfig
@@ -55,8 +58,7 @@ def _require_name(kind: str, reg: registry.Registry, name: Any) -> str:
     if not isinstance(name, str):
         raise ConfigurationError(f"{kind} name must be a string, got {name!r}")
     if name not in reg:
-        known = ", ".join(reg.names())
-        raise ConfigurationError(f"unknown {kind} {name!r} (known: {known})")
+        raise UnknownNameError(kind, name, reg.names())
     return name
 
 
@@ -129,7 +131,8 @@ class SelectionSpec:
 
     name: str = "random"
 
-    def build(self, rng: np.random.Generator, fabric=None) -> SelectionPolicy:
+    def build(self, rng: np.random.Generator,
+              fabric: Optional["Fabric"] = None) -> SelectionPolicy:
         """Instantiate the selected policy (least-congested needs the fabric)."""
         return registry.SELECTION.create(self.name, rng, fabric)
 

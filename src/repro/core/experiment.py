@@ -13,7 +13,7 @@ stable-route assumption breaking (paper §4.3).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.core.cluster import Cluster
 from repro.core.config import ExperimentConfig
@@ -23,10 +23,15 @@ from repro.faults.injector import FaultInjector
 from repro.marking.dpm import DpmScheme, build_signature_table
 from repro.routing.dor import DimensionOrderRouter
 
+if TYPE_CHECKING:
+    from repro.engine.profile import EventProfiler
+    from repro.engine.watchdog import Watchdog
+    from repro.marking.base import VictimAnalysis
+
 __all__ = ["run_identification_experiment", "sweep"]
 
 
-def _victim_analysis_for(cluster: Cluster, victim: int):
+def _victim_analysis_for(cluster: Cluster, victim: int) -> "VictimAnalysis":
     """Scheme-appropriate victim analysis (DPM gets its signature table)."""
     scheme = cluster.marking
     if isinstance(scheme, DpmScheme):
@@ -44,8 +49,10 @@ def _victim_analysis_for(cluster: Cluster, victim: int):
     return scheme.new_victim_analysis(victim)
 
 
-def run_identification_experiment(config: ExperimentConfig,
-                                  profile=None, watchdog=None) -> ExperimentResult:
+def run_identification_experiment(
+        config: ExperimentConfig,
+        profile: Optional["EventProfiler"] = None,
+        watchdog: Optional["Watchdog"] = None) -> ExperimentResult:
     """Run one configured DDoS + identification scenario and score it.
 
     ``profile`` optionally attaches an
@@ -60,7 +67,7 @@ def run_identification_experiment(config: ExperimentConfig,
     cluster = Cluster.from_config(config, profile=profile, watchdog=watchdog)
     victim = config.victim if config.victim is not None else cluster.default_victim()
 
-    injector = None
+    injector: Optional[FaultInjector] = None
     if config.faults is not None:
         injector = FaultInjector(config.faults, cluster.fabric,
                                  horizon=config.duration)
@@ -79,7 +86,7 @@ def run_identification_experiment(config: ExperimentConfig,
 
     # The paper assumes detection exists (§6.1): feed exactly the attack
     # packets to the analysis, so the score isolates identification quality.
-    def on_delivery(event):
+    def on_delivery(event: Any) -> None:
         if truth.is_attack_packet(event.packet):
             analysis.observe(event.packet)
 
@@ -89,7 +96,7 @@ def run_identification_experiment(config: ExperimentConfig,
     suspects = analysis.suspects()
     score = score_identification(suspects, truth.attackers)
     stats = cluster.fabric.stats_summary()
-    extra = {}
+    extra: Dict[str, Any] = {}
     if injector is not None:
         fault_info = dict(injector.counters.as_dict())
         fault_info["rerouted"] = int(cluster.fabric.n_rerouted)

@@ -11,13 +11,16 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Iterable, List, NamedTuple, Sequence
+from typing import TYPE_CHECKING, Iterable, List, NamedTuple, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ResultCache
 
 from repro.core.config import ExperimentConfig
 from repro.core.experiment import run_identification_experiment
 from repro.core.results import ExperimentResult
 from repro.engine.stats import WelfordAccumulator
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RunnerJobError
 
 __all__ = ["MetricSummary", "replicate", "summarize_metric"]
 
@@ -41,7 +44,8 @@ class MetricSummary(NamedTuple):
 
 
 def replicate(config: ExperimentConfig, seeds: Iterable[int], *,
-              n_jobs: int = 1, cache=None) -> List[ExperimentResult]:
+              n_jobs: int = 1,
+              cache: Optional["ResultCache"] = None) -> List[ExperimentResult]:
     """Run the same experiment across ``seeds``; returns one result per seed.
 
     The per-seed :class:`ExperimentResult` records are returned raw (not
@@ -63,7 +67,11 @@ def replicate(config: ExperimentConfig, seeds: Iterable[int], *,
     from repro.runner import ParallelRunner  # local: runner imports this module
 
     report = ParallelRunner(n_jobs=n_jobs, cache=cache).run_seeds(config, seeds)
-    return list(report.results)
+    if report.failures:
+        # replicate() promises one real result per seed; surface the first
+        # failure instead of handing back a list with None holes.
+        raise RunnerJobError(str(report.failures[0]))
+    return report.ok_results()
 
 
 def summarize_metric(results: Sequence[ExperimentResult], metric: str,

@@ -7,9 +7,12 @@ while still being able to discriminate by subsystem.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "UnknownNameError",
     "TopologyError",
     "RoutingError",
     "UnroutablePacketError",
@@ -37,6 +40,30 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError, ValueError):
     """An experiment, topology, or scheme was configured inconsistently."""
+
+
+class UnknownNameError(ConfigurationError):
+    """A name lookup in a registry (or registry-backed config) failed.
+
+    Structured so callers — the CLI, sweep expansion, error reporters — can
+    show the user what *would* have worked without parsing the message:
+
+    Attributes
+    ----------
+    kind:
+        What was being looked up (e.g. ``"routing"``, ``"marking scheme"``).
+    name:
+        The name that was requested.
+    choices:
+        The names that are actually registered, in registration order.
+    """
+
+    def __init__(self, kind: str, name: str, choices: Sequence[str] = ()):
+        self.kind = kind
+        self.name = name
+        self.choices = tuple(choices)
+        known = ", ".join(self.choices) if self.choices else "none registered"
+        super().__init__(f"unknown {kind} {name!r} (known: {known})")
 
 
 class TopologyError(ReproError, ValueError):

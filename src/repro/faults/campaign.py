@@ -144,7 +144,7 @@ class LinkFlapSpec(FaultSpec):
     restore_at: Optional[float] = None
     kind: ClassVar[str] = "link-flap"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_node(self.kind, "u", self.u)
         _check_node(self.kind, "v", self.v)
         if self.u == self.v:
@@ -199,7 +199,7 @@ class SwitchCrashSpec(FaultSpec):
     restart_at: Optional[float] = None
     kind: ClassVar[str] = "switch-crash"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_node(self.kind, "node", self.node)
         crash_at = _check_time(self.kind, "crash_at", self.crash_at)
         restart_at = _check_time(self.kind, "restart_at", self.restart_at,
@@ -245,7 +245,7 @@ class NicStallSpec(FaultSpec):
     end_at: float
     kind: ClassVar[str] = "nic-stall"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_node(self.kind, "node", self.node)
         start = _check_time(self.kind, "start_at", self.start_at)
         end = _check_time(self.kind, "end_at", self.end_at)
@@ -303,7 +303,7 @@ class PacketFaultSpec(FaultSpec):
     node: Optional[int] = None
     kind: ClassVar[str] = "packet"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mode not in PACKET_FAULT_MODES:
             raise FaultError(
                 f"{self.kind}.mode must be one of {PACKET_FAULT_MODES}, "
@@ -369,7 +369,7 @@ class RandomLinkFlapSpec(FaultSpec):
     end_at: Optional[float] = None
     kind: ClassVar[str] = "random-link-flap"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_probability(self.kind, "probability", self.probability)
         if self.mean_downtime is not None:
             down = _check_time(self.kind, "mean_downtime", self.mean_downtime)
@@ -443,7 +443,7 @@ class FaultCampaign:
 
     specs: Tuple[FaultSpec, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.specs, tuple):
             object.__setattr__(self, "specs", tuple(self.specs))
         for spec in self.specs:

@@ -85,7 +85,7 @@ class FaultInjector:
 
     def __init__(self, campaign: FaultCampaign, fabric: Fabric, *,
                  rng: Optional[np.random.Generator] = None,
-                 horizon: float = 0.0):
+                 horizon: float = 0.0) -> None:
         self.campaign = campaign
         self.fabric = fabric
         self.rng = rng if rng is not None else fabric.sim.rng.stream("faults")

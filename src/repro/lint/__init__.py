@@ -1,0 +1,57 @@
+"""repro.lint — AST-based determinism and invariant linter.
+
+The simulation's headline guarantee is seed-for-seed reproducibility: the
+same :class:`~repro.core.config.ExperimentConfig` and seed must produce the
+same traceback result on every machine, every run. Most regressions against
+that guarantee are *statically visible* — a ``time.time()`` call in the
+engine, a module-level ``random`` draw, iteration over a ``set`` while
+scheduling events — so this package checks them at lint time instead of
+waiting for a golden-equivalence diff to catch the symptom.
+
+Rules
+-----
+====  ====================  ===================================================
+id    name                  invariant
+====  ====================  ===================================================
+D1    no-wallclock          no wall-clock time sources inside the simulation
+                            perimeter (engine/network/routing/marking/faults)
+D2    no-global-rng         no global or unseeded RNG anywhere under
+                            ``src/repro`` — randomness flows from named
+                            ``RngRegistry`` streams
+D3    ordered-iteration     no iteration over sets or ``dict.keys()`` in
+                            functions that schedule events or consume RNG
+H1    no-closure-scheduling no lambdas / nested functions passed to
+                            ``Simulator.schedule_call``
+R1    registry-completeness concrete Router/MarkingScheme/FaultSpec classes
+                            registered; spec classes serializable; registry
+                            lookups raise UnknownNameError
+S1    no-bare-except        no bare ``except:`` in engine/network hot paths
+E1    (parse error)         pseudo-rule reported for unparseable files
+====  ====================  ===================================================
+
+Suppress a finding with ``# repro-lint: disable=<rule>`` on (or directly
+above) the offending line, or ``# repro-lint: disable-file=<rule>`` for a
+whole file. Run ``python -m repro.lint --list-rules`` for the live table.
+"""
+
+from __future__ import annotations
+
+from repro.lint.cli import main
+from repro.lint.rules import FileContext, Rule, create_rules, rule_classes
+from repro.lint.runner import LintReport, collect_files, lint_paths, lint_sources
+from repro.lint.suppressions import SuppressionIndex
+from repro.lint.violations import Violation
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "SuppressionIndex",
+    "Violation",
+    "collect_files",
+    "create_rules",
+    "lint_paths",
+    "lint_sources",
+    "main",
+    "rule_classes",
+]

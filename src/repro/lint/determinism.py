@@ -1,0 +1,370 @@
+"""Determinism and hot-path rules: D1, D2, D3, H1, S1.
+
+These rules encode the invariants behind the golden seed-for-seed
+equivalence contract (``tests/golden/equivalence.json``): simulation
+behavior may depend only on the config and its seed — never on wall-clock
+time, process-global RNG state, or unordered container iteration — and the
+zero-allocation scheduling fast path must stay closure-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.rules import FileContext, Rule, register_rule
+from repro.lint.violations import Violation
+
+__all__ = [
+    "NoWallclock",
+    "NoGlobalRng",
+    "OrderedIteration",
+    "NoClosureScheduling",
+    "NoBareExcept",
+]
+
+#: repro subpackages whose code feeds simulated behavior — the determinism
+#: perimeter. runner/cli/analysis sit outside it (they may time things).
+SIMULATION_PACKAGES = ("engine", "network", "routing", "marking", "faults")
+
+#: files inside the perimeter that are *about* wall-clock time by design:
+#: the watchdog measures real stalls, the profiler measures real cost.
+WALLCLOCK_ALLOWED = frozenset({"engine/watchdog.py", "engine/profile.py"})
+
+#: ``time`` module attributes that read host clocks.
+WALLCLOCK_TIME_ATTRS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "localtime", "gmtime",
+})
+
+#: ``datetime``/``date`` constructors that read host clocks.
+WALLCLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: ``numpy.random`` names that are explicit seed-carrying constructors
+#: rather than process-global draws. Calling one *without* seed material
+#: is still flagged (it would pull OS entropy).
+NP_RANDOM_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+def _in_simulation_perimeter(ctx: FileContext) -> bool:
+    module = ctx.repro_module()
+    if module is None:
+        return False
+    return (module.split("/", 1)[0] in SIMULATION_PACKAGES
+            and module not in WALLCLOCK_ALLOWED)
+
+
+def _attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Dotted-name tuple for Name/Attribute chains (None when dynamic)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class NoWallclock(Rule):
+    """D1: simulation code must not consult host clocks."""
+
+    rule_id = "D1"
+    name = "no-wallclock"
+    description = (
+        "time.time/perf_counter/monotonic and datetime.now are forbidden in "
+        "engine, network, routing, marking, and faults (watchdog and "
+        "profiler are exempt by design)"
+    )
+    hint = (
+        "simulated behavior must depend only on Simulator.now; wall-clock "
+        "reads belong in runner/cli/watchdog/profiler code"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if not _in_simulation_perimeter(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in WALLCLOCK_TIME_ATTRS:
+                        yield ctx.violation(
+                            self, node,
+                            f"imports wall-clock function time.{alias.name}",
+                        )
+            elif isinstance(node, ast.Attribute):
+                chain = _attribute_chain(node)
+                if chain is None:
+                    continue
+                if chain[0] == "time" and len(chain) == 2 \
+                        and chain[1] in WALLCLOCK_TIME_ATTRS:
+                    yield ctx.violation(
+                        self, node, f"reads host clock via {'.'.join(chain)}"
+                    )
+                elif chain[0] == "datetime" and len(chain) <= 3 \
+                        and chain[-1] in WALLCLOCK_DATETIME_ATTRS:
+                    yield ctx.violation(
+                        self, node, f"reads host clock via {'.'.join(chain)}"
+                    )
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class NoGlobalRng(Rule):
+    """D2: all randomness flows from seeded, named generator streams."""
+
+    rule_id = "D2"
+    name = "no-global-rng"
+    description = (
+        "module-level random.*/np.random.* draws and unseeded "
+        "random.Random()/np.random.default_rng() are forbidden in repro "
+        "packages; draw from the simulator's named RNG streams"
+    )
+    hint = (
+        "take a numpy Generator parameter or use "
+        "Simulator.rng.stream(name); never the process-global RNG"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if ctx.repro_parts is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            unseeded = not node.args and not node.keywords
+            if chain[0] == "random" and len(chain) == 2:
+                attr = chain[1]
+                if attr == "Random":
+                    if unseeded:
+                        yield ctx.violation(
+                            self, node,
+                            "unseeded random.Random() draws OS entropy",
+                        )
+                else:
+                    yield ctx.violation(
+                        self, node,
+                        f"call to process-global random.{attr}()",
+                    )
+            elif len(chain) == 3 and chain[0] in ("np", "numpy") \
+                    and chain[1] == "random":
+                attr = chain[2]
+                if attr in NP_RANDOM_CONSTRUCTORS:
+                    if unseeded:
+                        yield ctx.violation(
+                            self, node,
+                            f"unseeded {chain[0]}.random.{attr}() draws OS entropy",
+                        )
+                else:
+                    yield ctx.violation(
+                        self, node,
+                        f"call to process-global {chain[0]}.random.{attr}()",
+                    )
+
+
+# ----------------------------------------------------------------------
+#: call names that schedule simulator events.
+_SCHEDULING_CALLS = frozenset({"schedule", "schedule_call", "schedule_at"})
+#: wrappers that preserve their argument's iteration order.
+_ORDER_PRESERVING = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+
+def _function_nodes(tree: ast.Module) -> Iterable[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    """True for ``Set[...]``/``set[...]``/``FrozenSet[...]`` annotations."""
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    chain = _attribute_chain(target)
+    return chain is not None and chain[-1] in ("Set", "set", "FrozenSet",
+                                               "frozenset", "AbstractSet",
+                                               "MutableSet")
+
+
+class _UnorderedIterClassifier:
+    """Decides whether an iterable expression has unordered iteration order."""
+
+    def __init__(self, local_set_names: Set[str]):
+        self.local_set_names = local_set_names
+
+    def describe(self, node: ast.AST) -> Optional[str]:
+        """Short description of the unordered construct, or None if ordered."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Name) and node.id in self.local_set_names:
+            return f"set-valued local {node.id!r}"
+        if isinstance(node, ast.Call):
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                return None
+            if chain[-1] == "sorted" or chain == ("sorted",):
+                return None
+            if len(chain) == 1 and chain[0] in ("set", "frozenset"):
+                return f"{chain[0]}(...)"
+            if len(chain) == 1 and chain[0] in _ORDER_PRESERVING and node.args:
+                return self.describe(node.args[0])
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+                return ".keys()"
+        return None
+
+
+@register_rule
+class OrderedIteration(Rule):
+    """D3: event-scheduling / RNG-consuming code iterates in sorted order."""
+
+    rule_id = "D3"
+    name = "ordered-iteration"
+    description = (
+        "iterating a set or .keys() view without sorted() inside a function "
+        "that schedules events or consumes RNG makes event order depend on "
+        "hash seeds"
+    )
+    hint = "wrap the iterable in sorted(...) (or iterate a deterministic sequence)"
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        seen: Set[Tuple[int, int]] = set()
+        for func in _function_nodes(ctx.tree):
+            if not self._touches_rng_or_scheduler(func):
+                continue
+            classifier = _UnorderedIterClassifier(self._local_set_names(func))
+            for loop_node, iter_expr in self._iterations(func):
+                described = classifier.describe(iter_expr)
+                if described is None:
+                    continue
+                anchor = (getattr(iter_expr, "lineno", 0),
+                          getattr(iter_expr, "col_offset", 0))
+                if anchor in seen:
+                    continue  # nested defs are walked once per scope
+                seen.add(anchor)
+                yield ctx.violation(
+                    self, iter_expr,
+                    f"iteration over {described} in "
+                    f"{func.name!r}, which schedules events or consumes RNG",
+                )
+
+    @staticmethod
+    def _touches_rng_or_scheduler(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if chain is not None and len(chain) > 1 \
+                        and chain[-1] in _SCHEDULING_CALLS:
+                    return True
+            if isinstance(node, ast.Name) and node.id == "rng":
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == "rng":
+                return True
+        return False
+
+    @staticmethod
+    def _local_set_names(func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                value = node.value
+                if isinstance(value, (ast.Set, ast.SetComp)):
+                    names.add(node.targets[0].id)
+                elif isinstance(value, ast.Call):
+                    chain = _attribute_chain(value.func)
+                    if chain in (("set",), ("frozenset",)):
+                        names.add(node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_set_annotation(node.annotation):
+                    names.add(node.target.id)
+        return names
+
+    @staticmethod
+    def _iterations(func: ast.AST) -> Iterable[Tuple[ast.AST, ast.AST]]:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node, node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield node, generator.iter
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class NoClosureScheduling(Rule):
+    """H1: the allocation-free fast path takes no lambdas or nested defs."""
+
+    rule_id = "H1"
+    name = "no-closure-scheduling"
+    description = (
+        "lambda or nested-def arguments to schedule_call() defeat the "
+        "zero-closure heap-tuple fast path; pass the bound method and its "
+        "arguments separately"
+    )
+    hint = "use sim.schedule_call(delay, obj.method, arg1, arg2) — no closures"
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        yield from self._walk(ctx, ctx.tree, frozenset())
+
+    def _walk(self, ctx: FileContext, scope: ast.AST,
+              nested_defs: frozenset) -> Iterable[Violation]:
+        """Recurse function scopes, tracking locally defined callables."""
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = frozenset(
+                    child.name for child in ast.walk(node)
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child is not node
+                )
+                yield from self._walk(ctx, node, inner)
+                continue
+            if isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if chain is not None and chain[-1] == "schedule_call" \
+                        and len(chain) > 1:
+                    yield from self._check_args(ctx, node, nested_defs)
+            yield from self._walk(ctx, node, nested_defs)
+
+    def _check_args(self, ctx: FileContext, call: ast.Call,
+                    nested_defs: frozenset) -> Iterable[Violation]:
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in arguments:
+            if isinstance(arg, ast.Lambda):
+                yield ctx.violation(
+                    self, arg, "lambda passed to schedule_call()"
+                )
+            elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                yield ctx.violation(
+                    self, arg,
+                    f"nested function {arg.id!r} passed to schedule_call()",
+                )
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class NoBareExcept(Rule):
+    """S1: hot-path code never swallows arbitrary failures."""
+
+    rule_id = "S1"
+    name = "no-bare-except"
+    description = (
+        "bare `except:` in engine/network hot paths hides queue corruption "
+        "and watchdog signals; catch the specific repro.errors type"
+    )
+    hint = "catch a concrete exception type (see repro.errors) or re-raise"
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        module = ctx.repro_module()
+        if module is None or module.split("/", 1)[0] not in ("engine", "network"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.violation(self, node, "bare except: in hot-path module")

@@ -1,0 +1,285 @@
+"""R1 registry-completeness: every pluggable concrete class is reachable.
+
+The experiment axes dispatch by *name* through :mod:`repro.registry`, and
+the result cache keys on the canonical ``to_dict`` serialization of specs.
+Both contracts silently rot when someone adds a router, marking scheme, or
+fault spec and forgets the registration (the class exists but no config can
+select it) or the serialization pair (the spec works in-process but cannot
+ride in a cached config). R1 makes both omissions a lint failure:
+
+* every concrete subclass of ``Router``, ``MarkingScheme``, or ``FaultSpec``
+  defined under ``src/repro`` must be *reachable from a registration*: its
+  name must appear either directly in a ``REGISTRY.register(...)`` call, in
+  a ``@REGISTRY.register(name)``-decorated factory, or in the body of a
+  factory function passed to ``register``;
+* every concrete ``FaultSpec`` subclass, and the config spec classes
+  (``TopologySpec``/``RoutingSpec``/``SelectionSpec``/``MarkingSpec``),
+  must define (or inherit) the ``to_dict``/``from_dict`` pair;
+* modules that deal in registries must not ``raise KeyError`` on failed
+  name lookups — that is what the structured
+  :class:`repro.errors.UnknownNameError` (with its ``choices`` attribute)
+  exists for.
+
+A class that genuinely cannot be name-constructed (e.g. it needs a live
+object as a constructor argument) opts out with
+``# repro-lint: disable=R1`` on its ``class`` line, keeping the exceptions
+greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.determinism import _attribute_chain
+from repro.lint.rules import FileContext, Rule, register_rule
+from repro.lint.violations import Violation
+
+__all__ = ["RegistryCompleteness"]
+
+#: base classes whose concrete descendants must be registered.
+REGISTERED_BASES = frozenset({"Router", "MarkingScheme", "FaultSpec"})
+
+#: classes that must carry the to_dict/from_dict serialization pair:
+#: concrete FaultSpec descendants plus the named config spec classes.
+SERIALIZED_SPEC_CLASSES = frozenset({
+    "TopologySpec", "RoutingSpec", "SelectionSpec", "MarkingSpec",
+})
+
+_CLASSLIKE_RE = re.compile(r"^[A-Z]")
+
+
+class _ClassInfo:
+    """What R1 remembers about one class definition."""
+
+    __slots__ = ("name", "path", "line", "col", "bases", "methods",
+                 "is_abstract")
+
+    def __init__(self, name: str, path: str, line: int, col: int,
+                 bases: Tuple[str, ...], methods: Set[str], is_abstract: bool):
+        self.name = name
+        self.path = path
+        self.line = line
+        self.col = col
+        self.bases = bases
+        self.methods = methods
+        self.is_abstract = is_abstract
+
+
+def _base_names(node: ast.ClassDef) -> Tuple[str, ...]:
+    names: List[str] = []
+    for base in node.bases:
+        chain = _attribute_chain(base)
+        if chain is not None:
+            names.append(chain[-1])
+    return tuple(names)
+
+
+def _is_abstract(node: ast.ClassDef, bases: Tuple[str, ...]) -> bool:
+    if "ABC" in bases:
+        return True
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                chain = _attribute_chain(decorator)
+                if chain is not None and chain[-1] in ("abstractmethod",
+                                                       "abstractproperty"):
+                    return True
+    return False
+
+
+def _classlike_names(node: ast.AST) -> Set[str]:
+    """Capitalized identifiers referenced anywhere under ``node``."""
+    out: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and _CLASSLIKE_RE.match(child.id):
+            out.add(child.id)
+        elif isinstance(child, ast.Attribute) and _CLASSLIKE_RE.match(child.attr):
+            out.add(child.attr)
+        elif isinstance(child, ast.alias):
+            target = child.asname or child.name
+            if _CLASSLIKE_RE.match(target.split(".")[-1]):
+                out.add(target.split(".")[-1])
+    return out
+
+
+def _references_registry(tree: ast.Module) -> bool:
+    """True when the module imports repro.registry or defines Registry."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module in ("repro.registry", "repro") and any(
+                    alias.name in ("registry", "Registry") or node.module == "repro.registry"
+                    for alias in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            if any(alias.name == "repro.registry" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ClassDef) and node.name == "Registry":
+            return True
+    return False
+
+
+@register_rule
+class RegistryCompleteness(Rule):
+    """R1: pluggable classes are registered and cache-serializable."""
+
+    rule_id = "R1"
+    name = "registry-completeness"
+    description = (
+        "concrete Router/MarkingScheme/FaultSpec subclasses must be "
+        "registered in repro.registry; fault and config specs must define "
+        "to_dict/from_dict; registry lookups must raise UnknownNameError, "
+        "not KeyError"
+    )
+    hint = (
+        "add a factory + REGISTRY.register(name, factory) next to the class "
+        "(or suppress with '# repro-lint: disable=R1' if it cannot be "
+        "constructed by name)"
+    )
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, _ClassInfo] = {}
+        self._registered_names: Set[str] = set()
+        self._registered_factories: Set[str] = set()
+        self._factory_bodies: Dict[str, Set[str]] = {}
+
+    # -- per-file collection ---------------------------------------------
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if ctx.repro_parts is None:
+            return
+        self._collect_classes(ctx)
+        self._collect_registrations(ctx)
+        yield from self._check_keyerror(ctx)
+
+    def _collect_classes(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = _base_names(node)
+            methods = {
+                item.name for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            self._classes[node.name] = _ClassInfo(
+                name=node.name, path=ctx.path, line=node.lineno,
+                col=node.col_offset + 1, bases=bases, methods=methods,
+                is_abstract=_is_abstract(node, bases),
+            )
+
+    def _collect_registrations(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if chain is not None and chain[-1] == "register":
+                    for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                        ref = _attribute_chain(arg)
+                        if ref is None:
+                            continue
+                        if _CLASSLIKE_RE.match(ref[-1]):
+                            self._registered_names.add(ref[-1])
+                        else:
+                            self._registered_factories.add(ref[-1])
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._factory_bodies[node.name] = _classlike_names(node)
+                for decorator in node.decorator_list:
+                    if isinstance(decorator, ast.Call):
+                        chain = _attribute_chain(decorator.func)
+                        if chain is not None and chain[-1] == "register":
+                            self._registered_factories.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                for decorator in node.decorator_list:
+                    if isinstance(decorator, ast.Call):
+                        chain = _attribute_chain(decorator.func)
+                        if chain is not None and chain[-1] == "register":
+                            self._registered_names.add(node.name)
+
+    def _check_keyerror(self, ctx: FileContext) -> Iterable[Violation]:
+        if not _references_registry(ctx.tree):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            chain = _attribute_chain(target)
+            if chain is not None and chain[-1] == "KeyError":
+                yield ctx.violation(
+                    self, node,
+                    "registry-adjacent code raises bare KeyError",
+                    hint="raise repro.errors.UnknownNameError(kind, name, "
+                         "choices) so callers see the available names",
+                )
+
+    # -- cross-file settlement -------------------------------------------
+    def finalize(self) -> Iterable[Violation]:
+        reachable = set(self._registered_names)
+        for factory in self._registered_factories:
+            reachable |= self._factory_bodies.get(factory, set())
+
+        for info in sorted(self._classes.values(),
+                           key=lambda c: (c.path, c.line)):
+            if info.is_abstract or info.name.startswith("_"):
+                continue
+            root = self._root_base(info.name)
+            if root is None:
+                serialization_only = info.name in SERIALIZED_SPEC_CLASSES
+                if not serialization_only:
+                    continue
+            if root in REGISTERED_BASES and info.name not in reachable:
+                yield Violation(
+                    path=info.path, line=info.line, col=info.col,
+                    rule=self.rule_id,
+                    message=(f"concrete {root} subclass {info.name!r} is not "
+                             "registered in repro.registry"),
+                    hint=self.hint,
+                )
+            if (root == "FaultSpec" or info.name in SERIALIZED_SPEC_CLASSES):
+                missing = [m for m in ("to_dict", "from_dict")
+                           if not self._defines(info.name, m)]
+                if missing:
+                    yield Violation(
+                        path=info.path, line=info.line, col=info.col,
+                        rule=self.rule_id,
+                        message=(f"spec class {info.name!r} lacks "
+                                 f"{'/'.join(missing)} (cache keys rely on "
+                                 "the canonical serialization pair)"),
+                        hint="implement to_dict() and from_dict() mirroring "
+                             "the other specs",
+                    )
+
+    def _root_base(self, name: str) -> Optional[str]:
+        """Which tracked base (if any) ``name`` transitively descends from."""
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self._classes.get(current)
+            if info is None:
+                if current != name and current in REGISTERED_BASES:
+                    return current
+                continue
+            for base in info.bases:
+                if base in REGISTERED_BASES:
+                    return base
+                frontier.append(base)
+        return None
+
+    def _defines(self, name: str, method: str) -> bool:
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self._classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return True
+            frontier.extend(info.bases)
+        return False

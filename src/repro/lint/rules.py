@@ -1,0 +1,161 @@
+"""Lint-rule interface and registry.
+
+A :class:`Rule` inspects one parsed file at a time through :meth:`Rule.check`
+and may hold cross-file state that it settles in :meth:`Rule.finalize` (the
+registry-completeness rule works this way: it needs to see both the class
+definitions and the ``registry.py`` registration calls before it can say
+anything). Rules are *stateful per run*, so :func:`create_rules` hands the
+runner a fresh instance of every registered rule class.
+
+Registration is decorator-style::
+
+    @register_rule
+    class NoWallclock(Rule):
+        rule_id = "D1"
+        ...
+
+The table is ordered by registration, which fixes the rule column order in
+``--list-rules`` and the grouping of the human report.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.lint.violations import Violation
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "rule_classes",
+    "create_rules",
+]
+
+
+class FileContext:
+    """Everything a rule may inspect about one file.
+
+    Attributes
+    ----------
+    path:
+        Display path (as reported in violations) — relative to the
+        invocation directory, POSIX separators.
+    source:
+        Raw file text.
+    tree:
+        Parsed ``ast.Module``.
+    repro_parts:
+        Path components *after* the last ``repro`` package directory
+        (e.g. ``("engine", "simulator.py")``), or ``None`` when the file
+        is not inside a ``repro`` package tree (tests, benchmarks,
+        fixtures). Path-scoped rules key their applicability off this.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.repro_parts = self._compute_repro_parts(path)
+
+    @staticmethod
+    def _compute_repro_parts(path: str) -> Optional[Tuple[str, ...]]:
+        parts = PurePath(path).parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro" and index < len(parts) - 1:
+                return tuple(parts[index + 1:])
+        return None
+
+    def repro_module(self) -> Optional[str]:
+        """Slash-joined path under the repro package, or None outside it."""
+        if self.repro_parts is None:
+            return None
+        return "/".join(self.repro_parts)
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str,
+                  hint: Optional[str] = None) -> Violation:
+        """Violation anchored at ``node`` in this file."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.rule_id,
+            message=message,
+            hint=rule.hint if hint is None else hint,
+        )
+
+
+class Rule:
+    """One statically checkable project invariant.
+
+    Class attributes declare identity and documentation; subclasses
+    implement :meth:`check` (per file) and optionally :meth:`finalize`
+    (after every file has been seen).
+    """
+
+    #: short stable id used in reports and suppression comments (e.g. "D1")
+    rule_id: str = ""
+    #: dashed human name (e.g. "no-wallclock")
+    name: str = ""
+    #: one-line description for ``--list-rules`` and the docs table
+    description: str = ""
+    #: default fix hint attached to violations
+    hint: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        """Findings for one file (may also just record cross-file state)."""
+        return ()
+
+    def finalize(self) -> Iterable[Violation]:
+        """Findings that needed the whole run's state (cross-file rules)."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Rule {self.rule_id} {self.name}>"
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the rule table (unique ids)."""
+    if not cls.rule_id:
+        raise ConfigurationError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _RULES:
+        raise ConfigurationError(f"lint rule {cls.rule_id!r} is already registered")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def rule_classes() -> Tuple[Type[Rule], ...]:
+    """All registered rule classes, in registration order."""
+    _load_builtin_rules()
+    return tuple(_RULES.values())
+
+
+def create_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Fresh instances of the selected rules (default: all).
+
+    Unknown ids in ``select`` raise :class:`ConfigurationError` naming the
+    known rules, so a typo in ``--select`` fails loudly instead of
+    silently checking nothing.
+    """
+    _load_builtin_rules()
+    if select is None:
+        return [cls() for cls in _RULES.values()]
+    chosen: List[Rule] = []
+    for rule_id in select:
+        cls = _RULES.get(rule_id)
+        if cls is None:
+            known = ", ".join(_RULES)
+            raise ConfigurationError(f"unknown lint rule {rule_id!r} (known: {known})")
+        chosen.append(cls())
+    return chosen
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules (idempotent; they self-register on import)."""
+    from repro.lint import determinism, registrycheck  # noqa: F401

@@ -1,0 +1,179 @@
+"""Lint run orchestration: collect files, run rules, filter suppressions.
+
+The runner is the piece the CLI, the tests, and the self-check all share.
+It walks the requested paths for ``*.py`` files (skipping the usual cache
+and VCS directories), parses each once, hands the :class:`FileContext` to
+every rule, then gives cross-file rules their :meth:`finalize` pass.
+Suppression directives are honoured centrally here — rules never need to
+know about them — and files that fail to parse surface as rule ``E1``
+violations rather than crashing the run, so one broken fixture cannot hide
+the rest of the report.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.rules import FileContext, Rule, create_rules
+from repro.lint.suppressions import SuppressionIndex
+from repro.lint.violations import Violation
+
+__all__ = ["LintReport", "collect_files", "lint_paths", "lint_sources"]
+
+#: directory names never descended into during collection.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hg", ".svn", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", ".venv", "venv", "node_modules", ".eggs", "build",
+    "dist",
+})
+
+#: pseudo-rule id for files that cannot be parsed at all.
+PARSE_ERROR_RULE = "E1"
+
+
+class LintReport:
+    """Outcome of one lint run: surviving violations plus run stats."""
+
+    def __init__(self, violations: Sequence[Violation], files_checked: int,
+                 suppressed: int):
+        self.violations: Tuple[Violation, ...] = tuple(sorted(violations))
+        self.files_checked = files_checked
+        self.suppressed = suppressed
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation survived suppression filtering."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form consumed by ``--json`` and the tests."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"LintReport(ok={self.ok}, files={self.files_checked}, "
+                f"violations={len(self.violations)}, "
+                f"suppressed={self.suppressed})")
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand ``paths`` (files or directories) to a sorted list of .py files.
+
+    Missing paths raise ``FileNotFoundError`` — a typo in the lint target
+    must not report a clean run over zero files.
+    """
+    found: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.append(str(path))
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    # Dedup while keeping deterministic order (PurePath normalises ./ etc.).
+    seen: Dict[str, None] = {}
+    for item in found:
+        seen.setdefault(str(PurePath(item)), None)
+    return sorted(seen)
+
+
+def _parse_file(path: str) -> Tuple[Optional[FileContext], Optional[Violation], str]:
+    """Parse one file: (context, parse-error violation, source text)."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        violation = Violation(
+            path=path, line=1, col=1, rule=PARSE_ERROR_RULE,
+            message=f"cannot read file: {exc}",
+            hint="fix the file encoding or remove it from the lint paths",
+        )
+        return None, violation, ""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        violation = Violation(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 1),
+            rule=PARSE_ERROR_RULE,
+            message=f"syntax error: {exc.msg}",
+            hint="the file must parse before determinism rules can run",
+        )
+        return None, violation, source
+    return FileContext(path=path, source=source, tree=tree), None, source
+
+
+def lint_sources(files: Iterable[Tuple[str, str]],
+                 select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint in-memory ``(path, source)`` pairs (the test-fixture entry point)."""
+    rules = create_rules(select)
+    raw: List[Violation] = []
+    suppression_by_path: Dict[str, SuppressionIndex] = {}
+    files_checked = 0
+    for path, source in files:
+        files_checked += 1
+        suppression_by_path[path] = SuppressionIndex.scan(source)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raw.append(Violation(
+                path=path, line=exc.lineno or 1, col=(exc.offset or 1),
+                rule=PARSE_ERROR_RULE,
+                message=f"syntax error: {exc.msg}",
+                hint="the file must parse before determinism rules can run",
+            ))
+            continue
+        ctx = FileContext(path=path, source=source, tree=tree)
+        for rule in rules:
+            raw.extend(rule.check(ctx))
+    for rule in rules:
+        raw.extend(rule.finalize())
+    return _settle(raw, suppression_by_path, files_checked)
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files/directories on disk; the CLI entry point."""
+    rules = create_rules(select)
+    raw: List[Violation] = []
+    suppression_by_path: Dict[str, SuppressionIndex] = {}
+    files = collect_files(paths)
+    for path in files:
+        ctx, parse_violation, source = _parse_file(path)
+        suppression_by_path[path] = SuppressionIndex.scan(source)
+        if parse_violation is not None:
+            raw.append(parse_violation)
+            continue
+        assert ctx is not None
+        for rule in rules:
+            raw.extend(rule.check(ctx))
+    for rule in rules:
+        raw.extend(rule.finalize())
+    return _settle(raw, suppression_by_path, len(files))
+
+
+def _settle(raw: Sequence[Violation],
+            suppression_by_path: Dict[str, SuppressionIndex],
+            files_checked: int) -> LintReport:
+    """Apply suppression directives, dedup, and sort into a report."""
+    surviving: Dict[Violation, None] = {}
+    suppressed = 0
+    for violation in raw:
+        index = suppression_by_path.get(violation.path)
+        if index is not None and index.is_suppressed(violation.rule,
+                                                     violation.line):
+            suppressed += 1
+            continue
+        surviving.setdefault(violation, None)
+    return LintReport(violations=list(surviving), files_checked=files_checked,
+                      suppressed=suppressed)

@@ -1,0 +1,107 @@
+"""Suppression directives: opting one line (or one file) out of one rule.
+
+Two directive forms, written in comments:
+
+``# repro-lint: disable=D3`` (or ``disable=D1,D3`` / ``disable=all``)
+    Suppresses the listed rules on the directive's own line. When the
+    comment stands alone on its line, it also covers the *next* line, so
+    multi-line statements can carry a preceding-line directive::
+
+        # repro-lint: disable=R1  -- not name-constructible
+        class TableRouter(Router):
+            ...
+
+``# repro-lint: disable-file=D2`` (or ``disable-file=all``)
+    Suppresses the listed rules for the whole file, wherever it appears.
+
+Comments are found with :mod:`tokenize` so directive text inside string
+literals or docstrings (like the examples above) is never misread as a
+live directive; files that fail to tokenize fall back to a line scan.
+
+Suppressions are deliberately *per rule*: there is no bare ``disable``.
+Every opt-out names what it is opting out of, which keeps ``git grep
+'repro-lint: disable'`` an accurate inventory of the determinism
+contract's known exceptions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+__all__ = ["SuppressionIndex", "DIRECTIVE_RE"]
+
+#: matches ``repro-lint: disable=R1,R2`` / ``repro-lint: disable-file=all``
+#: inside a comment (the leading ``#`` is stripped before matching).
+DIRECTIVE_RE = re.compile(
+    r"repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+def _parse_rules(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """Per-file map of which rules are suppressed on which lines."""
+
+    def __init__(self) -> None:
+        self._file_rules: Set[str] = set()
+        self._line_rules: Dict[int, Set[str]] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def scan(cls, source: str) -> "SuppressionIndex":
+        """Build the index for one file's source text."""
+        index = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            index._scan_lines(source)
+            return index
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            line_no = token.start[0]
+            before = token.line[: token.start[1]]
+            index._add_directive(token.string, line_no, own_line=not before.strip())
+        return index
+
+    def _scan_lines(self, source: str) -> None:
+        """Degraded-mode scan for files tokenize rejects (syntax errors)."""
+        for line_no, text in enumerate(source.splitlines(), start=1):
+            if "#" not in text:
+                continue
+            comment = text[text.index("#"):]
+            self._add_directive(comment, line_no,
+                                own_line=not text[: text.index("#")].strip())
+
+    def _add_directive(self, comment: str, line_no: int, own_line: bool) -> None:
+        match = DIRECTIVE_RE.search(comment)
+        if match is None:
+            return
+        rules = _parse_rules(match.group("rules"))
+        if match.group("scope") == "disable-file":
+            self._file_rules |= rules
+            return
+        self._line_rules.setdefault(line_no, set()).update(rules)
+        if own_line:
+            # A comment-only line shields the statement that follows it.
+            self._line_rules.setdefault(line_no + 1, set()).update(rules)
+
+    # -- queries ----------------------------------------------------------
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` (by id) is disabled at ``line``."""
+        if "all" in self._file_rules or rule in self._file_rules:
+            return True
+        at_line = self._line_rules.get(line)
+        if at_line is None:
+            return False
+        return "all" in at_line or rule in at_line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SuppressionIndex(file={sorted(self._file_rules)}, "
+                f"lines={ {k: sorted(v) for k, v in sorted(self._line_rules.items())} })")

@@ -1,0 +1,59 @@
+"""The :class:`Violation` record — one finding of one lint rule.
+
+A violation is a plain value: where (path, line, column), what (rule id and
+message), and how to fix it (hint). The human reporter renders
+``path:line:col: RULE message``; the ``--json`` reporter emits
+:meth:`Violation.to_dict`, and :meth:`Violation.from_dict` round-trips that
+form so downstream tooling (CI annotations, dashboards) can parse reports
+without regex scraping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One lint finding, ordered by (path, line, col, rule) for stable reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """Human-readable one-liner: ``path:line:col: RULE message``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    # -- JSON round-trip -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Violation":
+        """Rebuild a violation from :meth:`to_dict` output."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            hint=str(data.get("hint", "")),
+        )

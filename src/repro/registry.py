@@ -23,9 +23,20 @@ argument simply ignore it, which keeps the dispatch sites uniform.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, Mapping,
+                    Optional, Sequence, Tuple)
 
-from repro.errors import ConfigurationError
+if TYPE_CHECKING:
+    from numpy.random import Generator
+
+    from repro.faults.campaign import FaultSpec
+    from repro.marking.base import MarkingScheme
+    from repro.network.fabric import Fabric
+    from repro.routing.base import Router
+    from repro.routing.selection import SelectionPolicy
+    from repro.topology.base import Topology
+
+from repro.errors import ConfigurationError, UnknownNameError
 
 __all__ = ["Registry", "ROUTING", "MARKING", "TOPOLOGY", "SELECTION", "FAULTS"]
 
@@ -35,10 +46,11 @@ class Registry:
 
     def __init__(self, kind: str):
         self.kind = kind
-        self._factories: Dict[str, Callable] = {}
+        self._factories: Dict[str, Callable[..., Any]] = {}
 
     # -- registration ---------------------------------------------------
-    def register(self, name: str, factory: Optional[Callable] = None):
+    def register(self, name: str,
+                 factory: Optional[Callable[..., Any]] = None) -> Callable[..., Any]:
         """Register ``factory`` under ``name``.
 
         Usable directly (``REG.register("foo", make_foo)``) or as a
@@ -47,7 +59,7 @@ class Registry:
         active implementation depend on import order.
         """
         if factory is None:
-            def _decorator(fn: Callable) -> Callable:
+            def _decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
                 self.register(name, fn)
                 return fn
 
@@ -66,19 +78,16 @@ class Registry:
     def unregister(self, name: str) -> None:
         """Remove a registration (mainly for tests of custom schemes)."""
         if name not in self._factories:
-            raise ConfigurationError(f"unknown {self.kind} {name!r}")
+            raise UnknownNameError(self.kind, name, self.names())
         del self._factories[name]
 
     # -- lookup ---------------------------------------------------------
-    def create(self, name: str, *args, **kwargs):
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Instantiate the registered factory for ``name``."""
         try:
             factory = self._factories[name]
         except KeyError:
-            known = ", ".join(self.names())
-            raise ConfigurationError(
-                f"unknown {self.kind} {name!r} (known: {known})"
-            ) from None
+            raise UnknownNameError(self.kind, name, self.names()) from None
         return factory(*args, **kwargs)
 
     def names(self) -> Tuple[str, ...]:
@@ -107,19 +116,19 @@ FAULTS = Registry("fault")
 
 # ----------------------------------------------------------------------
 # Built-in topologies.
-def _make_mesh(dims):
+def _make_mesh(dims: Sequence[int]) -> "Topology":
     from repro.topology.mesh import Mesh
 
     return Mesh(dims)
 
 
-def _make_torus(dims):
+def _make_torus(dims: Sequence[int]) -> "Topology":
     from repro.topology.torus import Torus
 
     return Torus(dims)
 
 
-def _make_hypercube(dims):
+def _make_hypercube(dims: Sequence[int]) -> "Topology":
     from repro.topology.hypercube import Hypercube
 
     if len(dims) != 1:
@@ -134,56 +143,56 @@ TOPOLOGY.register("hypercube", _make_hypercube)
 
 # ----------------------------------------------------------------------
 # Built-in routing algorithms.
-def _make_xy(rng):
+def _make_xy(rng: "Generator") -> "Router":
     from repro.routing.dor import DimensionOrderRouter
 
     # The paper's XY convention: move along the row (column axis) first.
     return DimensionOrderRouter(axis_order=(1, 0))
 
 
-def _make_dor(rng):
+def _make_dor(rng: "Generator") -> "Router":
     from repro.routing.dor import DimensionOrderRouter
 
     return DimensionOrderRouter()
 
 
-def _make_west_first(rng):
+def _make_west_first(rng: "Generator") -> "Router":
     from repro.routing.turn_model import WestFirstRouter
 
     return WestFirstRouter()
 
 
-def _make_north_last(rng):
+def _make_north_last(rng: "Generator") -> "Router":
     from repro.routing.turn_model import NorthLastRouter
 
     return NorthLastRouter()
 
 
-def _make_negative_first(rng):
+def _make_negative_first(rng: "Generator") -> "Router":
     from repro.routing.turn_model import NegativeFirstRouter
 
     return NegativeFirstRouter()
 
 
-def _make_odd_even(rng):
+def _make_odd_even(rng: "Generator") -> "Router":
     from repro.routing.oddeven import OddEvenRouter
 
     return OddEvenRouter()
 
 
-def _make_minimal_adaptive(rng):
+def _make_minimal_adaptive(rng: "Generator") -> "Router":
     from repro.routing.adaptive import MinimalAdaptiveRouter
 
     return MinimalAdaptiveRouter()
 
 
-def _make_fully_adaptive(rng):
+def _make_fully_adaptive(rng: "Generator") -> "Router":
     from repro.routing.adaptive import FullyAdaptiveRouter
 
     return FullyAdaptiveRouter()
 
 
-def _make_valiant(rng):
+def _make_valiant(rng: "Generator") -> "Router":
     from repro.routing.valiant import ValiantRouter
 
     return ValiantRouter(rng)
@@ -205,17 +214,20 @@ DETERMINISTIC_ROUTING = frozenset({"xy", "dor"})
 
 # ----------------------------------------------------------------------
 # Built-in marking schemes.
-def _make_none(rng, topology, probability):
+def _make_none(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     return None
 
 
-def _make_ddpm(rng, topology, probability):
+def _make_ddpm(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.ddpm import DdpmScheme
 
     return DdpmScheme()
 
 
-def _make_ddpm_auth(rng, topology, probability):
+def _make_ddpm_auth(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.authentication import AuthenticatedDdpmScheme
 
     if topology is None:
@@ -224,43 +236,58 @@ def _make_ddpm_auth(rng, topology, probability):
     return AuthenticatedDdpmScheme(keys)
 
 
-def _make_dpm(rng, topology, probability):
+def _make_dpm(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.dpm import DpmScheme
 
     return DpmScheme()
 
 
-def _make_ppm_full(rng, topology, probability):
+def _make_ppm_full(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.ppm import PpmScheme
     from repro.marking.ppm_encoding import FullIndexEncoder
 
     return PpmScheme(FullIndexEncoder(), probability, rng)
 
 
-def _make_ppm_xor(rng, topology, probability):
+def _make_ppm_xor(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.ppm import PpmScheme
     from repro.marking.ppm_encoding import XorEncoder
 
     return PpmScheme(XorEncoder(), probability, rng)
 
 
-def _make_ppm_bitdiff(rng, topology, probability):
+def _make_ppm_bitdiff(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.ppm import PpmScheme
     from repro.marking.ppm_encoding import BitDifferenceEncoder
 
     return PpmScheme(BitDifferenceEncoder(), probability, rng)
 
 
-def _make_ppm_fragment(rng, topology, probability):
+def _make_ppm_fragment(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.ppm_fragment import FragmentPpmScheme
 
     return FragmentPpmScheme(probability, rng)
 
 
-def _make_ppm_advanced(rng, topology, probability):
+def _make_ppm_advanced(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
     from repro.marking.advanced_ppm import AdvancedPpmScheme
 
     return AdvancedPpmScheme(probability, rng)
+
+
+def _make_hddpm(rng: "Generator", topology: Optional["Topology"],
+               probability: float) -> Optional["MarkingScheme"]:
+    from repro.marking.hddpm import HierarchicalDdpmScheme
+
+    # Attach-time validation enforces the ClusterMesh requirement; the
+    # factory itself stays topology-agnostic like the other schemes.
+    return HierarchicalDdpmScheme()
 
 
 MARKING.register("ddpm", _make_ddpm)
@@ -271,24 +298,25 @@ MARKING.register("ppm-xor", _make_ppm_xor)
 MARKING.register("ppm-bitdiff", _make_ppm_bitdiff)
 MARKING.register("ppm-fragment", _make_ppm_fragment)
 MARKING.register("ppm-advanced", _make_ppm_advanced)
+MARKING.register("hddpm", _make_hddpm)
 MARKING.register("none", _make_none)
 
 
 # ----------------------------------------------------------------------
 # Built-in output-selection policies.
-def _make_first(rng, fabric):
+def _make_first(rng: "Generator", fabric: Optional["Fabric"]) -> "SelectionPolicy":
     from repro.routing.selection import FirstCandidatePolicy
 
     return FirstCandidatePolicy()
 
 
-def _make_random(rng, fabric):
+def _make_random(rng: "Generator", fabric: Optional["Fabric"]) -> "SelectionPolicy":
     from repro.routing.selection import RandomPolicy
 
     return RandomPolicy(rng)
 
 
-def _make_least_congested(rng, fabric):
+def _make_least_congested(rng: "Generator", fabric: Optional["Fabric"]) -> "SelectionPolicy":
     from repro.routing.selection import LeastCongestedPolicy
 
     if fabric is None:
@@ -305,31 +333,31 @@ SELECTION.register("least-congested", _make_least_congested)
 
 # ----------------------------------------------------------------------
 # Built-in fault-spec kinds (see repro.faults.campaign).
-def _make_link_flap(data):
+def _make_link_flap(data: Mapping[str, Any]) -> "FaultSpec":
     from repro.faults.campaign import LinkFlapSpec
 
     return LinkFlapSpec.from_dict(data)
 
 
-def _make_switch_crash(data):
+def _make_switch_crash(data: Mapping[str, Any]) -> "FaultSpec":
     from repro.faults.campaign import SwitchCrashSpec
 
     return SwitchCrashSpec.from_dict(data)
 
 
-def _make_nic_stall(data):
+def _make_nic_stall(data: Mapping[str, Any]) -> "FaultSpec":
     from repro.faults.campaign import NicStallSpec
 
     return NicStallSpec.from_dict(data)
 
 
-def _make_packet_fault(data):
+def _make_packet_fault(data: Mapping[str, Any]) -> "FaultSpec":
     from repro.faults.campaign import PacketFaultSpec
 
     return PacketFaultSpec.from_dict(data)
 
 
-def _make_random_link_flap(data):
+def _make_random_link_flap(data: Mapping[str, Any]) -> "FaultSpec":
     from repro.faults.campaign import RandomLinkFlapSpec
 
     return RandomLinkFlapSpec.from_dict(data)

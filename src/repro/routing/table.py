@@ -53,6 +53,10 @@ def build_shortest_path_tables(topology: Topology) -> Dict[int, Dict[int, Tuple[
     return tables
 
 
+# Not name-constructible: the forwarding tables are built against a live
+# topology instance, which the routing registry's factory(rng) signature
+# cannot supply. Construct it directly next to the IrregularTopology.
+# repro-lint: disable=R1
 class TableRouter(Router):
     """Adaptive shortest-path routing from precomputed forwarding tables."""
 

@@ -83,7 +83,7 @@ class ResultCache:
     """
 
     def __init__(self, root: Union[str, Path],
-                 code_version: Optional[str] = None):
+                 code_version: Optional[str] = None) -> None:
         if not str(root):
             raise ConfigurationError("cache root must be a non-empty path")
         self.root = Path(root)

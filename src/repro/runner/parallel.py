@@ -109,7 +109,7 @@ class ParallelRunner:
 
     def __init__(self, n_jobs: int = 1, cache: Optional[ResultCache] = None,
                  *, timeout: Optional[float] = None, retries: int = 0,
-                 retry_backoff: float = 0.5):
+                 retry_backoff: float = 0.5) -> None:
         if not isinstance(n_jobs, int) or isinstance(n_jobs, bool) or n_jobs < 1:
             raise ConfigurationError(
                 f"n_jobs must be a positive integer, got {n_jobs!r}"

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import (
     ExperimentConfig,
@@ -104,7 +104,7 @@ class SweepSpec:
     overrides: Tuple[Mapping[str, Any], ...] = ({},)
     seeds: Tuple[int, ...] = (0,)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.base, ExperimentConfig):
             raise ConfigurationError(
                 f"SweepSpec base must be an ExperimentConfig, got {self.base!r}"
@@ -208,7 +208,7 @@ class RunReport:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Optional[ExperimentResult]]:
         return iter(self.results)
 
     # -- views -----------------------------------------------------------

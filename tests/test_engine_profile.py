@@ -6,6 +6,10 @@ from repro.engine.profile import EventProfiler, ProfileEntry
 from repro.engine.simulator import Simulator
 
 
+def _noop():
+    """Inert event callback (module-level: schedule_call takes no closures)."""
+
+
 class TestRecording:
     def test_records_every_executed_event(self):
         profiler = EventProfiler()
@@ -36,7 +40,7 @@ class TestRecording:
 
     def test_disabled_simulator_records_nothing(self):
         sim = Simulator()
-        sim.schedule_call(1.0, (lambda: None))
+        sim.schedule_call(1.0, _noop)
         sim.run()
         assert sim.profile is None
 

@@ -10,6 +10,20 @@ from repro.routing.dor import DimensionOrderRouter
 from repro.topology import Mesh
 
 
+def _noop():
+    """Inert event callback (module-level: schedule_call takes no closures)."""
+
+
+class _Spinner:
+    """Self-rescheduling event: simulated progress forever, no termination."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def __call__(self):
+        self.sim.schedule_call(0.001, self)
+
+
 class TestValidation:
     def test_bad_wall_clock_limit(self):
         with pytest.raises(ConfigurationError):
@@ -38,10 +52,7 @@ class TestStall:
         watchdog = Watchdog(wall_clock_limit=0.05, check_interval=64)
         sim = Simulator(seed=0, watchdog=watchdog)
 
-        def spin():
-            sim.schedule_call(0.001, spin)
-
-        sim.schedule_call(0.0, spin)
+        sim.schedule_call(0.0, _Spinner(sim))
         with pytest.raises(WatchdogTimeout) as excinfo:
             sim.run_until(1e12)
         report = excinfo.value.report
@@ -54,7 +65,7 @@ class TestStall:
         watchdog = Watchdog(wall_clock_limit=60.0)
         sim = Simulator(seed=0, watchdog=watchdog)
         for _ in range(10):
-            sim.schedule_call(0.1, lambda: None)
+            sim.schedule_call(0.1, _noop)
         sim.run()
         assert watchdog.report is None
 
@@ -64,7 +75,7 @@ class TestDeadlock:
         watchdog = Watchdog()
         watchdog.attach_deadlock_probe(lambda: 3)
         sim = Simulator(seed=0, watchdog=watchdog)
-        sim.schedule_call(1.0, lambda: None)
+        sim.schedule_call(1.0, _noop)
         with pytest.raises(WatchdogTimeout) as excinfo:
             sim.run()
         report = excinfo.value.report
@@ -75,7 +86,7 @@ class TestDeadlock:
         watchdog = Watchdog()
         watchdog.attach_deadlock_probe(lambda: 0)
         sim = Simulator(seed=0, watchdog=watchdog)
-        sim.schedule_call(1.0, lambda: None)
+        sim.schedule_call(1.0, _noop)
         sim.run()
         assert watchdog.report is None
 

@@ -1,0 +1,68 @@
+"""Structured UnknownNameError from registries and registry-backed specs."""
+
+import pytest
+
+from repro import registry
+from repro.core.config import MarkingSpec, RoutingSpec
+from repro.errors import ConfigurationError, UnknownNameError
+
+
+class TestRegistryLookups:
+    def test_create_unknown_name_raises_structured_error(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            registry.ROUTING.create("warp-speed", None)
+        err = excinfo.value
+        assert err.kind == "routing"
+        assert err.name == "warp-speed"
+        assert err.choices == registry.ROUTING.names()
+        assert "xy" in str(err)
+
+    def test_unregister_unknown_name_raises_structured_error(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            registry.MARKING.unregister("warp-speed")
+        assert excinfo.value.choices == registry.MARKING.names()
+
+    def test_subclasses_configuration_error(self):
+        # Existing except ConfigurationError handlers keep working.
+        with pytest.raises(ConfigurationError):
+            registry.TOPOLOGY.create("klein-bottle", (4, 4))
+
+    def test_not_a_bare_keyerror(self):
+        try:
+            registry.FAULTS.create("meteor", {})
+        except KeyError:  # pragma: no cover - would mark regression
+            pytest.fail("registry lookup leaked a bare KeyError")
+        except UnknownNameError:
+            pass
+
+
+class TestSpecValidation:
+    def test_routing_spec_unknown_name(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            RoutingSpec.from_dict({"name": "warp-speed"})
+        assert excinfo.value.kind == "routing"
+        assert "dor" in excinfo.value.choices
+
+    def test_marking_spec_unknown_name_lists_choices(self):
+        with pytest.raises(UnknownNameError) as excinfo:
+            MarkingSpec.from_dict({"name": "invisible-ink"})
+        assert "hddpm" in excinfo.value.choices
+
+    def test_empty_choices_message(self):
+        err = UnknownNameError("gizmo", "x")
+        assert err.choices == ()
+        assert "none registered" in str(err)
+
+
+class TestHddpmRegistration:
+    def test_hddpm_is_listed(self):
+        assert "hddpm" in registry.MARKING.names()
+
+    def test_hddpm_factory_builds_scheme(self):
+        import numpy as np
+
+        from repro.marking.hddpm import HierarchicalDdpmScheme
+
+        scheme = registry.MARKING.create(
+            "hddpm", np.random.default_rng(0), None, 0.05)
+        assert isinstance(scheme, HierarchicalDdpmScheme)
