@@ -6,8 +6,8 @@ PYPATH  := PYTHONPATH=src
 SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
-.PHONY: test test-faults bench bench-smoke bench-throughput profile clean-cache \
-	lint typecheck
+.PHONY: test test-faults bench bench-smoke bench-throughput bench-victim \
+	profile clean-cache lint typecheck
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -48,6 +48,14 @@ test-faults:
 bench-throughput:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_fabric_throughput.py -q
 	$(PYPATH) $(PY) benchmarks/check_throughput.py
+
+# Victim-decode regression gate: measure per-scheme mark decode throughput
+# (per-packet vs columnar observe_batch) and compare against the committed
+# baseline (benchmarks/BENCH_victim.json); also enforces the batched-path
+# speedup floor (REPRO_BENCH_SPEEDUP_FLOOR, default 2x).
+bench-victim:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_victim_analysis.py -q
+	$(PYPATH) $(PY) benchmarks/check_victim.py
 
 # Event-level profile of the standard 64-node torus workload: top-10
 # labels/callsites by cumulative wall-clock time inside callbacks.

@@ -1,0 +1,79 @@
+"""Victim-decode regression gate for CI.
+
+Compares a freshly measured ``benchmarks/results/BENCH_victim.json``
+(written by ``bench_victim_analysis.py``) against the committed baseline
+``benchmarks/BENCH_victim.json`` and exits non-zero when, for any scheme:
+
+* batched decode throughput falls below ``tolerance x baseline`` (the
+  ratio defaults to 0.7, overridable via ``REPRO_BENCH_TOLERANCE`` — same
+  knob as the fabric-throughput gate but looser by default: a 200k-mark
+  batched pass finishes in single-digit milliseconds, where run-to-run
+  variance of +-25% is routine, so this arm only catches structural
+  regressions), or
+* the batched/per-packet speedup drops below the floor (default 2.0,
+  overridable via ``REPRO_BENCH_SPEEDUP_FLOOR``) — the columnar layer's
+  reason to exist; losing it means a change quietly degraded
+  ``observe_batch`` back to per-row work.
+
+Being *faster* than the baseline never fails; refresh the baseline by
+copying the fresh results file over it when a change legitimately shifts
+throughput.
+
+Usage: ``python benchmarks/check_victim.py`` (after running the
+benchmark), or ``make bench-victim`` for the full sequence.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+BASELINE = HERE / "BENCH_victim.json"
+FRESH = HERE / "results" / "BENCH_victim.json"
+
+
+def main() -> int:
+    """Compare fresh benchmark output against the committed baseline."""
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.7"))
+    speedup_floor = float(os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "2.0"))
+    if not BASELINE.exists():
+        print(f"no committed baseline at {BASELINE}; nothing to compare")
+        return 1
+    if not FRESH.exists():
+        print(f"no fresh results at {FRESH}; run "
+              "`pytest benchmarks/bench_victim_analysis.py` first")
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+    fresh = json.loads(FRESH.read_text())
+
+    failed = False
+    for scheme in baseline:
+        if scheme not in fresh:
+            print(f"{scheme:>10}: missing from fresh results  REGRESSION")
+            failed = True
+            continue
+        base = float(baseline[scheme]["batched_marks_per_sec"])
+        new = float(fresh[scheme]["batched_marks_per_sec"])
+        speedup = float(fresh[scheme]["speedup"])
+        ratio = new / base if base else float("inf")
+        status = "ok"
+        if new < base * tolerance:
+            status = f"REGRESSION (below {tolerance:.0%} of baseline)"
+            failed = True
+        if speedup < speedup_floor:
+            status = (f"REGRESSION (batched speedup {speedup:.1f}x below "
+                      f"{speedup_floor:.1f}x floor)")
+            failed = True
+        print(f"{scheme:>10}: baseline {base:>13,.0f} marks/s  fresh "
+              f"{new:>13,.0f} marks/s  ({ratio:6.2f}x baseline, "
+              f"{speedup:6.1f}x per-packet)  {status}")
+    if failed:
+        print("victim decode regression gate FAILED")
+        return 1
+    print("victim decode regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

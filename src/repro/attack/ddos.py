@@ -24,11 +24,27 @@ class AttackTrafficResult:
     attackers: tuple
     attack_packets: List[Packet] = field(default_factory=list)
     background_packets: List[Packet] = field(default_factory=list)
+    _frozen_ids: Optional[Set[int]] = field(default=None, repr=False)
+
+    def freeze_ids(self) -> Set[int]:
+        """Snapshot the attack packet ids.
+
+        Called once at schedule time: ids are assigned at ``make_packet``
+        and a pooled fabric may recycle Packet objects (with fresh ids)
+        after delivery, so the ground truth must be captured before the
+        run — and a snapshot turns the previous per-call set rebuild
+        (quadratic when used as a per-packet membership test) into one
+        O(1)-lookup set.
+        """
+        self._frozen_ids = {p.packet_id for p in self.attack_packets}
+        return self._frozen_ids
 
     @property
     def attack_packet_ids(self) -> Set[int]:
         """Packet ids of all scheduled attack packets."""
-        return {p.packet_id for p in self.attack_packets}
+        if self._frozen_ids is None:
+            return self.freeze_ids()
+        return self._frozen_ids
 
     def is_attack_packet(self, packet: Packet) -> bool:
         """Ground-truth membership test."""
@@ -59,6 +75,7 @@ def schedule_attack_flood(fabric: Fabric, *, victim: int,
     result = AttackTrafficResult(victim=victim, attackers=botnet.slaves)
     for packets in per_slave.values():
         result.attack_packets.extend(packets)
+    result.freeze_ids()
 
     if background_rate > 0.0:
         pattern = background_pattern if background_pattern is not None else UniformRandomPattern()

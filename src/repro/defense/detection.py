@@ -17,12 +17,17 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import Counter as PyCounter
-from typing import Deque, Optional
+from typing import Deque, Optional, TYPE_CHECKING
 
 from collections import deque
 
+import numpy as np
+
 from repro.errors import ConfigurationError, DetectionError
 from repro.network.nic import DeliveredPacket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["Detector", "RateThresholdDetector", "EntropyDetector", "CusumDetector"]
 
@@ -40,6 +45,29 @@ class Detector(ABC):
         """Feed one delivery; may raise or clear the alarm."""
         self.packets_seen += 1
         self._observe(event)
+
+    def observe_batch(self, batch: "MarkBatch") -> np.ndarray:
+        """Feed a columnar batch of deliveries; returns the gating mask.
+
+        ``mask[i]`` is ``under_attack`` immediately after row ``i`` was
+        observed — exactly the decision the per-packet pipeline makes for
+        each delivery, so a batched caller can reproduce detector-gated
+        analysis bit for bit. Overrides must be *prefix-composable*: any
+        partition of the stream into ordered batches leaves identical
+        detector state (alarm time, window contents, statistics) to the
+        per-packet path. This base implementation guarantees that trivially
+        by replaying rows through :meth:`observe` — third-party detectors
+        inherit correctness and opt into vectorization by overriding.
+        """
+        n = len(batch)
+        mask = np.empty(n, dtype=bool)
+        times = batch.times
+        packets = batch.packets
+        node = batch.node
+        for i in range(n):
+            self.observe(DeliveredPacket(packets[i], node, float(times[i])))
+            mask[i] = self.under_attack
+        return mask
 
     @abstractmethod
     def _observe(self, event: DeliveredPacket) -> None:
@@ -90,6 +118,42 @@ class RateThresholdDetector(Detector):
         if self._alarmed:
             self._mark_alarm(now)
 
+    def observe_batch(self, batch: "MarkBatch") -> np.ndarray:
+        """Vectorized sliding window: one searchsorted replaces n deque scans.
+
+        Bit-identical to the per-packet path: the window population after
+        row ``i`` is a pure count over the sorted time stream, and the rate
+        is the same ``count / window`` division the scalar code performs.
+        Out-of-order timestamps (impossible on a live fabric, possible in
+        synthetic replays) fall back to the exact per-row loop.
+        """
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        times = batch.times
+        tail = self._times
+        if (n > 1 and bool(np.any(times[1:] < times[:-1]))) or (
+                tail and float(times[0]) < tail[-1]):
+            return super().observe_batch(batch)
+        self.packets_seen += n
+        tail_len = len(tail)
+        if tail_len:
+            all_times = np.concatenate(
+                (np.fromiter(tail, dtype=np.float64, count=tail_len), times))
+        else:
+            all_times = times
+        # After observing row i the window holds every time > times[i] -
+        # window among the first tail_len + i + 1 entries; 'right' keeps
+        # strict inequality, matching the per-packet prune of t <= cutoff.
+        kept_from = np.searchsorted(all_times, times - self.window, side="right")
+        counts = np.arange(tail_len + 1, tail_len + n + 1) - kept_from
+        mask = counts / self.window > self.threshold_rate
+        if self.alarm_time is None and mask.any():
+            self.alarm_time = float(times[int(np.argmax(mask))])
+        self._alarmed = bool(mask[-1])
+        self._times = deque(all_times[int(kept_from[-1]):].tolist())
+        return mask
+
     @property
     def under_attack(self) -> bool:
         return self._alarmed
@@ -108,6 +172,12 @@ class EntropyDetector(Detector):
     Either excursion beyond ``tolerance`` bits from the calibrated baseline
     raises the alarm. Call :meth:`calibrate` after a clean warm-up period,
     or pass ``baseline_entropy`` explicitly.
+
+    Deliberately *not* vectorized: the entropy is recomputed from scratch
+    per packet, and any incremental batched formulation would accumulate
+    float rounding differently — the inherited per-row ``observe_batch``
+    fallback keeps batched runs bit-identical (and doubles as in-tree
+    coverage of the base-class path third-party detectors rely on).
     """
 
     name = "entropy"
@@ -194,6 +264,42 @@ class CusumDetector(Detector):
     def _observe(self, event: DeliveredPacket) -> None:
         self._roll(event.time)
         self._bucket_count += 1
+
+    def observe_batch(self, batch: "MarkBatch") -> np.ndarray:
+        """Bucket-at-a-time accumulation: one searchsorted per window roll.
+
+        The bucket boundary walk replicates the scalar ``_roll`` exactly —
+        in particular ``_bucket_start`` advances by repeated addition, never
+        by a division shortcut, so the accumulated float rounding (and with
+        it the alarm boundary) is bit-identical however the stream is cut
+        into batches. Out-of-order timestamps fall back to the per-row loop.
+        """
+        n = len(batch)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        times = batch.times
+        if n > 1 and bool(np.any(times[1:] < times[:-1])):
+            return super().observe_batch(batch)
+        self.packets_seen += n
+        mask = np.empty(n, dtype=bool)
+        window = self.window
+        index = 0
+        while index < n:
+            boundary = self._bucket_start + window
+            if times[index] >= boundary:
+                self._statistic = max(
+                    0.0, self._statistic + self._bucket_count - self.drift)
+                if self._statistic > self.threshold:
+                    self._alarmed = True
+                    self._mark_alarm(boundary)
+                self._bucket_start = boundary
+                self._bucket_count = 0
+                continue
+            end = int(np.searchsorted(times, boundary, side="left"))
+            self._bucket_count += end - index
+            mask[index:end] = self._alarmed
+            index = end
+        return mask
 
     @property
     def under_attack(self) -> bool:

@@ -49,6 +49,10 @@ class EventProfiler:
         # (label, callsite) -> [count, total_seconds]
         self._buckets: Dict[tuple, List] = {}
         self.events_recorded = 0
+        # label -> [flushes, rows, total_seconds] for columnar batch flushes
+        # (delivery rings and any future batched sink); kept separate from
+        # the per-event buckets because one flush spans many packets.
+        self._flush_buckets: Dict[str, List] = {}
 
     # ------------------------------------------------------------------
     def record(self, callback, args, label: str) -> None:
@@ -69,6 +73,31 @@ class EventProfiler:
     def record_call(self, event) -> None:
         """Execute an :class:`~repro.engine.events.Event` and record its cost."""
         self.record(event.callback, event.args, event.label)
+
+    def record_batch_flush(self, label: str, rows: int, fn, *args) -> None:
+        """Execute one batch flush ``fn(*args)`` and record its cost.
+
+        Batched consumers process many packets per call; the flush buckets
+        keep (flushes, rows, seconds) so the report can show both per-flush
+        and per-row cost next to the per-event buckets.
+        """
+        start = perf_counter()
+        fn(*args)
+        elapsed = perf_counter() - start
+        bucket = self._flush_buckets.get(label)
+        if bucket is None:
+            self._flush_buckets[label] = [1, rows, elapsed]
+        else:
+            bucket[0] += 1
+            bucket[1] += rows
+            bucket[2] += elapsed
+
+    def flush_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-label batch-flush summary (flushes, rows, seconds)."""
+        return {
+            label: {"flushes": flushes, "rows": rows, "total_time": total}
+            for label, (flushes, rows, total) in self._flush_buckets.items()
+        }
 
     # ------------------------------------------------------------------
     # Reporting
@@ -91,7 +120,7 @@ class EventProfiler:
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """JSON-ready summary keyed by ``label@callsite``."""
-        return {
+        out = {
             f"{entry.label or '-'}@{entry.callsite}": {
                 "count": entry.count,
                 "total_time": entry.total_time,
@@ -99,6 +128,9 @@ class EventProfiler:
             }
             for entry in self.entries()
         }
+        for label, stats in self.flush_stats().items():
+            out[f"flush@{label}"] = dict(stats)
+        return out
 
     def report(self, top: int = 10) -> str:
         """Human-readable top-N table (the ``make profile`` output)."""
@@ -117,11 +149,21 @@ class EventProfiler:
             ])
         header = (f"event profile: {self.events_recorded} events, "
                   f"{total:.4f}s inside callbacks")
-        return f"{header}\n{table.render()}"
+        body = f"{header}\n{table.render()}"
+        if self._flush_buckets:
+            flush_table = TextTable(["flush label", "flushes", "rows",
+                                     "total s", "us/row"])
+            for label, (flushes, rows, seconds) in self._flush_buckets.items():
+                per_row = (seconds / rows * 1e6) if rows else 0.0
+                flush_table.add_row([label, flushes, rows,
+                                     f"{seconds:.4f}", f"{per_row:.2f}"])
+            body = f"{body}\nbatch flushes:\n{flush_table.render()}"
+        return body
 
     def reset(self) -> None:
         """Drop all recorded samples."""
         self._buckets.clear()
+        self._flush_buckets.clear()
         self.events_recorded = 0
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -20,6 +20,7 @@ __all__ = [
     "NoGlobalRng",
     "OrderedIteration",
     "NoClosureScheduling",
+    "NoPerPacketCallbacks",
     "NoBareExcept",
 ]
 
@@ -345,6 +346,47 @@ class NoClosureScheduling(Rule):
                 yield ctx.violation(
                     self, arg,
                     f"nested function {arg.id!r} passed to schedule_call()",
+                )
+
+
+# ----------------------------------------------------------------------
+#: registration calls that subscribe a Python callable per packet event.
+_PER_PACKET_REGISTRATIONS = frozenset({
+    "add_delivery_handler", "add_drop_handler", "add_transit_observer",
+})
+
+
+@register_rule
+class NoPerPacketCallbacks(Rule):
+    """H2: network hot-path modules consume deliveries via batch sinks."""
+
+    rule_id = "H2"
+    name = "no-per-packet-callbacks"
+    description = (
+        "registering a per-packet Python callback (add_delivery_handler and "
+        "friends) inside network/ hot-path modules bypasses the columnar "
+        "delivery rings; route through attach_delivery_sink so observation "
+        "cost is paid per batch flush, not per packet"
+    )
+    hint = (
+        "use Fabric.attach_delivery_sink(node, consumer) — or suppress with "
+        "`# repro-lint: disable=H2` for sanctioned diagnostics"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        module = ctx.repro_module()
+        if module is None or module.split("/", 1)[0] != "network":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is not None and len(chain) > 1 \
+                    and chain[-1] in _PER_PACKET_REGISTRATIONS:
+                yield ctx.violation(
+                    self, node,
+                    f"per-packet callback registration {chain[-1]}() in a "
+                    "network hot-path module",
                 )
 
 

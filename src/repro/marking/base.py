@@ -14,11 +14,14 @@ good as its (route-stability-dependent) signature table.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Optional, TYPE_CHECKING
 
 from repro.errors import IdentificationError, MarkingError
 from repro.network.packet import Packet
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["MarkingScheme", "VictimAnalysis"]
 
@@ -47,6 +50,21 @@ class VictimAnalysis(ABC):
             self._observe(packet)
         except IdentificationError:
             self.corrupted_packets += 1
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Feed a columnar batch of delivered packets.
+
+        Overrides must be *order- and partition-insensitive in effect*:
+        after any sequence of ``observe``/``observe_batch`` calls covering
+        the same packets, ``suspects()``, ``packets_observed``, and
+        ``corrupted_packets`` must equal the per-packet outcome (the
+        hypothesis property suite pins this for every registered scheme).
+        This base implementation replays rows through :meth:`observe`, so
+        third-party analyses keep working unmodified; the in-tree schemes
+        override it with vectorized decoders.
+        """
+        for packet in batch.packets:
+            self.observe(packet)
 
     @abstractmethod
     def _observe(self, packet: Packet) -> None:

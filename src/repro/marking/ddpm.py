@@ -13,13 +13,18 @@ The victim computes ``S = D - V`` (mesh), ``S = (D - V) mod k`` (torus) or
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import FieldOverflowError, IdentificationError, TopologyError
 from repro.marking.base import MarkingScheme, VictimAnalysis
 from repro.marking.ddpm_layout import DdpmLayout
 from repro.network.packet import Packet
 from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["DdpmScheme", "DdpmVictimAnalysis"]
 
@@ -43,13 +48,17 @@ class DdpmScheme(MarkingScheme):
         self.layout: Optional[DdpmLayout] = None
         # Memo of the pure per-hop MF transform and the inject constant;
         # rebuilt on attach (they are functions of the attached topology).
-        self._hop_cache: Dict[tuple, int] = {}
+        self._hop_cache: Dict[int, int] = {}
+        self._delta_cache: Dict[tuple, tuple] = {}
         self._inject_word: Optional[int] = None
+        self._n_nodes = 0
 
     def _on_attach(self, topology: Topology) -> None:
         self.layout = DdpmLayout.for_topology(topology, total_bits=self.total_bits)
         self._hop_cache = {}
+        self._delta_cache = {}
         self._inject_word = self.layout.encode(topology.identity_offset())
+        self._n_nodes = topology.num_nodes
 
     # -- switch side -------------------------------------------------------
     def on_inject(self, packet: Packet, node: int) -> None:
@@ -62,15 +71,25 @@ class DdpmScheme(MarkingScheme):
 
         The transform is a pure function of (MF word, from, to), so each
         distinct triple is decoded/combined/encoded once and memoized —
-        the steady-state per-hop cost is one dict lookup.
+        the steady-state per-hop cost is one dict lookup. The triple is
+        flattened to a single int key (node indices are < num_nodes), which
+        hashes without allocating a tuple per hop.
         """
         ident = packet.header.identification
-        key = (ident, from_node, to_node)
+        n = self._n_nodes
+        key = (ident * n + from_node) * n + to_node
         word = self._hop_cache.get(key)
         if word is None:
             topo = self._require_attached()
             vector = self.layout.decode(ident)
-            delta = topo.hop_delta(from_node, to_node)
+            # hop_delta is a pure function of the edge; an N-node k-ary
+            # topology has only O(N * degree) edges, far fewer than the
+            # (word, edge) triples above, so misses there still hit here.
+            edge = (from_node, to_node)
+            delta = self._delta_cache.get(edge)
+            if delta is None:
+                delta = topo.hop_delta(from_node, to_node)
+                self._delta_cache[edge] = delta
             combined = topo.combine_offsets(vector, delta)
             try:
                 word = self.layout.encode(combined)
@@ -84,8 +103,8 @@ class DdpmScheme(MarkingScheme):
         packet.header.identification = word
 
     # -- victim side -------------------------------------------------------
-    def identify(self, packet: Packet, victim: int) -> int:
-        """Decode one packet's source node: S = D (-) V.
+    def identify_word(self, word: int, victim: int) -> int:
+        """Decode one MF word's source node: S = D (-) V.
 
         Raises :class:`IdentificationError` when the MF decodes to a
         coordinate outside the network — the packet bypassed the marking
@@ -94,7 +113,7 @@ class DdpmScheme(MarkingScheme):
         such packets as ``corrupted_packets`` rather than propagating.
         """
         topo = self._require_attached()
-        vector = self.layout.decode(packet.header.identification)
+        vector = self.layout.decode(word)
         try:
             return topo.resolve_source(victim, vector)
         except TopologyError as exc:
@@ -102,6 +121,10 @@ class DdpmScheme(MarkingScheme):
                 f"DDPM vector {vector} at victim {victim} resolves outside "
                 f"the network: {exc}"
             ) from exc
+
+    def identify(self, packet: Packet, victim: int) -> int:
+        """Decode one packet's source node (see :meth:`identify_word`)."""
+        return self.identify_word(packet.header.identification, victim)
 
     def new_victim_analysis(self, victim: int,
                             min_share: float = 0.0) -> "DdpmVictimAnalysis":
@@ -134,10 +157,50 @@ class DdpmVictimAnalysis(VictimAnalysis):
         self.scheme = scheme
         self.min_share = min_share
         self.source_counts: Dict[int, int] = {}
+        # word -> resolved source (None = corrupted); DDPM words are a pure
+        # function of (source, victim), so an attack stream has very few
+        # distinct words and the batched decoder amortizes to a dict hit.
+        self._word_to_source: Dict[int, Optional[int]] = {}
 
     def _observe(self, packet: Packet) -> None:
         source = self.scheme.identify(packet, self.victim)
         self.source_counts[source] = self.source_counts.get(source, 0) + 1
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Vectorized victim decode: unique MF words, one resolve per word.
+
+        Equivalent to per-packet :meth:`observe` over the same rows —
+        ``source_counts``, ``packets_observed`` and ``corrupted_packets``
+        end identical regardless of how the stream is partitioned.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        words, counts = np.unique(batch.words, return_counts=True)
+        cache = self._word_to_source
+        fresh = [w for w in words.tolist() if w not in cache]
+        if fresh:
+            # All uncached words decode in one vectorized pass; only the
+            # (rare) topology resolve stays per-word.
+            topo = self.scheme._require_attached()
+            vectors = self.scheme.layout.decode_array(
+                np.asarray(fresh, dtype=np.int64))
+            for word, row in zip(fresh, vectors):
+                try:
+                    cache[word] = topo.resolve_source(self.victim,
+                                                      tuple(row.tolist()))
+                except TopologyError:
+                    cache[word] = None
+        source_counts = self.source_counts
+        corrupted = 0
+        for word, count in zip(words.tolist(), counts.tolist()):
+            source = cache[word]
+            if source is None:
+                corrupted += count
+            else:
+                source_counts[source] = source_counts.get(source, 0) + count
+        self.packets_observed += n
+        self.corrupted_packets += corrupted
 
     def suspects(self) -> FrozenSet[int]:
         if self.min_share <= 0.0 or not self.source_counts:

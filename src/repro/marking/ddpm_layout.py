@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import FieldLayoutError, FieldOverflowError, MarkingError
 from repro.marking.field import SubfieldLayout
 from repro.network.ip import MF_BITS
@@ -187,6 +189,30 @@ class DdpmLayout:
                 raw -= sign_bit << 1
             out.append(raw)
         return tuple(out)
+
+    def decode_array(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`decode`: one (n, n_dims) int64 matrix per call.
+
+        Row ``i`` equals ``decode(int(words[i]))`` component for component —
+        per slot a shift, a mask, and a sign fold over the whole column at
+        once. This is the victim-side batch decoder: distinct MF words from
+        a flushed delivery batch decode in a handful of numpy passes instead
+        of a Python loop per packet.
+        """
+        column = np.asarray(words, dtype=np.int64).reshape(-1)
+        if column.size and (int(column.min()) < 0
+                            or int(column.max()) >= self._word_limit):
+            raise FieldOverflowError(
+                f"decode_array got values outside the {self.total_bits}-bit range"
+            )
+        out = np.empty((column.size, len(self.dims)), dtype=np.int64)
+        for axis, (offset, mask, _low, _high, sign_bit, _k, _fold_max) in \
+                enumerate(self._slot_meta):
+            raw = (column >> offset) & mask
+            if sign_bit:
+                raw = np.where(raw >= sign_bit, raw - (sign_bit << 1), raw)
+            out[:, axis] = raw
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"DdpmLayout(dims={self.dims}, widths={self.widths}, "

@@ -23,7 +23,9 @@ benchmark A2/A3.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.marking.base import MarkingScheme, VictimAnalysis
@@ -32,6 +34,9 @@ from repro.network.packet import Packet
 from repro.routing.base import Router, walk_route
 from repro.topology.base import Topology
 from repro.util.hashing import hash_bits
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["DpmScheme", "DpmVictimAnalysis", "build_signature_table", "path_signature"]
 
@@ -46,10 +51,20 @@ class DpmScheme(MarkingScheme):
         if mf_bits < 1:
             raise ConfigurationError(f"mf_bits must be >= 1, got {mf_bits}")
         self.mf_bits = mf_bits
+        # node -> hash bit, filled for the whole topology on attach so the
+        # per-hop path never recomputes the hash.
+        self._node_bits: Dict[int, int] = {}
+
+    def _on_attach(self, topology: Topology) -> None:
+        self._node_bits = {node: hash_bits(node, 1) for node in topology.nodes()}
 
     def node_bit(self, node: int) -> int:
         """The single bit this switch stamps: low bit of its index hash."""
-        return hash_bits(node, 1)
+        bit = self._node_bits.get(node)
+        if bit is None:
+            bit = hash_bits(node, 1)
+            self._node_bits[node] = bit
+        return bit
 
     # -- switch side -------------------------------------------------------
     def on_hop(self, packet: Packet, from_node: int, to_node: int) -> None:
@@ -96,6 +111,21 @@ class DpmVictimAnalysis(VictimAnalysis):
     def _observe(self, packet: Packet) -> None:
         signature = packet.header.identification
         self.signature_counts[signature] = self.signature_counts.get(signature, 0) + 1
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Vectorized signature tally: one np.unique per batch.
+
+        End state (``signature_counts``, ``packets_observed``) is identical
+        to replaying the rows through :meth:`observe` in any order.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        signatures, counts = np.unique(batch.words, return_counts=True)
+        signature_counts = self.signature_counts
+        for signature, count in zip(signatures.tolist(), counts.tolist()):
+            signature_counts[signature] = signature_counts.get(signature, 0) + count
+        self.packets_observed += n
 
     def observed_signatures(self) -> FrozenSet[int]:
         """All distinct signatures seen."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import FieldLayoutError, FieldOverflowError
 from repro.network.ip import MF_BITS
 from repro.util.bitops import extract_bits, insert_bits, to_signed, to_unsigned
@@ -122,6 +124,28 @@ class SubfieldLayout:
         for name, offset, width, signed in self._slots:
             raw = extract_bits(word, offset, width)
             out[name] = to_signed(raw, width) if signed else raw
+        return out
+
+    def unpack_array(self, words) -> Dict[str, np.ndarray]:
+        """Vectorized :meth:`unpack`: one int64 column per slot.
+
+        ``unpack_array(ws)[name][i] == unpack(int(ws[i]))[name]`` — per slot
+        a masked shift plus (for signed slots) a two's-complement fold over
+        the whole column. Used by the batched victim analyses.
+        """
+        column = np.asarray(words, dtype=np.int64).reshape(-1)
+        if column.size and (int(column.min()) < 0
+                            or int(column.max()) >= (1 << self.total_bits)):
+            raise FieldOverflowError(
+                f"unpack_array got values outside the {self.total_bits}-bit range"
+            )
+        out: Dict[str, np.ndarray] = {}
+        for name, offset, width, signed in self._slots:
+            raw = (column >> offset) & ((1 << width) - 1)
+            if signed:
+                sign_bit = 1 << (width - 1)
+                raw = np.where(raw >= sign_bit, raw - (sign_bit << 1), raw)
+            out[name] = raw
         return out
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -20,7 +20,9 @@ hosts with 4 port bits + two 6-bit slots.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import IdentificationError, MarkingError, TopologyError
 from repro.marking.base import MarkingScheme, VictimAnalysis
@@ -31,6 +33,9 @@ from repro.network.packet import Packet
 from repro.topology.base import Topology
 from repro.topology.hybrid import ClusterMesh
 from repro.util.bitops import bit_length_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["HierarchicalDdpmScheme", "HierarchicalDdpmVictimAnalysis"]
 
@@ -109,13 +114,13 @@ class HierarchicalDdpmScheme(MarkingScheme):
         packet.header.identification = self._pack(port, combined)
 
     # -- victim side -----------------------------------------------------------
-    def identify(self, packet: Packet, victim: int) -> int:
+    def identify_word(self, word: int, victim: int) -> int:
         """Exact source host: backbone switch from the vector, host from port."""
         self._require_attached()
         cluster = self.cluster
         if not cluster.is_host(victim):
             raise IdentificationError(f"victim {victim} is not a host")
-        port, vector = self._unpack(packet.header.identification)
+        port, vector = self._unpack(word)
         victim_switch = cluster.backbone_index(cluster.switch_of(victim))
         backbone = cluster.backbone
         try:
@@ -129,6 +134,10 @@ class HierarchicalDdpmScheme(MarkingScheme):
                 f"port {port} out of range for {cluster.hosts_per_switch} hosts"
             )
         return cluster.host_at(source_switch, port)
+
+    def identify(self, packet: Packet, victim: int) -> int:
+        """Decode one packet's source host (see :meth:`identify_word`)."""
+        return self.identify_word(packet.header.identification, victim)
 
     def new_victim_analysis(self, victim: int) -> "HierarchicalDdpmVictimAnalysis":
         return HierarchicalDdpmVictimAnalysis(self, victim)
@@ -147,10 +156,40 @@ class HierarchicalDdpmVictimAnalysis(VictimAnalysis):
         super().__init__(victim)
         self.scheme = scheme
         self.source_counts: Dict[int, int] = {}
+        # word -> resolved host (None = corrupted), same amortization as
+        # the flat DDPM analysis: attack streams carry few distinct words.
+        self._word_to_source: Dict[int, Optional[int]] = {}
 
     def _observe(self, packet: Packet) -> None:
         source = self.scheme.identify(packet, self.victim)
         self.source_counts[source] = self.source_counts.get(source, 0) + 1
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Unique-word batched decode, equivalent to per-packet observe."""
+        n = len(batch)
+        if n == 0:
+            return
+        words, counts = np.unique(batch.words, return_counts=True)
+        cache = self._word_to_source
+        source_counts = self.source_counts
+        corrupted = 0
+        scheme = self.scheme
+        victim = self.victim
+        for word, count in zip(words.tolist(), counts.tolist()):
+            if word in cache:
+                source = cache[word]
+            else:
+                try:
+                    source = scheme.identify_word(word, victim)
+                except IdentificationError:
+                    source = None
+                cache[word] = source
+            if source is None:
+                corrupted += count
+            else:
+                source_counts[source] = source_counts.get(source, 0) + count
+        self.packets_observed += n
+        self.corrupted_packets += corrupted
 
     def suspects(self) -> FrozenSet[int]:
         return frozenset(self.source_counts)

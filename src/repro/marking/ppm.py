@@ -16,7 +16,7 @@ ambiguous DAG — the paper's central criticism.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.marking.ppm_reconstruct import reconstruct_paths
 from repro.network.packet import Packet
 from repro.topology.base import Topology
 from repro.util.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["PpmScheme", "PpmVictimAnalysis"]
 
@@ -102,6 +105,21 @@ class PpmVictimAnalysis(VictimAnalysis):
     def _observe(self, packet: Packet) -> None:
         word = packet.header.identification
         self.mark_counts[word] = self.mark_counts.get(word, 0) + 1
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Vectorized mark bucketing: MF words are 16-bit, so a dense
+        ``np.bincount`` over the batch replaces n dict updates, and only the
+        distinct words touch ``mark_counts``. End state is identical to the
+        per-packet path for any partition of the stream.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        counts = np.bincount(batch.words)
+        mark_counts = self.mark_counts
+        for word in np.flatnonzero(counts).tolist():
+            mark_counts[word] = mark_counts.get(word, 0) + int(counts[word])
+        self.packets_observed += n
 
     def collected_edges(self) -> Tuple[EdgeMark, ...]:
         """Physical-edge candidates decoded from all sufficiently-seen marks."""

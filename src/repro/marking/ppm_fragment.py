@@ -17,7 +17,7 @@ two-router completion protocol is needed.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.topology.base import Topology
 from repro.util.bitops import bit_length_for
 from repro.util.hashing import hash_bits
 from repro.util.validation import check_positive_int, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["FragmentEncoder", "FragmentPpmScheme", "FragmentVictimAnalysis"]
 
@@ -196,6 +199,24 @@ class FragmentVictimAnalysis(VictimAnalysis):
         values = enc.layout.unpack(packet.header.identification)
         per_distance = self.fragments.setdefault(values["distance"], {})
         per_distance.setdefault(values["offset"], set()).add(values["fragment"])
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Vectorized fragment bucketing: unique words, masked-shift unpack.
+
+        Each distinct MF word maps to one (distance, offset, fragment)
+        triple and the buckets are sets, so processing unique words once is
+        exactly equivalent to unpacking every packet.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        columns = self.scheme.encoder.layout.unpack_array(np.unique(batch.words))
+        fragments = self.fragments
+        for distance, offset, fragment in zip(columns["distance"].tolist(),
+                                              columns["offset"].tolist(),
+                                              columns["fragment"].tolist()):
+            fragments.setdefault(distance, {}).setdefault(offset, set()).add(fragment)
+        self.packets_observed += n
 
     def reassembled_edges(self) -> Tuple[EdgeMark, ...]:
         """All hash-verified physical edges recoverable from collected fragments."""

@@ -35,15 +35,19 @@ class ReconstructedGraph:
         self.edges: Dict[Tuple[int, int], Set[int]] = {}
         #: node -> set of levels (hops back from victim) at which it was reached
         self.levels: Dict[int, Set[int]] = {victim: {-1}}
+        # Inverse index level -> nodes, kept in lockstep with ``levels`` so
+        # the per-level reconstruction loop doesn't rescan every node.
+        self._at_level: Dict[int, Set[int]] = {-1: {victim}}
 
     def add_edge(self, start: int, end: int, distance: int) -> None:
         """Record an accepted edge; ``start`` becomes reached at level ``distance``."""
         self.edges.setdefault((start, end), set()).add(distance)
         self.levels.setdefault(start, set()).add(distance)
+        self._at_level.setdefault(distance, set()).add(start)
 
     def reached_at(self, level: int) -> Set[int]:
         """Nodes reached at exactly ``level``."""
-        return {node for node, levels in self.levels.items() if level in levels}
+        return set(self._at_level.get(level, ()))
 
     def nodes(self) -> Set[int]:
         """All reached nodes (victim included)."""

@@ -41,7 +41,7 @@ class Channel:
         "src", "dst", "latency", "bandwidth", "buffer_capacity", "credits",
         "queue", "busy", "sim", "service", "on_arrival", "packets_carried",
         "failed", "on_transmit", "on_wire_drop",
-        "_serialization_done_cb", "_arrive_cb",
+        "_serialization_done_cb", "_arrive_cb", "_hold_by_size",
     )
 
     def __init__(self, sim: Simulator, service: ServiceModel, src: int, dst: int, *,
@@ -81,6 +81,11 @@ class Channel:
         # method for every scheduled event on the hot path.
         self._serialization_done_cb = self._serialization_done
         self._arrive_cb = self._arrive
+        # Serialization time depends only on (service, bandwidth, packet
+        # size) and all three service models are pure in it, so each size's
+        # hold is computed once per channel — the transmit path then pays a
+        # dict hit instead of a method call and division per packet.
+        self._hold_by_size: dict = {}
 
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
@@ -124,7 +129,11 @@ class Channel:
         self.busy = True
         if self.on_transmit is not None:
             self.on_transmit(packet, self)
-        hold = self.service.serialization_time(packet, self.bandwidth)
+        size = packet.header.total_length
+        hold = self._hold_by_size.get(size)
+        if hold is None:
+            hold = self.service.serialization_time(packet, self.bandwidth)
+            self._hold_by_size[size] = hold
         sim = self.sim
         sim.schedule_call(hold, self._serialization_done_cb, label="chan-serial")
         sim.schedule_call(hold + self.latency, self._arrive_cb, packet,

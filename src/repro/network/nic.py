@@ -10,10 +10,15 @@ the injection port.
 
 from __future__ import annotations
 
-from typing import Callable, List, NamedTuple
+from typing import Callable, List, NamedTuple, Optional, TYPE_CHECKING
 
 from repro.engine.stats import Counter
+from repro.errors import ConfigurationError
 from repro.network.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import DeliveryRing
+    from repro.network.packet import PacketPool
 
 __all__ = ["Nic", "DeliveredPacket"]
 
@@ -32,7 +37,8 @@ DeliveryHandler = Callable[[DeliveredPacket], None]
 class Nic:
     """Injection/ejection endpoint of one compute node."""
 
-    __slots__ = ("node", "n_injected", "n_delivered", "_handlers")
+    __slots__ = ("node", "n_injected", "n_delivered", "_handlers", "sink",
+                 "pool")
 
     def __init__(self, node: int):
         self.node = node
@@ -40,6 +46,13 @@ class Nic:
         self.n_injected = 0
         self.n_delivered = 0
         self._handlers: List[DeliveryHandler] = []
+        #: optional columnar delivery sink (a
+        #: :class:`~repro.network.markstream.DeliveryRing`); when attached,
+        #: every delivery is appended there instead of (or in addition to)
+        #: the per-packet handlers.
+        self.sink: Optional["DeliveryRing"] = None
+        #: optional freelist; retired deliveries nobody observes go back here.
+        self.pool: Optional["PacketPool"] = None
 
     @property
     def counters(self) -> Counter:
@@ -55,13 +68,35 @@ class Nic:
         """Register a callback fired for every packet delivered to this node."""
         self._handlers.append(handler)
 
+    def attach_sink(self, sink: "DeliveryRing") -> None:
+        """Attach the node's columnar delivery sink (exactly one per NIC)."""
+        if self.sink is not None:
+            raise ConfigurationError(
+                f"node {self.node} already has a delivery sink; add a "
+                f"consumer to the existing ring instead")
+        self.sink = sink
+
     def deliver(self, packet: Packet, time: float) -> None:
-        """Hand a packet that reached this node to the host side."""
+        """Hand a packet that reached this node to the host side.
+
+        Three outcomes, cheapest first: an uninstrumented node neither
+        builds a :class:`DeliveredPacket` nor dispatches anything (and may
+        recycle the packet immediately); a sinked node appends one columnar
+        row; per-packet handlers get the classic event object. A sinked
+        packet is released by the ring after its flush, never here.
+        """
         packet.delivered_at = time
         self.n_delivered += 1
-        event = DeliveredPacket(packet, self.node, time)
-        for handler in self._handlers:
-            handler(event)
+        sink = self.sink
+        if sink is not None:
+            sink.append(packet, time)
+        handlers = self._handlers
+        if handlers:
+            event = DeliveredPacket(packet, self.node, time)
+            for handler in handlers:
+                handler(event)
+        elif sink is None and self.pool is not None:
+            self.pool.release(packet)
 
     def note_injected(self) -> None:
         """Count a packet the host pushed into the fabric through this NIC."""

@@ -144,7 +144,15 @@ class Switch:
             fabric.livelocked(packet, node)
             return
 
-        if packet.header.decrement_ttl() == 0:
+        # Inlined IPHeader.decrement_ttl (floor 0, drop at 0): one attribute
+        # write instead of a method call on the per-hop path.
+        header = packet.header
+        ttl = header.ttl
+        if ttl > 1:
+            header.ttl = ttl - 1
+        else:
+            if ttl == 1:
+                header.ttl = 0
             fabric.drop(packet, node, "ttl_expired")
             return
 
@@ -154,7 +162,7 @@ class Switch:
             fabric.drop(packet, node, "unroutable")
             return
 
-        next_node = fabric.select(candidates, node)
+        next_node = fabric.selection.choose(candidates, node)
         channel = self.outputs[next_node]
         if channel.failed:
             # Defense in depth for links failed behind the router's back
@@ -177,12 +185,19 @@ class Switch:
         if current_dist is None:
             current_dist = oracle.distance(node, dst)
         next_dist = oracle.distance(next_node, dst)
-        state.note_hop(node, next_dist < current_dist, next_dist)
+        # Inlined RouteState.note_hop(node, next_dist < current_dist, next_dist).
+        state.last_node = node
+        if next_dist >= current_dist:
+            state.misroutes += 1
+        state.distance_to_go = next_dist
 
         # Monitors observe the packet as received — before this switch's own
         # marking write — so a transit monitor's DDPM decode relative to
         # itself yields the true source (V = here - source at this instant).
-        fabric.notify_transit(packet, node)
+        # Dict truthiness gate: monitored runs are rare, the common case
+        # pays one attribute read instead of a call into an empty registry.
+        if fabric._transit_observers:
+            fabric.notify_transit(packet, node)
 
         hook = fabric.fault_hook
         if hook is not None and not hook(packet, node, next_node):

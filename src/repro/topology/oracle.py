@@ -57,7 +57,12 @@ class DistanceOracle:
     """
 
     __slots__ = ("topology", "live", "distance", "_coords", "_rows", "_version",
-                 "_include_failed", "_pair_cache")
+                 "_include_failed", "_pair_cache", "_table", "_n")
+
+    #: closed-form distances are frozen into a flat n*n table up to this many
+    #: nodes (256 -> 64k ints, ~ms to fill); larger networks keep the per-call
+    #: closed form rather than paying quadratic memory
+    TABLE_MAX_NODES = 256
 
     def __init__(self, topology: Topology, live: bool = False):
         self.topology = topology
@@ -74,11 +79,14 @@ class DistanceOracle:
         elif type(topology) is Mesh:
             self._coords = tuple(topology.coord(i) for i in range(topology.num_nodes))
             self.distance = self._mesh_distance
+            self._freeze_table()
         elif type(topology) is Torus:
             self._coords = tuple(topology.coord(i) for i in range(topology.num_nodes))
             self.distance = self._torus_distance
+            self._freeze_table()
         elif isinstance(topology, Hypercube):
             self.distance = self._hypercube_distance
+            self._freeze_table()
         elif (isinstance(topology, IrregularTopology)
               and type(topology).min_hops is IrregularTopology.min_hops):
             # IrregularTopology.min_hops is BFS over all physical links.
@@ -88,6 +96,25 @@ class DistanceOracle:
             # Unknown subclass with its own min_hops: memoize it pairwise so
             # the oracle stays exact for any Topology implementation.
             self.distance = self._generic_distance
+
+    def _freeze_table(self) -> None:
+        """Precompute the full closed-form distance matrix for small networks.
+
+        Closed-form distances ignore link failures by definition of
+        ``min_hops``, so a static table stays exact for the oracle's
+        lifetime; ``distance`` is rebound to a flat-list index — one hash-free
+        lookup per hop instead of coordinate arithmetic.
+        """
+        n = self.topology.num_nodes
+        if n > self.TABLE_MAX_NODES:
+            return
+        closed = self.distance
+        self._n = n
+        self._table = [closed(u, v) for u in range(n) for v in range(n)]
+        self.distance = self._table_distance
+
+    def _table_distance(self, u: int, v: int) -> int:
+        return self._table[u * self._n + v]
 
     # ------------------------------------------------------------------
     # Closed forms (failure-free by definition of min_hops)

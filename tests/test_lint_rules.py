@@ -166,6 +166,51 @@ class TestH1NoClosureScheduling:
         assert rules_hit(report) == {"H1"}
 
 
+class TestH2NoPerPacketCallbacks:
+    def test_flags_delivery_handler_in_network(self):
+        report = run_lint(NETWORK,
+                          "def wire(fabric, node, fn):\n"
+                          "    fabric.add_delivery_handler(node, fn)\n")
+        assert rules_hit(report) == {"H2"}
+        assert report.violations[0].line == 2
+
+    def test_flags_drop_and_transit_registrations(self):
+        report = run_lint(NETWORK,
+                          "def wire(fabric, node, fn):\n"
+                          "    fabric.add_drop_handler(node, fn)\n"
+                          "    fabric.add_transit_observer(node, fn)\n")
+        assert [v.rule for v in report.violations] == ["H2", "H2"]
+
+    def test_outside_network_tree_is_clean(self):
+        # The rule scopes to hot-path network/ modules; defense or test code
+        # registering handlers is legitimate consumer wiring.
+        report = run_lint(MARKING,
+                          "def wire(fabric, node, fn):\n"
+                          "    fabric.add_delivery_handler(node, fn)\n")
+        assert "H2" not in rules_hit(report)
+
+    def test_sink_attachment_is_clean(self):
+        report = run_lint(NETWORK,
+                          "def wire(fabric, node, consumer):\n"
+                          "    fabric.attach_delivery_sink(node, consumer)\n")
+        assert report.ok
+
+    def test_bare_name_call_is_clean(self):
+        # Only attribute-style registrations count; a local helper that
+        # happens to share the name is not callback wiring.
+        report = run_lint(NETWORK,
+                          "def f(add_delivery_handler):\n"
+                          "    add_delivery_handler()\n")
+        assert "H2" not in rules_hit(report)
+
+    def test_suppression_comment_sanctions_diagnostics(self):
+        report = run_lint(NETWORK,
+                          "def wire(fabric, node, fn):\n"
+                          "    fabric.add_delivery_handler(node, fn)"
+                          "  # repro-lint: disable=H2\n")
+        assert "H2" not in rules_hit(report)
+
+
 class TestS1NoBareExcept:
     BARE = "def f(q):\n    try:\n        q.pop()\n    except:\n        pass\n"
 

@@ -1,0 +1,185 @@
+"""Property tests (hypothesis): ``observe_batch`` ≡ ``observe`` per scheme.
+
+The columnar mark-stream contract (``VictimAnalysis.observe_batch``): for
+EVERY registered marking scheme, feeding the same delivered stream through
+any mix of per-packet ``observe`` calls and ``observe_batch`` partitions
+must leave identical analysis state — suspect set, ``packets_observed``,
+``corrupted_packets``, and the scheme-specific accumulators. This holds
+under adversarial stream orderings and under fault-campaign-style mark
+damage (random 16-bit MF bit-flips and dropped packets, mirroring the
+``bitflip``/``drop`` packet fault modes in :mod:`repro.faults`).
+"""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network.ip import IPHeader
+from repro.network.markstream import MarkBatch
+from repro.network.packet import Packet
+from repro.registry import MARKING
+from repro.topology import Mesh
+from repro.topology.hybrid import ClusterMesh
+
+#: every registered scheme except the no-marking sentinel
+SCHEME_NAMES = [name for name in MARKING.names() if name != "none"]
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def topology_for(name):
+    # hddpm is defined only on the hybrid host/backbone topology.
+    if name == "hddpm":
+        return ClusterMesh((2, 2), 2)
+    return Mesh((4, 4))
+
+
+def endpoints_for(name, topology, rng):
+    """(sources, victim): hddpm talks host-to-host, flat schemes node-to-node."""
+    if name == "hddpm":
+        hosts = list(range(topology.num_hosts))
+    else:
+        hosts = list(topology.nodes())
+    victim = hosts[int(rng.integers(0, len(hosts)))]
+    sources = [h for h in hosts if h != victim]
+    return sources, victim
+
+
+def shortest_path(topology, src, dst, rng):
+    """A shortest src->dst node path with random tie-breaks (BFS tree)."""
+    dist = {dst: 0}
+    frontier = deque([dst])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in topology.neighbors(node):
+            if nxt not in dist:
+                dist[nxt] = dist[node] + 1
+                frontier.append(nxt)
+    path = [src]
+    node = src
+    while node != dst:
+        closer = [n for n in topology.neighbors(node)
+                  if dist.get(n, -1) == dist[node] - 1]
+        node = closer[int(rng.integers(0, len(closer)))]
+        path.append(node)
+    return path
+
+
+def marked_stream(name, seed, n_packets, corrupt_prob):
+    """Build a delivered-packet stream exactly as the fabric would mark it."""
+    rng = np.random.default_rng(seed)
+    topology = topology_for(name)
+    scheme = MARKING.create(name, rng, topology, 0.6)
+    scheme.attach(topology)
+    sources, victim = endpoints_for(name, topology, rng)
+    packets = []
+    for i in range(n_packets):
+        src = sources[int(rng.integers(0, len(sources)))]
+        packet = Packet(IPHeader(src, victim, ttl=64, total_length=84),
+                        src, victim)
+        scheme.on_inject(packet, src)
+        path = shortest_path(topology, src, victim, rng)
+        for frm, to in zip(path, path[1:]):
+            scheme.on_hop(packet, frm, to)
+            packet.header.decrement_ttl()
+            packet.hops += 1
+        if rng.random() < corrupt_prob:
+            # fault-campaign "bitflip" mode: one random MF bit, wire-level
+            packet.header.identification ^= 1 << int(rng.integers(0, 16))
+        if rng.random() < corrupt_prob / 2:
+            continue  # fault-campaign "drop" mode: never delivered
+        packet.delivered_at = 0.25 * len(packets)
+        packets.append(packet)
+    return scheme, victim, packets
+
+
+def state_of(analysis):
+    """Comparable snapshot: counters plus scheme-specific accumulators."""
+    state = {
+        "suspects": analysis.suspects(),
+        "packets_observed": analysis.packets_observed,
+        "corrupted_packets": analysis.corrupted_packets,
+    }
+    for attr in ("source_counts", "signature_counts", "mark_counts",
+                 "fragments"):
+        if hasattr(analysis, attr):
+            state[attr] = getattr(analysis, attr)
+    return state
+
+
+stream_params = given(
+    name=st.sampled_from(SCHEME_NAMES),
+    seed=st.integers(0, 2**16),
+    n_packets=st.integers(1, 40),
+    corrupt_prob=st.floats(0.0, 0.4, allow_nan=False),
+)
+
+
+class TestBatchEquivalence:
+    @SETTINGS
+    @stream_params
+    def test_arbitrary_partitions_match_per_packet(self, name, seed,
+                                                   n_packets, corrupt_prob):
+        scheme, victim, packets = marked_stream(name, seed, n_packets,
+                                                corrupt_prob)
+        rng = np.random.default_rng(seed + 1)
+
+        ref = scheme.new_victim_analysis(victim)
+        for packet in packets:
+            ref.observe(packet)
+
+        # Same stream, same order, but chopped at random cut points and fed
+        # through a mix of observe_batch and per-packet observe calls.
+        batched = scheme.new_victim_analysis(victim)
+        cuts = sorted(set(int(rng.integers(0, len(packets) + 1))
+                          for _ in range(3)))
+        bounds = [0] + cuts + [len(packets)]
+        for which, (start, stop) in enumerate(zip(bounds, bounds[1:])):
+            chunk = packets[start:stop]
+            if not chunk:
+                continue
+            if which % 2:
+                for packet in chunk:
+                    batched.observe(packet)
+            else:
+                batched.observe_batch(MarkBatch.from_packets(victim, chunk))
+
+        assert state_of(batched) == state_of(ref)
+
+    @SETTINGS
+    @stream_params
+    def test_shuffled_stream_same_suspects(self, name, seed, n_packets,
+                                           corrupt_prob):
+        scheme, victim, packets = marked_stream(name, seed, n_packets,
+                                                corrupt_prob)
+        rng = np.random.default_rng(seed + 2)
+
+        ref = scheme.new_victim_analysis(victim)
+        for packet in packets:
+            ref.observe(packet)
+
+        shuffled = list(packets)
+        rng.shuffle(shuffled)
+        batched = scheme.new_victim_analysis(victim)
+        batched.observe_batch(MarkBatch.from_packets(victim, shuffled))
+
+        assert batched.suspects() == ref.suspects()
+        assert batched.packets_observed == ref.packets_observed
+        assert batched.corrupted_packets == ref.corrupted_packets
+
+    @SETTINGS
+    @stream_params
+    def test_single_row_batches_match(self, name, seed, n_packets,
+                                      corrupt_prob):
+        # Degenerate flush schedule: capacity-1 ring, one batch per packet.
+        scheme, victim, packets = marked_stream(name, seed, n_packets,
+                                                corrupt_prob)
+        ref = scheme.new_victim_analysis(victim)
+        batched = scheme.new_victim_analysis(victim)
+        for packet in packets:
+            ref.observe(packet)
+            batched.observe_batch(MarkBatch.from_packets(victim, [packet]))
+        assert state_of(batched) == state_of(ref)
