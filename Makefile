@@ -6,8 +6,8 @@ PYPATH  := PYTHONPATH=src
 SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
-.PHONY: test test-faults bench bench-smoke bench-throughput bench-victim \
-	profile clean-cache lint typecheck
+.PHONY: test test-faults bench bench-smoke bench-reflection \
+	bench-throughput bench-victim profile clean-cache lint typecheck
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -80,6 +80,17 @@ bench-smoke:
 	grep -q "simulated 0" $(A3_RESULT)
 	rm -rf $(SMOKE_CACHE)
 	@echo "bench-smoke OK: warm cache re-run simulated nothing"
+
+# Attack-scenario smoke: the E6 reflection/pulsing/mixed study plus a tiny
+# declarative campaign driven end to end through the CLI's --attack flags.
+bench-reflection:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_extension_reflection.py \
+		--benchmark-only -x -q
+	$(PYPATH) $(PY) -m repro experiment --topology torus --dims 4 4 \
+		--routing fully-adaptive --duration 1.0 \
+		--attack reflection \
+		--attack-params '{"num_attackers": 1, "num_reflectors": 2, "request_rate": 10.0, "duration": 1.0}'
+	@echo "bench-reflection OK: E6 study and CLI scenario completed"
 
 clean-cache:
 	rm -rf $(SMOKE_CACHE) .repro-cache

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Reflection/amplification traceback: who the marks actually point at.
+
+Arms a declarative reflection campaign (attackers spoof the victim's
+address in small requests to reflector nodes; reflectors answer with
+amplified replies) plus benign Poisson background on a 6x6 adaptive
+torus, then compares the DDPM suspect set against *both* ground-truth
+node sets. The victim only ever receives reply-path traffic, so marks
+identify the reflectors — the nodes to block — while the spoofing true
+sources stay invisible to marking-based traceback.
+
+Run:  python examples/reflection_attack.py [--seed N] [--amplification K]
+"""
+
+import argparse
+
+from repro import Cluster, DdpmScheme, Torus
+from repro.attack.scenario import (
+    AttackCampaign,
+    PoissonBackgroundSpec,
+    ReflectionAmplificationSpec,
+)
+from repro.defense.metrics import score_identification
+from repro.routing import FullyAdaptiveRouter
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--amplification", type=int, default=4)
+    args = parser.parse_args()
+
+    cluster = Cluster(Torus((6, 6)), FullyAdaptiveRouter(),
+                      marking=DdpmScheme(), seed=args.seed)
+    victim = cluster.default_victim()
+    pipeline = cluster.attach_pipeline(victim)
+
+    campaign = AttackCampaign((
+        ReflectionAmplificationSpec(num_attackers=2, num_reflectors=4,
+                                    request_rate=25.0,
+                                    amplification=args.amplification,
+                                    duration=3.0),
+        PoissonBackgroundSpec(rate=1.0, duration=3.0),
+    ))
+    truth = cluster.launch_attacks(campaign, victim=victim)
+    cluster.run()
+
+    suspects = pipeline.suspects()
+    vs_sources = score_identification(suspects, truth.attackers)
+    vs_reflectors = score_identification(suspects, truth.reflectors)
+
+    print(f"victim:        {victim}")
+    print(f"true sources:  {sorted(truth.attackers)} (spoofing the victim)")
+    print(f"reflectors:    {sorted(truth.reflectors)}")
+    print(f"DDPM suspects: {sorted(suspects)}")
+    print(f"recall vs true sources: {vs_sources.recall:.2f}   "
+          f"recall vs reflectors: {vs_reflectors.recall:.2f}")
+    print()
+    print("The marks traced the amplified reply path: every reflector is")
+    print("identified, the spoofing sources never are — blocking must")
+    print("target the reflectors (or trace the request path separately).")
+
+
+if __name__ == "__main__":
+    main()

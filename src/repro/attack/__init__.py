@@ -8,11 +8,29 @@ Included generations (paper §1): first-generation tool-driven floods
 self-propagating worms (:mod:`worm` — SI/SIR epidemics whose aggregate
 traffic grows exponentially). Background traffic uses the standard
 interconnect workload patterns (:mod:`traffic`).
+
+The declarative scenario layer (:mod:`scenario`) wraps all of these —
+plus reflection/amplification, pulsing, volumetric mixes, and benign
+profiles — as registry-dispatched, serializable :class:`AttackSpec` values
+that ride in :class:`repro.core.config.ExperimentConfig`.
 """
 
 from repro.attack.botnet import Botnet
 from repro.attack.ddos import AttackTrafficResult, schedule_attack_flood
 from repro.attack.flows import FlowSpec, schedule_flow
+from repro.attack.scenario import (
+    AckFloodAttackSpec,
+    AttackCampaign,
+    AttackSpec,
+    FloodAttackSpec,
+    PoissonBackgroundSpec,
+    PulsingAttackSpec,
+    ReflectionAmplificationSpec,
+    RequestReplySessionSpec,
+    SynFloodAttackSpec,
+    VolumetricMixSpec,
+    WormAttackSpec,
+)
 from repro.attack.spoofing import (
     FixedSpoofing,
     InClusterSpoofing,
@@ -40,6 +58,17 @@ __all__ = [
     "schedule_attack_flood",
     "FlowSpec",
     "schedule_flow",
+    "AttackSpec",
+    "AttackCampaign",
+    "FloodAttackSpec",
+    "SynFloodAttackSpec",
+    "AckFloodAttackSpec",
+    "WormAttackSpec",
+    "PulsingAttackSpec",
+    "ReflectionAmplificationSpec",
+    "VolumetricMixSpec",
+    "PoissonBackgroundSpec",
+    "RequestReplySessionSpec",
     "SpoofingStrategy",
     "NoSpoofing",
     "RandomSpoofing",

@@ -13,7 +13,7 @@ simulated outbreak is validated against in the tests.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.engine.stats import TimeSeries
 from repro.errors import ConfigurationError
 from repro.network.fabric import Fabric
 from repro.network.nic import DeliveredPacket
-from repro.network.packet import PacketKind
+from repro.network.packet import Packet, PacketKind
 
 __all__ = ["WormOutbreak", "analytic_si_curve"]
 
@@ -60,6 +60,11 @@ class WormOutbreak:
         and becomes immune (SIR).
     horizon:
         Stop scheduling scans at this simulated time (bounds the run).
+    on_scan:
+        Optional observer called with each scan packet right after it is
+        injected — purely observational (it must not touch the fabric), so
+        ground-truth bookkeeping can track dynamically generated traffic
+        without perturbing the epidemic's draw sequence.
     """
 
     def __init__(self, fabric: Fabric, *, seeds: Tuple[int, ...],
@@ -68,7 +73,8 @@ class WormOutbreak:
                  incubation: float = 0.0,
                  recovery_rate: float = 0.0,
                  horizon: float = 50.0,
-                 payload_bytes: int = 256):
+                 payload_bytes: int = 256,
+                 on_scan: Optional[Callable[[Packet], None]] = None):
         if not seeds:
             raise ConfigurationError("worm needs at least one seed node")
         if scan_rate <= 0:
@@ -85,6 +91,7 @@ class WormOutbreak:
         self.recovery_rate = recovery_rate
         self.horizon = horizon
         self.payload_bytes = payload_bytes
+        self.on_scan = on_scan
 
         self.infected: Set[int] = set()
         self.recovered: Set[int] = set()
@@ -140,6 +147,8 @@ class WormOutbreak:
                                          payload_bytes=self.payload_bytes)
         self.fabric.inject(packet)
         self.scans_sent += 1
+        if self.on_scan is not None:
+            self.on_scan(packet)
         self._schedule_next_scan(node)
 
     def _on_delivery(self, event: DeliveredPacket) -> None:

@@ -8,7 +8,8 @@ advanced use (``cluster.fabric``, ``cluster.topology``, ...).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+import warnings
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.engine.profile import EventProfiler
@@ -16,7 +17,9 @@ if TYPE_CHECKING:
 
 import numpy as np
 
-from repro.attack.ddos import AttackTrafficResult, schedule_attack_flood
+from repro.attack.ddos import AttackTrafficResult
+from repro.attack.scenario import (AttackCampaign, AttackSpec,
+                                   FloodAttackSpec)
 from repro.attack.spoofing import SpoofingStrategy
 from repro.core.config import ExperimentConfig
 from repro.defense.detection import Detector
@@ -45,6 +48,10 @@ class Cluster:
         self.seed = seed
         self.sim = Simulator(seed=seed, profile=profile, watchdog=watchdog)
         self.rng = self.sim.rng.stream("cluster")
+        # Monotonic sequence number for per-attack RNG streams: each armed
+        # spec gets its own "attack:<seq>:<kind>" stream, so launching an
+        # attack never perturbs the shared cluster stream (or other attacks).
+        self._attack_seq = 0
         self.topology = topology
         self.router = router
         self.marking = marking
@@ -101,7 +108,15 @@ class Cluster:
                     duration: float = 5.0,
                     background_rate: float = 0.0,
                     spoofing: Optional[SpoofingStrategy] = None) -> AttackTrafficResult:
-        """Schedule a spoofed flood (plus background) on this cluster."""
+        """Schedule a spoofed flood (plus background) on this cluster.
+
+        Since the scenario redesign this is a thin veneer over
+        :class:`repro.attack.scenario.FloodAttackSpec`, armed on the shared
+        cluster stream — deliberately, so every pre-existing seed (golden
+        pins, benchmarks) reproduces bit-for-bit. New code should prefer
+        :meth:`launch_attack` with an explicit spec, which gets a dedicated
+        per-attack stream.
+        """
         victim = self.default_victim() if victim is None else victim
         if attackers is None:
             pool = [n for n in self.topology.nodes() if n != victim]
@@ -109,13 +124,90 @@ class Cluster:
                 raise ConfigurationError(
                     f"cannot place {num_attackers} attackers among {len(pool)} nodes"
                 )
-            chosen = self.rng.choice(len(pool), size=num_attackers, replace=False)
-            attackers = tuple(pool[int(i)] for i in chosen)
-        return schedule_attack_flood(
-            self.fabric, victim=victim, attackers=tuple(attackers),
-            attack_rate_per_node=attack_rate_per_node, duration=duration,
-            rng=self.rng, spoofing=spoofing, background_rate=background_rate,
+        spec = FloodAttackSpec(
+            num_attackers=num_attackers,
+            attackers=None if attackers is None else tuple(attackers),
+            rate_per_attacker=attack_rate_per_node, duration=duration,
+            background_rate=background_rate, spoofing_strategy=spoofing,
         )
+        return spec.arm(self.fabric, self.sim, victim=victim, rng=self.rng)
+
+    def launch_attack(self, spec: Optional[AttackSpec] = None, *,
+                      victim: Optional[int] = None,
+                      **legacy: Any) -> AttackTrafficResult:
+        """Arm one attack scenario on its own dedicated RNG stream.
+
+        The modern form takes an :class:`repro.attack.scenario.AttackSpec`;
+        its draws come from the registry stream ``"attack:<seq>:<kind>"``,
+        so arming an attack never perturbs the cluster stream or any other
+        component (guarded by a determinism regression test).
+
+        The pre-redesign keyword form — ``launch_attack(num_attackers=...,
+        attack_rate_per_node=...)`` — still works: it constructs the
+        equivalent :class:`~repro.attack.scenario.FloodAttackSpec`
+        internally (bit-identical to passing the spec yourself) and emits a
+        :class:`DeprecationWarning`.
+        """
+        if spec is None:
+            warnings.warn(
+                "launch_attack(num_attackers=..., attack_rate_per_node=...) "
+                "is deprecated; pass an AttackSpec, e.g. "
+                "launch_attack(FloodAttackSpec(...))",
+                DeprecationWarning, stacklevel=2,
+            )
+            spec = self._flood_spec_from_legacy(legacy)
+        elif legacy:
+            raise ConfigurationError(
+                f"launch_attack got both a spec and legacy keyword "
+                f"arguments {sorted(legacy)}"
+            )
+        victim = self.default_victim() if victim is None else victim
+        rng = self.sim.rng.stream(f"attack:{self._attack_seq}:{spec.kind}")
+        self._attack_seq += 1
+        return spec.arm(self.fabric, self.sim, victim=victim, rng=rng)
+
+    @staticmethod
+    def _flood_spec_from_legacy(legacy: Dict[str, Any]) -> FloodAttackSpec:
+        """Map the deprecated flat-kwargs surface onto a FloodAttackSpec."""
+        known = {"attackers", "num_attackers", "attack_rate_per_node",
+                 "duration", "background_rate", "spoofing"}
+        unknown = set(legacy) - known
+        if unknown:
+            raise ConfigurationError(
+                f"launch_attack got unknown arguments {sorted(unknown)}")
+        attackers = legacy.get("attackers")
+        kwargs: Dict[str, Any] = {}
+        if attackers is not None:
+            kwargs["attackers"] = tuple(attackers)
+        if "num_attackers" in legacy:
+            kwargs["num_attackers"] = legacy["num_attackers"]
+        if "attack_rate_per_node" in legacy:
+            kwargs["rate_per_attacker"] = legacy["attack_rate_per_node"]
+        if "duration" in legacy:
+            kwargs["duration"] = legacy["duration"]
+        if "background_rate" in legacy:
+            kwargs["background_rate"] = legacy["background_rate"]
+        if legacy.get("spoofing") is not None:
+            kwargs["spoofing_strategy"] = legacy["spoofing"]
+        return FloodAttackSpec(**kwargs)
+
+    def launch_attacks(self, campaign: AttackCampaign, *,
+                       victim: Optional[int] = None) -> AttackTrafficResult:
+        """Arm every spec of a campaign; returns the merged ground truth.
+
+        Specs arm in campaign order, each on its own dedicated
+        ``"attack:<seq>:<kind>"`` stream; the per-spec results are merged
+        (and kept individually in ``extra["scenario_results"]``) so one
+        ``is_attack_packet`` gate covers the whole campaign.
+        """
+        victim = self.default_victim() if victim is None else victim
+        merged = AttackTrafficResult(victim=victim, attackers=())
+        parts: List[AttackTrafficResult] = []
+        for spec in campaign.specs:
+            parts.append(self.launch_attack(spec, victim=victim))
+            merged.absorb(parts[-1])
+        merged.extra["scenario_results"] = parts
+        return merged
 
     def attach_pipeline(self, victim: int,
                         detector: Optional[Detector] = None) -> IdentificationPipeline:

@@ -30,6 +30,7 @@ if TYPE_CHECKING:
     from repro.network.fabric import Fabric
 
 from repro import registry
+from repro.attack.scenario import AttackCampaign
 from repro.errors import ConfigurationError, UnknownNameError
 from repro.faults.campaign import FaultCampaign
 from repro.marking.base import MarkingScheme
@@ -213,6 +214,7 @@ class ExperimentConfig:
     misroute_budget: int = 8
     trace_packets: bool = False
     faults: Optional[FaultCampaign] = None
+    attacks: Optional[AttackCampaign] = None
 
     def fabric_config(self) -> FabricConfig:
         """FabricConfig derived from this experiment's knobs."""
@@ -245,9 +247,11 @@ class ExperimentConfig:
         }
         # Serialized only when set, so fault-free configs keep the exact
         # canonical JSON (and therefore cache keys) they had before fault
-        # campaigns existed.
+        # campaigns existed; same rule for attack campaigns.
         if self.faults is not None:
             out["faults"] = self.faults.to_dict()
+        if self.attacks is not None:
+            out["attacks"] = self.attacks.to_dict()
         return out
 
     @classmethod
@@ -256,7 +260,8 @@ class ExperimentConfig:
         _require_keys(
             "ExperimentConfig", data,
             ("topology", "routing", "marking"),
-            ("selection", "victim", "attackers", "faults") + tuple(_SCALAR_FIELDS),
+            ("selection", "victim", "attackers", "faults", "attacks")
+            + tuple(_SCALAR_FIELDS),
         )
         kwargs: Dict[str, Any] = {
             "topology": TopologySpec.from_dict(data["topology"]),
@@ -297,6 +302,9 @@ class ExperimentConfig:
         faults = data.get("faults")
         if faults is not None:
             kwargs["faults"] = FaultCampaign.from_dict(faults)
+        attacks = data.get("attacks")
+        if attacks is not None:
+            kwargs["attacks"] = AttackCampaign.from_dict(attacks)
         return cls(**kwargs)
 
     def canonical_json(self) -> str:

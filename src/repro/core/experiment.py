@@ -75,14 +75,21 @@ def run_identification_experiment(
 
     analysis = _victim_analysis_for(cluster, victim)
 
-    truth = cluster.launch_ddos(
-        victim=victim,
-        attackers=config.attackers,
-        num_attackers=config.num_attackers,
-        attack_rate_per_node=config.attack_rate_per_node,
-        duration=config.duration,
-        background_rate=config.background_rate,
-    )
+    if config.attacks is not None:
+        # Declarative scenario campaign: each spec arms on its own
+        # dedicated "attack:<i>:<kind>" stream.
+        truth = cluster.launch_attacks(config.attacks, victim=victim)
+    else:
+        # Legacy flat-kwargs flood, armed on the shared cluster stream so
+        # pre-campaign configs reproduce (and cache) bit-identically.
+        truth = cluster.launch_ddos(
+            victim=victim,
+            attackers=config.attackers,
+            num_attackers=config.num_attackers,
+            attack_rate_per_node=config.attack_rate_per_node,
+            duration=config.duration,
+            background_rate=config.background_rate,
+        )
 
     # The paper assumes detection exists (§6.1): feed exactly the attack
     # packets to the analysis, so the score isolates identification quality.
@@ -97,6 +104,14 @@ def run_identification_experiment(
     score = score_identification(suspects, truth.attackers)
     stats = cluster.fabric.stats_summary()
     extra: Dict[str, Any] = {}
+    if config.attacks is not None:
+        extra["attack"] = {
+            "kinds": [spec.kind for spec in config.attacks.specs],
+            "true_sources": sorted(int(a) for a in truth.attackers),
+            "reflectors": sorted(int(r) for r in truth.reflectors),
+            "attack_packets": len(truth.attack_packets),
+            "background_packets": len(truth.background_packets),
+        }
     if injector is not None:
         fault_info = dict(injector.counters.as_dict())
         fault_info["rerouted"] = int(cluster.fabric.n_rerouted)

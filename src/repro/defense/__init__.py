@@ -10,6 +10,7 @@ identification quality can be scored independently of detector quality.
 from repro.defense.detection import (
     CusumDetector,
     Detector,
+    DutyCycleDetector,
     EntropyDetector,
     RateThresholdDetector,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "RateThresholdDetector",
     "EntropyDetector",
     "CusumDetector",
+    "DutyCycleDetector",
     "IdentificationPipeline",
     "SourceBlockTable",
     "SignatureFilter",

@@ -10,6 +10,9 @@ how the choice affects end-to-end containment:
   randomize the source field, legitimate traffic does not);
 * :class:`CusumDetector` — cumulative-sum change-point detection on window
   counts, the classic low-false-positive option.
+* :class:`DutyCycleDetector` — counts short high-rate bursts per long
+  window, catching shrew-style pulsing floods whose *mean* rate stays
+  under a :class:`RateThresholdDetector`'s threshold.
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ from repro.network.nic import DeliveredPacket
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.markstream import MarkBatch
 
-__all__ = ["Detector", "RateThresholdDetector", "EntropyDetector", "CusumDetector"]
+__all__ = ["Detector", "RateThresholdDetector", "EntropyDetector",
+           "CusumDetector", "DutyCycleDetector"]
 
 
 class Detector(ABC):
@@ -309,3 +313,80 @@ class CusumDetector(Detector):
     def statistic(self) -> float:
         """Current CUSUM statistic."""
         return self._statistic
+
+
+class DutyCycleDetector(Detector):
+    """Alarm on repeated short bursts — the pulsing (shrew) attack shape.
+
+    A pulsing flood defeats rate-threshold detection by keeping its mean
+    rate low while each on-burst saturates buffers (Kuzmanovic & Knightly's
+    shrew attack). This detector inverts the trade: it slices time into
+    fine ``burst_window`` buckets, classifies each bucket whose rate
+    exceeds ``burst_rate`` as a burst, and alarms once ``min_bursts``
+    bursty buckets occur within the most recent ``history`` buckets.
+    Sustained floods alarm too (every bucket is a burst); a single benign
+    spike does not.
+
+    Parameters
+    ----------
+    burst_window:
+        Bucket length — should be at or below the attack's expected
+        on-burst duration (time units).
+    burst_rate:
+        Packets per time unit that make a bucket count as a burst.
+    min_bursts:
+        Bursty buckets within the history that trip the alarm.
+    history:
+        Number of recent buckets considered (>= ``min_bursts``).
+    """
+
+    name = "duty-cycle"
+
+    def __init__(self, burst_window: float, burst_rate: float,
+                 min_bursts: int = 3, history: int = 64):
+        super().__init__()
+        if burst_window <= 0:
+            raise ConfigurationError(
+                f"burst_window must be > 0, got {burst_window}")
+        if burst_rate <= 0:
+            raise ConfigurationError(
+                f"burst_rate must be > 0, got {burst_rate}")
+        if min_bursts < 1:
+            raise ConfigurationError(
+                f"min_bursts must be >= 1, got {min_bursts}")
+        if history < min_bursts:
+            raise ConfigurationError(
+                f"history must be >= min_bursts, got {history} < {min_bursts}")
+        self.burst_window = burst_window
+        self.burst_rate = burst_rate
+        self.min_bursts = min_bursts
+        self.history = history
+        self._bucket_start = 0.0
+        self._bucket_count = 0
+        self._bursts: Deque[bool] = deque(maxlen=history)
+        self._alarmed = False
+
+    def _close_bucket(self) -> None:
+        rate = self._bucket_count / self.burst_window
+        self._bursts.append(rate > self.burst_rate)
+        if sum(self._bursts) >= self.min_bursts:
+            self._alarmed = True
+            self._mark_alarm(self._bucket_start + self.burst_window)
+        self._bucket_start += self.burst_window
+        self._bucket_count = 0
+
+    def _observe(self, event: DeliveredPacket) -> None:
+        while event.time >= self._bucket_start + self.burst_window:
+            self._close_bucket()
+        self._bucket_count += 1
+
+    @property
+    def under_attack(self) -> bool:
+        return self._alarmed
+
+    @property
+    def burst_fraction(self) -> float:
+        """Fraction of tracked buckets classified as bursts."""
+        if not self._bursts:
+            return 0.0
+        return sum(self._bursts) / len(self._bursts)

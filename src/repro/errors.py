@@ -29,6 +29,7 @@ __all__ = [
     "SimulationError",
     "WatchdogTimeout",
     "FaultError",
+    "AttackError",
     "RunnerJobError",
     "DetectionError",
 ]
@@ -158,6 +159,10 @@ class WatchdogTimeout(SimulationError):
 
 class FaultError(ReproError, ValueError):
     """A fault campaign was mis-specified or could not be armed."""
+
+
+class AttackError(ReproError, ValueError):
+    """An attack scenario/campaign was mis-specified or could not be armed."""
 
 
 class RunnerJobError(ReproError, RuntimeError):

@@ -7,12 +7,14 @@ fault spec and forgets the registration (the class exists but no config can
 select it) or the serialization pair (the spec works in-process but cannot
 ride in a cached config). R1 makes both omissions a lint failure:
 
-* every concrete subclass of ``Router``, ``MarkingScheme``, or ``FaultSpec``
-  defined under ``src/repro`` must be *reachable from a registration*: its
-  name must appear either directly in a ``REGISTRY.register(...)`` call, in
-  a ``@REGISTRY.register(name)``-decorated factory, or in the body of a
-  factory function passed to ``register``;
-* every concrete ``FaultSpec`` subclass, and the config spec classes
+* every concrete subclass of ``Router``, ``MarkingScheme``, ``FaultSpec``,
+  or ``AttackSpec`` defined under ``src/repro`` must be *reachable from a
+  registration*: its name must appear either directly in a
+  ``REGISTRY.register(...)`` call, in a ``@REGISTRY.register(name)``-
+  decorated factory, or in the body of a factory function passed to
+  ``register``;
+* every concrete ``FaultSpec`` or ``AttackSpec`` subclass, and the config
+  spec classes
   (``TopologySpec``/``RoutingSpec``/``SelectionSpec``/``MarkingSpec``),
   must define (or inherit) the ``to_dict``/``from_dict`` pair;
 * modules that deal in registries must not ``raise KeyError`` on failed
@@ -39,10 +41,14 @@ from repro.lint.violations import Violation
 __all__ = ["RegistryCompleteness"]
 
 #: base classes whose concrete descendants must be registered.
-REGISTERED_BASES = frozenset({"Router", "MarkingScheme", "FaultSpec"})
+REGISTERED_BASES = frozenset({"Router", "MarkingScheme", "FaultSpec",
+                              "AttackSpec"})
+
+#: spec roots whose descendants must carry the serialization pair.
+SERIALIZED_SPEC_ROOTS = frozenset({"FaultSpec", "AttackSpec"})
 
 #: classes that must carry the to_dict/from_dict serialization pair:
-#: concrete FaultSpec descendants plus the named config spec classes.
+#: concrete FaultSpec/AttackSpec descendants plus the named config specs.
 SERIALIZED_SPEC_CLASSES = frozenset({
     "TopologySpec", "RoutingSpec", "SelectionSpec", "MarkingSpec",
 })
@@ -127,10 +133,10 @@ class RegistryCompleteness(Rule):
     rule_id = "R1"
     name = "registry-completeness"
     description = (
-        "concrete Router/MarkingScheme/FaultSpec subclasses must be "
-        "registered in repro.registry; fault and config specs must define "
-        "to_dict/from_dict; registry lookups must raise UnknownNameError, "
-        "not KeyError"
+        "concrete Router/MarkingScheme/FaultSpec/AttackSpec subclasses must "
+        "be registered in repro.registry; fault, attack, and config specs "
+        "must define to_dict/from_dict; registry lookups must raise "
+        "UnknownNameError, not KeyError"
     )
     hint = (
         "add a factory + REGISTRY.register(name, factory) next to the class "
@@ -234,7 +240,8 @@ class RegistryCompleteness(Rule):
                              "registered in repro.registry"),
                     hint=self.hint,
                 )
-            if (root == "FaultSpec" or info.name in SERIALIZED_SPEC_CLASSES):
+            if (root in SERIALIZED_SPEC_ROOTS
+                    or info.name in SERIALIZED_SPEC_CLASSES):
                 missing = [m for m in ("to_dict", "from_dict")
                            if not self._defines(info.name, m)]
                 if missing:

@@ -33,6 +33,8 @@ class PacketKind(Enum):
     SYN_ACK = "syn_ack"
     ACK = "ack"
     WORM = "worm"
+    REQUEST = "request"
+    REPLY = "reply"
 
 
 class Packet:

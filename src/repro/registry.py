@@ -16,6 +16,8 @@ Factory signatures are fixed per registry:
 * ``SELECTION``: ``factory(rng, fabric) -> SelectionPolicy``
 * ``FAULTS``:    ``factory(data) -> FaultSpec`` (``data`` is the spec's
   ``to_dict`` mapping; built-ins register their ``from_dict``)
+* ``ATTACKS``:   ``factory(data) -> AttackSpec`` (same ``to_dict`` mapping
+  convention as ``FAULTS``)
 
 ``rng`` is a ``numpy.random.Generator``; factories that do not need an
 argument simply ignore it, which keeps the dispatch sites uniform.
@@ -29,6 +31,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterator, Mapping,
 if TYPE_CHECKING:
     from numpy.random import Generator
 
+    from repro.attack.scenario import AttackSpec
     from repro.faults.campaign import FaultSpec
     from repro.marking.base import MarkingScheme
     from repro.network.fabric import Fabric
@@ -38,7 +41,8 @@ if TYPE_CHECKING:
 
 from repro.errors import ConfigurationError, UnknownNameError
 
-__all__ = ["Registry", "ROUTING", "MARKING", "TOPOLOGY", "SELECTION", "FAULTS"]
+__all__ = ["Registry", "ROUTING", "MARKING", "TOPOLOGY", "SELECTION", "FAULTS",
+           "ATTACKS"]
 
 
 class Registry:
@@ -112,6 +116,7 @@ MARKING = Registry("marking scheme")
 TOPOLOGY = Registry("topology")
 SELECTION = Registry("selection policy")
 FAULTS = Registry("fault")
+ATTACKS = Registry("attack")
 
 
 # ----------------------------------------------------------------------
@@ -368,5 +373,74 @@ FAULTS.register("switch-crash", _make_switch_crash)
 FAULTS.register("nic-stall", _make_nic_stall)
 FAULTS.register("packet", _make_packet_fault)
 FAULTS.register("random-link-flap", _make_random_link_flap)
+
+
+# ----------------------------------------------------------------------
+# Built-in attack-scenario kinds (see repro.attack.scenario). Registered
+# alphabetically so ``ATTACKS.names()`` is already sorted for CLI choices
+# and structured-error messages.
+def _make_ack_flood(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import AckFloodAttackSpec
+
+    return AckFloodAttackSpec.from_dict(data)
+
+
+def _make_benign_poisson(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import PoissonBackgroundSpec
+
+    return PoissonBackgroundSpec.from_dict(data)
+
+
+def _make_benign_sessions(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import RequestReplySessionSpec
+
+    return RequestReplySessionSpec.from_dict(data)
+
+
+def _make_flood(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import FloodAttackSpec
+
+    return FloodAttackSpec.from_dict(data)
+
+
+def _make_mix(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import VolumetricMixSpec
+
+    return VolumetricMixSpec.from_dict(data)
+
+
+def _make_pulsing(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import PulsingAttackSpec
+
+    return PulsingAttackSpec.from_dict(data)
+
+
+def _make_reflection(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import ReflectionAmplificationSpec
+
+    return ReflectionAmplificationSpec.from_dict(data)
+
+
+def _make_syn_flood(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import SynFloodAttackSpec
+
+    return SynFloodAttackSpec.from_dict(data)
+
+
+def _make_worm_attack(data: Mapping[str, Any]) -> "AttackSpec":
+    from repro.attack.scenario import WormAttackSpec
+
+    return WormAttackSpec.from_dict(data)
+
+
+ATTACKS.register("ack-flood", _make_ack_flood)
+ATTACKS.register("benign-poisson", _make_benign_poisson)
+ATTACKS.register("benign-sessions", _make_benign_sessions)
+ATTACKS.register("flood", _make_flood)
+ATTACKS.register("mix", _make_mix)
+ATTACKS.register("pulsing", _make_pulsing)
+ATTACKS.register("reflection", _make_reflection)
+ATTACKS.register("syn-flood", _make_syn_flood)
+ATTACKS.register("worm", _make_worm_attack)
 
 __all__ += ["DETERMINISTIC_ROUTING"]

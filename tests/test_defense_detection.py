@@ -132,3 +132,65 @@ class TestCusum:
             CusumDetector(1.0, -1.0, 1.0)
         with pytest.raises(ConfigurationError):
             CusumDetector(1.0, 1.0, 0.0)
+
+
+class TestDutyCycle:
+    def _pulse(self, det, *, period, duty, rate, duration, start=0.0):
+        """Feed a square-wave pulsing flood: `rate` during each on-burst."""
+        t = start
+        while t < start + duration:
+            burst_end = t + period * duty
+            when = t
+            while when < burst_end:
+                det.observe(delivery(when))
+                when += 1.0 / rate
+            t += period
+
+    def test_pulsing_flood_alarms(self):
+        from repro.defense.detection import DutyCycleDetector
+
+        det = DutyCycleDetector(burst_window=0.1, burst_rate=20.0,
+                                min_bursts=4)
+        self._pulse(det, period=1.0, duty=0.2, rate=100.0, duration=5.0)
+        det.observe(delivery(6.0))  # close the trailing bucket
+        assert det.under_attack
+        assert det.alarm_time is not None
+
+    def test_rate_threshold_misses_the_same_pulsing_flood(self):
+        # The motivating contrast: mean rate 20 pkt/s stays under a 30
+        # pkt/s threshold averaged over windows longer than a burst, so
+        # the classic detector never fires on the identical trace.
+        det = RateThresholdDetector(window=1.0, threshold_rate=30.0)
+        self._pulse(det, period=1.0, duty=0.2, rate=100.0, duration=5.0)
+        assert not det.under_attack
+
+    def test_single_benign_spike_tolerated(self):
+        from repro.defense.detection import DutyCycleDetector
+
+        det = DutyCycleDetector(burst_window=0.1, burst_rate=20.0,
+                                min_bursts=4)
+        self._pulse(det, period=1.0, duty=0.1, rate=100.0, duration=1.0)
+        det.observe(delivery(2.0))  # close out the spike's buckets
+        assert not det.under_attack
+        assert 0.0 < det.burst_fraction < 1.0
+
+    def test_sustained_flood_alarms_too(self):
+        from repro.defense.detection import DutyCycleDetector
+
+        det = DutyCycleDetector(burst_window=0.1, burst_rate=20.0,
+                                min_bursts=4)
+        for i in range(200):
+            det.observe(delivery(i * 0.01))  # 100 pkt/s continuous
+        assert det.under_attack
+
+    def test_validation(self):
+        from repro.defense.detection import DutyCycleDetector
+
+        with pytest.raises(ConfigurationError):
+            DutyCycleDetector(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleDetector(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleDetector(1.0, 1.0, min_bursts=0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleDetector(1.0, 1.0, min_bursts=5, history=3)

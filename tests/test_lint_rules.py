@@ -288,6 +288,70 @@ class TestR1RegistryCompleteness:
         messages = " ".join(v.message for v in report.violations)
         assert "to_dict" in messages and "from_dict" in messages
 
+    UNREGISTERED_ATTACK = (
+        "from repro.attack.scenario import AttackSpec\n"
+        "\n"
+        "class NovelAttackSpec(AttackSpec):\n"
+        "    kind = 'novel'\n"
+        "    def arm(self, fabric, sim, victim, rng):\n"
+        "        pass\n"
+        "    def scaled(self, factor):\n"
+        "        return self\n"
+        "    def to_dict(self):\n"
+        "        return {'kind': 'novel'}\n"
+        "    @classmethod\n"
+        "    def from_dict(cls, data):\n"
+        "        return cls()\n"
+    )
+
+    def test_flags_unregistered_attack_spec(self):
+        report = run_lint("src/repro/attack/novel.py", self.UNREGISTERED_ATTACK)
+        assert rules_hit(report) == {"R1"}
+        assert "NovelAttackSpec" in report.violations[0].message
+
+    def test_attack_factory_registration_counts(self):
+        registryfile = (
+            "from repro.registry import ATTACKS\n"
+            "\n"
+            "def _make_novel(data):\n"
+            "    from repro.attack.novel import NovelAttackSpec\n"
+            "    return NovelAttackSpec.from_dict(data)\n"
+            "\n"
+            "ATTACKS.register('novel', _make_novel)\n"
+        )
+        report = lint_sources([
+            ("src/repro/attack/novel.py", self.UNREGISTERED_ATTACK),
+            ("src/repro/extra_registry.py", registryfile),
+        ], select=["R1"])
+        assert report.ok
+
+    def test_attack_spec_needs_serialization_pair(self):
+        source = ("from repro.attack.scenario import AttackSpec\n"
+                  "\n"
+                  "class BareAttackSpec(AttackSpec):\n"
+                  "    kind = 'bare'\n"
+                  "    def arm(self, fabric, sim, victim, rng):\n"
+                  "        pass\n"
+                  "    def scaled(self, factor):\n"
+                  "        return self\n")
+        report = lint_sources(
+            [("src/repro/attack/bare.py", source)], select=["R1"])
+        messages = " ".join(v.message for v in report.violations)
+        assert "to_dict" in messages and "from_dict" in messages
+
+    def test_underscore_attack_helper_is_exempt(self):
+        source = ("from repro.attack.scenario import AttackSpec\n"
+                  "\n"
+                  "class _SharedAttackBase(AttackSpec):\n"
+                  "    def to_dict(self):\n"
+                  "        return {}\n"
+                  "    @classmethod\n"
+                  "    def from_dict(cls, data):\n"
+                  "        return cls()\n")
+        report = lint_sources(
+            [("src/repro/attack/shared.py", source)], select=["R1"])
+        assert report.ok
+
     def test_keyerror_near_registry_is_flagged(self):
         source = ("from repro import registry\n"
                   "\n"
