@@ -7,7 +7,8 @@ SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
 .PHONY: test test-faults bench bench-smoke bench-reflection \
-	bench-throughput bench-victim profile clean-cache lint typecheck
+	bench-throughput bench-batched bench-victim profile clean-cache \
+	lint typecheck
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -47,6 +48,15 @@ test-faults:
 # >30% drop (override with REPRO_BENCH_TOLERANCE).
 bench-throughput:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_fabric_throughput.py -q
+	$(PYPATH) $(PY) benchmarks/check_throughput.py
+
+# Batched cohort-engine gate: measure both engines on the matched workload
+# (plus the 64x64-torus flood), compare against the committed baselines,
+# and enforce the >= 10x batched-vs-exact packets/s floor (tolerance-scaled
+# via REPRO_BENCH_TOLERANCE; see benchmarks/check_throughput.py).
+bench-batched:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_fabric_throughput.py \
+		benchmarks/bench_fabric_batched.py -q
 	$(PYPATH) $(PY) benchmarks/check_throughput.py
 
 # Victim-decode regression gate: measure per-scheme mark decode throughput

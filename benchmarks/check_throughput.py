@@ -1,19 +1,27 @@
-"""Throughput-regression gate for CI.
+"""Throughput-regression gate for CI, covering both fabric engines.
 
-Compares a freshly measured ``benchmarks/results/BENCH_throughput.json``
-(written by ``bench_fabric_throughput.py``) against the committed baseline
-``benchmarks/BENCH_throughput.json`` and exits non-zero when events/s or
-packets/s fall below ``tolerance x baseline``. The tolerance is a *ratio*
-(default 0.9, overridable via ``REPRO_BENCH_TOLERANCE``); CI machines are
-noisy, so the gate only catches structural regressions — a complexity bug,
-not a few percent of jitter.
+Compares freshly measured results against the committed baselines and exits
+non-zero on a large regression:
 
-Being *faster* than the baseline never fails; refresh the baseline by
-copying the fresh results file over it when a change legitimately shifts
-throughput.
+* ``results/BENCH_throughput.json`` (exact per-packet engine, written by
+  ``bench_fabric_throughput.py``) against ``BENCH_throughput.json``.
+* ``results/BENCH_throughput_batched.json`` (batched cohort engine, written
+  by ``bench_fabric_batched.py``) against ``BENCH_throughput_batched.json``
+  — plus the batched mode's existence check: on the *matched* workload (the
+  same 8x8-torus background the exact benchmark times) the cohort engine
+  must clear ``10x`` the exact engine's packets/s. The exact reference is
+  the fresh exact measurement when one exists (same machine, fair ratio),
+  else the committed exact baseline.
 
-Usage: ``python benchmarks/check_throughput.py`` (after running the
-benchmark), or ``make bench-throughput`` for the full sequence.
+Tolerances are *ratios* (default 0.9, overridable via
+``REPRO_BENCH_TOLERANCE``); CI machines are noisy, so the gates catch
+structural regressions — a complexity bug, not a few percent of jitter. The
+10x floor is scaled by the same tolerance. Each gate only runs when its
+fresh results file exists, so ``make bench-throughput`` (exact only) and
+``make bench-batched`` (both engines) share this script.
+
+Being *faster* than a baseline never fails; refresh a baseline by copying
+the fresh results file over it when a change legitimately shifts throughput.
 """
 
 import json
@@ -24,33 +32,87 @@ from pathlib import Path
 HERE = Path(__file__).parent
 BASELINE = HERE / "BENCH_throughput.json"
 FRESH = HERE / "results" / "BENCH_throughput.json"
+BASELINE_BATCHED = HERE / "BENCH_throughput_batched.json"
+FRESH_BATCHED = HERE / "results" / "BENCH_throughput_batched.json"
 METRICS = ("events_per_sec", "packets_per_sec")
+#: the batched engine's reason to exist (ISSUE: >= 10x exact packets/s)
+SPEEDUP_FLOOR = 10.0
+
+
+def _check(label, base, new, tolerance):
+    """Print one comparison line; True when ``new`` regressed past tolerance."""
+    ratio = new / base if base else float("inf")
+    status = "ok"
+    failed = new < base * tolerance
+    if failed:
+        status = f"REGRESSION (below {tolerance:.0%} of baseline)"
+    print(f"{label:>34}: baseline {base:>12,.0f}  fresh {new:>12,.0f}  "
+          f"({ratio:6.2f}x)  {status}")
+    return failed
+
+
+def _check_exact(tolerance):
+    """Exact-engine gate: fresh metrics vs the committed baseline."""
+    baseline = json.loads(BASELINE.read_text())
+    fresh = json.loads(FRESH.read_text())
+    return any([_check(metric, float(baseline[metric]),
+                       float(fresh[metric]), tolerance)
+                for metric in METRICS])
+
+
+def _check_batched(tolerance):
+    """Batched-engine gate: per-workload regression + the 10x floor."""
+    if not BASELINE_BATCHED.exists():
+        print(f"no committed batched baseline at {BASELINE_BATCHED}")
+        return True
+    baseline = json.loads(BASELINE_BATCHED.read_text())
+    fresh = json.loads(FRESH_BATCHED.read_text())
+    failed = False
+    for workload in sorted(baseline):
+        if workload not in fresh:
+            print(f"fresh batched results lack workload {workload!r}")
+            failed = True
+            continue
+        failed |= _check(f"batched/{workload} packets_per_sec",
+                         float(baseline[workload]["packets_per_sec"]),
+                         float(fresh[workload]["packets_per_sec"]),
+                         tolerance)
+
+    # Speedup floor on the matched workload: prefer the same-machine fresh
+    # exact measurement; fall back to the committed exact baseline.
+    exact_source = FRESH if FRESH.exists() else BASELINE
+    exact = float(json.loads(exact_source.read_text())["packets_per_sec"])
+    batched = float(fresh["matched"]["packets_per_sec"])
+    floor = SPEEDUP_FLOOR * tolerance
+    speedup = batched / exact if exact else float("inf")
+    status = "ok"
+    if speedup < floor:
+        status = f"BELOW FLOOR (requires {floor:.1f}x)"
+        failed = True
+    print(f"{'batched/matched speedup vs exact':>34}: "
+          f"{speedup:6.2f}x (exact ref {exact:,.0f} pkt/s from "
+          f"{exact_source.name})  {status}")
+    return failed
 
 
 def main() -> int:
-    """Compare fresh benchmark output against the committed baseline."""
+    """Compare fresh benchmark output against the committed baselines."""
     tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.9"))
     if not BASELINE.exists():
         print(f"no committed baseline at {BASELINE}; nothing to compare")
         return 1
-    if not FRESH.exists():
-        print(f"no fresh results at {FRESH}; run "
-              "`pytest benchmarks/bench_fabric_throughput.py` first")
+    ran = failed = False
+    if FRESH.exists():
+        ran = True
+        failed |= _check_exact(tolerance)
+    if FRESH_BATCHED.exists():
+        ran = True
+        failed |= _check_batched(tolerance)
+    if not ran:
+        print(f"no fresh results at {FRESH} or {FRESH_BATCHED}; run "
+              "`pytest benchmarks/bench_fabric_throughput.py` and/or "
+              "`pytest benchmarks/bench_fabric_batched.py` first")
         return 1
-    baseline = json.loads(BASELINE.read_text())
-    fresh = json.loads(FRESH.read_text())
-
-    failed = False
-    for metric in METRICS:
-        base = float(baseline[metric])
-        new = float(fresh[metric])
-        ratio = new / base if base else float("inf")
-        status = "ok"
-        if new < base * tolerance:
-            status = f"REGRESSION (below {tolerance:.0%} of baseline)"
-            failed = True
-        print(f"{metric:>16}: baseline {base:>12,.0f}  fresh {new:>12,.0f}  "
-              f"({ratio:6.2f}x)  {status}")
     if failed:
         print("throughput regression gate FAILED")
         return 1

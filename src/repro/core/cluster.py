@@ -34,6 +34,39 @@ from repro.topology.base import Topology
 
 __all__ = ["Cluster"]
 
+#: fabric engines selectable via ExperimentConfig.engine / --engine
+ENGINES = ("exact", "batched")
+
+
+def _warn_legacy_launch_attack() -> None:
+    """Single funnel for the legacy ``launch_attack(**kwargs)`` deprecation.
+
+    Every legacy-form call site routes through here so the message, the
+    category, and the stacklevel are maintained in exactly one place;
+    ``stacklevel=3`` attributes the warning to the *caller* of
+    ``launch_attack`` (helper -> launch_attack -> caller). Called once per
+    legacy invocation — repeat calls warn again (subject only to the
+    process-wide warning filters).
+    """
+    warnings.warn(
+        "launch_attack(num_attackers=..., attack_rate_per_node=...) "
+        "is deprecated; pass an AttackSpec, e.g. "
+        "launch_attack(FloodAttackSpec(...))",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+def _fabric_class(engine: str):
+    """Resolve an engine name to its fabric class (lazy batched import)."""
+    if engine == "exact":
+        return Fabric
+    if engine == "batched":
+        from repro.network.colqueue import BatchedFabric
+
+        return BatchedFabric
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; expected one of {ENGINES}")
+
 
 class Cluster:
     """A running simulated cluster interconnect with marking-based defense."""
@@ -44,8 +77,10 @@ class Cluster:
                  config: Optional[FabricConfig] = None,
                  seed: int = 0,
                  profile: Optional["EventProfiler"] = None,
-                 watchdog: Optional["Watchdog"] = None):
+                 watchdog: Optional["Watchdog"] = None,
+                 engine: str = "exact"):
         self.seed = seed
+        self.engine = engine
         self.sim = Simulator(seed=seed, profile=profile, watchdog=watchdog)
         self.rng = self.sim.rng.stream("cluster")
         # Monotonic sequence number for per-attack RNG streams: each armed
@@ -55,8 +90,9 @@ class Cluster:
         self.topology = topology
         self.router = router
         self.marking = marking
-        self.fabric = Fabric(topology, router, marking=marking,
-                             selection=selection, config=config, sim=self.sim)
+        self.fabric = _fabric_class(engine)(
+            topology, router, marking=marking,
+            selection=selection, config=config, sim=self.sim)
         if selection is None:
             # Default to congestion-aware adaptive selection, the realistic
             # regime for adaptive routers (paper §4.1: routes are unstable).
@@ -89,7 +125,8 @@ class Cluster:
         )
         cluster = cls(topology, router, marking=marking,
                       config=config.fabric_config(), seed=config.seed,
-                      profile=profile, watchdog=watchdog)
+                      profile=profile, watchdog=watchdog,
+                      engine=getattr(config, "engine", "exact"))
         if config.selection.name != "least-congested":
             cluster.fabric.selection = config.selection.build(
                 cluster.sim.rng.stream("selection"), cluster.fabric
@@ -149,12 +186,7 @@ class Cluster:
         :class:`DeprecationWarning`.
         """
         if spec is None:
-            warnings.warn(
-                "launch_attack(num_attackers=..., attack_rate_per_node=...) "
-                "is deprecated; pass an AttackSpec, e.g. "
-                "launch_attack(FloodAttackSpec(...))",
-                DeprecationWarning, stacklevel=2,
-            )
+            _warn_legacy_launch_attack()
             spec = self._flood_spec_from_legacy(legacy)
         elif legacy:
             raise ConfigurationError(

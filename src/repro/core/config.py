@@ -215,6 +215,7 @@ class ExperimentConfig:
     trace_packets: bool = False
     faults: Optional[FaultCampaign] = None
     attacks: Optional[AttackCampaign] = None
+    engine: str = "exact"
 
     def fabric_config(self) -> FabricConfig:
         """FabricConfig derived from this experiment's knobs."""
@@ -252,6 +253,10 @@ class ExperimentConfig:
             out["faults"] = self.faults.to_dict()
         if self.attacks is not None:
             out["attacks"] = self.attacks.to_dict()
+        # Same omit-when-default rule for the engine: exact-mode configs keep
+        # their pre-batched cache keys byte for byte.
+        if self.engine != "exact":
+            out["engine"] = self.engine
         return out
 
     @classmethod
@@ -260,7 +265,8 @@ class ExperimentConfig:
         _require_keys(
             "ExperimentConfig", data,
             ("topology", "routing", "marking"),
-            ("selection", "victim", "attackers", "faults", "attacks")
+            ("selection", "victim", "attackers", "faults", "attacks",
+             "engine")
             + tuple(_SCALAR_FIELDS),
         )
         kwargs: Dict[str, Any] = {
@@ -305,6 +311,12 @@ class ExperimentConfig:
         attacks = data.get("attacks")
         if attacks is not None:
             kwargs["attacks"] = AttackCampaign.from_dict(attacks)
+        engine = data.get("engine")
+        if engine is not None:
+            if engine not in ("exact", "batched"):
+                raise ConfigurationError(
+                    f"engine must be 'exact' or 'batched', got {engine!r}")
+            kwargs["engine"] = engine
         return cls(**kwargs)
 
     def canonical_json(self) -> str:

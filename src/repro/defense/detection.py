@@ -68,6 +68,12 @@ class Detector(ABC):
         times = batch.times
         packets = batch.packets
         node = batch.node
+        if packets is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no columnar observe_batch "
+                "override and the batch carries no packet objects (batched "
+                "engine); implement observe_batch over the column arrays"
+            )
         for i in range(n):
             self.observe(DeliveredPacket(packets[i], node, float(times[i])))
             mask[i] = self.under_attack

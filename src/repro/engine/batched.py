@@ -1,0 +1,846 @@
+"""Batched cohort-advance engine: vectorized route/mark/TTL per round.
+
+The exact engine executes one discrete event per packet per hop stage;
+Python dispatch dominates at scale. This engine advances the *whole live
+cohort* one hop per round with numpy column operations:
+
+1. **activate** — injections whose time fell below the round frontier join
+   the cohort (vectorized ``on_inject`` words, TTL, VCT injection overhead);
+2. **retire** — rows at their destination deliver (bulk statistics, columnar
+   :class:`~repro.network.markstream.DeliveryRing` feed); rows over the
+   watchdog hop ceiling or out of TTL drop with counted reasons;
+3. **route** — next-hop candidates come from the routers' own memoized
+   tables (``routed_candidates`` for stateless routers,
+   oracle-profitable ``minimal_candidates`` for fault-free fully-adaptive),
+   probed once per distinct (node, destination) pair and replayed as padded
+   candidate arrays;
+4. **select** — vectorized selection-policy twins; congestion and random
+   tie-breaks draw from one dedicated per-cohort RNG stream
+   (``"batched-cohort"``), so runs are deterministic per seed;
+5. **admit** — credit-based channel admission: at most ``buffer_capacity``
+   rows enter each directed channel per round; the rest wait a round and
+   feed the congestion signal;
+6. **advance** — admitted rows decrement TTL, apply the vectorized marking
+   transform, and step to the next node.
+
+Determinism contract (DESIGN.md §12): same seed, same config => identical
+results, independent of host or run count. Equivalence contract: identical
+suspect sets and delivered counts to the exact engine wherever the
+per-packet schedule cannot influence outcomes (deterministic routing +
+deterministic marking, and DDPM under *any* routing — its telescoping
+offsets make the delivered word a pure function of source and destination);
+statistically equivalent elsewhere (probabilistic marking, adaptive
+tie-breaks, latency timing).
+
+Per-row Python work is banned here by lint rule H3
+(``no-per-packet-python-in-batched-path``); the loops below are per-round,
+per-unique-key, or per-run and carry audited suppressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.marking.advanced_ppm import AdvancedPpmScheme
+from repro.marking.ddpm import DdpmScheme
+from repro.marking.dpm import DpmScheme
+from repro.marking.ppm import PpmScheme
+from repro.marking.ppm_fragment import FragmentPpmScheme
+from repro.network.flowcontrol import VirtualCutThrough
+from repro.network.ip import IPHeader
+from repro.routing.adaptive import FullyAdaptiveRouter, MinimalAdaptiveRouter
+from repro.routing.base import RouteState, Router
+from repro.routing.selection import (FirstCandidatePolicy,
+                                     LeastCongestedPolicy, RandomPolicy)
+from repro.topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.colqueue import BatchedFabric
+
+__all__ = ["CohortEngine"]
+
+
+def _probe_map(keys: np.ndarray, table: Dict[int, int],
+               fn: Callable[[int], int]) -> np.ndarray:
+    """Map int keys through a lazily probed scalar function.
+
+    Only *distinct unseen* keys ever reach the Python function — the
+    steady-state cost is one ``np.unique`` plus a dict hit per distinct key,
+    exactly the int-keyed per-hop memo pattern the exact engine uses, read
+    back as a lookup array.
+    """
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    values = np.empty(uniq.size, dtype=np.int64)
+    for i, key in enumerate(uniq.tolist()):  # per-unique-key probe  # repro-lint: disable=H3
+        hit = table.get(key)
+        if hit is None:
+            hit = table[key] = int(fn(key))
+        values[i] = hit
+    return values[inverse]
+
+
+# ----------------------------------------------------------------------
+# Vectorized marking twins
+# ----------------------------------------------------------------------
+class _NoneMarker:
+    """No marking scheme configured: MF words stay zero."""
+
+    exact = True
+
+    def inject(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(n, dtype=np.int64)
+
+    def on_hop(self, words: np.ndarray, src: np.ndarray, dst: np.ndarray,
+               ttls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return words
+
+
+class _DdpmMarker:
+    """Vectorized DDPM: decode -> coordinate delta -> encode, per cohort.
+
+    The per-hop transform telescopes (sum of hop deltas == destination
+    coordinate minus source coordinate, mod k on tori / XOR on hypercubes),
+    so the delivered word is independent of the route taken — batched DDPM
+    is *exact* even under adaptive routing.
+    """
+
+    exact = True
+
+    def __init__(self, scheme: DdpmScheme, topology: Topology):
+        self.layout = scheme.layout
+        self.inject_word = int(scheme._inject_word)
+        self.coords = np.array(
+            [topology.coord(i) for i in topology.nodes()], dtype=np.int64)
+        self.xor = topology.kind == "hypercube"
+
+    def inject(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.inject_word, dtype=np.int64)
+
+    def on_hop(self, words: np.ndarray, src: np.ndarray, dst: np.ndarray,
+               ttls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        vectors = self.layout.decode_array(words)
+        if self.xor:
+            vectors ^= self.coords[dst] ^ self.coords[src]
+        else:
+            # Mesh deltas are exact; torus deltas may differ from the
+            # canonical minimal residue by a multiple of k, which the
+            # encoder's fold removes.
+            vectors += self.coords[dst] - self.coords[src]
+        return self.layout.encode_array(vectors)
+
+
+class _DpmMarker:
+    """Vectorized DPM: own hash bit at position ``ttl mod mf_bits``."""
+
+    exact = True
+
+    def __init__(self, scheme: DpmScheme, topology: Topology):
+        self.mf_bits = scheme.mf_bits
+        bits = np.zeros(topology.num_nodes, dtype=np.int64)
+        for node, bit in sorted(scheme._node_bits.items()):  # per-node, once  # repro-lint: disable=H3
+            bits[node] = bit
+        self.bits = bits
+
+    def inject(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(n, dtype=np.int64)
+
+    def on_hop(self, words: np.ndarray, src: np.ndarray, dst: np.ndarray,
+               ttls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        position = ttls % self.mf_bits
+        return (words & ~(1 << position)) | (self.bits[src] << position)
+
+
+class _PpmMarker:
+    """Vectorized classic-PPM family (full-index / XOR / bit-difference).
+
+    The coin mask draws from the cohort stream (statistically equivalent;
+    exact at p in {0, 1}); both branch transforms are pure functions —
+    ``write_start`` of the node, ``write_continue`` of (word, node) — served
+    through probed lookup tables.
+    """
+
+    exact = False
+
+    def __init__(self, scheme: PpmScheme, topology: Topology):
+        self.encoder = scheme.encoder
+        self.probability = scheme.probability
+        self.n = topology.num_nodes
+        self._start: Dict[int, int] = {}
+        self._continue: Dict[int, int] = {}
+
+    def inject(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(n, dtype=np.int64)
+
+    def _start_fn(self, node: int) -> int:
+        return self.encoder.write_start(0, node)
+
+    def _continue_fn(self, key: int) -> int:
+        return self.encoder.write_continue(key // self.n, key % self.n)
+
+    def on_hop(self, words: np.ndarray, src: np.ndarray, dst: np.ndarray,
+               ttls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = words.copy()
+        mark = rng.random(words.size) < self.probability
+        if mark.any():
+            out[mark] = _probe_map(src[mark], self._start, self._start_fn)
+        rest = ~mark
+        if rest.any():
+            keys = words[rest] * self.n + src[rest]
+            out[rest] = _probe_map(keys, self._continue, self._continue_fn)
+        return out
+
+
+class _FragmentMarker:
+    """Vectorized fragment-PPM: coin + fragment-offset draw per mark."""
+
+    exact = False
+
+    def __init__(self, scheme: FragmentPpmScheme, topology: Topology):
+        self.enc = scheme.encoder
+        self.probability = scheme.probability
+        self.n = topology.num_nodes
+        self._mark: Dict[int, int] = {}
+        self._continue: Dict[int, int] = {}
+
+    def inject(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(n, dtype=np.int64)
+
+    def _mark_fn(self, key: int) -> int:
+        enc = self.enc
+        edge, offset = divmod(key, enc.num_fragments)
+        u, v = divmod(edge, self.n)
+        word = enc.edge_word(u, v)
+        return enc.layout.pack({"fragment": enc.fragment_of(word, offset),
+                                "offset": offset, "distance": 0})
+
+    def _continue_fn(self, word: int) -> int:
+        enc = self.enc
+        values = enc.layout.unpack(word)
+        values["distance"] = min(values["distance"] + 1, enc.max_distance)
+        return enc.layout.pack(values)
+
+    def on_hop(self, words: np.ndarray, src: np.ndarray, dst: np.ndarray,
+               ttls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = words.copy()
+        mark = rng.random(words.size) < self.probability
+        m = int(np.count_nonzero(mark))
+        if m:
+            offsets = rng.integers(self.enc.num_fragments, size=m)
+            keys = ((src[mark] * self.n + dst[mark])
+                    * self.enc.num_fragments + offsets)
+            out[mark] = _probe_map(keys, self._mark, self._mark_fn)
+        rest = ~mark
+        if rest.any():
+            out[rest] = _probe_map(words[rest], self._continue,
+                                   self._continue_fn)
+        return out
+
+
+class _AdvancedMarker:
+    """Vectorized Advanced Marking Scheme I (edge-hash marks)."""
+
+    exact = False
+
+    def __init__(self, scheme: AdvancedPpmScheme, topology: Topology):
+        self.scheme = scheme
+        self.probability = scheme.probability
+        self.n = topology.num_nodes
+        self.inject_word = scheme.layout.pack(
+            {"edge": 0, "distance": scheme.max_distance})
+        self._mark: Dict[int, int] = {}
+        self._continue: Dict[int, int] = {}
+
+    def inject(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.inject_word, dtype=np.int64)
+
+    def _mark_fn(self, node: int) -> int:
+        scheme = self.scheme
+        return scheme.layout.pack({"edge": scheme.node_hash(node),
+                                   "distance": 0})
+
+    def _continue_fn(self, key: int) -> int:
+        scheme = self.scheme
+        word, node = divmod(key, self.n)
+        values = scheme.layout.unpack(word)
+        if values["distance"] == 0:
+            values["edge"] ^= scheme.node_hash(node)
+        values["distance"] = min(values["distance"] + 1, scheme.max_distance)
+        return scheme.layout.pack(values)
+
+    def on_hop(self, words: np.ndarray, src: np.ndarray, dst: np.ndarray,
+               ttls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = words.copy()
+        mark = rng.random(words.size) < self.probability
+        if mark.any():
+            out[mark] = _probe_map(src[mark], self._mark, self._mark_fn)
+        rest = ~mark
+        if rest.any():
+            keys = words[rest] * self.n + src[rest]
+            out[rest] = _probe_map(keys, self._continue, self._continue_fn)
+        return out
+
+
+def _marker_for(scheme, topology: Topology):
+    """Exact-type dispatch: subclasses (ddpm-auth, hddpm) are refused —
+    their per-hop state (HMAC chains, hierarchy tags) has no columnar twin
+    yet."""
+    if scheme is None:
+        return _NoneMarker()
+    if type(scheme) is DdpmScheme:
+        return _DdpmMarker(scheme, topology)
+    if type(scheme) is DpmScheme:
+        return _DpmMarker(scheme, topology)
+    if type(scheme) is PpmScheme:
+        return _PpmMarker(scheme, topology)
+    if type(scheme) is FragmentPpmScheme:
+        return _FragmentMarker(scheme, topology)
+    if type(scheme) is AdvancedPpmScheme:
+        return _AdvancedMarker(scheme, topology)
+    name = getattr(scheme, "name", type(scheme).__name__)
+    raise ConfigurationError(
+        f"marking scheme {name!r} is not supported by the batched engine; "
+        "use engine='exact'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Route planning
+# ----------------------------------------------------------------------
+class _RoutePlanner:
+    """Padded candidate tables probed from the routers' own memoized paths.
+
+    Stateless routers answer ``routed_candidates`` from a pure
+    (node, destination) key — their memo *is* the table. Fault-free
+    fully-adaptive (prefer-minimal) reduces to ``minimal_candidates``
+    because every live minimal step exists, so the misroute fallback never
+    fires. Everything else (Valiant detours, odd-even's turn history,
+    misrouting around faults) depends on per-packet route state the cohorts
+    do not carry — refused with a pointer back to the exact engine.
+    """
+
+    def __init__(self, router: Router, topology: Topology):
+        self.topology = topology
+        self.n = topology.num_nodes
+        live = len(topology.to_edge_list())
+        failed = len(topology.to_edge_list(include_failed=True)) - live
+        # Pure-minimal routers on coordinate topologies skip the per-pair
+        # Python probe entirely: their candidate sets are closed-form in the
+        # distance vector, so unseen pairs fill in bulk with array math.
+        self._minimal_bulk = (
+            topology.kind in ("mesh", "torus", "hypercube")
+            and (isinstance(router, MinimalAdaptiveRouter)
+                 or (isinstance(router, FullyAdaptiveRouter)
+                     and router.prefer_minimal and failed == 0))
+        )
+        if router.is_stateless:
+            self._probe = router.routed_candidates
+        elif isinstance(router, FullyAdaptiveRouter) \
+                and router.prefer_minimal and failed == 0:
+            self._probe = router.minimal_candidates
+        else:
+            raise ConfigurationError(
+                f"router {router.name!r} is not supported by the batched "
+                "engine"
+                + (" on a fabric with failed links (misrouting needs "
+                   "per-packet state); minimal-adaptive handles static "
+                   "faults" if failed else
+                   " (per-packet route state has no columnar twin)")
+                + "; use engine='exact'"
+            )
+        width = max(topology.degree(), 1)
+        self.width = width
+        self._state = RouteState(0)
+        self._count = 0
+        # Dense (node, destination) -> table-row map: one int32 per pair.
+        # Direct fancy indexing beats the unique+dict probe by an order of
+        # magnitude per round, and even the 64x64 torus (4096^2 pairs) costs
+        # only 64 MB — transient, sized to the run.
+        self._row_of = np.full(self.n * self.n, -1, dtype=np.int32)
+        self._cand = np.full((256, width), -1, dtype=np.int64)
+        self._deg = np.zeros(256, dtype=np.int64)
+        if self._minimal_bulk:
+            self._build_step_tables(failed)
+
+    def _build_step_tables(self, failed: int) -> None:
+        """Precompute coordinate strides and per-axis step targets.
+
+        ``_step[node, axis, d]`` is the neighbor one hop along ``axis`` in
+        direction d (0 = minus, 1 = plus), -1 when the topology has no such
+        link. Everything the bulk fill needs afterwards is fancy indexing.
+        """
+        topology = self.topology
+        dims = np.asarray(topology.dims, dtype=np.int64)
+        ndims = dims.size
+        self._dims = dims
+        self._coords = np.array(
+            [topology.coord(i) for i in topology.nodes()], dtype=np.int64)
+        strides = np.ones(ndims, dtype=np.int64)
+        for axis in range(ndims - 2, -1, -1):  # per-axis, once at build  # repro-lint: disable=H3
+            strides[axis] = strides[axis + 1] * dims[axis + 1]
+        nodes = np.arange(self.n, dtype=np.int64)
+        step = np.full((self.n, ndims, 2), -1, dtype=np.int64)
+        wrap = topology.kind != "mesh"  # torus and hypercube wrap
+        for axis in range(ndims):  # per-axis, once at build  # repro-lint: disable=H3
+            k = int(dims[axis])
+            if k == 1 or (not wrap and k < 2):
+                continue
+            c = self._coords[:, axis]
+            for d, delta in ((0, -1), (1, 1)):  # two directions  # repro-lint: disable=H3
+                if wrap:
+                    c2 = (c + delta) % k
+                    step[:, axis, d] = nodes + (c2 - c) * strides[axis]
+                else:
+                    c2 = c + delta
+                    ok = (c2 >= 0) & (c2 < k)
+                    step[ok, axis, d] = nodes[ok] + delta * strides[axis]
+        self._step = step
+        self._edge_up = None
+        if failed:
+            up = np.ones(self.n * self.n, dtype=bool)
+            live_set = set()
+            for a, b in topology.to_edge_list():  # per-edge, once at build  # repro-lint: disable=H3
+                live_set.add((a, b))
+                live_set.add((b, a))
+            for a, b in topology.to_edge_list(include_failed=True):  # per-edge, once at build  # repro-lint: disable=H3
+                if (a, b) not in live_set:
+                    up[a * self.n + b] = False
+                    up[b * self.n + a] = False
+            self._edge_up = up
+
+    def _insert_bulk(self, keys: np.ndarray) -> None:
+        """Vectorized minimal-candidates fill for unseen (node, dest) pairs.
+
+        Mirrors :meth:`Router.minimal_candidates` exactly: per axis in
+        ascending order, the single profitable live step (torus offsets fold
+        to the minimal signed residue, ties positive — matching
+        ``torus_distance_vector``); hypercube axes with a differing bit
+        toggle that bit.
+        """
+        m = keys.size
+        cur = keys // self.n
+        dst = keys % self.n
+        if self.topology.kind == "torus":
+            vec = (self._coords[dst] - self._coords[cur]) % self._dims
+            vec -= (vec > self._dims // 2) * self._dims
+        else:
+            # Mesh difference; hypercube coords are bits, difference in
+            # {-1, 0, 1} with both directions equivalent.
+            vec = self._coords[dst] - self._coords[cur]
+        rows = np.arange(self._count, self._count + m, dtype=np.int64)
+        while self._count + m > self._deg.size:  # geometric growth  # repro-lint: disable=H3
+            self._cand = np.concatenate(
+                [self._cand, np.full_like(self._cand, -1)])
+            self._deg = np.concatenate([self._deg, np.zeros_like(self._deg)])
+        slot = np.zeros(m, dtype=np.int64)
+        for axis in range(vec.shape[1]):  # per-axis, a handful  # repro-lint: disable=H3
+            comp = vec[:, axis]
+            nxt = self._step[cur, axis, (comp > 0).astype(np.int64)]
+            valid = (comp != 0) & (nxt >= 0)
+            if self._edge_up is not None:
+                valid &= self._edge_up[cur * self.n + np.maximum(nxt, 0)]
+            idx = np.flatnonzero(valid)
+            self._cand[rows[idx], slot[idx]] = nxt[idx]
+            slot[idx] += 1
+        self._deg[rows] = slot
+        self._row_of[keys] = rows
+        self._count += m
+
+    def _insert(self, key: int) -> int:
+        current, destination = divmod(key, self.n)
+        state = self._state
+        state.destination = destination
+        state.last_node = None
+        state.misroutes = 0
+        state.distance_to_go = None
+        candidates = self._probe(self.topology, current, state)
+        row = self._count
+        if row == self._deg.size:
+            self._cand = np.concatenate(
+                [self._cand, np.full_like(self._cand, -1)])
+            self._deg = np.concatenate([self._deg, np.zeros_like(self._deg)])
+        self._deg[row] = len(candidates)
+        self._cand[row, :len(candidates)] = candidates
+        self._row_of[key] = row
+        self._count = row + 1
+        return row
+
+    def lookup(self, pos: np.ndarray,
+               dst: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (candidate matrix, degree) for the cohort's positions."""
+        keys = pos * self.n + dst
+        picked = self._row_of[keys]
+        missing = picked < 0
+        if missing.any():
+            unseen = np.unique(keys[missing])
+            if self._minimal_bulk:
+                self._insert_bulk(unseen)
+            else:
+                for key in unseen.tolist():  # per-unseen-pair probe  # repro-lint: disable=H3
+                    self._insert(int(key))
+            picked = self._row_of[keys]
+        return self._cand[picked], self._deg[picked]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class CohortEngine:
+    """Advance a :class:`~repro.network.colqueue.BatchedFabric`'s captured
+    injections to completion, one cohort-hop round per iteration."""
+
+    def __init__(self, fabric: "BatchedFabric"):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        topology = fabric.topology
+        self.n = topology.num_nodes
+        cfg = fabric.config
+        self.planner = _RoutePlanner(fabric.router, topology)
+        self.marker = _marker_for(fabric.marking, topology)
+        self.rng = self.sim.rng.stream("batched-cohort")
+        self.quota = cfg.buffer_capacity
+        self.default_ttl = cfg.default_ttl
+
+        selection = fabric.selection
+        if isinstance(selection, LeastCongestedPolicy):
+            self.mode = "congestion"
+        elif isinstance(selection, RandomPolicy):
+            self.mode = "random"
+        elif isinstance(selection, FirstCandidatePolicy):
+            self.mode = "first"
+        else:
+            raise ConfigurationError(
+                f"selection policy {type(selection).__name__} has no "
+                "vectorized twin; use engine='exact'"
+            )
+
+        bandwidth = cfg.link_bandwidth
+        self._vct = isinstance(fabric.service, VirtualCutThrough)
+        header_hold = IPHeader.HEADER_BYTES / bandwidth
+        self._bandwidth = bandwidth
+        # One cohort hop: switch pipeline + serialization hold + wire time.
+        self.round_delta = cfg.routing_delay + header_hold + cfg.link_latency
+
+        # Live cohort columns (struct-of-arrays, MarkBatch layout plus
+        # routing position and injection bookkeeping). ``nxt`` is the chosen
+        # next hop (-1 = needs routing): a row blocked by admission keeps its
+        # channel across rounds — like a queued packet in the exact engine —
+        # so only freshly advanced rows pay routing and selection.
+        self.pos = np.empty(0, dtype=np.int64)
+        self.dst = np.empty(0, dtype=np.int64)
+        self.src_ip = np.empty(0, dtype=np.int64)
+        self.dst_ip = np.empty(0, dtype=np.int64)
+        self.words = np.empty(0, dtype=np.int64)
+        self.ttls = np.empty(0, dtype=np.int64)
+        self.hops = np.empty(0, dtype=np.int64)
+        self.time = np.empty(0, dtype=np.float64)
+        self.t0 = np.empty(0, dtype=np.float64)
+        self.hold = np.empty(0, dtype=np.float64)
+        self.ids = np.empty(0, dtype=np.int64)
+        self.nxt = np.empty(0, dtype=np.int64)
+        self.chan = np.empty(0, dtype=np.int64)
+
+        # Physical channel ids: chan = node * width + port, where port is
+        # the neighbor's index in topology.neighbors(node). Candidate-table
+        # columns are destination-relative and would conflate channels.
+        self.width = self.planner.width
+        self._port = np.full(self.n * self.n, -1, dtype=np.int8)
+        for node in topology.nodes():  # per-(node, port), once at build  # repro-lint: disable=H3
+            for port, neighbor in enumerate(topology.neighbors(node)):  # repro-lint: disable=H3
+                self._port[node * self.n + neighbor] = port
+
+        # Per-round congestion signal: rows deferred last round, per channel.
+        self._backlog = np.zeros(self.n * self.width, dtype=np.float64)
+
+        # Run-level accumulators, written back once at the end.
+        self._delivered_counts = np.zeros(self.n, dtype=np.int64)
+        self._hop_counts = np.zeros(64, dtype=np.int64)
+        self._sink_nodes = frozenset(
+            ring.node for ring in fabric._delivery_sinks)
+        self._sink_rows: List[Tuple[np.ndarray, ...]] = []
+        self._max_time = self.sim.now
+        self._progressed = False
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Drain all captured injections; raises on stalls via the watchdog."""
+        sim = self.sim
+        watchdog = sim.watchdog
+        if watchdog is not None:
+            watchdog.start()
+        profiler = sim.profile
+        pending = self.fabric.log.columns()
+        self._pending = pending
+        self._next = 0
+        total = pending["times"].size
+        if total == 0:
+            return
+        self.frontier = float(pending["times"][0])
+        while self._next < total or self.pos.size:  # per-round loop  # repro-lint: disable=H3
+            if watchdog is not None:
+                watchdog.check_stall(sim)
+            self._progressed = False
+            rows = int(self.pos.size)
+            if profiler is not None:
+                profiler.record_batch_advance(rows, self._round)
+            else:
+                self._round()
+            sim.events_executed += 1
+            self.rounds += 1
+            if not self._progressed:
+                raise SimulationError(
+                    f"batched engine stalled at round {self.rounds} with "
+                    f"{self.pos.size} live rows (internal invariant broken)"
+                )
+        self._finish()
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        pending_times = self._pending["times"]
+        total = pending_times.size
+        if self.pos.size == 0 and self._next < total:
+            # Idle gap: jump the frontier straight to the next injection.
+            self.frontier = max(self.frontier,
+                                float(pending_times[self._next]))
+        end = int(np.searchsorted(pending_times, self.frontier,
+                                  side="right"))
+        if end > self._next:
+            self._activate(self._next, end)
+            self._next = end
+            self._progressed = True
+        if self.pos.size:
+            self._retire()
+        if self.pos.size:
+            self._route_and_advance()
+        self.frontier += self.round_delta
+
+    def _activate(self, lo: int, hi: int) -> None:
+        pending = self._pending
+        m = hi - lo
+        times = pending["times"][lo:hi].copy()
+        sizes = pending["sizes"][lo:hi]
+        if self._vct:
+            # VCT charges the payload serialization once at injection.
+            times = times + np.maximum(
+                sizes - IPHeader.HEADER_BYTES, 0) / self._bandwidth
+            hold = np.full(m, IPHeader.HEADER_BYTES / self._bandwidth)
+        else:
+            hold = sizes / self._bandwidth
+        self.pos = np.concatenate([self.pos, pending["nodes"][lo:hi]])
+        self.dst = np.concatenate([self.dst, pending["dests"][lo:hi]])
+        self.src_ip = np.concatenate([self.src_ip,
+                                      pending["sources"][lo:hi]])
+        self.dst_ip = np.concatenate([self.dst_ip,
+                                      pending["dst_ips"][lo:hi]])
+        self.words = np.concatenate([self.words,
+                                     self.marker.inject(m, self.rng)])
+        self.ttls = np.concatenate(
+            [self.ttls, np.full(m, self.default_ttl, dtype=np.int64)])
+        self.hops = np.concatenate([self.hops, np.zeros(m, dtype=np.int64)])
+        self.time = np.concatenate([self.time, times])
+        self.t0 = np.concatenate([self.t0, times])
+        self.hold = np.concatenate([self.hold, hold])
+        self.ids = np.concatenate([self.ids, pending["ids"][lo:hi]])
+        self.nxt = np.concatenate([self.nxt, np.full(m, -1, dtype=np.int64)])
+        self.chan = np.concatenate([self.chan,
+                                    np.full(m, -1, dtype=np.int64)])
+        self.fabric.n_injected += m
+
+    def _filter(self, keep: np.ndarray) -> None:
+        self.pos = self.pos[keep]
+        self.dst = self.dst[keep]
+        self.src_ip = self.src_ip[keep]
+        self.dst_ip = self.dst_ip[keep]
+        self.words = self.words[keep]
+        self.ttls = self.ttls[keep]
+        self.hops = self.hops[keep]
+        self.time = self.time[keep]
+        self.t0 = self.t0[keep]
+        self.hold = self.hold[keep]
+        self.ids = self.ids[keep]
+        self.nxt = self.nxt[keep]
+        self.chan = self.chan[keep]
+
+    def _retire(self) -> None:
+        # Delivery first, then hop-ceiling, then TTL — the exact switch's
+        # dispatch order (the masks are disjoint by construction, so one
+        # combined filter pass preserves the per-reason accounting).
+        done = self.pos == self.dst
+        gone = done
+        retired = False
+        if done.any():
+            self._deliver(done)
+            retired = True
+        ceiling = self.fabric.hop_ceiling
+        if ceiling is not None:
+            over = ~gone & (self.hops >= ceiling)
+            if over.any():
+                k = int(np.count_nonzero(over))
+                self._drop(k, "livelock")
+                watchdog = self.sim.watchdog
+                if watchdog is not None:
+                    # Bulk twin of note_livelock: count all k, fire once
+                    # past tolerance.
+                    watchdog.livelocked_packets += k - 1
+                    watchdog.note_livelock(self.sim,
+                                           int(self.hops[over].max()))
+                gone = gone | over
+                retired = True
+        dead = ~gone & (self.ttls <= 1)
+        if dead.any():
+            self._drop(int(np.count_nonzero(dead)), "ttl_expired")
+            gone = gone | dead
+            retired = True
+        if retired:
+            self._filter(~gone)
+            self._progressed = True
+
+    def _deliver(self, mask: np.ndarray) -> None:
+        fabric = self.fabric
+        index = np.flatnonzero(mask)
+        nodes = self.pos[index]
+        times = self.time[index]
+        k = index.size
+        fabric.n_delivered += k
+        np.add.at(self._delivered_counts, nodes, 1)
+        fabric.latency.add_array(times - self.t0[index])
+        hops = self.hops[index]
+        top = int(hops.max()) + 1 if k else 1
+        if top > self._hop_counts.size:
+            grown = np.zeros(max(top, 2 * self._hop_counts.size),
+                             dtype=np.int64)
+            grown[:self._hop_counts.size] = self._hop_counts
+            self._hop_counts = grown
+        np.add.at(self._hop_counts, hops, 1)
+        self._max_time = max(self._max_time, float(times.max()))
+        if self._sink_nodes:
+            sunk = np.isin(nodes, np.fromiter(self._sink_nodes, dtype=np.int64,
+                                              count=len(self._sink_nodes)))
+            if sunk.any():
+                rows = index[sunk]
+                self._sink_rows.append(
+                    (self.pos[rows], self.time[rows], self.src_ip[rows],
+                     self.dst_ip[rows], self.words[rows], self.ttls[rows],
+                     self.hops[rows], self.ids[rows]))
+
+    def _drop(self, count: int, reason: str) -> None:
+        fabric = self.fabric
+        fabric.n_dropped += count
+        fabric._drop_reasons[reason] = \
+            fabric._drop_reasons.get(reason, 0) + count
+
+    # ------------------------------------------------------------------
+    def _route_and_advance(self) -> None:
+        # Route and select only the fresh rows (just activated or just
+        # advanced); rows waiting on a full channel keep last round's choice,
+        # like a queued packet holding its output in the exact engine.
+        need = np.flatnonzero(self.nxt < 0)
+        if need.size:
+            candidates, degrees = self.planner.lookup(self.pos[need],
+                                                      self.dst[need])
+            blocked = degrees == 0
+            if blocked.any():
+                self._drop(int(np.count_nonzero(blocked)), "unroutable")
+                keep = np.ones(self.pos.size, dtype=bool)
+                keep[need[blocked]] = False
+                self._filter(keep)
+                self._progressed = True
+                if not self.pos.size:
+                    return
+                need = np.flatnonzero(self.nxt < 0)
+                candidates = candidates[~blocked]
+                degrees = degrees[~blocked]
+            if need.size:
+                sub_pos = self.pos[need]
+                cols = self._choose(sub_pos, candidates, degrees)
+                nxt = candidates[np.arange(need.size), cols]
+                self.nxt[need] = nxt
+                self.chan[need] = (sub_pos * self.width
+                                   + self._port[sub_pos * self.n + nxt])
+
+        # Credit-based admission: buffer_capacity rows per directed channel
+        # per round — array order (oldest rows first) breaks ties, so waiting
+        # rows outrank newcomers; the rest wait a round and become the
+        # congestion signal.
+        chan = self.chan
+        # Stable argsort on int16 keys selects numpy's radix sort (~7x the
+        # int64 merge path); channel ids fit whenever n*width < 2^15, which
+        # covers the 64x64 torus exactly.
+        sort_keys = chan.astype(np.int16) \
+            if self.n * self.width < (1 << 15) else chan
+        order = np.argsort(sort_keys, kind="stable")
+        sorted_chan = chan[order]
+        starts = np.flatnonzero(
+            np.diff(sorted_chan, prepend=sorted_chan[0] - 1))
+        group_sizes = np.diff(np.append(starts, sorted_chan.size))
+        ranks = np.arange(sorted_chan.size) - np.repeat(starts, group_sizes)
+        admitted = np.empty(chan.size, dtype=bool)
+        admitted[order] = ranks < self.quota
+
+        deferred = ~admitted
+        if deferred.any():
+            self._backlog = np.bincount(
+                chan[deferred],
+                minlength=self._backlog.size).astype(np.float64)
+            self.time[deferred] += self.round_delta
+        elif self._backlog.any():
+            self._backlog.fill(0.0)
+
+        if admitted.any():
+            nxt = self.nxt[admitted]
+            self.ttls[admitted] -= 1
+            self.words[admitted] = self.marker.on_hop(
+                self.words[admitted], self.pos[admitted], nxt,
+                self.ttls[admitted], self.rng)
+            self.hops[admitted] += 1
+            cfg = self.fabric.config
+            self.time[admitted] += (cfg.routing_delay + self.hold[admitted]
+                                    + cfg.link_latency)
+            self.pos[admitted] = nxt
+            self.nxt[admitted] = -1
+            self._progressed = True
+
+    def _choose(self, sub_pos: np.ndarray, candidates: np.ndarray,
+                degrees: np.ndarray) -> np.ndarray:
+        """Column index of the chosen candidate, per fresh row."""
+        m = degrees.size
+        if self.mode == "first" or candidates.shape[1] == 1:
+            return np.zeros(m, dtype=np.int64)
+        if self.mode == "random":
+            return (self.rng.random(m) * degrees).astype(np.int64)
+        # Least-congested: last round's deferred-row backlog per candidate
+        # channel, tie-broken by a sub-1.0 jitter draw (the vectorized twin
+        # of LeastCongestedPolicy's seeded random tie-break).
+        width = candidates.shape[1]
+        ports = self._port[sub_pos[:, None] * self.n + candidates]
+        score = self._backlog[sub_pos[:, None] * self.width + ports] \
+            + self.rng.random((m, width))
+        score[candidates < 0] = np.inf
+        return np.argmin(score, axis=1)
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        fabric = self.fabric
+        sim = self.sim
+        nics = fabric.nics
+        injected = np.bincount(self._pending["nodes"], minlength=self.n)
+        for node in np.flatnonzero(injected).tolist():  # per-node, once per run  # repro-lint: disable=H3
+            nics[node].n_injected += int(injected[node])
+        for node in np.flatnonzero(self._delivered_counts).tolist():  # per-node, once per run  # repro-lint: disable=H3
+            nics[node].n_delivered += int(self._delivered_counts[node])
+        for value in np.flatnonzero(self._hop_counts).tolist():  # per-value, once per run  # repro-lint: disable=H3
+            fabric.hop_histogram.add(int(value), int(self._hop_counts[value]))
+        if self._sink_rows:
+            columns = [np.concatenate(parts)
+                       for parts in zip(*self._sink_rows)]
+            nodes, times = columns[0], columns[1]
+            for ring in fabric._delivery_sinks:  # per-sink, once per run  # repro-lint: disable=H3
+                rows = np.flatnonzero(nodes == ring.node)
+                rows = rows[np.argsort(times[rows], kind="stable")]
+                ring.extend(times[rows], columns[2][rows], columns[3][rows],
+                            columns[4][rows], columns[5][rows],
+                            columns[6][rows], columns[7][rows])
+        sim.now = max(sim.now, self._max_time, self.frontier)

@@ -53,6 +53,15 @@ class EventProfiler:
         # (delivery rings and any future batched sink); kept separate from
         # the per-event buckets because one flush spans many packets.
         self._flush_buckets: Dict[str, List] = {}
+        # Cohort-advance counters for the batched engine: one "event" there
+        # moves a whole cohort of rows, so the per-event buckets alone would
+        # under-report by orders of magnitude. The histogram buckets rounds
+        # by rows-per-advance power of two (key b counts rounds with
+        # 2^(b-1) < rows <= 2^b).
+        self.batch_advances = 0
+        self.rows_advanced = 0
+        self._advance_seconds = 0.0
+        self._advance_hist: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def record(self, callback, args, label: str) -> None:
@@ -92,6 +101,35 @@ class EventProfiler:
             bucket[1] += rows
             bucket[2] += elapsed
 
+    def record_batch_advance(self, rows: int, fn, *args) -> None:
+        """Execute one cohort advance ``fn(*args)`` and record its cost.
+
+        The batched engine calls this once per round with the cohort size;
+        ``advance_stats`` then reports rows/event instead of the misleading
+        one-packet-per-event accounting the per-event buckets would give.
+        """
+        start = perf_counter()
+        fn(*args)
+        elapsed = perf_counter() - start
+        self.batch_advances += 1
+        self.rows_advanced += rows
+        self._advance_seconds += elapsed
+        bucket = (max(int(rows), 1) - 1).bit_length()  # ceil(log2(rows))
+        self._advance_hist[bucket] = self._advance_hist.get(bucket, 0) + 1
+
+    def advance_stats(self) -> Dict[str, object]:
+        """Cohort-advance summary: rounds, rows, seconds, rows/event histogram."""
+        rounds = self.batch_advances
+        rows = self.rows_advanced
+        return {
+            "advances": rounds,
+            "rows": rows,
+            "total_time": self._advance_seconds,
+            "rows_per_advance": (rows / rounds) if rounds else 0.0,
+            "rows_histogram": {1 << b: count for b, count
+                               in sorted(self._advance_hist.items())},
+        }
+
     def flush_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-label batch-flush summary (flushes, rows, seconds)."""
         return {
@@ -130,6 +168,8 @@ class EventProfiler:
         }
         for label, stats in self.flush_stats().items():
             out[f"flush@{label}"] = dict(stats)
+        if self.batch_advances:
+            out["batch-advance@cohort"] = self.advance_stats()
         return out
 
     def report(self, top: int = 10) -> str:
@@ -158,6 +198,15 @@ class EventProfiler:
                 flush_table.add_row([label, flushes, rows,
                                      f"{seconds:.4f}", f"{per_row:.2f}"])
             body = f"{body}\nbatch flushes:\n{flush_table.render()}"
+        if self.batch_advances:
+            stats = self.advance_stats()
+            advance_table = TextTable(["rows/advance <=", "rounds"])
+            for ceiling, count in stats["rows_histogram"].items():  # type: ignore[union-attr]
+                advance_table.add_row([ceiling, count])
+            body = (f"{body}\ncohort advances: {stats['advances']} rounds, "
+                    f"{stats['rows']} rows "
+                    f"({stats['rows_per_advance']:.1f} rows/event), "
+                    f"{stats['total_time']:.4f}s\n{advance_table.render()}")
         return body
 
     def reset(self) -> None:
@@ -165,6 +214,10 @@ class EventProfiler:
         self._buckets.clear()
         self._flush_buckets.clear()
         self.events_recorded = 0
+        self.batch_advances = 0
+        self.rows_advanced = 0
+        self._advance_seconds = 0.0
+        self._advance_hist.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"EventProfiler(events={self.events_recorded}, "

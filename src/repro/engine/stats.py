@@ -80,6 +80,35 @@ class WelfordAccumulator:
         v = self.variance
         return math.sqrt(v) if not math.isnan(v) else math.nan
 
+    def add_array(self, values) -> None:
+        """Fold a whole sample column in place (Chan's parallel merge).
+
+        Equivalent (to floating-point merge order) to ``add`` per element;
+        the batched engine folds one latency column per cohort round instead
+        of one Python call per delivered packet.
+        """
+        column = np.asarray(values, dtype=np.float64).reshape(-1)
+        n = int(column.size)
+        if n == 0:
+            return
+        b_mean = float(column.mean())
+        b_m2 = float(((column - b_mean) ** 2).sum())
+        b_min = float(column.min())
+        b_max = float(column.max())
+        total = self.count + n
+        delta = b_mean - self._mean
+        if self.count == 0:
+            self._mean = b_mean
+            self._m2 = b_m2
+        else:
+            self._mean += delta * n / total
+            self._m2 += b_m2 + delta * delta * self.count * n / total
+        self.count = total
+        if b_min < self.min:
+            self.min = b_min
+        if b_max > self.max:
+            self.max = b_max
+
     def merge(self, other: "WelfordAccumulator") -> "WelfordAccumulator":
         """Return a new accumulator equal to folding both sample sets (Chan's method)."""
         out = WelfordAccumulator()

@@ -22,6 +22,13 @@ D3    ordered-iteration     no iteration over sets or ``dict.keys()`` in
                             functions that schedule events or consume RNG
 H1    no-closure-scheduling no lambdas / nested functions passed to
                             ``Simulator.schedule_call``
+H2    no-per-packet-callbacks
+                            network hot-path modules consume deliveries via
+                            columnar batch sinks, not per-packet callbacks
+H3    no-per-packet-python-in-batched-path
+                            the batched cohort-advance modules
+                            (``engine/batched.py``, ``network/colqueue.py``)
+                            contain no explicit per-row Python loops
 R1    registry-completeness concrete Router/MarkingScheme/FaultSpec classes
                             registered; spec classes serializable; registry
                             lookups raise UnknownNameError

@@ -1,4 +1,4 @@
-"""Determinism and hot-path rules: D1, D2, D3, H1, S1.
+"""Determinism and hot-path rules: D1, D2, D3, H1, H2, H3, S1.
 
 These rules encode the invariants behind the golden seed-for-seed
 equivalence contract (``tests/golden/equivalence.json``): simulation
@@ -21,6 +21,7 @@ __all__ = [
     "OrderedIteration",
     "NoClosureScheduling",
     "NoPerPacketCallbacks",
+    "NoPerPacketPythonInBatchedPath",
     "NoBareExcept",
 ]
 
@@ -388,6 +389,64 @@ class NoPerPacketCallbacks(Rule):
                     f"per-packet callback registration {chain[-1]}() in a "
                     "network hot-path module",
                 )
+
+
+# ----------------------------------------------------------------------
+#: the batched cohort-advance path: every per-row operation in these
+#: modules must be a whole-array numpy step, never a Python loop.
+_BATCHED_PATH_MODULES = frozenset({"engine/batched.py", "network/colqueue.py"})
+
+
+@register_rule
+class NoPerPacketPythonInBatchedPath(Rule):
+    """H3: the cohort-advance path stays loop-free (vectorized numpy only).
+
+    The batched engine's whole performance contract is that cost scales
+    with *rounds*, not packets. An explicit ``for``/``while`` over cohort
+    rows (or a per-packet callback registration) quietly reintroduces
+    per-packet Python and erodes the 10x throughput floor the benchmark
+    gate enforces. Comprehensions are allowed — the sanctioned uses are
+    bounded setup work (per-node tables, per-ring flushes), which the
+    in-tree modules mark with ``# repro-lint: disable=H3`` where a
+    statement loop is genuinely clearer.
+    """
+
+    rule_id = "H3"
+    name = "no-per-packet-python-in-batched-path"
+    description = (
+        "explicit for/while loops and per-packet callback registrations "
+        "inside the batched cohort-advance modules (engine/batched.py, "
+        "network/colqueue.py) reintroduce per-row Python cost"
+    )
+    hint = (
+        "express the operation over whole cohort columns with numpy; "
+        "suppress a sanctioned setup-time loop with "
+        "`# repro-lint: disable=H3`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if ctx.repro_module() not in _BATCHED_PATH_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield ctx.violation(
+                    self, node,
+                    "explicit for-loop in the batched cohort path",
+                )
+            elif isinstance(node, ast.While):
+                yield ctx.violation(
+                    self, node,
+                    "explicit while-loop in the batched cohort path",
+                )
+            elif isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if chain is not None and len(chain) > 1 \
+                        and chain[-1] in _PER_PACKET_REGISTRATIONS:
+                    yield ctx.violation(
+                        self, node,
+                        f"per-packet callback registration {chain[-1]}() "
+                        "in the batched cohort path",
+                    )
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,7 @@ breaks under adaptive routing; benchmark A1/A3 quantify both sides.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, Optional, Set, TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.topology.base import Topology
 from repro.util.bitops import bit_length_for
 from repro.util.hashing import hash_bits
 from repro.util.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.markstream import MarkBatch
 
 __all__ = ["AdvancedPpmScheme", "AdvancedPpmVictimAnalysis"]
 
@@ -144,6 +147,23 @@ class AdvancedPpmVictimAnalysis(VictimAnalysis):
     def _observe(self, packet: Packet) -> None:
         values = self.scheme.layout.unpack(packet.header.identification)
         self.values.setdefault(values["distance"], set()).add(values["edge"])
+
+    def observe_batch(self, batch: "MarkBatch") -> None:
+        """Columnar twin of :meth:`observe`: unpack unique words only.
+
+        The (distance, edge) pair is a pure function of the MF word, so the
+        per-batch work collapses to one ``unpack_array`` over the distinct
+        words — same set-union outcome as per-packet observation.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        columns = self.scheme.layout.unpack_array(np.unique(batch.words))
+        values = self.values
+        for distance, edge in zip(columns["distance"].tolist(),
+                                  columns["edge"].tolist()):
+            values.setdefault(distance, set()).add(edge)
+        self.packets_observed += n
 
     def reconstruct(self) -> Dict[int, Set[int]]:
         """level -> accepted nodes; level l nodes are l+1 hops from the victim."""

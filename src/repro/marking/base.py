@@ -16,7 +16,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Optional, TYPE_CHECKING
 
-from repro.errors import IdentificationError, MarkingError
+from repro.errors import (ConfigurationError, IdentificationError,
+                          MarkingError)
 from repro.network.packet import Packet
 from repro.topology.base import Topology
 
@@ -61,8 +62,16 @@ class VictimAnalysis(ABC):
         hypothesis property suite pins this for every registered scheme).
         This base implementation replays rows through :meth:`observe`, so
         third-party analyses keep working unmodified; the in-tree schemes
-        override it with vectorized decoders.
+        override it with vectorized decoders. Batches produced by the
+        batched engine carry no packet objects (``batch.packets is None``)
+        and therefore require a columnar override.
         """
+        if batch.packets is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no columnar observe_batch "
+                "override and the batch carries no packet objects (batched "
+                "engine); implement observe_batch over the column arrays"
+            )
         for packet in batch.packets:
             self.observe(packet)
 

@@ -214,6 +214,35 @@ class DdpmLayout:
             out[:, axis] = raw
         return out
 
+    def encode_array(self, vectors: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encode`: one int64 word per (n, n_dims) row.
+
+        ``encode_array(v)[i] == encode(tuple(v[i]))`` for every row,
+        including the torus fold to minimal signed residues. Unfolded slots
+        (mesh/hypercube) must already be in range — the batched engine only
+        encodes honest accumulated offsets, which are in range by
+        construction — and raise :class:`FieldOverflowError` otherwise.
+        """
+        arr = np.asarray(vectors, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != len(self.dims):
+            raise MarkingError(
+                f"vectors has shape {arr.shape}, expected (n, {len(self.dims)})"
+            )
+        words = np.zeros(arr.shape[0], dtype=np.int64)
+        for axis, (offset, mask, low, high, _sign, k, fold_max) in \
+                enumerate(self._slot_meta):
+            v = arr[:, axis]
+            if k:
+                v = v % k
+                v = np.where(v > fold_max, v - k, v)
+            elif v.size and (int(v.min()) < low or int(v.max()) > high):
+                raise FieldOverflowError(
+                    f"encode_array slot v{axis} got values outside "
+                    f"[{low}, {high}]"
+                )
+            words |= (v & mask) << offset
+        return words
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"DdpmLayout(dims={self.dims}, widths={self.widths}, "
                 f"signed={self.signed}, fold={self.fold_modulo})")

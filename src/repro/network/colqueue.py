@@ -1,0 +1,231 @@
+"""Columnar injection capture for the batched cohort-advance engine.
+
+The exact engine moves one Python packet object per discrete event; at
+64x64-torus scale that is millions of events and the dominant cost. The
+batched mode replaces the per-packet event stream with struct-of-arrays
+cohorts (mirroring :class:`~repro.network.markstream.MarkBatch`:
+src/dst/MF-word/TTL/hop/time columns) advanced a whole round at a time by
+:class:`repro.engine.batched.CohortEngine`.
+
+This module holds the network-side half:
+
+* :class:`InjectionLog` — the columnar capture buffer every traffic
+  generator writes into. ``Fabric.inject`` is the single funnel all in-tree
+  generators use, so overriding it captures floods, background noise, and
+  static attack campaigns without touching them.
+* :class:`BatchedFabric` — a :class:`~repro.network.fabric.Fabric` whose
+  ``inject`` records columns instead of scheduling events and whose ``run``
+  hands the captured log to the cohort engine. Per-packet observation APIs
+  raise :class:`~repro.errors.ConfigurationError` (there are no packet
+  objects to observe); the columnar ``attach_delivery_sink`` surface is the
+  sanctioned replacement.
+
+Equivalence contract: the exact per-packet mode remains the golden-pinned
+reference. DESIGN.md §12 spells out when the batched mode is bit-equal
+(deterministic routing + deterministic marking) and when it is only
+statistically equivalent (probabilistic marking draws, adaptive tie-breaks,
+congestion timing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.fabric import Fabric
+from repro.network.nic import DeliveredPacket
+from repro.network.packet import Packet
+
+__all__ = ["InjectionLog", "BatchedFabric"]
+
+_PER_PACKET_MSG = (
+    "per-packet {api} is not available on the batched engine: cohorts carry "
+    "no packet objects. Attach a columnar delivery sink "
+    "(attach_delivery_sink) or run with engine='exact'"
+)
+
+
+class InjectionLog:
+    """Struct-of-arrays capture of every injection requested before a run.
+
+    Python lists during capture (appends are amortized O(1) and the capture
+    phase is per-packet by nature — the generators hand us one packet at a
+    time); :meth:`columns` converts to numpy once, sorted by injection time.
+    Columnar generators (``schedule_background_bulk``) bypass the lists
+    entirely via :meth:`extend`, which banks whole array chunks.
+    """
+
+    __slots__ = ("times", "nodes", "sources", "dests", "dst_ips", "sizes",
+                 "ids", "_chunks")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.nodes: List[int] = []
+        self.sources: List[int] = []
+        self.dests: List[int] = []
+        self.dst_ips: List[int] = []
+        self.sizes: List[int] = []
+        self.ids: List[int] = []
+        # Array chunks from bulk generators, merged with the scalar lists
+        # in columns(); order within the log never matters because columns()
+        # time-sorts the union.
+        self._chunks: List[dict] = []
+
+    def __len__(self) -> int:
+        return len(self.times) + sum(
+            chunk["times"].size for chunk in self._chunks)
+
+    def append(self, time: float, node: int, src_ip: int, dst_node: int,
+               dst_ip: int, size: int, packet_id: int) -> None:
+        """Record one future injection as seven scalar column entries.
+
+        ``src_ip``/``dst_ip`` are the (possibly spoofed) header addresses the
+        delivery stream reports; ``node``/``dst_node`` are the fabric indexes
+        the cohort engine routes between.
+        """
+        self.times.append(time)
+        self.nodes.append(node)
+        self.sources.append(src_ip)
+        self.dests.append(dst_node)
+        self.dst_ips.append(dst_ip)
+        self.sizes.append(size)
+        self.ids.append(packet_id)
+
+    def extend(self, times: np.ndarray, nodes: np.ndarray,
+               src_ips: np.ndarray, dest_nodes: np.ndarray,
+               dst_ips: np.ndarray, sizes: np.ndarray,
+               ids: np.ndarray) -> None:
+        """Record a whole chunk of injections as seven parallel arrays.
+
+        The bulk twin of :meth:`append`: columnar traffic generators hand
+        entire workloads over in one call, keeping the capture phase free of
+        per-packet Python. Arrays are banked as-is (no copies) and merged at
+        :meth:`columns` time.
+        """
+        arrays = {
+            "times": np.asarray(times, dtype=np.float64),
+            "nodes": np.asarray(nodes, dtype=np.int64),
+            "sources": np.asarray(src_ips, dtype=np.int64),
+            "dests": np.asarray(dest_nodes, dtype=np.int64),
+            "dst_ips": np.asarray(dst_ips, dtype=np.int64),
+            "sizes": np.asarray(sizes, dtype=np.int64),
+            "ids": np.asarray(ids, dtype=np.int64),
+        }
+        lengths = {column.size for column in arrays.values()}
+        if len(lengths) != 1:
+            raise ConfigurationError(
+                f"bulk injection columns disagree on length: {sorted(lengths)}")
+        self._chunks.append(arrays)
+
+    def columns(self) -> dict:
+        """Materialize the capture as time-sorted numpy columns.
+
+        Sorting is stable, so simultaneous injections keep capture order —
+        the same tie-break the event queue's sequence numbers give the exact
+        engine.
+        """
+        scalar = {
+            "times": np.asarray(self.times, dtype=np.float64),
+            "nodes": np.asarray(self.nodes, dtype=np.int64),
+            "sources": np.asarray(self.sources, dtype=np.int64),
+            "dests": np.asarray(self.dests, dtype=np.int64),
+            "dst_ips": np.asarray(self.dst_ips, dtype=np.int64),
+            "sizes": np.asarray(self.sizes, dtype=np.int64),
+            "ids": np.asarray(self.ids, dtype=np.int64),
+        }
+        merged = {
+            name: np.concatenate([scalar[name]]
+                                 + [chunk[name] for chunk in self._chunks])
+            for name in scalar
+        }
+        order = np.argsort(merged["times"], kind="stable")
+        return {name: column[order] for name, column in merged.items()}
+
+
+class BatchedFabric(Fabric):
+    """A fabric whose run loop advances packet cohorts instead of events.
+
+    Construction, topology wiring, statistics surfaces, and the columnar
+    delivery sinks are inherited unchanged from :class:`Fabric`; what
+    changes is the packet lifecycle: ``inject`` captures columns into an
+    :class:`InjectionLog` and ``run`` drives
+    :class:`repro.engine.batched.CohortEngine` over them.
+    """
+
+    #: engine discriminator mirrored into ExperimentConfig.engine
+    engine_name = "batched"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.log = InjectionLog()
+
+    # ------------------------------------------------------------------
+    # Capture path
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, at_node: Optional[int] = None,
+               delay: float = 0.0) -> None:
+        """Capture ``packet`` as one columnar row (no event is scheduled)."""
+        node = at_node if at_node is not None else packet.true_source
+        if not self.topology.contains(node):
+            raise ConfigurationError(f"injection node {node} outside topology")
+        self.log.append(self.sim.now + delay, node, packet.header.src,
+                        packet.destination_node, packet.header.dst,
+                        packet.size_bytes, packet.packet_id)
+
+    # ------------------------------------------------------------------
+    # Per-packet observation APIs are structurally unavailable
+    # ------------------------------------------------------------------
+    def add_delivery_handler(self, node: int,
+                             handler: Callable[[DeliveredPacket], None]) -> None:
+        raise ConfigurationError(_PER_PACKET_MSG.format(api="delivery handlers"))
+
+    def add_drop_handler(self, handler: Callable[[Packet, int, str], None]) -> None:
+        raise ConfigurationError(_PER_PACKET_MSG.format(api="drop handlers"))
+
+    def add_transit_observer(self, node: int,
+                             observer: Callable[[Packet, int, float], None]) -> None:
+        raise ConfigurationError(_PER_PACKET_MSG.format(api="transit observers"))
+
+    # ------------------------------------------------------------------
+    # Runtime control
+    # ------------------------------------------------------------------
+    def _check_supported(self) -> None:
+        """Reject hooks and pending events the round loop would never honor.
+
+        The batched loop executes no discrete events, so anything armed
+        through ``sim.schedule_call`` — fault campaigns, dynamic attack
+        specs (worm propagation, reflection replies) — would be silently
+        dead. Refusing loudly keeps the equivalence contract honest.
+        """
+        if len(self.sim.queue):
+            raise ConfigurationError(
+                f"{len(self.sim.queue)} discrete event(s) are scheduled, but "
+                "the batched engine executes no events. Fault campaigns and "
+                "dynamic attack scenarios require engine='exact'; static "
+                "link failures can be applied via fail_link() before the run"
+            )
+        if self.injection_filter is not None or self.fault_hook is not None \
+                or self._inject_gate is not None:
+            raise ConfigurationError(
+                "per-packet fabric hooks (injection_filter / fault_hook / "
+                "inject gate) are not supported by the batched engine; "
+                "use engine='exact'"
+            )
+
+    def run(self) -> float:
+        """Advance all captured cohorts to completion; flush sinks at the end."""
+        self._check_supported()
+        from repro.engine.batched import CohortEngine
+
+        CohortEngine(self).run()
+        if self._delivery_sinks:
+            self.flush_delivery_sinks()
+        return self.sim.now
+
+    def run_until(self, time: float) -> float:
+        raise ConfigurationError(
+            "the batched engine runs captured traffic to completion; "
+            "incremental run_until stepping requires engine='exact'"
+        )

@@ -69,15 +69,22 @@ class MarkBatch:
         int32 switch-to-switch hop counts.
     packets:
         The delivered :class:`Packet` objects, in row order — what the
-        per-row fallback paths and watching-phase consumers iterate.
+        per-row fallback paths and watching-phase consumers iterate. ``None``
+        for batches produced by the batched engine, which never materializes
+        per-packet objects; consumers that need identity use ``ids``.
+    ids:
+        int64 ``packet_id`` values, or ``None`` when the producer did not
+        record them (pre-batched-engine rings). Ground-truth filtering in
+        batched mode matches these against frozen attack-packet id sets.
     """
 
     __slots__ = ("node", "times", "sources", "dests", "words", "ttls",
-                 "hops", "packets")
+                 "hops", "packets", "ids")
 
     def __init__(self, node: int, times: np.ndarray, sources: np.ndarray,
                  dests: np.ndarray, words: np.ndarray, ttls: np.ndarray,
-                 hops: np.ndarray, packets: List[Packet]):
+                 hops: np.ndarray, packets: Optional[List[Packet]],
+                 ids: Optional[np.ndarray] = None):
         self.node = node
         self.times = times
         self.sources = sources
@@ -86,9 +93,10 @@ class MarkBatch:
         self.ttls = ttls
         self.hops = hops
         self.packets = packets
+        self.ids = ids
 
     def __len__(self) -> int:
-        return len(self.packets)
+        return len(self.times)
 
     @classmethod
     def from_packets(cls, node: int, packets: Sequence[Packet],
@@ -118,6 +126,7 @@ class MarkBatch:
             np.fromiter((p.header.ttl for p in packets), dtype=np.int16, count=n),
             np.fromiter((p.hops for p in packets), dtype=np.int32, count=n),
             packets,
+            np.fromiter((p.packet_id for p in packets), dtype=np.int64, count=n),
         )
 
     def compress(self, mask: np.ndarray) -> "MarkBatch":
@@ -127,7 +136,10 @@ class MarkBatch:
         return MarkBatch(
             self.node, self.times[index], self.sources[index],
             self.dests[index], self.words[index], self.ttls[index],
-            self.hops[index], [packets[i] for i in index.tolist()],
+            self.hops[index],
+            (None if packets is None
+             else [packets[i] for i in index.tolist()]),
+            None if self.ids is None else self.ids[index],
         )
 
     def tail(self, start: int) -> "MarkBatch":
@@ -135,7 +147,9 @@ class MarkBatch:
         return MarkBatch(
             self.node, self.times[start:], self.sources[start:],
             self.dests[start:], self.words[start:], self.ttls[start:],
-            self.hops[start:], self.packets[start:],
+            self.hops[start:],
+            None if self.packets is None else self.packets[start:],
+            None if self.ids is None else self.ids[start:],
         )
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -159,7 +173,8 @@ class DeliveryRing:
 
     __slots__ = ("node", "capacity", "flushes", "rows_flushed", "pool",
                  "profiler", "_times", "_sources", "_dests", "_words",
-                 "_ttls", "_hops", "_packets", "_fill", "_consumers")
+                 "_ttls", "_hops", "_ids", "_packets", "_object_rows",
+                 "_fill", "_consumers")
 
     def __init__(self, node: int, capacity: int = 1024, *,
                  pool: Optional["PacketPool"] = None,
@@ -178,7 +193,9 @@ class DeliveryRing:
         self._words = np.empty(capacity, dtype=np.uint32)
         self._ttls = np.empty(capacity, dtype=np.int16)
         self._hops = np.empty(capacity, dtype=np.int32)
+        self._ids = np.empty(capacity, dtype=np.int64)
         self._packets: List[Optional[Packet]] = [None] * capacity
+        self._object_rows = 0
         self._fill = 0
         self._consumers: List[BatchConsumer] = []
 
@@ -201,11 +218,42 @@ class DeliveryRing:
         self._words[i] = header.identification
         self._ttls[i] = header.ttl
         self._hops[i] = packet.hops
+        self._ids[i] = packet.packet_id
         self._packets[i] = packet
+        self._object_rows += 1
         i += 1
         self._fill = i
         if i == self.capacity:
             self.flush()
+
+    def extend(self, times: np.ndarray, sources: np.ndarray,
+               dests: np.ndarray, words: np.ndarray, ttls: np.ndarray,
+               hops: np.ndarray, ids: np.ndarray) -> int:
+        """Append many rows at once (the batched engine's delivery path).
+
+        Column arrays are copied into the ring in capacity-sized chunks,
+        flushing whenever the ring fills — no per-row Python work and no
+        packet objects. Batches flushed from extend-only fills carry
+        ``packets=None``; returns the number of rows appended.
+        """
+        n = len(times)
+        start = 0
+        while start < n:
+            take = min(self.capacity - self._fill, n - start)
+            i, j = self._fill, self._fill + take
+            s, e = start, start + take
+            self._times[i:j] = times[s:e]
+            self._sources[i:j] = sources[s:e]
+            self._dests[i:j] = dests[s:e]
+            self._words[i:j] = words[s:e]
+            self._ttls[i:j] = ttls[s:e]
+            self._hops[i:j] = hops[s:e]
+            self._ids[i:j] = ids[s:e]
+            self._fill = j
+            start += take
+            if self._fill == self.capacity:
+                self.flush()
+        return n
 
     def flush(self) -> int:
         """Hand buffered rows to the consumers; returns the row count.
@@ -217,12 +265,16 @@ class DeliveryRing:
         n = self._fill
         if n == 0:
             return 0
-        packets = self._packets[:n]
+        # Extend-only fills (the batched engine) never stored objects: hand
+        # consumers a packet-less batch rather than a list of Nones.
+        packets = self._packets[:n] if self._object_rows else None
         batch = MarkBatch(
             self.node, self._times[:n], self._sources[:n], self._dests[:n],
             self._words[:n], self._ttls[:n], self._hops[:n], packets,
+            self._ids[:n],
         )
         self._fill = 0
+        self._object_rows = 0
         self.flushes += 1
         self.rows_flushed += n
         profiler = self.profiler
@@ -232,12 +284,14 @@ class DeliveryRing:
         else:
             self._run_consumers(batch)
         pool = self.pool
-        if pool is not None:
+        if pool is not None and packets is not None:
             for packet in packets:
-                pool.release(packet)
-        # Drop the ring's own references so flushed packets can be collected
-        # (or recycled) without waiting for the rows to be overwritten.
-        self._packets[:n] = [None] * n
+                if packet is not None:
+                    pool.release(packet)
+        if packets is not None:
+            # Drop the ring's own references so flushed packets can be
+            # collected (or recycled) without waiting for row overwrites.
+            self._packets[:n] = [None] * n
         return n
 
     def _run_consumers(self, batch: MarkBatch) -> None:

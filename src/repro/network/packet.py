@@ -20,9 +20,25 @@ from repro.errors import ConfigurationError
 from repro.network.ip import IPHeader
 from repro.routing.base import RouteState
 
-__all__ = ["Packet", "PacketKind", "PacketPool"]
+__all__ = ["Packet", "PacketKind", "PacketPool", "allocate_packet_ids"]
 
 _packet_ids = itertools.count()
+
+
+def allocate_packet_ids(count: int) -> int:
+    """Reserve ``count`` consecutive packet ids; returns the first.
+
+    Bulk twin of the per-packet ``next(_packet_ids)`` draw, for columnar
+    injection paths that never build :class:`Packet` objects. The block is
+    carved from the same global counter, so bulk-allocated and per-packet
+    ids never collide.
+    """
+    global _packet_ids
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    start = next(_packet_ids)
+    _packet_ids = itertools.count(start + count)
+    return start
 
 
 class PacketKind(Enum):

@@ -1,0 +1,337 @@
+"""Unit tests for the batched cohort-advance engine and its plumbing.
+
+The statistical-equivalence matrix lives in
+``test_properties_batched_equivalence.py``; this file covers the engine's
+mechanics: conservation accounting, the supported-feature guards, config
+round-tripping (and cache-key stability for exact-mode configs), the CLI
+surface, profiler integration, bulk injection, and the legacy
+``launch_attack`` deprecation funnel.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import Cluster, ENGINES
+from repro.core.config import (ExperimentConfig, MarkingSpec, RoutingSpec,
+                               SelectionSpec, TopologySpec)
+from repro.core.experiment import run_identification_experiment
+from repro.errors import ConfigurationError
+from repro.marking import DdpmScheme
+from repro.network.colqueue import BatchedFabric, InjectionLog
+from repro.network.fabric import Fabric, FabricConfig
+from repro.network.packet import Packet, allocate_packet_ids
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.routing.selection import FirstCandidatePolicy
+from repro.topology import Mesh, Torus
+
+
+def _noop():
+    return None
+
+
+def _batched_cluster(*, config=None, marking="ddpm", seed=0):
+    scheme = DdpmScheme() if marking == "ddpm" else None
+    cluster = Cluster(Mesh((4, 4)), DimensionOrderRouter(), marking=scheme,
+                      config=config, seed=seed, engine="batched")
+    cluster.fabric.selection = FirstCandidatePolicy()
+    return cluster
+
+
+def _base_config(**overrides):
+    kwargs = dict(
+        topology=TopologySpec("mesh", (4, 4)),
+        routing=RoutingSpec("dor"),
+        marking=MarkingSpec("ddpm"),
+        selection=SelectionSpec("first"),
+        seed=1, num_attackers=2, attack_rate_per_node=20.0,
+        duration=0.5, background_rate=1.0,
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Conservation and retirement accounting
+# ----------------------------------------------------------------------
+class TestConservation:
+    def test_injected_equals_delivered_plus_dropped(self):
+        cluster = _batched_cluster()
+        cluster.launch_ddos(num_attackers=3, attack_rate_per_node=30.0,
+                            duration=1.0, background_rate=2.0)
+        cluster.run()
+        counters = cluster.fabric.counters
+        assert cluster.fabric.n_injected > 0
+        assert cluster.fabric.n_injected == (counters["delivered"]
+                                             + counters["dropped"])
+
+    def test_ttl_expiry_matches_exact_engine(self):
+        # A 3-hop TTL on a 4x4 mesh expires every long route identically in
+        # both engines (deterministic routing: same packets, same paths).
+        results = {}
+        for engine in ENGINES:
+            cluster = Cluster(Mesh((4, 4)), DimensionOrderRouter(),
+                              marking=DdpmScheme(),
+                              config=FabricConfig(default_ttl=3),
+                              seed=2, engine=engine)
+            cluster.fabric.selection = FirstCandidatePolicy()
+            cluster.launch_ddos(num_attackers=3, attack_rate_per_node=20.0,
+                                duration=1.0, background_rate=2.0)
+            cluster.run()
+            stats = cluster.fabric.stats_summary()
+            results[engine] = (int(stats.get("delivered", 0)),
+                               int(stats.get("dropped", 0)),
+                               int(stats.get("dropped_ttl_expired", 0)))
+        assert results["batched"] == results["exact"]
+        assert results["batched"][2] > 0, "workload never expired a TTL"
+
+
+# ----------------------------------------------------------------------
+# Supported-feature guards
+# ----------------------------------------------------------------------
+class TestGuards:
+    def test_fault_campaign_config_is_rejected(self):
+        from repro.faults import FaultCampaign, RandomLinkFlapSpec
+
+        config = _base_config(
+            engine="batched",
+            faults=FaultCampaign((RandomLinkFlapSpec(probability=0.2),)))
+        with pytest.raises(ConfigurationError, match="fault campaigns"):
+            run_identification_experiment(config)
+
+    def test_pending_discrete_events_are_rejected(self):
+        cluster = _batched_cluster()
+        cluster.sim.schedule_call(0.5, _noop, label="stray")
+        with pytest.raises(ConfigurationError, match="discrete event"):
+            cluster.run()
+
+    def test_per_packet_observation_apis_raise(self):
+        fabric = _batched_cluster().fabric
+        with pytest.raises(ConfigurationError, match="delivery handlers"):
+            fabric.add_delivery_handler(0, lambda event: None)
+        with pytest.raises(ConfigurationError, match="drop handlers"):
+            fabric.add_drop_handler(lambda *a: None)
+        with pytest.raises(ConfigurationError, match="transit observers"):
+            fabric.add_transit_observer(0, lambda *a: None)
+
+    def test_run_until_raises(self):
+        cluster = _batched_cluster()
+        with pytest.raises(ConfigurationError, match="run_until"):
+            cluster.run(until=1.0)
+
+    def test_injection_filter_is_rejected(self):
+        cluster = _batched_cluster()
+        cluster.fabric.injection_filter = lambda packet, node: True
+        cluster.launch_ddos(num_attackers=2, attack_rate_per_node=10.0,
+                            duration=0.5)
+        with pytest.raises(ConfigurationError, match="hooks"):
+            cluster.run()
+
+    def test_unsupported_marking_scheme_is_rejected(self):
+        from repro.marking import AuthenticatedDdpmScheme
+
+        topo = Mesh((4, 4))
+        keys = {n: n + 1 for n in topo.nodes()}
+        cluster = Cluster(topo, DimensionOrderRouter(),
+                          marking=AuthenticatedDdpmScheme(keys),
+                          seed=0, engine="batched")
+        cluster.launch_ddos(num_attackers=2, attack_rate_per_node=10.0,
+                            duration=0.5)
+        with pytest.raises(ConfigurationError):
+            cluster.run()
+
+    def test_unsupported_router_is_rejected(self):
+        from repro.routing import ValiantRouter
+
+        cluster = Cluster(Torus((4, 4)),
+                          ValiantRouter(np.random.default_rng(0)),
+                          marking=DdpmScheme(), seed=0, engine="batched")
+        cluster.launch_ddos(num_attackers=2, attack_rate_per_node=10.0,
+                            duration=0.5)
+        with pytest.raises(ConfigurationError):
+            cluster.run()
+
+    def test_unknown_engine_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            Cluster(Mesh((4, 4)), DimensionOrderRouter(), engine="warp")
+
+
+# ----------------------------------------------------------------------
+# Config plumbing and cache-key stability
+# ----------------------------------------------------------------------
+class TestConfigPlumbing:
+    def test_engine_round_trips(self):
+        config = _base_config(engine="batched")
+        data = config.to_dict()
+        assert data["engine"] == "batched"
+        assert ExperimentConfig.from_dict(data).engine == "batched"
+
+    def test_exact_config_omits_engine_key(self):
+        # Pre-batched configs must keep their canonical JSON (and therefore
+        # result-cache keys) byte for byte.
+        data = _base_config().to_dict()
+        assert "engine" not in data
+        assert ExperimentConfig.from_dict(data).engine == "exact"
+
+    def test_canonical_json_unchanged_by_engine_field(self):
+        exact = _base_config()
+        assert "engine" not in json.loads(exact.canonical_json())
+
+    def test_bad_engine_value_rejected(self):
+        data = _base_config().to_dict()
+        data["engine"] = "warp"
+        with pytest.raises(ConfigurationError, match="engine"):
+            ExperimentConfig.from_dict(data)
+
+    def test_from_config_builds_batched_fabric(self):
+        cluster = Cluster.from_config(_base_config(engine="batched"))
+        assert isinstance(cluster.fabric, BatchedFabric)
+        assert cluster.engine == "batched"
+        exact = Cluster.from_config(_base_config())
+        assert not isinstance(exact.fabric, BatchedFabric)
+
+    def test_experiment_runs_end_to_end(self):
+        result = run_identification_experiment(_base_config(engine="batched"))
+        assert result.packets_delivered > 0
+        assert result.score.recall == 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_engine_flag_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "--topology", "mesh", "--dims", "4", "4",
+                     "--routing", "dor", "--marking", "ddpm",
+                     "--duration", "0.5", "--engine", "batched"])
+        assert code == 0
+        assert "packets_delivered" in capsys.readouterr().out
+
+    def test_engine_default_is_exact(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["experiment", "--topology", "mesh", "--dims", "4", "4"])
+        assert args.engine == "exact"
+
+
+# ----------------------------------------------------------------------
+# Profiler integration
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_cohort_counters_recorded(self):
+        from repro.engine.profile import EventProfiler
+
+        profiler = EventProfiler()
+        config = _base_config(engine="batched")
+        result = run_identification_experiment(config, profile=profiler)
+        assert profiler.batch_advances > 0
+        assert profiler.rows_advanced >= result.packets_delivered
+        stats = profiler.advance_stats()
+        assert stats["advances"] == profiler.batch_advances
+        assert sum(stats["rows_histogram"].values()) == profiler.batch_advances
+        assert "batch-advance@cohort" in profiler.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Bulk injection plumbing
+# ----------------------------------------------------------------------
+class TestBulkInjection:
+    def test_allocate_packet_ids_reserves_contiguous_block(self):
+        start = allocate_packet_ids(5)
+        from repro.network.ip import IPHeader
+
+        packet = Packet(IPHeader(1, 2, ttl=8, total_length=84), 0, 1)
+        assert packet.packet_id >= start + 5
+
+    def test_allocate_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            allocate_packet_ids(-1)
+
+    def test_injection_log_merges_scalar_and_bulk(self):
+        log = InjectionLog()
+        log.append(0.5, 1, 11, 2, 12, 84, 100)
+        log.extend(np.array([0.25, 0.75]), np.array([3, 4]),
+                   np.array([13, 14]), np.array([5, 6]),
+                   np.array([15, 16]), np.array([84, 84]),
+                   np.array([101, 102]))
+        assert len(log) == 3
+        columns = log.columns()
+        assert columns["times"].tolist() == [0.25, 0.5, 0.75]
+        assert columns["ids"].tolist() == [101, 100, 102]
+
+    def test_injection_log_extend_length_mismatch(self):
+        log = InjectionLog()
+        with pytest.raises(ConfigurationError, match="length"):
+            log.extend(np.array([0.1]), np.array([1, 2]), np.array([3]),
+                       np.array([4]), np.array([5]), np.array([6]),
+                       np.array([7]))
+
+    def test_bulk_background_requires_batched_fabric(self):
+        from repro.attack.traffic import (UniformRandomPattern,
+                                          schedule_background_bulk)
+
+        fabric = Fabric(Mesh((4, 4)), DimensionOrderRouter())
+        with pytest.raises(ConfigurationError, match="batched"):
+            schedule_background_bulk(fabric, UniformRandomPattern(),
+                                     rate=5.0, duration=1.0,
+                                     rng=np.random.default_rng(0))
+
+    def test_bulk_background_runs_and_conserves(self):
+        from repro.attack.traffic import (UniformRandomPattern,
+                                          schedule_background_bulk)
+
+        fabric = BatchedFabric(Mesh((4, 4)), MinimalAdaptiveRouter(),
+                               marking=DdpmScheme())
+        fabric.selection = FirstCandidatePolicy()
+        ids = schedule_background_bulk(fabric, UniformRandomPattern(),
+                                       rate=10.0, duration=1.0,
+                                       rng=np.random.default_rng(3))
+        fabric.run()
+        assert fabric.n_injected == len(ids) > 0
+        assert fabric.n_injected == (fabric.counters["delivered"]
+                                     + fabric.counters["dropped"])
+
+
+# ----------------------------------------------------------------------
+# Legacy launch_attack deprecation funnel
+# ----------------------------------------------------------------------
+class TestLegacyLaunchAttackWarning:
+    def _cluster(self):
+        return Cluster(Mesh((4, 4)), DimensionOrderRouter(),
+                       marking=DdpmScheme(), seed=0)
+
+    def test_warns_exactly_once_per_call(self):
+        cluster = self._cluster()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cluster.launch_attack(num_attackers=2, duration=0.5)
+        relevant = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(relevant) == 1
+        assert "AttackSpec" in str(relevant[0].message)
+
+    def test_repeat_calls_warn_again(self):
+        cluster = self._cluster()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cluster.launch_attack(num_attackers=2, duration=0.5)
+            cluster.launch_attack(num_attackers=2, duration=0.5)
+        relevant = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(relevant) == 2
+
+    def test_spec_form_does_not_warn(self):
+        from repro.attack.scenario import FloodAttackSpec
+
+        cluster = self._cluster()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cluster.launch_attack(FloodAttackSpec(num_attackers=2,
+                                                  duration=0.5))
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]

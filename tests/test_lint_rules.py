@@ -211,6 +211,66 @@ class TestH2NoPerPacketCallbacks:
         assert "H2" not in rules_hit(report)
 
 
+class TestH3NoPerPacketPythonInBatchedPath:
+    BATCHED = "src/repro/engine/batched.py"
+    COLQUEUE = "src/repro/network/colqueue.py"
+
+    def test_flags_for_loop_in_batched_engine(self):
+        report = run_lint(self.BATCHED,
+                          "def advance(rows):\n"
+                          "    for row in rows:\n"
+                          "        row.step()\n")
+        assert rules_hit(report) == {"H3"}
+        assert report.violations[0].line == 2
+
+    def test_flags_while_loop_in_colqueue(self):
+        report = run_lint(self.COLQUEUE,
+                          "def drain(queue):\n"
+                          "    while queue:\n"
+                          "        queue.pop()\n")
+        assert rules_hit(report) == {"H3"}
+
+    def test_flags_per_packet_registration(self):
+        # add_delivery_handler in colqueue trips both the network-wide H2
+        # rule and the batched-path H3 rule.
+        report = run_lint(self.COLQUEUE,
+                          "def wire(fabric, node, fn):\n"
+                          "    fabric.add_delivery_handler(node, fn)\n")
+        assert rules_hit(report) == {"H2", "H3"}
+
+    def test_comprehensions_are_allowed(self):
+        report = run_lint(self.BATCHED,
+                          "def columns(rows):\n"
+                          "    return [row.words for row in rows]\n")
+        assert "H3" not in rules_hit(report)
+
+    def test_other_engine_modules_are_clean(self):
+        report = run_lint(ENGINE,
+                          "def advance(rows):\n"
+                          "    for row in rows:\n"
+                          "        row.step()\n")
+        assert "H3" not in rules_hit(report)
+
+    def test_suppression_comment_sanctions_setup_loop(self):
+        report = run_lint(self.BATCHED,
+                          "def build(topology, port):\n"
+                          "    for node in topology.nodes():"
+                          "  # repro-lint: disable=H3\n"
+                          "        port[node] = 0\n")
+        assert "H3" not in rules_hit(report)
+
+    def test_in_tree_batched_modules_pass(self):
+        # The real cohort engine and columnar queue must satisfy their own
+        # rule (their sanctioned setup loops carry explicit suppressions).
+        from pathlib import Path
+
+        for module in ("src/repro/engine/batched.py",
+                       "src/repro/network/colqueue.py"):
+            source = Path(module).read_text()
+            report = run_lint(module, source, select=["H3"])
+            assert report.ok, f"{module}: {report.violations}"
+
+
 class TestS1NoBareExcept:
     BARE = "def f(q):\n    try:\n        q.pop()\n    except:\n        pass\n"
 

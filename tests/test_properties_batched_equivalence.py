@@ -1,0 +1,161 @@
+"""Equivalence properties: batched cohort engine vs the exact engine.
+
+DESIGN.md §12's contract, executable: on workloads the batched engine
+supports, suspect sets and per-node delivered counts must equal the exact
+per-packet engine's — for every registered marking scheme (probabilistic
+schemes pinned at p=1.0 so both engines make the same always-mark
+decision), across small mesh/torus/hypercube topologies, with and without
+static link faults, under hypothesis-shuffled seeds. Schemes the batched
+engine refuses (ddpm-auth, hddpm) must refuse loudly, not silently differ.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro import registry
+from repro.core.cluster import Cluster
+from repro.core.config import MarkingSpec, RoutingSpec, TopologySpec
+from repro.core.experiment import _victim_analysis_for
+from repro.errors import (ConfigurationError, MarkingError,
+                          UnroutablePacketError)
+from repro.routing.selection import FirstCandidatePolicy
+
+#: schemes the cohort engine cannot vectorize (interactive/authenticated)
+UNSUPPORTED_SCHEMES = {"ddpm-auth", "hddpm"}
+
+TOPOLOGIES = [("mesh", (4, 4)), ("torus", (4, 4)), ("hypercube", (3,))]
+
+
+def _run(engine, marking, routing, topo_kind, dims, *, seed=3,
+         failed_links=(), selection="first"):
+    """One flood + identification run; returns the comparable observables."""
+    topo = TopologySpec(topo_kind, tuple(dims)).build()
+    router = RoutingSpec(routing).build(np.random.default_rng(1))
+    scheme = MarkingSpec(marking, probability=1.0).build(
+        np.random.default_rng(2), topo)
+    cluster = Cluster(topo, router, marking=scheme, seed=seed, engine=engine)
+    if selection == "first":
+        cluster.fabric.selection = FirstCandidatePolicy()
+    for u, v in failed_links:
+        cluster.fabric.fail_link(u, v)
+    victim = cluster.default_victim()
+    analysis = None
+    if scheme is not None:
+        analysis = _victim_analysis_for(cluster, victim)
+        if engine == "batched":
+            cluster.fabric.attach_delivery_sink(victim, analysis.observe_batch)
+        else:
+            cluster.fabric.add_delivery_handler(
+                victim, lambda event: analysis.observe(event.packet))
+    cluster.launch_ddos(victim=victim, num_attackers=3,
+                        attack_rate_per_node=25.0, duration=1.0,
+                        background_rate=2.0)
+    cluster.run()
+    nics = cluster.fabric.nics
+    per_node = tuple(nics[node].n_delivered
+                     for node in range(topo.num_nodes))
+    suspects = frozenset() if analysis is None else frozenset(analysis.suspects())
+    return (suspects, per_node,
+            int(cluster.fabric.counters["delivered"]),
+            int(cluster.fabric.counters["dropped"]))
+
+
+# ----------------------------------------------------------------------
+# Every registered scheme, every topology family
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topo_kind,dims", TOPOLOGIES)
+@pytest.mark.parametrize("marking", sorted(registry.MARKING.names()))
+def test_registered_scheme_equivalence(marking, topo_kind, dims):
+    if marking in UNSUPPORTED_SCHEMES:
+        # ddpm-auth: the cohort engine refuses (ConfigurationError);
+        # hddpm additionally refuses plain topologies at attach time
+        # (MarkingError) before the engine guard can fire.
+        with pytest.raises((ConfigurationError, MarkingError)):
+            _run("batched", marking, "dor", topo_kind, dims)
+        return
+    exact = _run("exact", marking, "dor", topo_kind, dims)
+    batched = _run("batched", marking, "dor", topo_kind, dims)
+    if marking != "ppm-fragment":
+        # Fragment marking draws a random fragment *offset* per mark even
+        # at p=1.0; the two engines consume different RNG streams, so its
+        # suspect set is only statistically equivalent (DESIGN.md §12) —
+        # delivery accounting below must still match exactly.
+        assert batched[0] == exact[0], "suspect sets diverged"
+    assert batched[1] == exact[1], "per-node delivered counts diverged"
+    assert batched[2:] == exact[2:], "delivered/dropped totals diverged"
+
+
+# ----------------------------------------------------------------------
+# Shuffled seeds, adaptive routing, optional static link faults
+# ----------------------------------------------------------------------
+@st.composite
+def equivalence_case(draw):
+    topo_kind, dims = draw(st.sampled_from(TOPOLOGIES))
+    # DDPM's word is a pure function of (src, dst) — exact under any
+    # routing; path-sensitive schemes need a deterministic router for
+    # packet-for-packet comparability.
+    # ppm-fragment is absent: its random offset draws make suspect sets
+    # statistically (not exactly) equivalent — see the matrix test above.
+    marking = draw(st.sampled_from(
+        ["ddpm", "dpm", "ppm-full", "ppm-xor", "ppm-bitdiff",
+         "ppm-advanced"]))
+    routing = (draw(st.sampled_from(["dor", "minimal-adaptive"]))
+               if marking == "ddpm" else "dor")
+    seed = draw(st.integers(0, 2**16))
+    failed = ()
+    if draw(st.booleans()):
+        topo = TopologySpec(topo_kind, tuple(dims)).build()
+        node = draw(st.integers(0, topo.num_nodes - 2))
+        neighbors = topo.neighbors(node)
+        failed = ((node, neighbors[draw(st.integers(0, len(neighbors) - 1))]),)
+    return topo_kind, dims, marking, routing, seed, failed
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(equivalence_case())
+def test_equivalence_shuffled(case):
+    topo_kind, dims, marking, routing, seed, failed = case
+    try:
+        exact = _run("exact", marking, routing, topo_kind, dims, seed=seed,
+                     failed_links=failed)
+    except UnroutablePacketError:
+        # The drawn fault disconnects the deterministic route; that is a
+        # workload property, not an engine property — discard the example.
+        assume(False)
+        return
+    batched = _run("batched", marking, routing, topo_kind, dims, seed=seed,
+                   failed_links=failed)
+    assert batched == exact
+
+
+# ----------------------------------------------------------------------
+# Detector alarm times
+# ----------------------------------------------------------------------
+def test_detector_alarm_time_equivalent():
+    """The rate detector alarms at the same simulated time in both modes."""
+    from repro.defense.detection import RateThresholdDetector
+
+    times = {}
+    for engine in ("exact", "batched"):
+        topo = TopologySpec("mesh", (4, 4)).build()
+        router = RoutingSpec("dor").build(np.random.default_rng(1))
+        scheme = MarkingSpec("ddpm").build(np.random.default_rng(2), topo)
+        cluster = Cluster(topo, router, marking=scheme, seed=5, engine=engine)
+        cluster.fabric.selection = FirstCandidatePolicy()
+        victim = cluster.default_victim()
+        detector = RateThresholdDetector(window=0.5, threshold_rate=30.0)
+        if engine == "batched":
+            cluster.fabric.attach_delivery_sink(victim, detector.observe_batch)
+        else:
+            cluster.fabric.add_delivery_handler(victim, detector.observe)
+        cluster.launch_ddos(victim=victim, num_attackers=3,
+                            attack_rate_per_node=40.0, duration=1.0)
+        cluster.run()
+        assert detector.alarm_time is not None, f"{engine}: no alarm raised"
+        times[engine] = detector.alarm_time
+    # Same packets, same deterministic routes: timing differences can only
+    # come from queueing-order details, bounded well under one window.
+    assert times["batched"] == pytest.approx(times["exact"], abs=0.1)
