@@ -8,17 +8,33 @@ A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routi
 
 .PHONY: test test-faults bench bench-smoke bench-reflection \
 	bench-throughput bench-batched bench-victim profile clean-cache \
-	lint typecheck
+	lint lint-sarif sanitize-smoke typecheck
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
 	$(PYPATH) $(PY) -m pytest -x -q
 
 # Determinism/invariant linter (in-tree, zero dependencies beyond stdlib).
+# Incremental: per-file results are cached by content hash in
+# .repro-lint-cache.json, so re-runs on an unchanged tree are near-instant.
 # Exit 1 = findings; suppress individual lines with
-# `# repro-lint: disable=<rule>` (see DESIGN.md §9).
+# `# repro-lint: disable=<rule>` (see DESIGN.md §9/§13); unused
+# suppressions are themselves findings (W1).
 lint:
 	$(PYPATH) $(PY) -m repro.lint src tests
+
+# Same run, emitted as SARIF 2.1.0 (lint.sarif) for code-scanning upload.
+lint-sarif:
+	$(PYPATH) $(PY) -m repro.lint src tests --format sarif > lint.sarif; \
+	status=$$?; echo "wrote lint.sarif"; exit $$status
+
+# Runtime-invariant smoke: the SimSanitizer unit suite plus the golden and
+# batched-engine equivalence pins re-run under REPRO_SANITIZE=1 — the
+# instrumented engine must reproduce every pinned result with zero reports.
+sanitize-smoke:
+	$(PYPATH) $(PY) -m pytest tests/test_sanitize.py -x -q
+	$(PYPATH) $(PY) -m pytest -m sanitize -x -q
+	@echo "sanitize-smoke OK: pins hold under REPRO_SANITIZE=1"
 
 # Strict typing gate over the public orchestration surface (repro.core,
 # repro.registry, repro.runner, repro.faults; config in pyproject.toml).
@@ -104,3 +120,4 @@ bench-reflection:
 
 clean-cache:
 	rm -rf $(SMOKE_CACHE) .repro-cache
+	rm -f .repro-lint-cache.json lint.sarif

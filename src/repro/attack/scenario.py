@@ -72,6 +72,7 @@ from repro.attack.traffic import (BitReversalPattern, HotspotPattern,
                                   TornadoPattern, TrafficPattern,
                                   TransposePattern, UniformRandomPattern,
                                   schedule_background)
+from repro.engine.rng import derive_child
 from repro.errors import AttackError
 from repro.network.packet import PacketKind
 
@@ -1085,7 +1086,7 @@ class VolumetricMixSpec(AttackSpec):
         result = AttackTrafficResult(victim=victim, attackers=())
         counts: List[Dict[str, int]] = []
         for spec, weight in zip(self.components, self.effective_weights()):
-            child = np.random.default_rng(int(rng.integers(2**63)))
+            child = derive_child(rng)
             part = spec.scaled(weight).arm(fabric, sim, victim=victim,
                                            rng=child)
             counts.append({

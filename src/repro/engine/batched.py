@@ -140,7 +140,7 @@ class _DpmMarker:
     def __init__(self, scheme: DpmScheme, topology: Topology):
         self.mf_bits = scheme.mf_bits
         bits = np.zeros(topology.num_nodes, dtype=np.int64)
-        for node, bit in sorted(scheme._node_bits.items()):  # per-node, once  # repro-lint: disable=H3
+        for node, bit in sorted(scheme._node_bits.items()):  # per-node, once
             bits[node] = bit
         self.bits = bits
 
@@ -378,17 +378,17 @@ class _RoutePlanner:
         self._coords = np.array(
             [topology.coord(i) for i in topology.nodes()], dtype=np.int64)
         strides = np.ones(ndims, dtype=np.int64)
-        for axis in range(ndims - 2, -1, -1):  # per-axis, once at build  # repro-lint: disable=H3
+        for axis in range(ndims - 2, -1, -1):  # per-axis, once at build
             strides[axis] = strides[axis + 1] * dims[axis + 1]
         nodes = np.arange(self.n, dtype=np.int64)
         step = np.full((self.n, ndims, 2), -1, dtype=np.int64)
         wrap = topology.kind != "mesh"  # torus and hypercube wrap
-        for axis in range(ndims):  # per-axis, once at build  # repro-lint: disable=H3
+        for axis in range(ndims):  # per-axis, once at build
             k = int(dims[axis])
             if k == 1 or (not wrap and k < 2):
                 continue
             c = self._coords[:, axis]
-            for d, delta in ((0, -1), (1, 1)):  # two directions  # repro-lint: disable=H3
+            for d, delta in ((0, -1), (1, 1)):  # two directions
                 if wrap:
                     c2 = (c + delta) % k
                     step[:, axis, d] = nodes + (c2 - c) * strides[axis]
@@ -401,10 +401,10 @@ class _RoutePlanner:
         if failed:
             up = np.ones(self.n * self.n, dtype=bool)
             live_set = set()
-            for a, b in topology.to_edge_list():  # per-edge, once at build  # repro-lint: disable=H3
+            for a, b in topology.to_edge_list():  # per-edge, once at build
                 live_set.add((a, b))
                 live_set.add((b, a))
-            for a, b in topology.to_edge_list(include_failed=True):  # per-edge, once at build  # repro-lint: disable=H3
+            for a, b in topology.to_edge_list(include_failed=True):  # per-edge, once at build
                 if (a, b) not in live_set:
                     up[a * self.n + b] = False
                     up[b * self.n + a] = False
@@ -547,8 +547,8 @@ class CohortEngine:
         # columns are destination-relative and would conflate channels.
         self.width = self.planner.width
         self._port = np.full(self.n * self.n, -1, dtype=np.int8)
-        for node in topology.nodes():  # per-(node, port), once at build  # repro-lint: disable=H3
-            for port, neighbor in enumerate(topology.neighbors(node)):  # repro-lint: disable=H3
+        for node in topology.nodes():  # per-(node, port), once at build
+            for port, neighbor in enumerate(topology.neighbors(node)):
                 self._port[node * self.n + neighbor] = port
 
         # Per-round congestion signal: rows deferred last round, per channel.

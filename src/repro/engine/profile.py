@@ -15,9 +15,12 @@ without one pays a single ``is None`` check per event.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, NamedTuple
+from typing import Any, Callable, Dict, List, NamedTuple, Tuple, TYPE_CHECKING
 
 from repro.util.tables import TextTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.events import Event
 
 __all__ = ["EventProfiler", "ProfileEntry"]
 
@@ -45,14 +48,15 @@ class EventProfiler:
     execution).
     """
 
-    def __init__(self):
-        # (label, callsite) -> [count, total_seconds]
-        self._buckets: Dict[tuple, List] = {}
+    def __init__(self) -> None:
+        # (label, callsite) -> [count, total_seconds]; counts ride as floats
+        # so the bucket is a homogeneous list — readers cast on the way out.
+        self._buckets: Dict[Tuple[str, str], List[float]] = {}
         self.events_recorded = 0
         # label -> [flushes, rows, total_seconds] for columnar batch flushes
         # (delivery rings and any future batched sink); kept separate from
         # the per-event buckets because one flush spans many packets.
-        self._flush_buckets: Dict[str, List] = {}
+        self._flush_buckets: Dict[str, List[float]] = {}
         # Cohort-advance counters for the batched engine: one "event" there
         # moves a whole cohort of rows, so the per-event buckets alone would
         # under-report by orders of magnitude. The histogram buckets rounds
@@ -64,26 +68,28 @@ class EventProfiler:
         self._advance_hist: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    def record(self, callback, args, label: str) -> None:
+    def record(self, callback: Callable[..., Any], args: Tuple[Any, ...],
+               label: str) -> None:
         """Execute ``callback(*args)`` and fold its wall-clock cost into the buckets."""
         start = perf_counter()
         callback(*args)
         elapsed = perf_counter() - start
-        key = (label,
-               getattr(callback, "__qualname__", None) or repr(callback))
+        callsite = getattr(callback, "__qualname__", None) or repr(callback)
+        key = (label, callsite)
         bucket = self._buckets.get(key)
         if bucket is None:
-            self._buckets[key] = [1, elapsed]
+            self._buckets[key] = [1.0, elapsed]
         else:
-            bucket[0] += 1
+            bucket[0] += 1.0
             bucket[1] += elapsed
         self.events_recorded += 1
 
-    def record_call(self, event) -> None:
+    def record_call(self, event: "Event") -> None:
         """Execute an :class:`~repro.engine.events.Event` and record its cost."""
         self.record(event.callback, event.args, event.label)
 
-    def record_batch_flush(self, label: str, rows: int, fn, *args) -> None:
+    def record_batch_flush(self, label: str, rows: int,
+                           fn: Callable[..., Any], *args: Any) -> None:
         """Execute one batch flush ``fn(*args)`` and record its cost.
 
         Batched consumers process many packets per call; the flush buckets
@@ -95,13 +101,14 @@ class EventProfiler:
         elapsed = perf_counter() - start
         bucket = self._flush_buckets.get(label)
         if bucket is None:
-            self._flush_buckets[label] = [1, rows, elapsed]
+            self._flush_buckets[label] = [1.0, float(rows), elapsed]
         else:
-            bucket[0] += 1
+            bucket[0] += 1.0
             bucket[1] += rows
             bucket[2] += elapsed
 
-    def record_batch_advance(self, rows: int, fn, *args) -> None:
+    def record_batch_advance(self, rows: int,
+                             fn: Callable[..., Any], *args: Any) -> None:
         """Execute one cohort advance ``fn(*args)`` and record its cost.
 
         The batched engine calls this once per round with the cohort size;
@@ -147,7 +154,7 @@ class EventProfiler:
 
     def entries(self) -> List[ProfileEntry]:
         """All buckets, sorted by cumulative time (descending)."""
-        out = [ProfileEntry(label, callsite, count, total)
+        out = [ProfileEntry(label, callsite, int(count), total)
                for (label, callsite), (count, total) in self._buckets.items()]
         out.sort(key=lambda e: e.total_time, reverse=True)
         return out
@@ -156,9 +163,9 @@ class EventProfiler:
         """The ``n`` most expensive buckets by cumulative time."""
         return self.entries()[:n]
 
-    def as_dict(self) -> Dict[str, Dict[str, float]]:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready summary keyed by ``label@callsite``."""
-        out = {
+        out: Dict[str, Any] = {
             f"{entry.label or '-'}@{entry.callsite}": {
                 "count": entry.count,
                 "total_time": entry.total_time,
@@ -199,14 +206,15 @@ class EventProfiler:
                                      f"{seconds:.4f}", f"{per_row:.2f}"])
             body = f"{body}\nbatch flushes:\n{flush_table.render()}"
         if self.batch_advances:
-            stats = self.advance_stats()
+            rounds = self.batch_advances
+            rows = self.rows_advanced
             advance_table = TextTable(["rows/advance <=", "rounds"])
-            for ceiling, count in stats["rows_histogram"].items():  # type: ignore[union-attr]
-                advance_table.add_row([ceiling, count])
-            body = (f"{body}\ncohort advances: {stats['advances']} rounds, "
-                    f"{stats['rows']} rows "
-                    f"({stats['rows_per_advance']:.1f} rows/event), "
-                    f"{stats['total_time']:.4f}s\n{advance_table.render()}")
+            for power, count in sorted(self._advance_hist.items()):
+                advance_table.add_row([1 << power, count])
+            body = (f"{body}\ncohort advances: {rounds} rounds, "
+                    f"{rows} rows "
+                    f"({rows / rounds:.1f} rows/event), "
+                    f"{self._advance_seconds:.4f}s\n{advance_table.render()}")
         return body
 
     def reset(self) -> None:

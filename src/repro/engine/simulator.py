@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.engine.events import Event, EventQueue
@@ -31,6 +32,7 @@ from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.profile import EventProfiler
+    from repro.engine.sanitize import SimSanitizer
     from repro.engine.watchdog import Watchdog
 
 __all__ = ["Simulator"]
@@ -56,14 +58,30 @@ class Simulator:
         deadlock check, terminating with a structured
         :class:`repro.errors.WatchdogTimeout` instead of hanging. A run
         without a watchdog pays one ``is None`` test per event.
+    sanitize:
+        Enable the runtime :class:`repro.engine.sanitize.SimSanitizer`:
+        RNG streams audit cross-package use, the packet pool checks release
+        discipline, and the run loop validates event-heap ordering at its
+        boundaries. ``None`` (the default) defers to the ``REPRO_SANITIZE``
+        environment variable (any value other than empty/``0`` enables it).
+        Violations raise :class:`repro.errors.SanitizerError`.
     """
 
     def __init__(self, seed: int = 0, max_events: int = 50_000_000,
                  profile: Optional["EventProfiler"] = None,
-                 watchdog: Optional["Watchdog"] = None):
+                 watchdog: Optional["Watchdog"] = None,
+                 sanitize: Optional[bool] = None):
         self.now: float = 0.0
         self.queue = EventQueue()
-        self.rng = RngRegistry(seed)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        self.sanitizer: Optional["SimSanitizer"] = None
+        if sanitize:
+            from repro.engine.sanitize import SimSanitizer
+            self.sanitizer = SimSanitizer(self)
+            self.rng: RngRegistry = self.sanitizer.guard_registry(seed)
+        else:
+            self.rng = RngRegistry(seed)
         self.max_events = max_events
         self.events_executed = 0
         self.profile = profile
@@ -148,6 +166,11 @@ class Simulator:
         if self._running:
             raise SimulationError("re-entrant run_until() call")
         self._running = True
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            # Boundary checks only: the heap validation is O(n), so it runs
+            # outside the hot loop, on entry and on clean exit.
+            sanitizer.check_heap(self.queue._heap, self.now)
         # The loop below is the single hottest code in the repository: it
         # inlines EventQueue.peek_time/pop over the raw heap so each event
         # costs one heappop plus the callback, with no per-event method
@@ -209,6 +232,9 @@ class Simulator:
                 watchdog.check_deadlock(self)
             if math.isfinite(end_time) and end_time > self.now:
                 self.now = end_time
+            if sanitizer is not None:
+                self.events_executed = executed
+                sanitizer.check_heap(heap, self.now)
             return self.now
         finally:
             self.events_executed = executed
@@ -219,10 +245,12 @@ class Simulator:
         self.queue.clear()
         self.now = 0.0
         self.events_executed = 0
-        if seed is not None:
-            self.rng = RngRegistry(seed)
-        else:
+        if seed is None:
             self.rng.reset()
+        elif self.sanitizer is not None:
+            self.rng = self.sanitizer.guard_registry(seed)
+        else:
+            self.rng = RngRegistry(seed)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"Simulator(now={self.now:.6g}, pending={len(self.queue)}, "

@@ -28,6 +28,7 @@ __all__ = [
     "SpoofingError",
     "SimulationError",
     "WatchdogTimeout",
+    "SanitizerError",
     "FaultError",
     "AttackError",
     "RunnerJobError",
@@ -155,6 +156,26 @@ class WatchdogTimeout(SimulationError):
 
     def __str__(self) -> str:
         return f"watchdog fired: {self.report}"
+
+
+class SanitizerError(SimulationError):
+    """The runtime SimSanitizer observed a broken simulation invariant.
+
+    Carries the structured :class:`repro.engine.sanitize.SanitizerReport`
+    in :attr:`report` — which invariant broke (RNG stream cross-use,
+    packet-pool double release or leak, credit conservation, event-heap
+    ordering), where, and at what simulated time — so tests and the
+    hardened runner can discriminate without parsing the message.
+    """
+
+    def __init__(self, report):
+        # args=(report,) keeps the exception picklable across process
+        # boundaries, same as WatchdogTimeout.
+        super().__init__(report)
+        self.report = report
+
+    def __str__(self) -> str:
+        return f"sanitizer fired: {self.report}"
 
 
 class FaultError(ReproError, ValueError):

@@ -1,4 +1,4 @@
-"""repro.lint — AST-based determinism and invariant linter.
+"""repro.lint — whole-program determinism and invariant linter.
 
 The simulation's headline guarantee is seed-for-seed reproducibility: the
 same :class:`~repro.core.config.ExperimentConfig` and seed must produce the
@@ -7,6 +7,14 @@ that guarantee are *statically visible* — a ``time.time()`` call in the
 engine, a module-level ``random`` draw, iteration over a ``set`` while
 scheduling events — so this package checks them at lint time instead of
 waiting for a golden-equivalence diff to catch the symptom.
+
+Rules come in two shapes. Local rules judge one file's syntax. Program
+rules collect per-file facts and settle against a project-wide call graph
+(:mod:`repro.lint.callgraph`), so "schedules events" and "runs on the
+cohort-advance path" are reachability queries, not guesses. A per-file
+content-hash cache (:mod:`repro.lint.cache`) makes repeat runs on an
+unchanged tree near-instant, and :mod:`repro.lint.sarif` renders the
+report for code-scanning upload.
 
 Rules
 -----
@@ -20,45 +28,68 @@ D2    no-global-rng         no global or unseeded RNG anywhere under
                             ``RngRegistry`` streams
 D3    ordered-iteration     no iteration over sets or ``dict.keys()`` in
                             functions that schedule events or consume RNG
+                            (directly or through any call chain)
 H1    no-closure-scheduling no lambdas / nested functions passed to
-                            ``Simulator.schedule_call``
+                            ``Simulator.schedule_call`` (directly or via a
+                            forwarding wrapper)
 H2    no-per-packet-callbacks
                             network hot-path modules consume deliveries via
                             columnar batch sinks, not per-packet callbacks
 H3    no-per-packet-python-in-batched-path
-                            the batched cohort-advance modules
-                            (``engine/batched.py``, ``network/colqueue.py``)
-                            contain no explicit per-row Python loops
+                            no per-row Python loops reachable from the
+                            cohort-advance roots in ``engine/batched.py`` /
+                            ``network/colqueue.py`` (build-time code exempt)
+D4    rng-provenance        every draw in simulation code traces to a named
+                            ``engine.rng`` stream — no ad-hoc generators, no
+                            borrowing another component's stream
+D5    wallclock-taint-escape
+                            wall-clock-derived values stay inside the
+                            watchdog/profiler exemption
 R1    registry-completeness concrete Router/MarkingScheme/FaultSpec classes
-                            registered; spec classes serializable; registry
-                            lookups raise UnknownNameError
+                            registered (live-object constructors auto-exempt);
+                            spec classes serializable; registry lookups raise
+                            UnknownNameError
 S1    no-bare-except        no bare ``except:`` in engine/network hot paths
+W1    unused-suppression    every ``# repro-lint: disable=`` directive must
+                            suppress something in the current run
 E1    (parse error)         pseudo-rule reported for unparseable files
 ====  ====================  ===================================================
 
 Suppress a finding with ``# repro-lint: disable=<rule>`` on (or directly
 above) the offending line, or ``# repro-lint: disable-file=<rule>`` for a
-whole file. Run ``python -m repro.lint --list-rules`` for the live table.
+whole file; directives naming unknown rules are a usage error. Run
+``python -m repro.lint --list-rules`` for the live table.
 """
 
 from __future__ import annotations
 
+from repro.lint.cache import LintCache
+from repro.lint.callgraph import CallGraph, extract_file_graph
 from repro.lint.cli import main
-from repro.lint.rules import FileContext, Rule, create_rules, rule_classes
+from repro.lint.rules import (FileContext, Program, ProgramRule, Rule,
+                              create_rules, known_rule_ids, rule_classes)
 from repro.lint.runner import LintReport, collect_files, lint_paths, lint_sources
+from repro.lint.sarif import to_sarif
 from repro.lint.suppressions import SuppressionIndex
 from repro.lint.violations import Violation
 
 __all__ = [
+    "CallGraph",
     "FileContext",
+    "LintCache",
     "LintReport",
+    "Program",
+    "ProgramRule",
     "Rule",
     "SuppressionIndex",
     "Violation",
     "collect_files",
     "create_rules",
+    "extract_file_graph",
+    "known_rule_ids",
     "lint_paths",
     "lint_sources",
     "main",
     "rule_classes",
+    "to_sarif",
 ]

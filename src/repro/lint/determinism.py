@@ -5,14 +5,22 @@ equivalence contract (``tests/golden/equivalence.json``): simulation
 behavior may depend only on the config and its seed — never on wall-clock
 time, process-global RNG state, or unordered container iteration — and the
 zero-allocation scheduling fast path must stay closure-free.
+
+D1, D2, H2, and S1 are local rules: their findings depend on one file's
+text alone. D3, H1, and H3 are :class:`~repro.lint.rules.ProgramRule`
+subclasses — they collect per-file facts and settle against the
+whole-program :class:`~repro.lint.callgraph.CallGraph`, so "this function
+schedules events" and "this loop runs on the cohort-advance path" are
+*computed* through the call graph instead of guessed from local syntax.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.lint.rules import FileContext, Rule, register_rule
+from repro.lint.callgraph import MODULE_SCOPE, iter_function_scopes, walk_in_scope
+from repro.lint.rules import FileContext, Program, ProgramRule, Rule, register_rule
 from repro.lint.violations import Violation
 
 __all__ = [
@@ -69,6 +77,12 @@ def _attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
         parts.append(node.id)
         return tuple(reversed(parts))
     return None
+
+
+def _site(node: ast.AST) -> Dict[str, int]:
+    """JSON-ready source anchor for a collected fact."""
+    return {"line": getattr(node, "lineno", 1),
+            "col": getattr(node, "col_offset", 0) + 1}
 
 
 # ----------------------------------------------------------------------
@@ -176,12 +190,8 @@ class NoGlobalRng(Rule):
 _SCHEDULING_CALLS = frozenset({"schedule", "schedule_call", "schedule_at"})
 #: wrappers that preserve their argument's iteration order.
 _ORDER_PRESERVING = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
-
-
-def _function_nodes(tree: ast.Module) -> Iterable[ast.AST]:
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node
+#: Generator methods that are stream bookkeeping, not draws.
+_NON_DRAW_RNG_METHODS = frozenset({"stream", "spawn"})
 
 
 def _is_set_annotation(annotation: ast.AST) -> bool:
@@ -191,6 +201,29 @@ def _is_set_annotation(annotation: ast.AST) -> bool:
     return chain is not None and chain[-1] in ("Set", "set", "FrozenSet",
                                                "frozenset", "AbstractSet",
                                                "MutableSet")
+
+
+def _is_scheduling_call(node: ast.Call) -> bool:
+    chain = _attribute_chain(node.func)
+    return (chain is not None and len(chain) > 1
+            and chain[-1] in _SCHEDULING_CALLS)
+
+
+def _is_rng_draw_call(node: ast.Call) -> bool:
+    """True for method calls on an rng-named receiver, excluding stream()."""
+    chain = _attribute_chain(node.func)
+    if chain is None or len(chain) < 2:
+        return False
+    return "rng" in chain[:-1] and chain[-1] not in _NON_DRAW_RNG_METHODS
+
+
+def _mentions_rng(func: ast.AST) -> bool:
+    for node in walk_in_scope(func):
+        if isinstance(node, ast.Name) and node.id == "rng":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "rng":
+            return True
+    return False
 
 
 class _UnorderedIterClassifier:
@@ -223,57 +256,90 @@ class _UnorderedIterClassifier:
 
 
 @register_rule
-class OrderedIteration(Rule):
-    """D3: event-scheduling / RNG-consuming code iterates in sorted order."""
+class OrderedIteration(ProgramRule):
+    """D3: event-scheduling / RNG-consuming code iterates in sorted order.
+
+    Whether a function "schedules events or consumes RNG" is decided
+    through the call graph: a function is order-sensitive when it makes a
+    scheduling call or RNG draw itself, mentions an ``rng`` object, or can
+    *reach* a scheduling/drawing function through any chain of calls. The
+    per-file pass only records candidate unordered-iteration sites and the
+    seed properties; settlement resolves reachability program-wide.
+    """
 
     rule_id = "D3"
     name = "ordered-iteration"
     description = (
         "iterating a set or .keys() view without sorted() inside a function "
-        "that schedules events or consumes RNG makes event order depend on "
-        "hash seeds"
+        "that schedules events or consumes RNG (directly, or through any "
+        "call chain) makes event order depend on hash seeds"
     )
     hint = "wrap the iterable in sorted(...) (or iterate a deterministic sequence)"
 
-    def check(self, ctx: FileContext) -> Iterable[Violation]:
-        seen: Set[Tuple[int, int]] = set()
-        for func in _function_nodes(ctx.tree):
-            if not self._touches_rng_or_scheduler(func):
-                continue
+    def collect(self, ctx: FileContext) -> Optional[Dict[str, Any]]:
+        scopes: List[Dict[str, Any]] = []
+        for scope, func, _cls in iter_function_scopes(ctx.tree):
+            sched = draw = False
+            for node in walk_in_scope(func):
+                if isinstance(node, ast.Call):
+                    if _is_scheduling_call(node):
+                        sched = True
+                    elif _is_rng_draw_call(node):
+                        draw = True
+            iters: List[Dict[str, Any]] = []
             classifier = _UnorderedIterClassifier(self._local_set_names(func))
-            for loop_node, iter_expr in self._iterations(func):
+            for iter_expr in self._iterations(func):
                 described = classifier.describe(iter_expr)
                 if described is None:
                     continue
-                anchor = (getattr(iter_expr, "lineno", 0),
-                          getattr(iter_expr, "col_offset", 0))
-                if anchor in seen:
-                    continue  # nested defs are walked once per scope
-                seen.add(anchor)
-                yield ctx.violation(
-                    self, iter_expr,
-                    f"iteration over {described} in "
-                    f"{func.name!r}, which schedules events or consumes RNG",
-                )
+                site = _site(iter_expr)
+                site["desc"] = described
+                iters.append(site)
+            if not (sched or draw or iters):
+                continue
+            scopes.append({
+                "scope": scope,
+                "name": func.name,  # type: ignore[attr-defined]
+                "sched": sched,
+                "draw": draw,
+                "rng": _mentions_rng(func),
+                "iters": iters,
+            })
+        return {"scopes": scopes} if scopes else None
 
-    @staticmethod
-    def _touches_rng_or_scheduler(func: ast.AST) -> bool:
-        for node in ast.walk(func):
-            if isinstance(node, ast.Call):
-                chain = _attribute_chain(node.func)
-                if chain is not None and len(chain) > 1 \
-                        and chain[-1] in _SCHEDULING_CALLS:
-                    return True
-            if isinstance(node, ast.Name) and node.id == "rng":
-                return True
-            if isinstance(node, ast.Attribute) and node.attr == "rng":
-                return True
-        return False
+    def settle(self, program: Program) -> Iterable[Violation]:
+        facts = program.facts(self.rule_id)
+        seeds: List[str] = []
+        for path, file_facts in facts.items():
+            for entry in file_facts["scopes"]:
+                if entry["sched"] or entry["draw"]:
+                    seeds.append(f"{path}::{entry['scope']}")
+        sensitive = program.callgraph.backward_reachable(seeds)
+        for path in sorted(facts):
+            for entry in facts[path]["scopes"]:
+                if not entry["iters"]:
+                    continue
+                qual = f"{path}::{entry['scope']}"
+                if entry["sched"] or entry["draw"] or entry["rng"]:
+                    why = "schedules events or consumes RNG"
+                elif qual in sensitive:
+                    why = ("can reach event-scheduling or RNG-consuming "
+                           "code through its calls")
+                else:
+                    continue
+                for site in entry["iters"]:
+                    yield Violation(
+                        path=path, line=site["line"], col=site["col"],
+                        rule=self.rule_id,
+                        message=(f"iteration over {site['desc']} in "
+                                 f"{entry['name']!r}, which {why}"),
+                        hint=self.hint,
+                    )
 
     @staticmethod
     def _local_set_names(func: ast.AST) -> Set[str]:
         names: Set[str] = set()
-        for node in ast.walk(func):
+        for node in walk_in_scope(func):
             if isinstance(node, ast.Assign) and len(node.targets) == 1 \
                     and isinstance(node.targets[0], ast.Name):
                 value = node.value
@@ -289,64 +355,145 @@ class OrderedIteration(Rule):
         return names
 
     @staticmethod
-    def _iterations(func: ast.AST) -> Iterable[Tuple[ast.AST, ast.AST]]:
-        for node in ast.walk(func):
+    def _iterations(func: ast.AST) -> Iterable[ast.AST]:
+        for node in walk_in_scope(func):
             if isinstance(node, (ast.For, ast.AsyncFor)):
-                yield node, node.iter
+                yield node.iter
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                                    ast.GeneratorExp)):
                 for generator in node.generators:
-                    yield node, generator.iter
+                    yield generator.iter
 
 
 # ----------------------------------------------------------------------
 @register_rule
-class NoClosureScheduling(Rule):
-    """H1: the allocation-free fast path takes no lambdas or nested defs."""
+class NoClosureScheduling(ProgramRule):
+    """H1: the allocation-free fast path takes no lambdas or nested defs.
+
+    Two layers: the syntactic check (a lambda or nested def passed straight
+    to ``schedule_call``) and an interprocedural one — a function that
+    forwards one of its parameters into ``schedule_call``'s callback slot
+    is a *scheduling forwarder*, and passing a lambda to the forwarder is
+    the same violation one call further from the heap.
+    """
 
     rule_id = "H1"
     name = "no-closure-scheduling"
     description = (
-        "lambda or nested-def arguments to schedule_call() defeat the "
-        "zero-closure heap-tuple fast path; pass the bound method and its "
-        "arguments separately"
+        "lambda or nested-def arguments to schedule_call() — directly or "
+        "through a forwarding wrapper — defeat the zero-closure heap-tuple "
+        "fast path; pass the bound method and its arguments separately"
     )
     hint = "use sim.schedule_call(delay, obj.method, arg1, arg2) — no closures"
 
-    def check(self, ctx: FileContext) -> Iterable[Violation]:
-        yield from self._walk(ctx, ctx.tree, frozenset())
+    def collect(self, ctx: FileContext) -> Optional[Dict[str, Any]]:
+        direct: List[Dict[str, Any]] = []
+        forwarders: List[Dict[str, Any]] = []
+        lambda_calls: List[Dict[str, Any]] = []
 
-    def _walk(self, ctx: FileContext, scope: ast.AST,
-              nested_defs: frozenset) -> Iterable[Violation]:
-        """Recurse function scopes, tracking locally defined callables."""
-        for node in ast.iter_child_nodes(scope):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                inner = frozenset(
-                    child.name for child in ast.walk(node)
-                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
-                    and child is not node
-                )
-                yield from self._walk(ctx, node, inner)
-                continue
-            if isinstance(node, ast.Call):
+        def scan_scope(body_root: ast.AST, nested: Set[str]) -> None:
+            for node in walk_in_scope(body_root):
+                if not isinstance(node, ast.Call):
+                    continue
                 chain = _attribute_chain(node.func)
-                if chain is not None and chain[-1] == "schedule_call" \
-                        and len(chain) > 1:
-                    yield from self._check_args(ctx, node, nested_defs)
-            yield from self._walk(ctx, node, nested_defs)
+                if chain is not None and len(chain) > 1 \
+                        and chain[-1] == "schedule_call":
+                    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                        if isinstance(arg, ast.Lambda):
+                            site = _site(arg)
+                            site["what"] = "lambda"
+                            direct.append(site)
+                        elif isinstance(arg, ast.Name) and arg.id in nested:
+                            site = _site(arg)
+                            site["what"] = f"nested function {arg.id!r}"
+                            direct.append(site)
+                if chain is not None and chain[-1] != "schedule_call":
+                    indices = [index for index, arg in enumerate(node.args)
+                               if isinstance(arg, ast.Lambda)]
+                    if indices:
+                        site = _site(node)
+                        site["callee"] = chain[-1]
+                        site["lambda_args"] = indices
+                        lambda_calls.append(site)
 
-    def _check_args(self, ctx: FileContext, call: ast.Call,
-                    nested_defs: frozenset) -> Iterable[Violation]:
-        arguments = list(call.args) + [kw.value for kw in call.keywords]
-        for arg in arguments:
-            if isinstance(arg, ast.Lambda):
-                yield ctx.violation(
-                    self, arg, "lambda passed to schedule_call()"
+        scan_scope(ctx.tree, set())
+        for scope, func, cls in iter_function_scopes(ctx.tree):
+            nested = {child.name for child in ast.walk(func)
+                      if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                      and child is not func}
+            scan_scope(func, nested)
+            forwarder = self._forwarder_record(func, cls, scope)
+            if forwarder is not None:
+                forwarders.append(forwarder)
+        if not (direct or forwarders or lambda_calls):
+            return None
+        return {"direct": direct, "forwarders": forwarders,
+                "calls": lambda_calls}
+
+    @staticmethod
+    def _forwarder_record(func: ast.AST, cls: Optional[str],
+                          scope: str) -> Optional[Dict[str, Any]]:
+        """Forwarder facts when ``func`` passes a param into schedule_call."""
+        params = [a.arg for a in func.args.args]  # type: ignore[attr-defined]
+        offset = 1 if cls is not None and params and params[0] in ("self", "cls") \
+            else 0
+        for node in walk_in_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None or len(chain) < 2 or chain[-1] != "schedule_call":
+                continue
+            if len(node.args) < 2 or not isinstance(node.args[1], ast.Name):
+                continue
+            callback = node.args[1].id
+            if callback in params:
+                return {"name": func.name,  # type: ignore[attr-defined]
+                        "scope": scope,
+                        "arg_index": params.index(callback) - offset}
+        return None
+
+    def settle(self, program: Program) -> Iterable[Violation]:
+        facts = program.facts(self.rule_id)
+        forwarder_quals: Dict[str, Set[str]] = {}
+        forwarder_indices: Dict[str, Set[int]] = {}
+        for path, file_facts in facts.items():
+            for forwarder in file_facts.get("forwarders", ()):
+                if forwarder["arg_index"] < 0:
+                    continue
+                name = forwarder["name"]
+                forwarder_quals.setdefault(name, set()).add(
+                    f"{path}::{forwarder['scope']}")
+                forwarder_indices.setdefault(name, set()).add(
+                    forwarder["arg_index"])
+        # Call resolution is name-based, so only a name whose EVERY
+        # definition forwards is flagged at call sites — Simulator.schedule
+        # (handle-returning, closures sanctioned) must not taint an
+        # unrelated forwarder that happens to share its name.
+        forwarders: Dict[str, Set[int]] = {}
+        for name, quals in forwarder_quals.items():
+            if set(program.callgraph.quals_named(name)) <= quals:
+                forwarders[name] = forwarder_indices[name]
+        for path in sorted(facts):
+            file_facts = facts[path]
+            for site in file_facts.get("direct", ()):
+                yield Violation(
+                    path=path, line=site["line"], col=site["col"],
+                    rule=self.rule_id,
+                    message=f"{site['what']} passed to schedule_call()",
+                    hint=self.hint,
                 )
-            elif isinstance(arg, ast.Name) and arg.id in nested_defs:
-                yield ctx.violation(
-                    self, arg,
-                    f"nested function {arg.id!r} passed to schedule_call()",
+            for call in file_facts.get("calls", ()):
+                hit_indices = forwarders.get(call["callee"])
+                if not hit_indices:
+                    continue
+                if not hit_indices.intersection(call["lambda_args"]):
+                    continue
+                yield Violation(
+                    path=path, line=call["line"], col=call["col"],
+                    rule=self.rule_id,
+                    message=(f"lambda passed to {call['callee']}(), which "
+                             "forwards it to schedule_call()"),
+                    hint=self.hint,
                 )
 
 
@@ -396,57 +543,105 @@ class NoPerPacketCallbacks(Rule):
 #: modules must be a whole-array numpy step, never a Python loop.
 _BATCHED_PATH_MODULES = frozenset({"engine/batched.py", "network/colqueue.py"})
 
+#: method names that anchor the steady-state advance path.
+_ENGINE_ROOT_METHODS = frozenset({"run", "advance"})
+
 
 @register_rule
-class NoPerPacketPythonInBatchedPath(Rule):
+class NoPerPacketPythonInBatchedPath(ProgramRule):
     """H3: the cohort-advance path stays loop-free (vectorized numpy only).
 
     The batched engine's whole performance contract is that cost scales
     with *rounds*, not packets. An explicit ``for``/``while`` over cohort
     rows (or a per-packet callback registration) quietly reintroduces
     per-packet Python and erodes the 10x throughput floor the benchmark
-    gate enforces. Comprehensions are allowed — the sanctioned uses are
-    bounded setup work (per-node tables, per-ring flushes), which the
-    in-tree modules mark with ``# repro-lint: disable=H3`` where a
-    statement loop is genuinely clearer.
+    gate enforces.
+
+    Hot-path membership is computed, not guessed: the roots are the
+    ``run``/``advance`` methods of engine classes inside the batched
+    modules, and a loop is only flagged when its enclosing function is
+    forward-reachable from a root *without* traversing constructor edges —
+    build-time work (``__init__``, table construction) runs once per
+    simulation and may loop freely.
     """
 
     rule_id = "H3"
     name = "no-per-packet-python-in-batched-path"
     description = (
         "explicit for/while loops and per-packet callback registrations "
-        "inside the batched cohort-advance modules (engine/batched.py, "
-        "network/colqueue.py) reintroduce per-row Python cost"
+        "reachable from the cohort-advance roots (Engine.run/advance) in "
+        "the batched modules (engine/batched.py, network/colqueue.py) "
+        "reintroduce per-row Python cost; build-time construction is exempt"
     )
     hint = (
         "express the operation over whole cohort columns with numpy; "
-        "suppress a sanctioned setup-time loop with "
+        "suppress a sanctioned bounded loop with "
         "`# repro-lint: disable=H3`"
     )
 
-    def check(self, ctx: FileContext) -> Iterable[Violation]:
+    def collect(self, ctx: FileContext) -> Optional[Dict[str, Any]]:
         if ctx.repro_module() not in _BATCHED_PATH_MODULES:
+            return None
+        loops: List[Dict[str, Any]] = []
+        registrations: List[Dict[str, Any]] = []
+
+        def scan_scope(scope: str, body_root: ast.AST) -> None:
+            for node in walk_in_scope(body_root):
+                if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    site = _site(node)
+                    site["scope"] = scope
+                    site["kind"] = ("while" if isinstance(node, ast.While)
+                                    else "for")
+                    loops.append(site)
+                elif isinstance(node, ast.Call):
+                    chain = _attribute_chain(node.func)
+                    if chain is not None and len(chain) > 1 \
+                            and chain[-1] in _PER_PACKET_REGISTRATIONS:
+                        site = _site(node)
+                        site["scope"] = scope
+                        site["name"] = chain[-1]
+                        registrations.append(site)
+
+        scan_scope(MODULE_SCOPE, ctx.tree)
+        for scope, func, _cls in iter_function_scopes(ctx.tree):
+            scan_scope(scope, func)
+        return {"loops": loops, "registrations": registrations}
+
+    def settle(self, program: Program) -> Iterable[Violation]:
+        facts = program.facts(self.rule_id)
+        if not facts:
             return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                yield ctx.violation(
-                    self, node,
-                    "explicit for-loop in the batched cohort path",
+        graph = program.callgraph
+        roots = [
+            info.qual for info in graph.functions.values()
+            if info.path in facts and info.name in _ENGINE_ROOT_METHODS
+            and info.cls is not None and "Engine" in info.cls
+        ]
+        hot = graph.forward_reachable(roots, follow_ctor=False)
+        for path in sorted(facts):
+            file_facts = facts[path]
+            for site in file_facts["loops"]:
+                scope = site["scope"]
+                if scope != MODULE_SCOPE \
+                        and f"{path}::{scope}" not in hot:
+                    continue
+                where = ("at module scope" if scope == MODULE_SCOPE
+                         else f"in {scope!r}, which is advance-reachable")
+                yield Violation(
+                    path=path, line=site["line"], col=site["col"],
+                    rule=self.rule_id,
+                    message=(f"explicit {site['kind']}-loop {where} on the "
+                             "batched cohort path"),
+                    hint=self.hint,
                 )
-            elif isinstance(node, ast.While):
-                yield ctx.violation(
-                    self, node,
-                    "explicit while-loop in the batched cohort path",
+            for site in file_facts["registrations"]:
+                yield Violation(
+                    path=path, line=site["line"], col=site["col"],
+                    rule=self.rule_id,
+                    message=(f"per-packet callback registration "
+                             f"{site['name']}() in the batched cohort path"),
+                    hint=self.hint,
                 )
-            elif isinstance(node, ast.Call):
-                chain = _attribute_chain(node.func)
-                if chain is not None and len(chain) > 1 \
-                        and chain[-1] in _PER_PACKET_REGISTRATIONS:
-                    yield ctx.violation(
-                        self, node,
-                        f"per-packet callback registration {chain[-1]}() "
-                        "in the batched cohort path",
-                    )
 
 
 # ----------------------------------------------------------------------

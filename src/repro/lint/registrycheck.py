@@ -22,20 +22,29 @@ ride in a cached config). R1 makes both omissions a lint failure:
   :class:`repro.errors.UnknownNameError` (with its ``choices`` attribute)
   exists for.
 
-A class that genuinely cannot be name-constructed (e.g. it needs a live
-object as a constructor argument) opts out with
-``# repro-lint: disable=R1`` on its ``class`` line, keeping the exceptions
-greppable.
+A class that cannot be name-constructed because its ``__init__``
+*requires* a live object the registry factory signature cannot supply
+(``TableRouter(topology: Topology)`` — routing factories receive only an
+rng) is exempted automatically: the requirement is read off the
+annotation, so no suppression comment is needed and W1 flags any stale
+one. Classes that are unconstructible for reasons the annotations don't
+show can still opt out with ``# repro-lint: disable=R1`` on the ``class``
+line.
+
+R1 is a :class:`~repro.lint.rules.ProgramRule`: class definitions and
+registration references are collected per file (cacheable facts) and
+joined at settlement; the KeyError check is purely local and stays in
+``check``.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.lint.determinism import _attribute_chain
-from repro.lint.rules import FileContext, Rule, register_rule
+from repro.lint.rules import FileContext, Program, ProgramRule, register_rule
 from repro.lint.violations import Violation
 
 __all__ = ["RegistryCompleteness"]
@@ -53,24 +62,17 @@ SERIALIZED_SPEC_CLASSES = frozenset({
     "TopologySpec", "RoutingSpec", "SelectionSpec", "MarkingSpec",
 })
 
+#: live-object parameter types each root's registry factory CANNOT supply
+#: (routing factories are ``factory(rng)``; marking factories are
+#: ``factory(rng, topology, probability)``). A concrete class requiring
+#: one of these in __init__ is not name-constructible and is auto-exempt
+#: from the registration requirement.
+UNSUPPLIABLE_LIVE_TYPES: Dict[str, Tuple[str, ...]] = {
+    "Router": ("Topology", "Fabric", "Simulator"),
+    "MarkingScheme": ("Fabric", "Simulator"),
+}
+
 _CLASSLIKE_RE = re.compile(r"^[A-Z]")
-
-
-class _ClassInfo:
-    """What R1 remembers about one class definition."""
-
-    __slots__ = ("name", "path", "line", "col", "bases", "methods",
-                 "is_abstract")
-
-    def __init__(self, name: str, path: str, line: int, col: int,
-                 bases: Tuple[str, ...], methods: Set[str], is_abstract: bool):
-        self.name = name
-        self.path = path
-        self.line = line
-        self.col = col
-        self.bases = bases
-        self.methods = methods
-        self.is_abstract = is_abstract
 
 
 def _base_names(node: ast.ClassDef) -> Tuple[str, ...]:
@@ -93,6 +95,36 @@ def _is_abstract(node: ast.ClassDef, bases: Tuple[str, ...]) -> bool:
                                                        "abstractproperty"):
                     return True
     return False
+
+
+def _required_init_annotations(node: ast.ClassDef) -> List[str]:
+    """Annotation tails of __init__ params that have no default (sans self).
+
+    String annotations (``"Topology"``) are unquoted so forward references
+    count the same as direct ones.
+    """
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            args = item.args
+            positional = args.posonlyargs + args.args
+            defaults_start = len(positional) - len(args.defaults)
+            out: List[str] = []
+            for index, arg in enumerate(positional):
+                if index == 0 and arg.arg in ("self", "cls"):
+                    continue
+                if index >= defaults_start:
+                    continue
+                if arg.annotation is None:
+                    continue
+                if isinstance(arg.annotation, ast.Constant) \
+                        and isinstance(arg.annotation.value, str):
+                    out.append(arg.annotation.value.split(".")[-1])
+                    continue
+                chain = _attribute_chain(arg.annotation)
+                if chain is not None:
+                    out.append(chain[-1])
+            return out
+    return []
 
 
 def _classlike_names(node: ast.AST) -> Set[str]:
@@ -127,16 +159,18 @@ def _references_registry(tree: ast.Module) -> bool:
 
 
 @register_rule
-class RegistryCompleteness(Rule):
+class RegistryCompleteness(ProgramRule):
     """R1: pluggable classes are registered and cache-serializable."""
 
     rule_id = "R1"
     name = "registry-completeness"
     description = (
         "concrete Router/MarkingScheme/FaultSpec/AttackSpec subclasses must "
-        "be registered in repro.registry; fault, attack, and config specs "
-        "must define to_dict/from_dict; registry lookups must raise "
-        "UnknownNameError, not KeyError"
+        "be registered in repro.registry (classes requiring live "
+        "constructor objects the factory signature cannot supply are "
+        "exempt); fault, attack, and config specs must define "
+        "to_dict/from_dict; registry lookups must raise UnknownNameError, "
+        "not KeyError"
     )
     hint = (
         "add a factory + REGISTRY.register(name, factory) next to the class "
@@ -144,63 +178,10 @@ class RegistryCompleteness(Rule):
         "constructed by name)"
     )
 
-    def __init__(self) -> None:
-        self._classes: Dict[str, _ClassInfo] = {}
-        self._registered_names: Set[str] = set()
-        self._registered_factories: Set[str] = set()
-        self._factory_bodies: Dict[str, Set[str]] = {}
-
-    # -- per-file collection ---------------------------------------------
+    # -- local check: KeyError misuse (depends on one file only) ----------
     def check(self, ctx: FileContext) -> Iterable[Violation]:
         if ctx.repro_parts is None:
             return
-        self._collect_classes(ctx)
-        self._collect_registrations(ctx)
-        yield from self._check_keyerror(ctx)
-
-    def _collect_classes(self, ctx: FileContext) -> None:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            bases = _base_names(node)
-            methods = {
-                item.name for item in node.body
-                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-            }
-            self._classes[node.name] = _ClassInfo(
-                name=node.name, path=ctx.path, line=node.lineno,
-                col=node.col_offset + 1, bases=bases, methods=methods,
-                is_abstract=_is_abstract(node, bases),
-            )
-
-    def _collect_registrations(self, ctx: FileContext) -> None:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Call):
-                chain = _attribute_chain(node.func)
-                if chain is not None and chain[-1] == "register":
-                    for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
-                        ref = _attribute_chain(arg)
-                        if ref is None:
-                            continue
-                        if _CLASSLIKE_RE.match(ref[-1]):
-                            self._registered_names.add(ref[-1])
-                        else:
-                            self._registered_factories.add(ref[-1])
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._factory_bodies[node.name] = _classlike_names(node)
-                for decorator in node.decorator_list:
-                    if isinstance(decorator, ast.Call):
-                        chain = _attribute_chain(decorator.func)
-                        if chain is not None and chain[-1] == "register":
-                            self._registered_factories.add(node.name)
-            elif isinstance(node, ast.ClassDef):
-                for decorator in node.decorator_list:
-                    if isinstance(decorator, ast.Call):
-                        chain = _attribute_chain(decorator.func)
-                        if chain is not None and chain[-1] == "register":
-                            self._registered_names.add(node.name)
-
-    def _check_keyerror(self, ctx: FileContext) -> Iterable[Violation]:
         if not _references_registry(ctx.tree):
             return
         for node in ast.walk(ctx.tree):
@@ -217,45 +198,126 @@ class RegistryCompleteness(Rule):
                          "choices) so callers see the available names",
                 )
 
-    # -- cross-file settlement -------------------------------------------
-    def finalize(self) -> Iterable[Violation]:
-        reachable = set(self._registered_names)
-        for factory in self._registered_factories:
-            reachable |= self._factory_bodies.get(factory, set())
+    # -- per-file fact collection -----------------------------------------
+    def collect(self, ctx: FileContext) -> Optional[Dict[str, Any]]:
+        if ctx.repro_parts is None:
+            return None
+        classes: List[Dict[str, Any]] = []
+        registered_names: Set[str] = set()
+        registered_factories: Set[str] = set()
+        factory_bodies: Dict[str, List[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = _base_names(node)
+                classes.append({
+                    "name": node.name,
+                    "line": node.lineno,
+                    "col": node.col_offset + 1,
+                    "bases": list(bases),
+                    "methods": sorted({
+                        item.name for item in node.body
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))
+                    }),
+                    "abstract": _is_abstract(node, bases),
+                    "init_required": _required_init_annotations(node),
+                })
+                for decorator in node.decorator_list:
+                    if isinstance(decorator, ast.Call):
+                        chain = _attribute_chain(decorator.func)
+                        if chain is not None and chain[-1] == "register":
+                            registered_names.add(node.name)
+            elif isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if chain is not None and chain[-1] == "register":
+                    for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+                        ref = _attribute_chain(arg)
+                        if ref is None:
+                            continue
+                        if _CLASSLIKE_RE.match(ref[-1]):
+                            registered_names.add(ref[-1])
+                        else:
+                            registered_factories.add(ref[-1])
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                factory_bodies[node.name] = sorted(_classlike_names(node))
+                for decorator in node.decorator_list:
+                    if isinstance(decorator, ast.Call):
+                        chain = _attribute_chain(decorator.func)
+                        if chain is not None and chain[-1] == "register":
+                            registered_factories.add(node.name)
+        if not (classes or registered_names or registered_factories):
+            return None
+        return {
+            "classes": classes,
+            "registered_names": sorted(registered_names),
+            "registered_factories": sorted(registered_factories),
+            "factory_bodies": factory_bodies,
+        }
 
-        for info in sorted(self._classes.values(),
-                           key=lambda c: (c.path, c.line)):
-            if info.is_abstract or info.name.startswith("_"):
+    # -- cross-file settlement -------------------------------------------
+    def settle(self, program: Program) -> Iterable[Violation]:
+        facts = program.facts(self.rule_id)
+        classes: Dict[str, Dict[str, Any]] = {}
+        class_paths: Dict[str, str] = {}
+        registered: Set[str] = set()
+        factories: Set[str] = set()
+        factory_bodies: Dict[str, Set[str]] = {}
+        for path in sorted(facts):
+            file_facts = facts[path]
+            for entry in file_facts.get("classes", ()):
+                classes[entry["name"]] = entry
+                class_paths[entry["name"]] = path
+            registered.update(file_facts.get("registered_names", ()))
+            factories.update(file_facts.get("registered_factories", ()))
+            for name, body in file_facts.get("factory_bodies", {}).items():
+                factory_bodies.setdefault(name, set()).update(body)
+
+        reachable = set(registered)
+        for factory in sorted(factories):
+            reachable |= factory_bodies.get(factory, set())
+
+        for name in sorted(classes, key=lambda n: (class_paths[n],
+                                                   classes[n]["line"])):
+            info = classes[name]
+            if info["abstract"] or name.startswith("_"):
                 continue
-            root = self._root_base(info.name)
-            if root is None:
-                serialization_only = info.name in SERIALIZED_SPEC_CLASSES
-                if not serialization_only:
-                    continue
-            if root in REGISTERED_BASES and info.name not in reachable:
+            root = self._root_base(name, classes)
+            if root is None and name not in SERIALIZED_SPEC_CLASSES:
+                continue
+            if root in REGISTERED_BASES and name not in reachable \
+                    and not self._live_object_exempt(root, info):
                 yield Violation(
-                    path=info.path, line=info.line, col=info.col,
-                    rule=self.rule_id,
-                    message=(f"concrete {root} subclass {info.name!r} is not "
+                    path=class_paths[name], line=info["line"],
+                    col=info["col"], rule=self.rule_id,
+                    message=(f"concrete {root} subclass {name!r} is not "
                              "registered in repro.registry"),
                     hint=self.hint,
                 )
             if (root in SERIALIZED_SPEC_ROOTS
-                    or info.name in SERIALIZED_SPEC_CLASSES):
+                    or name in SERIALIZED_SPEC_CLASSES):
                 missing = [m for m in ("to_dict", "from_dict")
-                           if not self._defines(info.name, m)]
+                           if not self._defines(name, m, classes)]
                 if missing:
                     yield Violation(
-                        path=info.path, line=info.line, col=info.col,
-                        rule=self.rule_id,
-                        message=(f"spec class {info.name!r} lacks "
+                        path=class_paths[name], line=info["line"],
+                        col=info["col"], rule=self.rule_id,
+                        message=(f"spec class {name!r} lacks "
                                  f"{'/'.join(missing)} (cache keys rely on "
                                  "the canonical serialization pair)"),
                         hint="implement to_dict() and from_dict() mirroring "
                              "the other specs",
                     )
 
-    def _root_base(self, name: str) -> Optional[str]:
+    @staticmethod
+    def _live_object_exempt(root: str, info: Dict[str, Any]) -> bool:
+        """Does __init__ require a live object the factory can't supply?"""
+        unsuppliable = UNSUPPLIABLE_LIVE_TYPES.get(root, ())
+        return any(annotation in unsuppliable
+                   for annotation in info.get("init_required", ()))
+
+    @staticmethod
+    def _root_base(name: str,
+                   classes: Dict[str, Dict[str, Any]]) -> Optional[str]:
         """Which tracked base (if any) ``name`` transitively descends from."""
         seen: Set[str] = set()
         frontier = [name]
@@ -264,18 +326,20 @@ class RegistryCompleteness(Rule):
             if current in seen:
                 continue
             seen.add(current)
-            info = self._classes.get(current)
+            info = classes.get(current)
             if info is None:
                 if current != name and current in REGISTERED_BASES:
                     return current
                 continue
-            for base in info.bases:
+            for base in info["bases"]:
                 if base in REGISTERED_BASES:
                     return base
                 frontier.append(base)
         return None
 
-    def _defines(self, name: str, method: str) -> bool:
+    @staticmethod
+    def _defines(name: str, method: str,
+                 classes: Dict[str, Dict[str, Any]]) -> bool:
         seen: Set[str] = set()
         frontier = [name]
         while frontier:
@@ -283,10 +347,10 @@ class RegistryCompleteness(Rule):
             if current in seen:
                 continue
             seen.add(current)
-            info = self._classes.get(current)
+            info = classes.get(current)
             if info is None:
                 continue
-            if method in info.methods:
+            if method in info["methods"]:
                 return True
-            frontier.extend(info.bases)
+            frontier.extend(info["bases"])
         return False

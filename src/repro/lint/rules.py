@@ -1,11 +1,20 @@
 """Lint-rule interface and registry.
 
-A :class:`Rule` inspects one parsed file at a time through :meth:`Rule.check`
-and may hold cross-file state that it settles in :meth:`Rule.finalize` (the
-registry-completeness rule works this way: it needs to see both the class
-definitions and the ``registry.py`` registration calls before it can say
-anything). Rules are *stateful per run*, so :func:`create_rules` hands the
-runner a fresh instance of every registered rule class.
+Two rule shapes share the :class:`Rule` base:
+
+* **local rules** inspect one parsed file at a time through
+  :meth:`Rule.check` — their findings depend only on that file's text, so
+  the incremental runner can cache them per content hash;
+* **program rules** (subclasses of :class:`ProgramRule`) extract
+  JSON-serializable *facts* per file through :meth:`ProgramRule.collect`
+  and emit findings once every file has been seen, in
+  :meth:`ProgramRule.settle`, with access to the whole-program
+  :class:`~repro.lint.callgraph.CallGraph` via the :class:`Program`
+  handed to them. Facts are cacheable; settlement is cheap and always
+  re-runs.
+
+Rules are *stateful per run*, so :func:`create_rules` hands the runner a
+fresh instance of every registered rule class.
 
 Registration is decorator-style::
 
@@ -14,25 +23,30 @@ Registration is decorator-style::
         rule_id = "D1"
         ...
 
-The table is ordered by registration, which fixes the rule column order in
-``--list-rules`` and the grouping of the human report.
+The table is presented sorted by rule id, which fixes the column order in
+``--list-rules`` and the grouping of the human report independent of
+module import order.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import PurePath
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownNameError
+from repro.lint.callgraph import CallGraph
 from repro.lint.violations import Violation
 
 __all__ = [
     "FileContext",
+    "Program",
+    "ProgramRule",
     "Rule",
+    "create_rules",
+    "known_rule_ids",
     "register_rule",
     "rule_classes",
-    "create_rules",
 ]
 
 
@@ -88,12 +102,31 @@ class FileContext:
         )
 
 
+class Program:
+    """Whole-run view handed to :meth:`ProgramRule.settle`.
+
+    Attributes
+    ----------
+    callgraph:
+        The merged :class:`~repro.lint.callgraph.CallGraph` over every
+        linted file.
+    """
+
+    def __init__(self, callgraph: CallGraph,
+                 facts_by_rule: Dict[str, Dict[str, Any]]):
+        self.callgraph = callgraph
+        self._facts_by_rule = facts_by_rule
+
+    def facts(self, rule_id: str) -> Dict[str, Any]:
+        """``path -> facts`` collected by the rule with ``rule_id``."""
+        return self._facts_by_rule.get(rule_id, {})
+
+
 class Rule:
-    """One statically checkable project invariant.
+    """One statically checkable project invariant (local, per-file shape).
 
     Class attributes declare identity and documentation; subclasses
-    implement :meth:`check` (per file) and optionally :meth:`finalize`
-    (after every file has been seen).
+    implement :meth:`check` (per file).
     """
 
     #: short stable id used in reports and suppression comments (e.g. "D1")
@@ -106,15 +139,29 @@ class Rule:
     hint: str = ""
 
     def check(self, ctx: FileContext) -> Iterable[Violation]:
-        """Findings for one file (may also just record cross-file state)."""
-        return ()
-
-    def finalize(self) -> Iterable[Violation]:
-        """Findings that needed the whole run's state (cross-file rules)."""
+        """Findings for one file."""
         return ()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Rule {self.rule_id} {self.name}>"
+
+
+class ProgramRule(Rule):
+    """A rule whose findings need the whole program (call graph, all files).
+
+    Subclasses implement :meth:`collect` — returning a JSON-serializable
+    facts object per file (or ``None``) — and :meth:`settle`, which turns
+    the merged facts plus the call graph into violations. ``check`` stays
+    empty: program rules never report from a single file alone.
+    """
+
+    def collect(self, ctx: FileContext) -> Optional[Dict[str, Any]]:
+        """Extract this file's facts (must be JSON-serializable)."""
+        return None
+
+    def settle(self, program: Program) -> Iterable[Violation]:
+        """Findings computed over the merged program facts."""
+        return ()
 
 
 _RULES: Dict[str, Type[Rule]] = {}
@@ -131,31 +178,43 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 
 def rule_classes() -> Tuple[Type[Rule], ...]:
-    """All registered rule classes, in registration order."""
+    """All registered rule classes, sorted by rule id.
+
+    Sorted (not registration-ordered) so the table is identical however
+    the rule modules happened to be imported.
+    """
     _load_builtin_rules()
-    return tuple(_RULES.values())
+    return tuple(_RULES[rule_id] for rule_id in sorted(_RULES))
+
+
+def known_rule_ids() -> Tuple[str, ...]:
+    """Every registered rule id plus pseudo-rule E1, sorted."""
+    _load_builtin_rules()
+    return tuple(sorted(set(_RULES) | {"E1"}))
 
 
 def create_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
     """Fresh instances of the selected rules (default: all).
 
-    Unknown ids in ``select`` raise :class:`ConfigurationError` naming the
-    known rules, so a typo in ``--select`` fails loudly instead of
+    Unknown ids in ``select`` raise the structured
+    :class:`repro.errors.UnknownNameError` (``kind="lint-rule"``) naming
+    the known rules, so a typo in ``--select`` fails loudly instead of
     silently checking nothing.
     """
     _load_builtin_rules()
     if select is None:
-        return [cls() for cls in _RULES.values()]
+        return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
     chosen: List[Rule] = []
     for rule_id in select:
         cls = _RULES.get(rule_id)
         if cls is None:
-            known = ", ".join(_RULES)
-            raise ConfigurationError(f"unknown lint rule {rule_id!r} (known: {known})")
+            raise UnknownNameError("lint-rule", rule_id,
+                                   choices=tuple(sorted(_RULES)))
         chosen.append(cls())
     return chosen
 
 
 def _load_builtin_rules() -> None:
     """Import the rule modules (idempotent; they self-register on import)."""
-    from repro.lint import determinism, registrycheck  # noqa: F401
+    from repro.lint import dataflow, determinism, registrycheck  # noqa: F401
+    from repro.lint import suppressions  # noqa: F401  (registers W1)

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 output for the lint report.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: uploading the
+document from CI turns every lint finding into an inline annotation on
+the offending line of the pull request diff. The builder emits the
+minimal conforming subset — one run, one ``tool.driver`` carrying the
+full rule table (id, name, descriptions, help), and one ``result`` per
+surviving violation with a physical location.
+
+Rule W1 (unused suppression) maps to SARIF level ``warning``; everything
+else is an invariant breach and maps to ``error``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from repro.lint.runner import LintReport
+from repro.lint.rules import Rule
+
+__all__ = ["to_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: rule ids reported as SARIF "warning" rather than "error".
+_WARNING_RULES = frozenset({"W1"})
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    descriptor: Dict[str, Any] = {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": "warning" if rule.rule_id in _WARNING_RULES else "error",
+        },
+    }
+    if rule.hint:
+        descriptor["help"] = {"text": rule.hint}
+    return descriptor
+
+
+def to_sarif(report: LintReport, rules: Iterable[Rule]) -> Dict[str, Any]:
+    """The full SARIF document for one lint run."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    known_ids = {d["id"] for d in descriptors}
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = []
+    for violation in report.violations:
+        message = violation.message
+        if violation.hint:
+            message = f"{message} ({violation.hint})"
+        result: Dict[str, Any] = {
+            "ruleId": violation.rule,
+            "level": ("warning" if violation.rule in _WARNING_RULES
+                      else "error"),
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": max(violation.col, 1),
+                    },
+                },
+            }],
+        }
+        if violation.rule in known_ids:
+            result["ruleIndex"] = rule_index[violation.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
+    }

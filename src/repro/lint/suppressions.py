@@ -22,6 +22,16 @@ Suppressions are deliberately *per rule*: there is no bare ``disable``.
 Every opt-out names what it is opting out of, which keeps ``git grep
 'repro-lint: disable'`` an accurate inventory of the determinism
 contract's known exceptions.
+
+Two guards keep that inventory honest:
+
+* a directive naming a rule id that does not exist is rejected with the
+  structured :class:`repro.errors.UnknownNameError` (``kind="lint-rule"``)
+  — a typo'd directive must not silently suppress nothing
+  (:func:`validate_directives`, called by the runner per file);
+* a directive that suppresses nothing in the current run is itself a
+  finding — rule **W1** (``unused-suppression``, the ruff ``unused-noqa``
+  analogue), settled centrally by the runner after all other rules ran.
 """
 
 from __future__ import annotations
@@ -29,28 +39,74 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["SuppressionIndex", "DIRECTIVE_RE"]
+from repro.errors import UnknownNameError
+from repro.lint.rules import Rule, register_rule
+from repro.lint.violations import Violation
 
-#: matches ``repro-lint: disable=R1,R2`` / ``repro-lint: disable-file=all``
-#: inside a comment (the leading ``#`` is stripped before matching).
+__all__ = ["Directive", "SuppressionIndex", "UnusedSuppression", "DIRECTIVE_RE",
+           "validate_directives"]
+
+#: matches a line or file directive inside a comment: the ``repro-lint:``
+#: marker followed by disable or disable-file, ``=``, and the rule list.
 DIRECTIVE_RE = re.compile(
     r"repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
     r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
 )
 
 
-def _parse_rules(raw: str) -> Set[str]:
-    return {part.strip() for part in raw.split(",") if part.strip()}
+def _parse_rules(raw: str) -> Tuple[str, ...]:
+    return tuple(sorted({part.strip() for part in raw.split(",") if part.strip()}))
+
+
+class Directive:
+    """One parsed suppression directive and its usage accounting."""
+
+    __slots__ = ("line", "scope", "rules", "own_line", "hits")
+
+    def __init__(self, line: int, scope: str, rules: Tuple[str, ...],
+                 own_line: bool = False):
+        self.line = line
+        #: ``"file"`` or ``"line"``
+        self.scope = scope
+        self.rules = rules
+        #: a comment-only directive also shields the following line
+        self.own_line = own_line
+        #: raw violations this directive suppressed during settlement
+        self.hits = 0
+
+    def matches(self, rule: str, line: int) -> bool:
+        """Would this directive suppress ``rule`` reported at ``line``?"""
+        if rule not in self.rules and "all" not in self.rules:
+            return False
+        if self.scope == "file":
+            return True
+        if line == self.line:
+            return True
+        return self.own_line and line == self.line + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (cached by the incremental runner)."""
+        return {"line": self.line, "scope": self.scope,
+                "rules": list(self.rules), "own_line": self.own_line}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Directive":
+        """Rebuild from :meth:`to_dict` output."""
+        rules_raw = data["rules"]
+        assert isinstance(rules_raw, list)
+        return cls(line=int(data["line"]),  # type: ignore[call-overload]
+                   scope=str(data["scope"]),
+                   rules=tuple(str(r) for r in rules_raw),
+                   own_line=bool(data.get("own_line", False)))
 
 
 class SuppressionIndex:
-    """Per-file map of which rules are suppressed on which lines."""
+    """Per-file list of suppression directives, queried by (rule, line)."""
 
-    def __init__(self) -> None:
-        self._file_rules: Set[str] = set()
-        self._line_rules: Dict[int, Set[str]] = {}
+    def __init__(self, directives: Optional[List[Directive]] = None) -> None:
+        self.directives: List[Directive] = directives or []
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -67,8 +123,14 @@ class SuppressionIndex:
                 continue
             line_no = token.start[0]
             before = token.line[: token.start[1]]
-            index._add_directive(token.string, line_no, own_line=not before.strip())
+            index._add_directive(token.string, line_no,
+                                 own_line=not before.strip())
         return index
+
+    @classmethod
+    def from_directives(cls, records: Sequence[Dict[str, object]]) -> "SuppressionIndex":
+        """Rebuild an index from cached :meth:`Directive.to_dict` records."""
+        return cls([Directive.from_dict(record) for record in records])
 
     def _scan_lines(self, source: str) -> None:
         """Degraded-mode scan for files tokenize rejects (syntax errors)."""
@@ -85,23 +147,95 @@ class SuppressionIndex:
             return
         rules = _parse_rules(match.group("rules"))
         if match.group("scope") == "disable-file":
-            self._file_rules |= rules
+            self.directives.append(Directive(line_no, "file", rules))
             return
-        self._line_rules.setdefault(line_no, set()).update(rules)
-        if own_line:
-            # A comment-only line shields the statement that follows it.
-            self._line_rules.setdefault(line_no + 1, set()).update(rules)
+        self.directives.append(Directive(line_no, "line", rules,
+                                         own_line=own_line))
 
     # -- queries ----------------------------------------------------------
+    def suppress(self, rule: str, line: int) -> bool:
+        """True when ``rule`` at ``line`` is suppressed; counts the hit."""
+        hit = False
+        for directive in self.directives:
+            if directive.matches(rule, line):
+                directive.hits += 1
+                hit = True
+        return hit
+
     def is_suppressed(self, rule: str, line: int) -> bool:
-        """True when ``rule`` (by id) is disabled at ``line``."""
-        if "all" in self._file_rules or rule in self._file_rules:
-            return True
-        at_line = self._line_rules.get(line)
-        if at_line is None:
-            return False
-        return "all" in at_line or rule in at_line
+        """Read-only query (no usage accounting)."""
+        return any(d.matches(rule, line) for d in self.directives)
+
+    def reset_hits(self) -> None:
+        """Clear usage accounting before a settlement pass."""
+        for directive in self.directives:
+            directive.hits = 0
 
     def __repr__(self) -> str:  # pragma: no cover
-        return (f"SuppressionIndex(file={sorted(self._file_rules)}, "
-                f"lines={ {k: sorted(v) for k, v in sorted(self._line_rules.items())} })")
+        return f"SuppressionIndex({[d.to_dict() for d in self.directives]!r})"
+
+
+def validate_directives(path: str, index: SuppressionIndex,
+                        known: Sequence[str]) -> None:
+    """Reject directives naming unknown rule ids.
+
+    Raises the structured :class:`repro.errors.UnknownNameError`
+    (``kind="lint-rule"``) naming the file and line, so a typo'd directive
+    fails the run loudly instead of silently suppressing nothing.
+    """
+    known_set = set(known)
+    known_set.add("all")
+    for directive in index.directives:
+        for rule_id in directive.rules:
+            if rule_id not in known_set:
+                exc = UnknownNameError("lint-rule", rule_id,
+                                       choices=tuple(known))
+                exc.args = (f"{path}:{directive.line}: {exc.args[0]}",)
+                raise exc
+
+
+@register_rule
+class UnusedSuppression(Rule):
+    """W1: a suppression directive must actually suppress something.
+
+    The runner settles this rule centrally (it needs the full raw
+    violation stream, including program-rule findings, before usage can
+    be decided); the class exists so W1 shows up in ``--list-rules``,
+    participates in ``--select``, and documents itself like every other
+    rule. ``check`` is intentionally empty.
+    """
+
+    rule_id = "W1"
+    name = "unused-suppression"
+    description = (
+        "a `# repro-lint: disable=<rule>` directive that suppresses no "
+        "finding in this run is dead weight (the ruff unused-noqa "
+        "analogue); remove it so the suppression inventory stays accurate"
+    )
+    hint = "delete the stale directive (or narrow it to the rules still firing)"
+
+    @staticmethod
+    def settle_directives(
+            path: str, index: SuppressionIndex,
+            active_rules: Iterable[str]) -> Iterable[Violation]:
+        """W1 violations for ``path`` after a hit-counted settlement pass.
+
+        Only directives fully covered by ``active_rules`` are judged: in a
+        ``--select`` subset run, a directive for an unselected rule had no
+        chance to be used and is not reported.
+        """
+        active: Set[str] = set(active_rules)
+        rule = UnusedSuppression
+        for directive in index.directives:
+            if directive.hits:
+                continue
+            if "all" in directive.rules or not set(directive.rules) <= active:
+                continue
+            ids = ",".join(directive.rules)
+            scope = ("file-wide " if directive.scope == "file" else "")
+            yield Violation(
+                path=path, line=directive.line, col=1, rule=rule.rule_id,
+                message=(f"{scope}suppression of {ids} suppresses nothing "
+                         "in this run"),
+                hint=rule.hint,
+            )

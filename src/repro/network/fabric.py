@@ -116,6 +116,9 @@ class Fabric:
         #: shells from it and the retirement paths (unobserved deliveries,
         #: ring flushes, drops — including wire drops) release them back.
         self.pool = pool
+        if pool is not None and self.sim.sanitizer is not None:
+            # Sanitized runs audit freelist transfers for double-release.
+            pool.sanitizer = self.sim.sanitizer
 
         #: shared memoized distance lookup (== topology.min_hops, but O(1));
         #: the switches' per-hop profitability test goes through this.
@@ -354,7 +357,7 @@ class Fabric:
         """Subscribe to deliveries at ``node`` (e.g. the victim's detector)."""
         # The definition point of the per-packet API itself — callers in
         # network/ hot paths are what H2 polices, not this delegation.
-        self.nics[node].add_delivery_handler(handler)  # repro-lint: disable=H2
+        self.nics[node].add_delivery_handler(handler)
 
     def attach_delivery_sink(self, node: int,
                              consumer: Optional[BatchConsumer] = None, *,
@@ -415,6 +418,10 @@ class Fabric:
         now = self.sim.run()
         if self._delivery_sinks:
             self.flush_delivery_sinks()
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            # Full drain: every idle live channel must hold all its credits.
+            sanitizer.check_credits(self.channels)
         return now
 
     def fail_link(self, u: int, v: int) -> None:

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.network.packet import Packet
@@ -81,10 +82,14 @@ class MarkBatch:
     __slots__ = ("node", "times", "sources", "dests", "words", "ttls",
                  "hops", "packets", "ids")
 
-    def __init__(self, node: int, times: np.ndarray, sources: np.ndarray,
-                 dests: np.ndarray, words: np.ndarray, ttls: np.ndarray,
-                 hops: np.ndarray, packets: Optional[List[Packet]],
-                 ids: Optional[np.ndarray] = None):
+    def __init__(self, node: int, times: npt.NDArray[np.float64],
+                 sources: npt.NDArray[np.uint32],
+                 dests: npt.NDArray[np.uint32],
+                 words: npt.NDArray[np.uint32],
+                 ttls: npt.NDArray[np.int16],
+                 hops: npt.NDArray[np.int32],
+                 packets: Optional[List[Packet]],
+                 ids: Optional[npt.NDArray[np.int64]] = None):
         self.node = node
         self.times = times
         self.sources = sources
@@ -129,7 +134,7 @@ class MarkBatch:
             np.fromiter((p.packet_id for p in packets), dtype=np.int64, count=n),
         )
 
-    def compress(self, mask: np.ndarray) -> "MarkBatch":
+    def compress(self, mask: npt.NDArray[np.bool_]) -> "MarkBatch":
         """Rows where ``mask`` is True, as a new batch (order preserved)."""
         index = np.flatnonzero(mask)
         packets = self.packets
@@ -226,9 +231,13 @@ class DeliveryRing:
         if i == self.capacity:
             self.flush()
 
-    def extend(self, times: np.ndarray, sources: np.ndarray,
-               dests: np.ndarray, words: np.ndarray, ttls: np.ndarray,
-               hops: np.ndarray, ids: np.ndarray) -> int:
+    def extend(self, times: npt.NDArray[np.float64],
+               sources: npt.NDArray[np.uint32],
+               dests: npt.NDArray[np.uint32],
+               words: npt.NDArray[np.uint32],
+               ttls: npt.NDArray[np.int16],
+               hops: npt.NDArray[np.int32],
+               ids: npt.NDArray[np.int64]) -> int:
         """Append many rows at once (the batched engine's delivery path).
 
         Column arrays are copied into the ring in capacity-sized chunks,

@@ -177,7 +177,8 @@ class PacketPool:
       the pool never invalidates an object somebody still watches.
     """
 
-    __slots__ = ("max_size", "allocated", "reused", "released", "_free")
+    __slots__ = ("max_size", "allocated", "reused", "released", "_free",
+                 "sanitizer")
 
     def __init__(self, max_size: int = 4096):
         if max_size < 1:
@@ -187,6 +188,10 @@ class PacketPool:
         self.reused = 0
         self.released = 0
         self._free: List[Packet] = []
+        #: optional :class:`repro.engine.sanitize.SimSanitizer`; when set
+        #: (wired by the fabric on sanitized runs), every freelist transfer
+        #: is audited for double-release and leak accounting.
+        self.sanitizer = None
 
     def __len__(self) -> int:
         return len(self._free)
@@ -203,6 +208,8 @@ class PacketPool:
                           flow_id=flow_id, seq=seq,
                           misroute_budget=misroute_budget, payload=payload)
         packet = free.pop()
+        if self.sanitizer is not None:
+            self.sanitizer.note_pool_acquire(packet)
         self.reused += 1
         packet.packet_id = next(_packet_ids)
         packet.header = header
@@ -229,6 +236,8 @@ class PacketPool:
     def release(self, packet: Packet) -> None:
         """Return a retired packet to the freelist (dropped past ``max_size``)."""
         if len(self._free) < self.max_size:
+            if self.sanitizer is not None:
+                self.sanitizer.note_pool_release(packet)
             packet.trace = None
             packet.payload = None
             self._free.append(packet)

@@ -1,0 +1,1 @@
+"""Deliberately broken source fixtures for lint/sanitizer tests."""

@@ -1,0 +1,30 @@
+"""Deliberately broken simulation code — the two-layer detection fixture.
+
+tests/test_sanitize_equivalence.py exercises this file both ways:
+
+* **statically** — the file's source is linted under a pretend
+  ``src/repro/attack/`` path, where rule D4 must flag the ad-hoc
+  generator minted in :func:`jitter`;
+* **dynamically** — the module body is executed under a ``repro.attack``
+  module name and :func:`siphon` is handed a stream first drawn by
+  marking-side code, which the :class:`repro.engine.sanitize.SimSanitizer`
+  must reject as cross-package stream use.
+
+Nothing in the library imports this module; it exists to stay broken.
+"""
+
+import numpy as np
+
+
+def jitter() -> float:
+    # BUG (D4): mints a private generator instead of drawing from a named
+    # engine.rng stream, decoupling the result from the experiment seed.
+    rng = np.random.default_rng(1234)
+    return float(rng.random())
+
+
+def siphon(stream) -> float:
+    # BUG (sanitizer): draws from whatever stream it is handed — when that
+    # stream belongs to another subsystem, this draw perturbs the owner's
+    # sequence and breaks seed-for-seed reproducibility.
+    return float(stream.random())

@@ -1,0 +1,139 @@
+"""Unit tests for the whole-program symbol table and call graph."""
+
+import ast
+
+from repro.lint.callgraph import (
+    MODULE_SCOPE,
+    CallGraph,
+    extract_file_graph,
+    iter_function_scopes,
+    walk_in_scope,
+)
+
+ENGINE_SRC = (
+    "class Engine:\n"
+    "    def __init__(self):\n"
+    "        self.helper = make_helper()\n"
+    "\n"
+    "    def run(self):\n"
+    "        step(self)\n"
+    "\n"
+    "def step(engine):\n"
+    "    engine.tick()\n"
+    "\n"
+    "def make_helper():\n"
+    "    return object()\n"
+)
+
+
+def graph_of(files):
+    """Build a CallGraph from {path: source}."""
+    facts = {path: extract_file_graph(path, ast.parse(source))
+             for path, source in files.items()}
+    return CallGraph.from_facts(facts)
+
+
+class TestExtraction:
+    def test_functions_classes_and_edges(self):
+        facts = extract_file_graph("a.py", ast.parse(ENGINE_SRC))
+        scopes = {f["scope"] for f in facts["functions"]}
+        assert scopes == {"Engine.__init__", "Engine.run", "step",
+                          "make_helper"}
+        assert facts["classes"] == {"Engine": "Engine.__init__"}
+        assert ["Engine.__init__", "make_helper"] in facts["edges"]
+        assert ["Engine.run", "step"] in facts["edges"]
+
+    def test_method_entries_carry_class(self):
+        facts = extract_file_graph("a.py", ast.parse(ENGINE_SRC))
+        by_scope = {f["scope"]: f for f in facts["functions"]}
+        assert by_scope["Engine.run"]["cls"] == "Engine"
+        assert by_scope["step"]["cls"] is None
+
+    def test_module_scope_edges(self):
+        facts = extract_file_graph(
+            "a.py", ast.parse("def setup():\n    pass\n\nx = setup()\n"))
+        assert [MODULE_SCOPE, "setup"] in facts["edges"]
+
+    def test_facts_round_trip_json_shapes(self):
+        import json
+        facts = extract_file_graph("a.py", ast.parse(ENGINE_SRC))
+        assert json.loads(json.dumps(facts)) == facts
+
+
+class TestScopeHelpers:
+    def test_iter_function_scopes_dotted_names(self):
+        source = ("class A:\n"
+                  "    def m(self):\n"
+                  "        def inner():\n"
+                  "            pass\n"
+                  "\n"
+                  "def free():\n"
+                  "    pass\n")
+        scopes = [(scope, cls) for scope, _node, cls
+                  in iter_function_scopes(ast.parse(source))]
+        assert ("A.m", "A") in scopes
+        assert ("A.m.inner", "A") in scopes
+        assert ("free", None) in scopes
+
+    def test_walk_in_scope_skips_nested_bodies(self):
+        source = ("def outer():\n"
+                  "    a = 1\n"
+                  "    def inner():\n"
+                  "        b = 2\n")
+        tree = ast.parse(source)
+        outer = tree.body[0]
+        names = {node.id for node in walk_in_scope(outer)
+                 if isinstance(node, ast.Name)}
+        assert "a" in names
+        assert "b" not in names  # inner's body is its own scope
+
+    def test_walk_in_scope_yields_boundary_markers(self):
+        tree = ast.parse("def outer():\n    def inner():\n        pass\n")
+        kinds = [type(node).__name__ for node in walk_in_scope(tree.body[0])]
+        assert kinds.count("FunctionDef") == 2  # the root and the marker
+
+
+class TestReachability:
+    def test_forward_follows_merged_names(self):
+        graph = graph_of({"a.py": ENGINE_SRC})
+        reachable = graph.forward_reachable(["a.py::Engine.run"])
+        assert "a.py::step" in reachable
+        assert "a.py::make_helper" not in reachable
+
+    def test_backward_reachable_finds_callers(self):
+        graph = graph_of({"a.py": ENGINE_SRC})
+        callers = graph.backward_reachable(["a.py::step"])
+        assert "a.py::Engine.run" in callers
+        assert "a.py::make_helper" not in callers
+
+    def test_ctor_edge_cross_file(self):
+        graph = graph_of({
+            "a.py": ENGINE_SRC,
+            "b.py": "def build():\n    return Engine()\n",
+        })
+        with_ctors = graph.forward_reachable(["b.py::build"])
+        assert "a.py::Engine.__init__" in with_ctors
+        assert "a.py::make_helper" in with_ctors  # through __init__
+
+    def test_follow_ctor_false_excludes_build_time_work(self):
+        graph = graph_of({
+            "a.py": ENGINE_SRC,
+            "b.py": "def build():\n    return Engine()\n",
+        })
+        hot = graph.forward_reachable(["b.py::build"], follow_ctor=False)
+        assert hot == frozenset({"b.py::build"})
+
+    def test_quals_named_merges_across_files(self):
+        graph = graph_of({
+            "a.py": "def advance():\n    pass\n",
+            "b.py": "class E:\n    def advance(self):\n        pass\n",
+        })
+        assert graph.quals_named("advance") == (
+            "a.py::advance", "b.py::E.advance")
+
+    def test_reachability_is_deterministic(self):
+        graph = graph_of({"a.py": ENGINE_SRC,
+                          "b.py": "def build():\n    return Engine()\n"})
+        first = graph.forward_reachable(["b.py::build"])
+        again = graph.forward_reachable(["b.py::build"])
+        assert first == again

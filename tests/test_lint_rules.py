@@ -217,18 +217,55 @@ class TestH3NoPerPacketPythonInBatchedPath:
 
     def test_flags_for_loop_in_batched_engine(self):
         report = run_lint(self.BATCHED,
-                          "def advance(rows):\n"
-                          "    for row in rows:\n"
-                          "        row.step()\n")
+                          "class CohortEngine:\n"
+                          "    def advance(self, rows):\n"
+                          "        for row in rows:\n"
+                          "            row.step()\n")
         assert rules_hit(report) == {"H3"}
-        assert report.violations[0].line == 2
+        assert report.violations[0].line == 3
 
     def test_flags_while_loop_in_colqueue(self):
         report = run_lint(self.COLQUEUE,
-                          "def drain(queue):\n"
-                          "    while queue:\n"
-                          "        queue.pop()\n")
+                          "class DrainEngine:\n"
+                          "    def run(self, queue):\n"
+                          "        while queue:\n"
+                          "            queue.pop()\n")
         assert rules_hit(report) == {"H3"}
+
+    def test_flags_helper_reachable_from_advance(self):
+        # The loop lives in a free function, but advance() calls it, so it
+        # sits on the per-step hot path and is flagged through the call
+        # graph.
+        report = run_lint(self.BATCHED,
+                          "class CohortEngine:\n"
+                          "    def advance(self):\n"
+                          "        drain(self.rows)\n"
+                          "\n"
+                          "def drain(rows):\n"
+                          "    for row in rows:\n"
+                          "        row.step()\n")
+        assert rules_hit(report) == {"H3"}
+        assert report.violations[0].line == 6
+
+    def test_build_time_helper_loop_is_clean(self):
+        # Loops in construction-time code (not reachable from any engine
+        # run/advance method) are fine: they run once, not per step.
+        report = run_lint(self.BATCHED,
+                          "class CohortEngine:\n"
+                          "    def advance(self):\n"
+                          "        pass\n"
+                          "\n"
+                          "def build(rows):\n"
+                          "    for row in rows:\n"
+                          "        row.freeze()\n")
+        assert "H3" not in rules_hit(report)
+
+    def test_module_scope_loop_is_always_flagged(self):
+        report = run_lint(self.BATCHED,
+                          "ROWS = []\n"
+                          "for row in ROWS:\n"
+                          "    row.step()\n")
+        assert "H3" in rules_hit(report)
 
     def test_flags_per_packet_registration(self):
         # add_delivery_handler in colqueue trips both the network-wide H2
@@ -465,10 +502,19 @@ class TestSuppressions:
 
     def test_directive_only_hides_named_rule(self):
         source = ("import time, random\n\ndef f():\n"
-                  "    random.random()\n"
-                  "    return time.time()  # repro-lint: disable=D2\n")
+                  "    return time.time() + random.random()"
+                  "  # repro-lint: disable=D2\n")
         report = run_lint(ENGINE, source)
-        assert rules_hit(report) == {"D1", "D2"}
+        assert rules_hit(report) == {"D1"}
+        assert report.suppressed == 1
+
+    def test_useless_directive_draws_w1(self):
+        # A suppression that matches nothing is itself a finding: stale
+        # directives would otherwise silently shadow future regressions.
+        source = ("import time\n\ndef f():\n"
+                  "    return 1  # repro-lint: disable=D2\n")
+        report = run_lint(ENGINE, source)
+        assert rules_hit(report) == {"W1"}
 
     def test_directive_in_docstring_is_inert(self):
         source = ('"""Docs mention # repro-lint: disable-file=all here."""\n'
@@ -500,7 +546,7 @@ class TestSelection:
         assert rules_hit(report) == {"D2"}
 
     def test_unknown_rule_id_raises(self):
-        with pytest.raises(ConfigurationError, match="unknown lint rule"):
+        with pytest.raises(ConfigurationError, match="unknown lint-rule 'Z9'"):
             run_lint(ENGINE, "x = 1\n", select=["Z9"])
 
 
@@ -552,12 +598,12 @@ class TestCli:
         clean = tmp_path / "ok.py"
         clean.write_text("x = 1\n")
         assert main([str(clean), "--select", "Z9"]) == 2
-        assert "unknown lint rule" in capsys.readouterr().err
+        assert "unknown lint-rule" in capsys.readouterr().err
 
     def test_list_rules_names_every_rule(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D1", "D2", "D3", "H1", "R1", "S1"):
+        for rule_id in ("D1", "D2", "D3", "D4", "D5", "H1", "R1", "S1", "W1"):
             assert rule_id in out
 
     def test_collect_files_skips_caches(self, tmp_path):

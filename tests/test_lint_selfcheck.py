@@ -15,6 +15,7 @@ class TestSelfCheck:
 
     def test_rule_table_is_complete(self):
         ids = [cls.rule_id for cls in rule_classes()]
-        assert ids == ["D1", "D2", "D3", "H1", "H2", "H3", "S1", "R1"]
+        assert ids == ["D1", "D2", "D3", "D4", "D5",
+                       "H1", "H2", "H3", "R1", "S1", "W1"]
         for cls in rule_classes():
             assert cls.name and cls.description and cls.hint

@@ -1,0 +1,87 @@
+"""Sanitized runs are invisible: golden and batched pins hold unchanged.
+
+These tests (marker ``sanitize``; CI runs them as the sanitize-smoke job via
+``pytest -m sanitize``) re-run the repo's strongest determinism pins with
+``REPRO_SANITIZE=1``:
+
+* a subset of the seed-for-seed golden scenarios must reproduce
+  ``tests/golden/equivalence.json`` byte-for-byte with zero sanitizer
+  reports — enabling the instrumentation may not perturb a single draw or
+  event;
+* the exact and batched engines must still agree with each other;
+* the deliberately broken fixture (``tests/fixtures/sanitize_bug.py``) must
+  be caught by *both* layers — statically by lint rule D4 and dynamically
+  by the SimSanitizer — proving the static and runtime halves cover the
+  same invariant.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import SanitizerError
+from repro.lint import lint_sources
+
+from tests.test_golden_equivalence import GOLDEN_PATH, run_scenario
+from tests.test_properties_batched_equivalence import _run as run_engines
+
+pytestmark = pytest.mark.sanitize
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "sanitize_bug.py"
+
+#: one scenario per topology family keeps the smoke fast while still
+#: exercising deterministic and adaptive routing under the sanitizer.
+GOLDEN_SUBSET = [
+    ("mesh_dor", "mesh", (4, 4), "dor", "first", 11),
+    ("torus_adaptive", "torus", (4, 4), "fully-adaptive", "random", 23),
+    ("hypercube_dor", "hypercube", (4,), "dor", "first", 42),
+]
+
+
+@pytest.mark.parametrize("name,kind,dims,routing,selection,seed",
+                         GOLDEN_SUBSET, ids=[s[0] for s in GOLDEN_SUBSET])
+def test_golden_pins_hold_under_sanitizer(monkeypatch, name, kind, dims,
+                                          routing, selection, seed):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    fresh = run_scenario(kind, dims, routing, selection, seed)
+    assert fresh == golden[name]
+
+
+def test_engines_agree_under_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    exact = run_engines("exact", "ddpm", "dor", "mesh", (4, 4))
+    batched = run_engines("batched", "ddpm", "dor", "mesh", (4, 4))
+    assert batched == exact
+
+
+class TestSeededFixtureBug:
+    """The broken fixture is caught statically (D4) and dynamically."""
+
+    def test_lint_d4_catches_the_fixture_statically(self):
+        source = FIXTURE_PATH.read_text()
+        report = lint_sources(
+            [("src/repro/attack/sanitize_bug.py", source)], select=["D4"])
+        assert not report.ok
+        assert {v.rule for v in report.violations} == {"D4"}
+        assert any("default_rng" in v.message or "'rng'" in v.message
+                   for v in report.violations)
+
+    def test_sanitizer_catches_the_fixture_dynamically(self):
+        source = FIXTURE_PATH.read_text()
+        # Execute the fixture as if it were shipped attack code; hand its
+        # siphon() a stream already owned by marking-side code.
+        attack_ns = {"__name__": "repro.attack.sanitize_bug"}
+        exec(compile(source, str(FIXTURE_PATH), "exec"), attack_ns)
+        owner_ns = {"__name__": "repro.marking.fixture_owner"}
+        exec(compile("def touch(stream):\n    stream.random()\n",
+                     "<owner>", "exec"), owner_ns)
+
+        sim = Simulator(sanitize=True)
+        stream = sim.rng.stream("marking:tree")
+        owner_ns["touch"](stream)
+        with pytest.raises(SanitizerError) as excinfo:
+            attack_ns["siphon"](stream)
+        assert excinfo.value.report.kind == "rng-cross-use"
