@@ -6,9 +6,9 @@ PYPATH  := PYTHONPATH=src
 SMOKE_CACHE := .bench-smoke-cache
 A3_RESULT   := benchmarks/results/claim_a3_identification_quality_scheme_x_routing_matrix.txt
 
-.PHONY: test test-faults bench bench-smoke bench-reflection \
-	bench-throughput bench-batched bench-victim profile clean-cache \
-	lint lint-sarif sanitize-smoke typecheck
+.PHONY: test test-faults test-sharded bench bench-smoke bench-reflection \
+	bench-throughput bench-batched bench-sharded bench-victim profile \
+	clean-cache lint lint-sarif sanitize-smoke typecheck
 
 # Tier-1 gate: the full unit/integration/property suite.
 test:
@@ -74,6 +74,22 @@ bench-batched:
 	$(PYPATH) $(PY) -m pytest benchmarks/bench_fabric_throughput.py \
 		benchmarks/bench_fabric_batched.py -q
 	$(PYPATH) $(PY) benchmarks/check_throughput.py
+
+# Sharded multi-process engine gate: the 64x64-torus flood at 4 shards with
+# a same-run batched reference, compared against the committed baseline and
+# held to the >= 2x sharded-vs-batched packets/s floor — enforced only when
+# the host has >= 4 cores (loud skip otherwise; see check_throughput.py).
+bench-sharded:
+	$(PYPATH) $(PY) -m pytest benchmarks/bench_fabric_sharded.py -q
+	$(PYPATH) $(PY) benchmarks/check_throughput.py
+
+# Sharded-engine smoke: the dedicated unit file plus the partition
+# properties and the sharded-vs-batched identity matrix.
+test-sharded:
+	$(PYPATH) $(PY) -m pytest tests/test_sharded_engine.py \
+		tests/test_topology_partition.py \
+		tests/test_properties_batched_equivalence.py -x -q
+	@echo "test-sharded OK: identity matrix and partition properties hold"
 
 # Victim-decode regression gate: measure per-scheme mark decode throughput
 # (per-packet vs columnar observe_batch) and compare against the committed

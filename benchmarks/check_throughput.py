@@ -1,4 +1,4 @@
-"""Throughput-regression gate for CI, covering both fabric engines.
+"""Throughput-regression gate for CI, covering all three fabric engines.
 
 Compares freshly measured results against the committed baselines and exits
 non-zero on a large regression:
@@ -12,13 +12,24 @@ non-zero on a large regression:
   must clear ``10x`` the exact engine's packets/s. The exact reference is
   the fresh exact measurement when one exists (same machine, fair ratio),
   else the committed exact baseline.
+* ``results/BENCH_throughput_sharded.json`` (sharded multi-process engine,
+  written by ``bench_fabric_sharded.py``) against
+  ``BENCH_throughput_sharded.json`` — plus the sharded mode's existence
+  check: ``2x`` the *same-run* batched packets/s on the 64x64-torus flood
+  at 4 shards. Parallel speedup needs parallel hardware, so the floor is
+  only *enforced* when the measuring host has at least as many cores as
+  shards; fewer cores prints a loud skip (the identity tests still hold the
+  engine to correctness everywhere).
 
-Tolerances are *ratios* (default 0.9, overridable via
-``REPRO_BENCH_TOLERANCE``); CI machines are noisy, so the gates catch
-structural regressions — a complexity bug, not a few percent of jitter. The
-10x floor is scaled by the same tolerance. Each gate only runs when its
-fresh results file exists, so ``make bench-throughput`` (exact only) and
-``make bench-batched`` (both engines) share this script.
+Every gate prints the measured-vs-required ratio, and every threshold —
+baseline comparisons and both floors — is scaled by the same
+``REPRO_BENCH_TOLERANCE`` (default 0.9): CI machines are noisy, so the
+gates catch structural regressions — a complexity bug, not a few percent
+of jitter.
+
+The comparison logic lives in pure functions of (data, tolerance) so the
+unit tests in ``tests/test_bench_gate.py`` can drive it without touching
+the filesystem; ``main`` only does IO.
 
 Being *faster* than a baseline never fails; refresh a baseline by copying
 the fresh results file over it when a change legitimately shifts throughput.
@@ -34,9 +45,13 @@ BASELINE = HERE / "BENCH_throughput.json"
 FRESH = HERE / "results" / "BENCH_throughput.json"
 BASELINE_BATCHED = HERE / "BENCH_throughput_batched.json"
 FRESH_BATCHED = HERE / "results" / "BENCH_throughput_batched.json"
+BASELINE_SHARDED = HERE / "BENCH_throughput_sharded.json"
+FRESH_SHARDED = HERE / "results" / "BENCH_throughput_sharded.json"
 METRICS = ("events_per_sec", "packets_per_sec")
 #: the batched engine's reason to exist (ISSUE: >= 10x exact packets/s)
 SPEEDUP_FLOOR = 10.0
+#: the sharded engine's reason to exist (>= 2x batched packets/s at 4 shards)
+SHARDED_SPEEDUP_FLOOR = 2.0
 
 
 def _check(label, base, new, tolerance):
@@ -51,22 +66,31 @@ def _check(label, base, new, tolerance):
     return failed
 
 
-def _check_exact(tolerance):
+def check_floor(label, measured, reference, floor, tolerance):
+    """One speedup-floor gate: ``measured/reference`` must clear
+    ``floor * tolerance``. Prints the measured-vs-floor ratio; returns True
+    on failure (pure in its arguments — unit-tested)."""
+    required = floor * tolerance
+    speedup = measured / reference if reference else float("inf")
+    ratio = speedup / required if required else float("inf")
+    status = "ok"
+    failed = speedup < required
+    if failed:
+        status = f"BELOW FLOOR (requires {required:.1f}x)"
+    print(f"{label:>34}: {speedup:6.2f}x measured vs {required:.1f}x floor "
+          f"({ratio:6.2f}x of floor)  {status}")
+    return failed
+
+
+def check_exact(baseline, fresh, tolerance):
     """Exact-engine gate: fresh metrics vs the committed baseline."""
-    baseline = json.loads(BASELINE.read_text())
-    fresh = json.loads(FRESH.read_text())
     return any([_check(metric, float(baseline[metric]),
                        float(fresh[metric]), tolerance)
                 for metric in METRICS])
 
 
-def _check_batched(tolerance):
+def check_batched(baseline, fresh, exact_pps, exact_source, tolerance):
     """Batched-engine gate: per-workload regression + the 10x floor."""
-    if not BASELINE_BATCHED.exists():
-        print(f"no committed batched baseline at {BASELINE_BATCHED}")
-        return True
-    baseline = json.loads(BASELINE_BATCHED.read_text())
-    fresh = json.loads(FRESH_BATCHED.read_text())
     failed = False
     for workload in sorted(baseline):
         if workload not in fresh:
@@ -77,21 +101,50 @@ def _check_batched(tolerance):
                          float(baseline[workload]["packets_per_sec"]),
                          float(fresh[workload]["packets_per_sec"]),
                          tolerance)
-
-    # Speedup floor on the matched workload: prefer the same-machine fresh
-    # exact measurement; fall back to the committed exact baseline.
-    exact_source = FRESH if FRESH.exists() else BASELINE
-    exact = float(json.loads(exact_source.read_text())["packets_per_sec"])
     batched = float(fresh["matched"]["packets_per_sec"])
-    floor = SPEEDUP_FLOOR * tolerance
-    speedup = batched / exact if exact else float("inf")
-    status = "ok"
-    if speedup < floor:
-        status = f"BELOW FLOOR (requires {floor:.1f}x)"
-        failed = True
-    print(f"{'batched/matched speedup vs exact':>34}: "
-          f"{speedup:6.2f}x (exact ref {exact:,.0f} pkt/s from "
-          f"{exact_source.name})  {status}")
+    print(f"  (exact ref {exact_pps:,.0f} pkt/s from {exact_source})")
+    failed |= check_floor("batched/matched speedup vs exact",
+                          batched, exact_pps, SPEEDUP_FLOOR, tolerance)
+    return failed
+
+
+def check_sharded(baseline, fresh, tolerance):
+    """Sharded-engine gate: per-workload regression + the core-count-aware
+    2x-over-batched floor.
+
+    Each fresh workload entry records the same-run batched reference
+    (``batched_packets_per_sec``), the shard count, and the measuring
+    host's ``cpu_count``; the floor is enforced only when the host has at
+    least as many cores as shards — a 4-shard engine cannot beat its own
+    single-process twin on one core, and pretending otherwise would make
+    the gate machine-dependent in exactly the way baselines must not be.
+    """
+    failed = False
+    for workload in sorted(baseline):
+        if workload not in fresh:
+            print(f"fresh sharded results lack workload {workload!r}")
+            failed = True
+            continue
+        failed |= _check(f"sharded/{workload} packets_per_sec",
+                         float(baseline[workload]["packets_per_sec"]),
+                         float(fresh[workload]["packets_per_sec"]),
+                         tolerance)
+    for workload in sorted(fresh):
+        entry = fresh[workload]
+        shards = int(entry.get("shards", 0))
+        cores = int(entry.get("cpu_count", 0))
+        batched_pps = float(entry.get("batched_packets_per_sec", 0.0))
+        if not batched_pps:
+            continue
+        if cores < shards:
+            print(f"{'sharded/' + workload + ' floor':>34}: SKIPPED — host "
+                  f"has {cores} core(s) for {shards} shards; the "
+                  f"{SHARDED_SPEEDUP_FLOOR:.0f}x-over-batched floor needs "
+                  f"cores >= shards to be meaningful")
+            continue
+        failed |= check_floor(f"sharded/{workload} speedup vs batched",
+                              float(entry["packets_per_sec"]), batched_pps,
+                              SHARDED_SPEEDUP_FLOOR, tolerance)
     return failed
 
 
@@ -104,14 +157,36 @@ def main() -> int:
     ran = failed = False
     if FRESH.exists():
         ran = True
-        failed |= _check_exact(tolerance)
+        failed |= check_exact(json.loads(BASELINE.read_text()),
+                              json.loads(FRESH.read_text()), tolerance)
     if FRESH_BATCHED.exists():
         ran = True
-        failed |= _check_batched(tolerance)
+        if not BASELINE_BATCHED.exists():
+            print(f"no committed batched baseline at {BASELINE_BATCHED}")
+            failed = True
+        else:
+            # Speedup floor prefers the same-machine fresh exact
+            # measurement; falls back to the committed exact baseline.
+            exact_source = FRESH if FRESH.exists() else BASELINE
+            exact_pps = float(
+                json.loads(exact_source.read_text())["packets_per_sec"])
+            failed |= check_batched(
+                json.loads(BASELINE_BATCHED.read_text()),
+                json.loads(FRESH_BATCHED.read_text()),
+                exact_pps, exact_source.name, tolerance)
+    if FRESH_SHARDED.exists():
+        ran = True
+        if not BASELINE_SHARDED.exists():
+            print(f"no committed sharded baseline at {BASELINE_SHARDED}")
+            failed = True
+        else:
+            failed |= check_sharded(
+                json.loads(BASELINE_SHARDED.read_text()),
+                json.loads(FRESH_SHARDED.read_text()), tolerance)
     if not ran:
-        print(f"no fresh results at {FRESH} or {FRESH_BATCHED}; run "
-              "`pytest benchmarks/bench_fabric_throughput.py` and/or "
-              "`pytest benchmarks/bench_fabric_batched.py` first")
+        print(f"no fresh results at {FRESH}, {FRESH_BATCHED}, or "
+              f"{FRESH_SHARDED}; run the benchmarks/bench_fabric_*.py "
+              "suites first")
         return 1
     if failed:
         print("throughput regression gate FAILED")

@@ -35,7 +35,7 @@ from repro.topology.base import Topology
 __all__ = ["Cluster"]
 
 #: fabric engines selectable via ExperimentConfig.engine / --engine
-ENGINES = ("exact", "batched")
+ENGINES = ("exact", "batched", "sharded")
 
 
 def _warn_legacy_launch_attack() -> None:
@@ -64,6 +64,10 @@ def _fabric_class(engine: str):
         from repro.network.colqueue import BatchedFabric
 
         return BatchedFabric
+    if engine == "sharded":
+        from repro.network.colqueue import ShardedFabric
+
+        return ShardedFabric
     raise ConfigurationError(
         f"unknown engine {engine!r}; expected one of {ENGINES}")
 
@@ -78,7 +82,8 @@ class Cluster:
                  seed: int = 0,
                  profile: Optional["EventProfiler"] = None,
                  watchdog: Optional["Watchdog"] = None,
-                 engine: str = "exact"):
+                 engine: str = "exact",
+                 shards: Optional[int] = None):
         self.seed = seed
         self.engine = engine
         self.sim = Simulator(seed=seed, profile=profile, watchdog=watchdog)
@@ -90,9 +95,17 @@ class Cluster:
         self.topology = topology
         self.router = router
         self.marking = marking
+        fabric_kwargs: Dict[str, Any] = {}
+        if engine == "sharded":
+            fabric_kwargs["shards"] = shards
+        elif shards is not None:
+            raise ConfigurationError(
+                f"shards={shards} only applies to engine='sharded', "
+                f"not engine={engine!r}")
         self.fabric = _fabric_class(engine)(
             topology, router, marking=marking,
-            selection=selection, config=config, sim=self.sim)
+            selection=selection, config=config, sim=self.sim,
+            **fabric_kwargs)
         if selection is None:
             # Default to congestion-aware adaptive selection, the realistic
             # regime for adaptive routers (paper §4.1: routes are unstable).
@@ -126,7 +139,8 @@ class Cluster:
         cluster = cls(topology, router, marking=marking,
                       config=config.fabric_config(), seed=config.seed,
                       profile=profile, watchdog=watchdog,
-                      engine=getattr(config, "engine", "exact"))
+                      engine=getattr(config, "engine", "exact"),
+                      shards=getattr(config, "shards", None))
         if config.selection.name != "least-congested":
             cluster.fabric.selection = config.selection.build(
                 cluster.sim.rng.stream("selection"), cluster.fabric

@@ -216,6 +216,7 @@ class ExperimentConfig:
     faults: Optional[FaultCampaign] = None
     attacks: Optional[AttackCampaign] = None
     engine: str = "exact"
+    shards: Optional[int] = None          # sharded engine only; None = default
 
     def fabric_config(self) -> FabricConfig:
         """FabricConfig derived from this experiment's knobs."""
@@ -254,9 +255,13 @@ class ExperimentConfig:
         if self.attacks is not None:
             out["attacks"] = self.attacks.to_dict()
         # Same omit-when-default rule for the engine: exact-mode configs keep
-        # their pre-batched cache keys byte for byte.
+        # their pre-batched cache keys byte for byte. Likewise shards: the
+        # sharded engine's results are identical for every shard count, so an
+        # unset count must not perturb cache keys.
         if self.engine != "exact":
             out["engine"] = self.engine
+        if self.shards is not None:
+            out["shards"] = int(self.shards)
         return out
 
     @classmethod
@@ -266,7 +271,7 @@ class ExperimentConfig:
             "ExperimentConfig", data,
             ("topology", "routing", "marking"),
             ("selection", "victim", "attackers", "faults", "attacks",
-             "engine")
+             "engine", "shards")
             + tuple(_SCALAR_FIELDS),
         )
         kwargs: Dict[str, Any] = {
@@ -313,10 +318,18 @@ class ExperimentConfig:
             kwargs["attacks"] = AttackCampaign.from_dict(attacks)
         engine = data.get("engine")
         if engine is not None:
-            if engine not in ("exact", "batched"):
+            if engine not in ("exact", "batched", "sharded"):
                 raise ConfigurationError(
-                    f"engine must be 'exact' or 'batched', got {engine!r}")
+                    f"engine must be 'exact', 'batched', or 'sharded', "
+                    f"got {engine!r}")
             kwargs["engine"] = engine
+        shards = data.get("shards")
+        if shards is not None:
+            if not isinstance(shards, int) or isinstance(shards, bool) \
+                    or shards < 1:
+                raise ConfigurationError(
+                    f"shards must be a positive int, got {shards!r}")
+            kwargs["shards"] = shards
         return cls(**kwargs)
 
     def canonical_json(self) -> str:

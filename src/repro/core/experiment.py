@@ -69,7 +69,9 @@ def run_identification_experiment(
     """
     cluster = Cluster.from_config(config, profile=profile, watchdog=watchdog)
     victim = config.victim if config.victim is not None else cluster.default_victim()
-    batched = cluster.engine == "batched"
+    # Sharded is the batched engine partitioned across workers: identical
+    # columnar capture/sink surface, identical restrictions.
+    batched = cluster.engine in ("batched", "sharded")
 
     injector: Optional[FaultInjector] = None
     if config.faults is not None:

@@ -502,6 +502,11 @@ class CohortEngine:
         self.rng = self.sim.rng.stream("batched-cohort")
         self.quota = cfg.buffer_capacity
         self.default_ttl = cfg.default_ttl
+        # Statistics target: the fabric itself for the global engine. Shard
+        # workers swap in a local accumulator so per-shard deltas can be
+        # merged once by the driving process (identically in serial and
+        # multi-process execution).
+        self._stats = fabric
 
         selection = fabric.selection
         if isinstance(selection, LeastCongestedPolicy):
@@ -541,6 +546,12 @@ class CohortEngine:
         self.ids = np.empty(0, dtype=np.int64)
         self.nxt = np.empty(0, dtype=np.int64)
         self.chan = np.empty(0, dtype=np.int64)
+        # Global activation rank: the row's index in the time-sorted capture.
+        # In this engine array order *is* rank order (activation appends in
+        # rank order and every filter preserves order), so admission's
+        # array-order tie-break equals lowest-rank-wins; the sharded engine
+        # leans on the explicit column once migration breaks that identity.
+        self.rank = np.empty(0, dtype=np.int64)
 
         # Physical channel ids: chan = node * width + port, where port is
         # the neighbor's index in topology.neighbors(node). Candidate-table
@@ -554,7 +565,8 @@ class CohortEngine:
         # Per-round congestion signal: rows deferred last round, per channel.
         self._backlog = np.zeros(self.n * self.width, dtype=np.float64)
 
-        # Run-level accumulators, written back once at the end.
+        # Segment accumulators, flushed at each advance() boundary (once per
+        # run for the classic drain-to-completion call).
         self._delivered_counts = np.zeros(self.n, dtype=np.int64)
         self._hop_counts = np.zeros(64, dtype=np.int64)
         self._sink_nodes = frozenset(
@@ -564,22 +576,59 @@ class CohortEngine:
         self._progressed = False
         self.rounds = 0
 
+        # Persistent-run state: the engine survives across advance() calls so
+        # run_until can cut a run into segments with live rows carried over.
+        self._pending: Optional[dict] = None
+        self._pending_ranks = np.empty(0, dtype=np.int64)
+        self._next = 0
+        self._flushed_next = 0
+        self._started = False
+        self.frontier = float(self.sim.now)
+
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Drain all captured injections; raises on stalls via the watchdog."""
+        self.advance(None)
+
+    def advance(self, until: Optional[float]) -> None:
+        """Advance cohorts through every round whose frontier is <= ``until``
+        (``None`` = to completion), then flush a clean segment boundary.
+
+        The cut is clean because under virtual cut-through every live row's
+        lag behind the frontier is fixed at activation and stays in
+        ``[0, round_delta)``: deliveries flushed before the cut all carry
+        times <= the last frontier run, deliveries after it strictly greater,
+        so concatenating per-segment flushes reproduces the single-run stream
+        bit for bit (the DeliveryRing/MarkBatch prefix-composability
+        contract). Store-and-forward holds vary per row, the lag drifts, and
+        the argument breaks — refused below.
+        """
+        if until is not None and not self._vct:
+            raise ConfigurationError(
+                "run_until needs the virtual-cut-through service model (the "
+                "partial-horizon cut relies on its fixed per-row lag); "
+                "store-and-forward runs require engine='exact'"
+            )
         sim = self.sim
         watchdog = sim.watchdog
         if watchdog is not None:
             watchdog.start()
         profiler = sim.profile
-        pending = self.fabric.log.columns()
-        self._pending = pending
-        self._next = 0
-        total = pending["times"].size
-        if total == 0:
-            return
-        self.frontier = float(pending["times"][0])
+        self._refresh_pending()
+        self._sink_nodes = frozenset(
+            ring.node for ring in self.fabric._delivery_sinks)
+        pending_times = self._pending["times"]
+        total = pending_times.size
+        if not self._started and total:
+            self.frontier = float(pending_times[0])
+            self._started = True
         while self._next < total or self.pos.size:  # per-round loop  # repro-lint: disable=H3
+            if until is not None:
+                eff = self.frontier
+                if self.pos.size == 0 and self._next < total:
+                    eff = max(eff, float(pending_times[self._next]))
+                if eff > until:
+                    break
             if watchdog is not None:
                 watchdog.check_stall(sim)
             self._progressed = False
@@ -595,17 +644,50 @@ class CohortEngine:
                     f"batched engine stalled at round {self.rounds} with "
                     f"{self.pos.size} live rows (internal invariant broken)"
                 )
-        self._finish()
+        self._flush(until)
+
+    def _refresh_pending(self) -> None:
+        """(Re-)snapshot the injection log as time-sorted pending columns.
+
+        Injections captured between advance() segments are folded in as long
+        as they do not rewrite the already-consumed prefix (traffic scheduled
+        at or before times the engine has advanced past has no sound replay).
+        """
+        log = self.fabric.log
+        if self._pending is not None \
+                and len(log) == self._pending["times"].size:
+            return
+        pending = log.columns()
+        if self._pending is not None and self._next:
+            old_ids = self._pending["ids"][:self._next]
+            if pending["ids"].size < self._next \
+                    or not np.array_equal(pending["ids"][:self._next],
+                                          old_ids):
+                raise ConfigurationError(
+                    "injections were captured at or before times the batched "
+                    "engine already advanced past; schedule follow-up "
+                    "traffic beyond the current frontier or use "
+                    "engine='exact'"
+                )
+        self._pending = pending
+        self._pending_ranks = np.arange(pending["times"].size,
+                                        dtype=np.int64)
 
     # ------------------------------------------------------------------
     def _round(self) -> None:
         pending_times = self._pending["times"]
-        total = pending_times.size
-        if self.pos.size == 0 and self._next < total:
+        if self.pos.size == 0 and self._next < pending_times.size:
             # Idle gap: jump the frontier straight to the next injection.
             self.frontier = max(self.frontier,
                                 float(pending_times[self._next]))
-        end = int(np.searchsorted(pending_times, self.frontier,
+        self._step()
+        self.frontier += self.round_delta
+
+    def _step(self) -> None:
+        """One cohort round at the current frontier: activate, retire,
+        route/admit/advance. Shared verbatim with the sharded workers, which
+        control the frontier externally."""
+        end = int(np.searchsorted(self._pending["times"], self.frontier,
                                   side="right"))
         if end > self._next:
             self._activate(self._next, end)
@@ -615,7 +697,6 @@ class CohortEngine:
             self._retire()
         if self.pos.size:
             self._route_and_advance()
-        self.frontier += self.round_delta
 
     def _activate(self, lo: int, hi: int) -> None:
         pending = self._pending
@@ -647,7 +728,8 @@ class CohortEngine:
         self.nxt = np.concatenate([self.nxt, np.full(m, -1, dtype=np.int64)])
         self.chan = np.concatenate([self.chan,
                                     np.full(m, -1, dtype=np.int64)])
-        self.fabric.n_injected += m
+        self.rank = np.concatenate([self.rank, self._pending_ranks[lo:hi]])
+        self._stats.n_injected += m
 
     def _filter(self, keep: np.ndarray) -> None:
         self.pos = self.pos[keep]
@@ -663,6 +745,7 @@ class CohortEngine:
         self.ids = self.ids[keep]
         self.nxt = self.nxt[keep]
         self.chan = self.chan[keep]
+        self.rank = self.rank[keep]
 
     def _retire(self) -> None:
         # Delivery first, then hop-ceiling, then TTL — the exact switch's
@@ -699,14 +782,13 @@ class CohortEngine:
             self._progressed = True
 
     def _deliver(self, mask: np.ndarray) -> None:
-        fabric = self.fabric
         index = np.flatnonzero(mask)
         nodes = self.pos[index]
         times = self.time[index]
         k = index.size
-        fabric.n_delivered += k
+        self._stats.n_delivered += k
         np.add.at(self._delivered_counts, nodes, 1)
-        fabric.latency.add_array(times - self.t0[index])
+        self._stats.latency.add_array(times - self.t0[index])
         hops = self.hops[index]
         top = int(hops.max()) + 1 if k else 1
         if top > self._hop_counts.size:
@@ -721,16 +803,21 @@ class CohortEngine:
                                               count=len(self._sink_nodes)))
             if sunk.any():
                 rows = index[sunk]
+                # The trailing (rank, round) pair is merge metadata: the
+                # single-process flush ignores it, the sharded driver lexsorts
+                # on (time, round, rank) to reproduce this engine's
+                # accumulation order across shards.
                 self._sink_rows.append(
                     (self.pos[rows], self.time[rows], self.src_ip[rows],
                      self.dst_ip[rows], self.words[rows], self.ttls[rows],
-                     self.hops[rows], self.ids[rows]))
+                     self.hops[rows], self.ids[rows], self.rank[rows],
+                     np.full(rows.size, self.rounds, dtype=np.int64)))
 
     def _drop(self, count: int, reason: str) -> None:
-        fabric = self.fabric
-        fabric.n_dropped += count
-        fabric._drop_reasons[reason] = \
-            fabric._drop_reasons.get(reason, 0) + count
+        stats = self._stats
+        stats.n_dropped += count
+        stats._drop_reasons[reason] = \
+            stats._drop_reasons.get(reason, 0) + count
 
     # ------------------------------------------------------------------
     def _route_and_advance(self) -> None:
@@ -766,12 +853,7 @@ class CohortEngine:
         # rows outrank newcomers; the rest wait a round and become the
         # congestion signal.
         chan = self.chan
-        # Stable argsort on int16 keys selects numpy's radix sort (~7x the
-        # int64 merge path); channel ids fit whenever n*width < 2^15, which
-        # covers the 64x64 torus exactly.
-        sort_keys = chan.astype(np.int16) \
-            if self.n * self.width < (1 << 15) else chan
-        order = np.argsort(sort_keys, kind="stable")
+        order = self._admission_order(chan)
         sorted_chan = chan[order]
         starts = np.flatnonzero(
             np.diff(sorted_chan, prepend=sorted_chan[0] - 1))
@@ -803,6 +885,19 @@ class CohortEngine:
             self.nxt[admitted] = -1
             self._progressed = True
 
+    def _admission_order(self, chan: np.ndarray) -> np.ndarray:
+        """Row order for credit admission: channel-major, oldest row first.
+
+        Array order here equals global activation rank (see ``rank``), so a
+        stable channel sort implements lowest-rank-wins. Stable argsort on
+        int16 keys selects numpy's radix sort (~7x the int64 merge path);
+        channel ids fit whenever n*width < 2^15, which covers the 64x64
+        torus exactly.
+        """
+        sort_keys = chan.astype(np.int16) \
+            if self.n * self.width < (1 << 15) else chan
+        return np.argsort(sort_keys, kind="stable")
+
     def _choose(self, sub_pos: np.ndarray, candidates: np.ndarray,
                 degrees: np.ndarray) -> np.ndarray:
         """Column index of the chosen candidate, per fresh row."""
@@ -822,25 +917,45 @@ class CohortEngine:
         return np.argmin(score, axis=1)
 
     # ------------------------------------------------------------------
-    def _finish(self) -> None:
+    def _flush(self, until: Optional[float]) -> None:
+        """Write segment accumulators back to the fabric and reset them.
+
+        Called once per advance() call; the classic drain-to-completion run
+        hits it exactly once. Per-ring rows are stable-sorted by time inside
+        the segment; segments never interleave in time (the clean-cut
+        invariant), so repeated flushes concatenate into the same stream a
+        single full run produces.
+        """
         fabric = self.fabric
         sim = self.sim
         nics = fabric.nics
-        injected = np.bincount(self._pending["nodes"], minlength=self.n)
-        for node in np.flatnonzero(injected).tolist():  # per-node, once per run  # repro-lint: disable=H3
-            nics[node].n_injected += int(injected[node])
-        for node in np.flatnonzero(self._delivered_counts).tolist():  # per-node, once per run  # repro-lint: disable=H3
-            nics[node].n_delivered += int(self._delivered_counts[node])
-        for value in np.flatnonzero(self._hop_counts).tolist():  # per-value, once per run  # repro-lint: disable=H3
-            fabric.hop_histogram.add(int(value), int(self._hop_counts[value]))
+        if self._next > self._flushed_next:
+            nodes = self._pending["nodes"][self._flushed_next:self._next]
+            injected = np.bincount(nodes, minlength=self.n)
+            for node in np.flatnonzero(injected).tolist():  # per-node, once per segment  # repro-lint: disable=H3
+                nics[node].n_injected += int(injected[node])
+            self._flushed_next = self._next
+        if self._delivered_counts.any():
+            for node in np.flatnonzero(self._delivered_counts).tolist():  # per-node, once per segment  # repro-lint: disable=H3
+                nics[node].n_delivered += int(self._delivered_counts[node])
+            self._delivered_counts[:] = 0
+        if self._hop_counts.any():
+            for value in np.flatnonzero(self._hop_counts).tolist():  # per-value, once per segment  # repro-lint: disable=H3
+                fabric.hop_histogram.add(int(value),
+                                         int(self._hop_counts[value]))
+            self._hop_counts[:] = 0
         if self._sink_rows:
             columns = [np.concatenate(parts)
                        for parts in zip(*self._sink_rows)]
             nodes, times = columns[0], columns[1]
-            for ring in fabric._delivery_sinks:  # per-sink, once per run  # repro-lint: disable=H3
+            for ring in fabric._delivery_sinks:  # per-sink, once per segment  # repro-lint: disable=H3
                 rows = np.flatnonzero(nodes == ring.node)
                 rows = rows[np.argsort(times[rows], kind="stable")]
                 ring.extend(times[rows], columns[2][rows], columns[3][rows],
                             columns[4][rows], columns[5][rows],
                             columns[6][rows], columns[7][rows])
-        sim.now = max(sim.now, self._max_time, self.frontier)
+            self._sink_rows = []
+        if until is None:
+            sim.now = max(sim.now, self._max_time, self.frontier)
+        else:
+            sim.now = max(sim.now, until)

@@ -66,6 +66,14 @@ class EventProfiler:
         self.rows_advanced = 0
         self._advance_seconds = 0.0
         self._advance_hist: Dict[int, int] = {}
+        # Sharded-engine window counters: one conservative time window moves
+        # every shard one cohort round, exchanging boundary rows afterwards.
+        # A sync stall is a window some shard spent with zero live rows while
+        # the fleet still had work — idle cores waiting on the barrier.
+        self.shard_windows = 0
+        self.boundary_rows_sent = 0
+        self.max_boundary_occupancy = 0
+        self.sync_stalls = 0
 
     # ------------------------------------------------------------------
     def record(self, callback: Callable[..., Any], args: Tuple[Any, ...],
@@ -124,6 +132,31 @@ class EventProfiler:
         bucket = (max(int(rows), 1) - 1).bit_length()  # ceil(log2(rows))
         self._advance_hist[bucket] = self._advance_hist.get(bucket, 0) + 1
 
+    def record_shard_window(self, boundary_rows: int,
+                            idle_shards: int) -> None:
+        """Fold one sharded-engine sync window into the window counters.
+
+        ``boundary_rows`` is the number of rows that crossed a shard
+        boundary this window (the cross-shard queue occupancy);
+        ``idle_shards`` how many workers advanced zero rows while the fleet
+        still had work (a sync stall when nonzero).
+        """
+        self.shard_windows += 1
+        self.boundary_rows_sent += boundary_rows
+        if boundary_rows > self.max_boundary_occupancy:
+            self.max_boundary_occupancy = boundary_rows
+        if idle_shards:
+            self.sync_stalls += 1
+
+    def shard_window_stats(self) -> Dict[str, int]:
+        """Sharded-engine summary: windows, boundary-queue traffic, stalls."""
+        return {
+            "windows": self.shard_windows,
+            "boundary_rows": self.boundary_rows_sent,
+            "max_boundary_occupancy": self.max_boundary_occupancy,
+            "sync_stalls": self.sync_stalls,
+        }
+
     def advance_stats(self) -> Dict[str, object]:
         """Cohort-advance summary: rounds, rows, seconds, rows/event histogram."""
         rounds = self.batch_advances
@@ -177,6 +210,8 @@ class EventProfiler:
             out[f"flush@{label}"] = dict(stats)
         if self.batch_advances:
             out["batch-advance@cohort"] = self.advance_stats()
+        if self.shard_windows:
+            out["shard-window@sync"] = self.shard_window_stats()
         return out
 
     def report(self, top: int = 10) -> str:
@@ -226,6 +261,10 @@ class EventProfiler:
         self.rows_advanced = 0
         self._advance_seconds = 0.0
         self._advance_hist.clear()
+        self.shard_windows = 0
+        self.boundary_rows_sent = 0
+        self.max_boundary_occupancy = 0
+        self.sync_stalls = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"EventProfiler(events={self.events_recorded}, "

@@ -541,10 +541,11 @@ class NoPerPacketCallbacks(Rule):
 # ----------------------------------------------------------------------
 #: the batched cohort-advance path: every per-row operation in these
 #: modules must be a whole-array numpy step, never a Python loop.
-_BATCHED_PATH_MODULES = frozenset({"engine/batched.py", "network/colqueue.py"})
+_BATCHED_PATH_MODULES = frozenset({"engine/batched.py", "engine/sharded.py",
+                                   "network/colqueue.py"})
 
 #: method names that anchor the steady-state advance path.
-_ENGINE_ROOT_METHODS = frozenset({"run", "advance"})
+_ENGINE_ROOT_METHODS = frozenset({"run", "advance", "advance_window"})
 
 
 @register_rule
@@ -569,8 +570,9 @@ class NoPerPacketPythonInBatchedPath(ProgramRule):
     name = "no-per-packet-python-in-batched-path"
     description = (
         "explicit for/while loops and per-packet callback registrations "
-        "reachable from the cohort-advance roots (Engine.run/advance) in "
-        "the batched modules (engine/batched.py, network/colqueue.py) "
+        "reachable from the cohort-advance roots "
+        "(Engine.run/advance/advance_window) in the batched modules "
+        "(engine/batched.py, engine/sharded.py, network/colqueue.py) "
         "reintroduce per-row Python cost; build-time construction is exempt"
     )
     hint = (

@@ -19,6 +19,11 @@ This module holds the network-side half:
   raise :class:`~repro.errors.ConfigurationError` (there are no packet
   objects to observe); the columnar ``attach_delivery_sink`` surface is the
   sanctioned replacement.
+* :class:`ShardedFabric` — the same capture surface, but ``run`` hands the
+  log to :class:`repro.engine.sharded.ShardedEngine`, which partitions the
+  topology into ``shards`` pieces and advances one cohort engine per shard
+  under conservative time-window synchronization (multi-process when the
+  ``fork`` start method exists, serially otherwise).
 
 Equivalence contract: the exact per-packet mode remains the golden-pinned
 reference. DESIGN.md §12 spells out when the batched mode is bit-equal
@@ -38,7 +43,7 @@ from repro.network.fabric import Fabric
 from repro.network.nic import DeliveredPacket
 from repro.network.packet import Packet
 
-__all__ = ["InjectionLog", "BatchedFabric"]
+__all__ = ["InjectionLog", "BatchedFabric", "ShardedFabric"]
 
 _PER_PACKET_MSG = (
     "per-packet {api} is not available on the batched engine: cohorts carry "
@@ -160,6 +165,16 @@ class BatchedFabric(Fabric):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.log = InjectionLog()
+        # Lazily built, then persistent: run_until cuts one capture into
+        # segments, with live cohort rows carried across calls.
+        self._engine = None
+
+    def _cohort_engine(self):
+        if self._engine is None:
+            from repro.engine.batched import CohortEngine
+
+            self._engine = CohortEngine(self)
+        return self._engine
 
     # ------------------------------------------------------------------
     # Capture path
@@ -217,15 +232,74 @@ class BatchedFabric(Fabric):
     def run(self) -> float:
         """Advance all captured cohorts to completion; flush sinks at the end."""
         self._check_supported()
-        from repro.engine.batched import CohortEngine
+        self._cohort_engine().advance(None)
+        if self._delivery_sinks:
+            self.flush_delivery_sinks()
+        return self.sim.now
 
-        CohortEngine(self).run()
+    def run_until(self, time: float) -> float:
+        """Advance cohorts through the rounds at or below ``time`` and stop.
+
+        A partial-horizon cut: rounds whose frontier lies at or below the
+        horizon run in full, live rows stay resident in the engine, and the
+        next run/run_until call resumes the identical round schedule — so a
+        segmented run reproduces the single-run results bit for bit (see
+        ``CohortEngine.advance``). Back-to-back calls observe a continuous
+        timeline, matching the exact engine's ``Simulator.run_until``.
+        """
+        self._check_supported()
+        self._cohort_engine().advance(float(time))
+        if self._delivery_sinks:
+            self.flush_delivery_sinks()
+        return self.sim.now
+
+
+class ShardedFabric(BatchedFabric):
+    """A batched-capture fabric run by the sharded multi-process engine.
+
+    Identical capture surface and statistics to :class:`BatchedFabric`; the
+    run loop partitions the topology into ``shards`` pieces and advances one
+    cohort engine per shard under conservative time-window sync
+    (:class:`repro.engine.sharded.ShardedEngine`), merging results so they
+    are identical to the single-process batched engine.
+
+    ``shard_mode`` selects the worker transport: ``"process"`` (fork-spawned
+    workers), ``"serial"`` (in-process, for debugging and single-core CI),
+    or ``None``/``"auto"`` (process when fork is available). The
+    ``REPRO_SHARDED_MODE`` environment variable overrides an unset mode.
+    """
+
+    engine_name = "sharded"
+
+    #: default shard count when the config/CLI leaves it unset
+    DEFAULT_SHARDS = 2
+
+    def __init__(self, *args, shards: Optional[int] = None,
+                 shard_mode: Optional[str] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if shards is None:
+            shards = self.DEFAULT_SHARDS
+        if isinstance(shards, bool) or not isinstance(shards, (int, np.integer)):
+            raise ConfigurationError(f"shards must be an int, got {shards!r}")
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        self.shard_mode = shard_mode
+
+    def run(self) -> float:
+        """Partition, advance every shard to completion, merge, flush sinks."""
+        self._check_supported()
+        from repro.engine.sharded import ShardedEngine
+
+        ShardedEngine(self).run()
         if self._delivery_sinks:
             self.flush_delivery_sinks()
         return self.sim.now
 
     def run_until(self, time: float) -> float:
         raise ConfigurationError(
-            "the batched engine runs captured traffic to completion; "
-            "incremental run_until stepping requires engine='exact'"
+            "run_until is not supported by the sharded engine: shard workers "
+            "run the captured traffic to completion in one synchronized "
+            "pass. Partial-horizon runs require engine='batched' "
+            "(single-process, supports run_until) or engine='exact'"
         )

@@ -14,6 +14,7 @@ from repro.topology.irregular import IrregularTopology
 from repro.topology.links import LinkSet
 from repro.topology.mesh import Mesh
 from repro.topology.oracle import DistanceOracle
+from repro.topology.partition import Partition, partition_topology
 from repro.topology.properties import (
     average_distance,
     bfs_distances,
@@ -33,6 +34,8 @@ __all__ = [
     "ClusterMesh",
     "LinkSet",
     "DistanceOracle",
+    "Partition",
+    "partition_topology",
     "bfs_distances",
     "diameter",
     "average_distance",

@@ -1,0 +1,120 @@
+"""Unit tests for the throughput-gate logic in benchmarks/check_throughput.py.
+
+The gate decides whether CI fails, so its decision logic is tested directly:
+the comparison functions are pure in (data, tolerance) and imported here via
+importlib (``benchmarks/`` is deliberately not a package).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_throughput",
+    Path(__file__).parent.parent / "benchmarks" / "check_throughput.py")
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+class TestExactGate:
+    def test_passes_at_baseline(self):
+        data = {"events_per_sec": 1000.0, "packets_per_sec": 500.0}
+        assert gate.check_exact(data, dict(data), tolerance=0.9) is False
+
+    def test_faster_never_fails(self):
+        base = {"events_per_sec": 1000.0, "packets_per_sec": 500.0}
+        fresh = {"events_per_sec": 9000.0, "packets_per_sec": 4500.0}
+        assert gate.check_exact(base, fresh, tolerance=0.9) is False
+
+    def test_fails_below_tolerance(self):
+        base = {"events_per_sec": 1000.0, "packets_per_sec": 500.0}
+        fresh = {"events_per_sec": 800.0, "packets_per_sec": 500.0}
+        assert gate.check_exact(base, fresh, tolerance=0.9) is True
+
+    def test_tolerance_is_honored(self):
+        """The same regression passes or fails purely on the tolerance."""
+        base = {"events_per_sec": 1000.0, "packets_per_sec": 500.0}
+        fresh = {"events_per_sec": 800.0, "packets_per_sec": 400.0}
+        assert gate.check_exact(base, fresh, tolerance=0.75) is False
+        assert gate.check_exact(base, fresh, tolerance=0.85) is True
+
+
+class TestFloor:
+    def test_clears_floor(self):
+        assert gate.check_floor("x", measured=1100.0, reference=100.0,
+                                floor=10.0, tolerance=1.0) is False
+
+    def test_below_floor_fails(self):
+        assert gate.check_floor("x", measured=900.0, reference=100.0,
+                                floor=10.0, tolerance=1.0) is True
+
+    def test_tolerance_scales_floor(self):
+        # 9x clears a 10x floor at tolerance 0.85 (8.5x required).
+        assert gate.check_floor("x", measured=900.0, reference=100.0,
+                                floor=10.0, tolerance=0.85) is False
+
+    def test_prints_measured_vs_floor_ratio(self, capsys):
+        gate.check_floor("label", measured=2000.0, reference=100.0,
+                         floor=10.0, tolerance=1.0)
+        out = capsys.readouterr().out
+        assert "20.00x measured" in out
+        assert "10.0x floor" in out
+        assert "2.00x of floor" in out
+
+
+def _sharded_entry(pps=200.0, batched=100.0, shards=4, cores=8):
+    return {"packets_per_sec": pps, "batched_packets_per_sec": batched,
+            "shards": shards, "cpu_count": cores}
+
+
+class TestShardedGate:
+    def test_passes_with_speedup_and_cores(self):
+        fresh = {"torus64_flood": _sharded_entry(pps=250.0)}
+        base = {"torus64_flood": {"packets_per_sec": 200.0}}
+        assert gate.check_sharded(base, fresh, tolerance=0.9) is False
+
+    def test_floor_enforced_when_cores_suffice(self):
+        # 1.5x speedup on an 8-core host: below the 2x floor -> fail.
+        fresh = {"torus64_flood": _sharded_entry(pps=150.0, cores=8)}
+        base = {"torus64_flood": {"packets_per_sec": 100.0}}
+        assert gate.check_sharded(base, fresh, tolerance=1.0) is True
+
+    def test_floor_skipped_on_small_hosts(self, capsys):
+        """cores < shards: the parallel-speedup floor is meaningless, so
+        the gate skips it loudly instead of failing machine-dependently."""
+        fresh = {"torus64_flood": _sharded_entry(pps=90.0, cores=1)}
+        base = {"torus64_flood": {"packets_per_sec": 80.0}}
+        assert gate.check_sharded(base, fresh, tolerance=1.0) is False
+        out = capsys.readouterr().out
+        assert "SKIPPED" in out
+        assert "1 core(s) for 4 shards" in out
+
+    def test_regression_still_checked_on_small_hosts(self):
+        """Skipping the floor does not skip the baseline comparison."""
+        fresh = {"torus64_flood": _sharded_entry(pps=40.0, cores=1)}
+        base = {"torus64_flood": {"packets_per_sec": 100.0}}
+        assert gate.check_sharded(base, fresh, tolerance=0.9) is True
+
+    def test_missing_workload_fails(self):
+        base = {"torus64_flood": {"packets_per_sec": 100.0}}
+        assert gate.check_sharded(base, {}, tolerance=0.9) is True
+
+    def test_tolerance_scales_sharded_floor(self):
+        # 1.8x clears the 2x floor at tolerance 0.85 (1.7x required).
+        fresh = {"torus64_flood": _sharded_entry(pps=180.0, cores=8)}
+        base = {"torus64_flood": {"packets_per_sec": 100.0}}
+        assert gate.check_sharded(base, fresh, tolerance=0.85) is False
+
+
+class TestBatchedGate:
+    def test_floor_uses_tolerance(self):
+        base = {"matched": {"packets_per_sec": 1000.0}}
+        fresh = {"matched": {"packets_per_sec": 1000.0}}
+        # 10x exact ref of 100 -> exactly at floor with tolerance 1.0.
+        assert gate.check_batched(base, fresh, exact_pps=100.0,
+                                  exact_source="test", tolerance=1.0) is False
+        assert gate.check_batched(base, fresh, exact_pps=120.0,
+                                  exact_source="test", tolerance=1.0) is True
+        assert gate.check_batched(base, fresh, exact_pps=120.0,
+                                  exact_source="test", tolerance=0.8) is False

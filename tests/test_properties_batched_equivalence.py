@@ -29,13 +29,16 @@ TOPOLOGIES = [("mesh", (4, 4)), ("torus", (4, 4)), ("hypercube", (3,))]
 
 
 def _run(engine, marking, routing, topo_kind, dims, *, seed=3,
-         failed_links=(), selection="first"):
+         failed_links=(), selection="first", shards=None, shard_mode=None):
     """One flood + identification run; returns the comparable observables."""
     topo = TopologySpec(topo_kind, tuple(dims)).build()
     router = RoutingSpec(routing).build(np.random.default_rng(1))
     scheme = MarkingSpec(marking, probability=1.0).build(
         np.random.default_rng(2), topo)
-    cluster = Cluster(topo, router, marking=scheme, seed=seed, engine=engine)
+    cluster = Cluster(topo, router, marking=scheme, seed=seed, engine=engine,
+                      shards=shards)
+    if shard_mode is not None:
+        cluster.fabric.shard_mode = shard_mode
     if selection == "first":
         cluster.fabric.selection = FirstCandidatePolicy()
     for u, v in failed_links:
@@ -44,11 +47,11 @@ def _run(engine, marking, routing, topo_kind, dims, *, seed=3,
     analysis = None
     if scheme is not None:
         analysis = _victim_analysis_for(cluster, victim)
-        if engine == "batched":
-            cluster.fabric.attach_delivery_sink(victim, analysis.observe_batch)
-        else:
+        if engine == "exact":
             cluster.fabric.add_delivery_handler(
                 victim, lambda event: analysis.observe(event.packet))
+        else:
+            cluster.fabric.attach_delivery_sink(victim, analysis.observe_batch)
     cluster.launch_ddos(victim=victim, num_attackers=3,
                         attack_rate_per_node=25.0, duration=1.0,
                         background_rate=2.0)
@@ -85,6 +88,66 @@ def test_registered_scheme_equivalence(marking, topo_kind, dims):
         assert batched[0] == exact[0], "suspect sets diverged"
     assert batched[1] == exact[1], "per-node delivered counts diverged"
     assert batched[2:] == exact[2:], "delivered/dropped totals diverged"
+
+
+# ----------------------------------------------------------------------
+# Sharded engine: identical (not just equivalent) to batched
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topo_kind,dims", TOPOLOGIES)
+@pytest.mark.parametrize("marking", sorted(registry.MARKING.names()))
+def test_sharded_identical_to_batched(marking, topo_kind, dims):
+    """Sharding must not change results at all: suspect sets, per-node
+    delivered counts, and totals match the single-process batched engine
+    bit for bit (DESIGN.md §14), for every registered scheme the batched
+    engine supports — ppm-fragment excluded from the suspect-set check only
+    because its per-shard RNG streams draw different fragment offsets."""
+    if marking in UNSUPPORTED_SCHEMES:
+        with pytest.raises((ConfigurationError, MarkingError)):
+            _run("sharded", marking, "dor", topo_kind, dims, shards=2,
+                 shard_mode="serial")
+        return
+    batched = _run("batched", marking, "dor", topo_kind, dims)
+    sharded = _run("sharded", marking, "dor", topo_kind, dims, shards=3,
+                   shard_mode="serial")
+    if marking != "ppm-fragment":
+        assert sharded[0] == batched[0], "suspect sets diverged"
+    assert sharded[1:] == batched[1:], "delivery accounting diverged"
+
+
+def test_sharded_process_mode_identical_to_batched():
+    """The fork-worker transport produces the same bits as serial sharding
+    (and therefore as the batched engine)."""
+    batched = _run("batched", "ddpm", "dor", "torus", (4, 4))
+    process = _run("sharded", "ddpm", "dor", "torus", (4, 4), shards=3,
+                   shard_mode="process")
+    assert process == batched
+
+
+def test_sharded_detector_alarm_time_identical():
+    """The rate detector alarms at the exact same simulated time under the
+    sharded engine as under batched: the merged delivery stream is
+    identical, so alarm times are too (no tolerance needed)."""
+    from repro.defense.detection import RateThresholdDetector
+
+    times = {}
+    for engine in ("batched", "sharded"):
+        topo = TopologySpec("mesh", (4, 4)).build()
+        router = RoutingSpec("dor").build(np.random.default_rng(1))
+        scheme = MarkingSpec("ddpm").build(np.random.default_rng(2), topo)
+        cluster = Cluster(topo, router, marking=scheme, seed=5, engine=engine,
+                          shards=2 if engine == "sharded" else None)
+        if engine == "sharded":
+            cluster.fabric.shard_mode = "serial"
+        cluster.fabric.selection = FirstCandidatePolicy()
+        victim = cluster.default_victim()
+        detector = RateThresholdDetector(window=0.5, threshold_rate=30.0)
+        cluster.fabric.attach_delivery_sink(victim, detector.observe_batch)
+        cluster.launch_ddos(victim=victim, num_attackers=3,
+                            attack_rate_per_node=40.0, duration=1.0)
+        cluster.run()
+        assert detector.alarm_time is not None, f"{engine}: no alarm raised"
+        times[engine] = detector.alarm_time
+    assert times["sharded"] == times["batched"]
 
 
 # ----------------------------------------------------------------------

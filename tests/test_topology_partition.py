@@ -1,0 +1,146 @@
+"""Partition properties: purity, stability, balance, boundary coverage.
+
+The sharded engine's determinism argument leans on the partitioner being a
+pure function of ``(topology, k)`` — same assignment on every run, host,
+and process count — and on every inter-shard edge belonging to exactly one
+boundary queue pair. Both are property-tested here under
+hypothesis-shuffled topologies and shard counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.topology import (Hypercube, Mesh, Torus, partition_topology)
+
+
+def _build(kind, dims):
+    if kind == "mesh":
+        return Mesh(dims)
+    if kind == "torus":
+        return Torus(dims)
+    return Hypercube(dims[0])
+
+
+@st.composite
+def partition_case(draw):
+    kind = draw(st.sampled_from(["mesh", "torus", "hypercube"]))
+    if kind == "hypercube":
+        dims = (draw(st.integers(2, 5)),)
+    elif kind == "torus":
+        # torus dimensions of 2 are rejected (a 2-ring collapses onto one
+        # physical link), so draw from {3..6}.
+        dims = tuple(draw(st.lists(st.integers(3, 6), min_size=1,
+                                   max_size=3)))
+    else:
+        dims = tuple(draw(st.lists(st.integers(2, 6), min_size=1,
+                                   max_size=3)))
+    topology = _build(kind, dims)
+    k = draw(st.integers(1, min(topology.num_nodes, 8)))
+    return kind, dims, k
+
+
+@settings(max_examples=40, deadline=None)
+@given(partition_case())
+def test_partition_pure_and_stable(case):
+    """Rebuilding the same topology gives a bit-identical assignment —
+    there is no RNG, wall-clock, or iteration-order input to drift."""
+    kind, dims, k = case
+    first = partition_topology(_build(kind, dims), k)
+    second = partition_topology(_build(kind, dims), k)
+    assert np.array_equal(first.shard_of, second.shard_of)
+    assert first.method == second.method
+    assert first.cut_edges == second.cut_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(partition_case())
+def test_partition_covers_every_node_once(case):
+    kind, dims, k = case
+    topology = _build(kind, dims)
+    partition = partition_topology(topology, k)
+    assert partition.shard_of.size == topology.num_nodes
+    assert partition.shard_of.min() >= 0
+    assert partition.shard_of.max() <= k - 1
+    sizes = partition.shard_sizes()
+    assert int(sizes.sum()) == topology.num_nodes
+    assert all(size > 0 for size in sizes), "empty shard"
+    # nodes_of partitions the node set
+    union = np.concatenate([partition.nodes_of(s) for s in range(k)])
+    assert sorted(union.tolist()) == list(range(topology.num_nodes))
+
+
+@settings(max_examples=40, deadline=None)
+@given(partition_case())
+def test_every_cut_edge_in_exactly_one_boundary_pair(case):
+    """Each inter-shard edge appears in exactly one boundary queue pair:
+    edges_between over boundary_pairs() tiles cut_edges with no overlap."""
+    kind, dims, k = case
+    topology = _build(kind, dims)
+    partition = partition_topology(topology, k)
+    # Every topology edge is either intra-shard or a cut edge.
+    edges = topology.to_edge_list()
+    cut = set(partition.cut_edges)
+    for u, v in edges:
+        crosses = partition.shard_of[u] != partition.shard_of[v]
+        assert ((u, v) in cut) == crosses
+    # The boundary pairs tile the cut exactly once.
+    seen = []
+    for a, b in partition.boundary_pairs():
+        assert a < b
+        between = partition.edges_between(a, b)
+        assert between, "boundary pair with no edges"
+        seen.extend(between)
+    assert sorted(seen) == sorted(cut)
+    assert len(seen) == len(set(seen)), "edge assigned to two pairs"
+
+
+@settings(max_examples=30, deadline=None)
+@given(partition_case())
+def test_slab_partitions_balanced_within_one_plane(case):
+    kind, dims, k = case
+    topology = _build(kind, dims)
+    partition = partition_topology(topology, k)
+    sizes = partition.shard_sizes()
+    if partition.method == "slab":
+        axis_len = max(dims)
+        plane = topology.num_nodes // axis_len
+        assert int(sizes.max() - sizes.min()) <= plane
+    elif partition.method == "bfs-chop":
+        # chop + balance-preserving refinement: within one node of even
+        assert int(sizes.max() - sizes.min()) <= 1
+
+
+def test_mesh_slab_is_contiguous_bands():
+    partition = partition_topology(Mesh((4, 4)), 2)
+    assert partition.method == "slab"
+    assert partition.shard_sizes().tolist() == [8, 8]
+    coords = Mesh((4, 4))
+    # Bands are monotone in the cut coordinate: crossing a band boundary
+    # never goes backwards.
+    axis_coord = [coords.coord(i)[0] for i in range(16)]
+    by_shard = {}
+    for node, shard in enumerate(partition.shard_of):
+        by_shard.setdefault(int(shard), []).append(axis_coord[node])
+    assert max(by_shard[0]) < min(by_shard[1])
+
+
+def test_k_equals_one_is_trivial():
+    partition = partition_topology(Torus((4, 4)), 1)
+    assert partition.method == "trivial"
+    assert partition.cut_edges == ()
+    assert partition.boundary_pairs() == ()
+
+
+def test_invalid_k_rejected():
+    topology = Mesh((4, 4))
+    with pytest.raises(ConfigurationError):
+        partition_topology(topology, 0)
+    with pytest.raises(ConfigurationError):
+        partition_topology(topology, 17)
+    with pytest.raises(ConfigurationError):
+        partition_topology(topology, True)
+    with pytest.raises(ConfigurationError):
+        partition_topology(topology, 2.0)
